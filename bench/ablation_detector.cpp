@@ -1,0 +1,107 @@
+// Ablation: the online attack detector (Qureshi HPCA'11, the paper's
+// reference [15]) against each attack class.
+//
+// The paper claims a rate-boosting detector defeats RAA/BPA-style
+// concentration but that "increasing the rate of wear leveling instead
+// accelerates RTA". This bench measures all three against RBSG with and
+// without the detector — plus the static-rate sweep that isolates the
+// paper's claim (RTA lifetime as a function of ψ).
+
+#include "attack/bpa.hpp"
+#include "attack/harness.hpp"
+#include "attack/raa.hpp"
+#include "attack/rta_rbsg.hpp"
+#include "bench_util.hpp"
+#include "wl/factory.hpp"
+
+int main() {
+  using namespace srbsg;
+  using namespace srbsg::bench;
+
+  print_header("Ablation: online attack detector vs RAA / BPA / RTA",
+               "§III: rate boosting helps vs RAA/BPA; RTA exploits remaps themselves");
+
+  const u64 lines = 1u << 12;
+  const u64 endurance = 1u << 15;
+  const u64 interval = 128;  // deliberately slow when calm (low overhead)
+  const auto pcm_cfg = pcm::PcmConfig::scaled(lines, endurance);
+
+  auto make_mc = [&](bool with_detector) {
+    wl::SchemeSpec spec;
+    spec.kind = wl::SchemeKind::kRbsg;
+    spec.lines = lines;
+    spec.regions = 8;
+    spec.inner_interval = interval;
+    auto mc = std::make_unique<ctl::MemoryController>(pcm_cfg, wl::make_scheme(spec));
+    if (with_detector) {
+      wl::AttackDetectorConfig dcfg;
+      dcfg.window = 4096;
+      dcfg.threshold = 8.0;
+      dcfg.max_boost = 5;
+      mc->enable_detector(dcfg);
+    }
+    return mc;
+  };
+
+  Table t({"attack", "no detector", "with detector", "detector effect"});
+  for (int kind = 0; kind < 3; ++kind) {
+    u64 life[2] = {0, 0};
+    for (int d = 0; d < 2; ++d) {
+      auto mc = make_mc(d == 1);
+      std::unique_ptr<attack::Attacker> atk;
+      if (kind == 0) {
+        atk = std::make_unique<attack::RepeatedAddressAttack>(La{1234});
+      } else if (kind == 1) {
+        atk = std::make_unique<attack::BirthdayParadoxAttack>(7, 2 * (lines / 8 + 1) *
+                                                                     interval);
+      } else {
+        attack::RtaRbsgParams p;
+        p.lines = lines;
+        p.regions = 8;
+        p.interval = interval;
+        p.endurance = endurance;
+        atk = std::make_unique<attack::RtaRbsgAttacker>(p);
+      }
+      const auto res = attack::run_attack(*mc, *atk, u64{1} << 36);
+      life[d] = res.succeeded ? res.lifetime.value() : 0;
+    }
+    const char* names[] = {"RAA", "BPA", "RTA"};
+    const double gain =
+        life[0] > 0 ? static_cast<double>(life[1]) / static_cast<double>(life[0]) : 0.0;
+    t.add_row({names[kind], dur(static_cast<double>(life[0])),
+               dur(static_cast<double>(life[1])),
+               fmt_double(gain, 3) + "x lifetime"});
+  }
+  t.print(std::cout);
+
+  // The isolated claim: RTA lifetime as a function of a *static* rate.
+  std::cout << "\nstatic-rate sweep (RTA vs RBSG, no detector):\n";
+  Table sweep({"psi", "RTA lifetime", "attack writes"});
+  for (u64 psi : {16u, 32u, 64u, 128u}) {
+    wl::SchemeSpec spec;
+    spec.kind = wl::SchemeKind::kRbsg;
+    spec.lines = lines;
+    spec.regions = 8;
+    spec.inner_interval = psi;
+    ctl::MemoryController mc(pcm_cfg, wl::make_scheme(spec));
+    attack::RtaRbsgParams p;
+    p.lines = lines;
+    p.regions = 8;
+    p.interval = psi;
+    p.endurance = endurance;
+    attack::RtaRbsgAttacker rta(p);
+    const auto res = attack::run_attack(mc, rta, u64{1} << 36);
+    sweep.add_row({std::to_string(psi),
+                   res.succeeded ? dur(static_cast<double>(res.lifetime.value())) : "survived",
+                   std::to_string(res.writes)});
+  }
+  sweep.print(std::cout);
+
+  std::cout << "\nreading: the detector multiplies RAA/BPA lifetimes but does NOT\n"
+               "rescue RTA proportionally — and the static sweep shows a faster rate\n"
+               "(small psi) shortens RTA's detection phase, consistent with the\n"
+               "paper's warning that boosting the wear-leveling rate helps RTA.\n"
+               "(A detector-aware RTA would also re-derive the boosted interval,\n"
+               "making the defense weaker still.)\n";
+  return 0;
+}

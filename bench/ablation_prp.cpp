@@ -1,0 +1,70 @@
+// Ablation: how much lifetime does the paper's cubing round function cost?
+//
+// The paper's DFN uses F(L, K) = (L ⊕ K)³ mod 2^(B/2) — cheap in gates
+// ((3/8)·B² per stage) but a T-function: bit i of the output depends only
+// on bits ≤ i of the input, so avalanche saturates near 0.3 instead of
+// the ideal 0.5 (measured by the mapping-quality tests). This bench swaps
+// the outer permutation for an explicit uniform random permutation table
+// (hardware-unrealistic, but the randomization upper bound) and measures
+// the RAA lifetime gap — i.e., the gap between Fig. 14's ~67% ceiling and
+// what an ideal randomizer would reach.
+
+#include "analytic/lifetime_models.hpp"
+#include "attack/harness.hpp"
+#include "attack/raa.hpp"
+#include "bench_util.hpp"
+#include "common/bitops.hpp"
+#include "wl/security_rbsg.hpp"
+
+int main() {
+  using namespace srbsg;
+  using namespace srbsg::bench;
+
+  print_header("Ablation: DFN round function (cubing Feistel vs ideal PRP)",
+               "quantifies the Fig. 14 ceiling caused by the cubing T-function");
+
+  const u64 lines = full_mode() ? (1u << 12) : (1u << 11);
+  const u64 endurance = 65536;
+  const auto pcm_cfg = pcm::PcmConfig::scaled(lines, endurance);
+  const double ideal = analytic::ideal_lifetime_ns(pcm_cfg);
+  const u64 seeds = full_mode() ? 5 : 3;
+
+  Table t({"outer PRP", "stages", "RAA fraction of ideal (avg)", "vs table PRP"});
+  double table_frac = 0.0;
+
+  auto run_config = [&](wl::OuterPrpKind kind, u32 stages) {
+    double sum = 0.0;
+    for (u64 seed = 0; seed < seeds; ++seed) {
+      wl::SecurityRbsgConfig cfg;
+      cfg.lines = lines;
+      cfg.sub_regions = lines / 64;
+      cfg.inner_interval = 8;
+      cfg.outer_interval = 16;
+      cfg.stages = stages;
+      cfg.prp = kind;
+      cfg.seed = 9 + seed;
+      ctl::MemoryController mc(pcm_cfg, std::make_unique<wl::SecurityRbsg>(cfg));
+      u64 sm = seed ^ 0x5AA0u;
+      attack::RepeatedAddressAttack raa(La{splitmix64(sm) % lines});
+      const auto res = attack::run_attack(mc, raa, u64{1} << 40);
+      sum += res.succeeded ? static_cast<double>(res.lifetime.value()) : 0.0;
+    }
+    return sum / static_cast<double>(seeds) / ideal;
+  };
+
+  table_frac = run_config(wl::OuterPrpKind::kTablePrp, 1);
+  t.add_row({"random table (ideal)", "-", fmt_double(table_frac, 3), "1.00"});
+  for (u32 stages : {3u, 7u, 20u}) {
+    const double frac = run_config(wl::OuterPrpKind::kCubingFeistel, stages);
+    t.add_row({"cubing Feistel", std::to_string(stages), fmt_double(frac, 3),
+               fmt_double(frac / table_frac, 3)});
+  }
+  t.print(std::cout);
+
+  std::cout << "\nreading: the cubing Feistel never reaches the table-PRP fraction —\n"
+               "the T-function's weak diffusion is the reason Security RBSG tops out\n"
+               "around 2/3 of the ideal lifetime in the paper (and why hammering\n"
+               "LA 0, a degenerate Feistel input, is measurably more effective than\n"
+               "hammering a random address — see EXPERIMENTS.md).\n";
+  return 0;
+}

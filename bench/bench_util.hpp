@@ -1,0 +1,36 @@
+#pragma once
+// Shared helpers for the figure benches.
+//
+// Every figure bench prints three things side by side:
+//   1. the paper's reported value (hard-coded from the text/figures),
+//   2. the closed-form model evaluated at PAPER scale (1 GB, E = 1e8),
+//   3. an exact to-failure simulation at a SCALED bank (see DESIGN.md §3)
+// so the trend can be checked at both scales. Set SRBSG_FULL=1 for larger
+// scaled banks (slower, tighter curves).
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "common/table.hpp"
+#include "common/thread_pool.hpp"
+#include "sim/sweep.hpp"
+
+namespace srbsg::bench {
+
+inline bool full_mode() {
+  const char* v = std::getenv("SRBSG_FULL");
+  return v != nullptr && v[0] == '1';
+}
+
+inline void print_header(const std::string& title, const std::string& paper_ref) {
+  std::cout << "==== " << title << " ====\n"
+            << "paper reference: " << paper_ref << "\n"
+            << (full_mode() ? "mode: FULL (SRBSG_FULL=1)\n" : "mode: quick\n")
+            << "\n";
+}
+
+/// Days, hours or seconds with unit, from ns.
+inline std::string dur(double ns) { return fmt_duration_ns(ns); }
+
+}  // namespace srbsg::bench

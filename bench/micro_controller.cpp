@@ -1,0 +1,67 @@
+// Microbenchmarks for the simulator's write path: per-write cost of each
+// wear-leveling scheme and the speedup of the bulk fast path (which makes
+// to-failure runs feasible).
+
+#include <benchmark/benchmark.h>
+
+#include "controller/memory_controller.hpp"
+#include "wl/factory.hpp"
+
+namespace {
+
+using namespace srbsg;
+
+constexpr u64 kLines = 1u << 14;
+
+wl::SchemeSpec spec_for(wl::SchemeKind kind) {
+  wl::SchemeSpec s;
+  s.kind = kind;
+  s.lines = kLines;
+  s.regions = 64;
+  s.inner_interval = 64;
+  s.outer_interval = 128;
+  s.stages = 7;
+  return s;
+}
+
+void BM_WritePath(benchmark::State& state) {
+  const auto kind = static_cast<wl::SchemeKind>(state.range(0));
+  ctl::MemoryController mc(pcm::PcmConfig::scaled(kLines, u64{1} << 60),
+                           wl::make_scheme(spec_for(kind)));
+  u64 la = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mc.write(La{la}, pcm::LineData::mixed(la)));
+    la = (la + 1) & (kLines - 1);
+  }
+  state.SetLabel(std::string(wl::to_string(kind)));
+}
+BENCHMARK(BM_WritePath)
+    ->Arg(static_cast<int>(wl::SchemeKind::kNone))
+    ->Arg(static_cast<int>(wl::SchemeKind::kRbsg))
+    ->Arg(static_cast<int>(wl::SchemeKind::kSr1))
+    ->Arg(static_cast<int>(wl::SchemeKind::kSr2))
+    ->Arg(static_cast<int>(wl::SchemeKind::kMultiWaySr))
+    ->Arg(static_cast<int>(wl::SchemeKind::kSecurityRbsg));
+
+void BM_BulkWriteFastPath(benchmark::State& state) {
+  ctl::MemoryController mc(pcm::PcmConfig::scaled(kLines, u64{1} << 60),
+                           wl::make_scheme(spec_for(wl::SchemeKind::kSecurityRbsg)));
+  const u64 chunk = static_cast<u64>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mc.write_repeated(La{0}, pcm::LineData::all_zero(), chunk));
+  }
+  state.SetItemsProcessed(static_cast<i64>(state.iterations()) * static_cast<i64>(chunk));
+}
+BENCHMARK(BM_BulkWriteFastPath)->Arg(1 << 10)->Arg(1 << 16)->Arg(1 << 20);
+
+void BM_Translate(benchmark::State& state) {
+  const auto scheme = wl::make_scheme(spec_for(wl::SchemeKind::kSecurityRbsg));
+  u64 la = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(scheme->translate(La{la}));
+    la = (la + 1) & (kLines - 1);
+  }
+}
+BENCHMARK(BM_Translate);
+
+}  // namespace

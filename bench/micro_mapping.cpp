@@ -1,0 +1,74 @@
+// Microbenchmarks for the address randomizers: the DFN translation sits
+// on the memory critical path (the paper charges 1 cycle per stage), so
+// map/unmap throughput matters.
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hpp"
+#include "mapping/binary_matrix.hpp"
+#include "mapping/feistel.hpp"
+#include "mapping/xor_mapper.hpp"
+
+namespace {
+
+using namespace srbsg;
+
+void BM_FeistelMap(benchmark::State& state) {
+  Rng rng(1);
+  const auto stages = static_cast<u32>(state.range(0));
+  const auto keys = mapping::FeistelNetwork::random_keys(22, stages, rng);
+  mapping::FeistelNetwork net(22, keys);
+  u64 x = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net.map(x));
+    x = (x + 1) & (net.domain_size() - 1);
+  }
+}
+BENCHMARK(BM_FeistelMap)->Arg(3)->Arg(7)->Arg(20);
+
+void BM_FeistelUnmap(benchmark::State& state) {
+  Rng rng(2);
+  const auto keys = mapping::FeistelNetwork::random_keys(22, 7, rng);
+  mapping::FeistelNetwork net(22, keys);
+  u64 x = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net.unmap(x));
+    x = (x + 1) & (net.domain_size() - 1);
+  }
+}
+BENCHMARK(BM_FeistelUnmap);
+
+void BM_FeistelOddWidthCycleWalk(benchmark::State& state) {
+  Rng rng(3);
+  const auto keys = mapping::FeistelNetwork::random_keys(21, 7, rng);
+  mapping::FeistelNetwork net(21, keys);
+  u64 x = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net.map(x));
+    x = (x + 1) % net.domain_size();
+  }
+}
+BENCHMARK(BM_FeistelOddWidthCycleWalk);
+
+void BM_BinaryMatrixMap(benchmark::State& state) {
+  Rng rng(4);
+  mapping::BinaryMatrixMapper m(22, rng);
+  u64 x = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(m.map(x));
+    x = (x + 1) & (m.domain_size() - 1);
+  }
+}
+BENCHMARK(BM_BinaryMatrixMap);
+
+void BM_XorMap(benchmark::State& state) {
+  mapping::XorMapper m(22, 0x2FAB3);
+  u64 x = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(m.map(x));
+    x = (x + 1) & (m.domain_size() - 1);
+  }
+}
+BENCHMARK(BM_XorMap);
+
+}  // namespace

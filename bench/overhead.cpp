@@ -1,0 +1,44 @@
+// §V.C.3 — hardware overhead of Security RBSG. Paper numbers for the
+// recommended configuration on a 1 GB bank: ~2 KB of controller
+// registers, 0.5 MB of isRemap SRAM, one spare line per sub-region plus
+// one for the outer level, and (3/8)·S·B² gates for the cubing circuits.
+
+#include "analytic/overhead.hpp"
+#include "bench_util.hpp"
+
+int main() {
+  using namespace srbsg;
+  using namespace srbsg::bench;
+
+  print_header("Hardware overhead (Security RBSG)",
+               "~2 KB registers, 0.5 MB SRAM, (3/8)SB^2 gates @ (512,64,128,S=7)");
+
+  const auto cfg = pcm::PcmConfig::paper_bank();
+
+  Table t({"stages", "sub-regions", "registers (KB)", "isRemap SRAM (MB)", "spare lines",
+           "spare capacity %", "cubing gates"});
+  for (u32 stages : {3u, 6u, 7u, 12u, 20u}) {
+    for (u64 regions : {256u, 512u, 1024u}) {
+      const auto r = analytic::security_rbsg_overhead(
+          cfg, analytic::OverheadShape{regions, 64, 128, stages});
+      t.add_row({std::to_string(stages), std::to_string(regions),
+                 fmt_double(static_cast<double>(r.register_bits) / 8.0 / 1024.0, 4),
+                 fmt_double(static_cast<double>(r.isremap_sram_bits) / 8.0 / 1024.0 / 1024.0,
+                            4),
+                 std::to_string(r.spare_lines),
+                 fmt_double(100.0 * r.spare_capacity_fraction, 3),
+                 std::to_string(r.cubing_gates)});
+    }
+  }
+  t.print(std::cout);
+
+  const auto rec = analytic::security_rbsg_overhead(cfg, analytic::OverheadShape{});
+  std::cout << "\nrecommended config: "
+            << fmt_double(static_cast<double>(rec.register_bits) / 8.0 / 1024.0, 3)
+            << " KB registers (paper: ~2 KB), "
+            << fmt_double(static_cast<double>(rec.isremap_sram_bits) / 8.0 / 1024.0 / 1024.0,
+                          3)
+            << " MB SRAM (paper: 0.5 MB), " << rec.cubing_gates
+            << " gates (paper: (3/8)*7*22^2 = 1270).\n";
+  return 0;
+}

@@ -1,0 +1,85 @@
+// §V.C.4 — performance impact of Security RBSG on PARSEC-like and
+// SPEC-CPU2006-like workloads (gem5 substitute; see DESIGN.md §3).
+// Paper: average IPC degradation of 1.73% / 1.02% / 0.68% on PARSEC for
+// inner intervals 32/64/128 (outer 128), < 0.5% on SPEC, and ~0 for
+// bzip2/gcc whose accesses are sparse enough to hide remaps.
+
+#include "bench_util.hpp"
+#include "perf/ipc_experiment.hpp"
+
+int main() {
+  using namespace srbsg;
+  using namespace srbsg::bench;
+
+  print_header("Perf impact: IPC degradation vs no wear leveling",
+               "PARSEC avg 1.73/1.02/0.68 % @ psi_in 32/64/128; SPEC < 0.5 %");
+
+  const u64 lines = 1u << 14;
+  const u64 instructions = full_mode() ? 8'000'000 : 2'000'000;
+  const auto cfg = pcm::PcmConfig::scaled(lines, u64{1} << 40);
+  const perf::CoreParams core;  // 1 GHz, 32-entry queue (paper platform)
+  const Ns translation{10};     // DFN stages + SRAM lookup (paper: 10 ns)
+
+  Table summary({"suite", "psi_in", "mean degradation %", "max workload", "max %"});
+  std::vector<perf::IpcComparison> parsec64;
+  for (const u64 inner : {32u, 64u, 128u}) {
+    wl::SchemeSpec spec;
+    spec.kind = wl::SchemeKind::kSecurityRbsg;
+    spec.lines = lines;
+    spec.regions = lines / 64;
+    spec.inner_interval = inner;
+    spec.outer_interval = 128;
+    spec.stages = 7;
+
+    for (const auto& [suite_name, profiles] :
+         {std::pair{std::string("parsec"), trace::parsec_profiles()},
+          std::pair{std::string("spec2006"), trace::spec2006_profiles()}}) {
+      const auto results =
+          perf::run_ipc_suite(profiles, spec, cfg, core, translation, instructions, 5);
+      if (suite_name == "parsec" && inner == 64) parsec64 = results;
+      double worst = 0.0;
+      std::string worst_name = "-";
+      for (const auto& r : results) {
+        if (r.degradation_pct > worst) {
+          worst = r.degradation_pct;
+          worst_name = r.workload;
+        }
+      }
+      summary.add_row({suite_name, std::to_string(inner),
+                       fmt_double(perf::mean_degradation(results), 3), worst_name,
+                       fmt_double(worst, 3)});
+    }
+  }
+  summary.print(std::cout);
+
+  std::cout << "\nper-workload detail (PARSEC, psi_in=64):\n";
+  Table detail({"workload", "IPC baseline", "IPC security-rbsg", "degradation %"});
+  for (const auto& r : parsec64) {
+    detail.add_row({r.workload, fmt_double(r.ipc_baseline, 4), fmt_double(r.ipc_scheme, 4),
+                    fmt_double(r.degradation_pct, 3)});
+  }
+  detail.print(std::cout);
+
+  // End-to-end sanity: the same comparison with the paper's cache
+  // hierarchy in front (only L3 misses/writebacks reach PCM).
+  {
+    wl::SchemeSpec spec;
+    spec.kind = wl::SchemeKind::kSecurityRbsg;
+    spec.lines = lines;
+    spec.regions = lines / 64;
+    spec.inner_interval = 64;
+    spec.outer_interval = 128;
+    spec.stages = 7;
+    const auto& canneal = trace::parsec_profiles()[2];
+    const auto cpu = trace::make_profile_trace(canneal, lines, instructions, 5);
+    const auto cmp =
+        perf::compare_ipc_filtered(cpu, perf::HierarchyConfig{}, spec, cfg, core, translation);
+    std::cout << "\nwith the L1/L2/L3-DRAM-cache hierarchy in front (" << cmp.workload
+              << "): degradation " << fmt_double(cmp.degradation_pct, 3)
+              << " % — caches absorb most of the remaining traffic.\n";
+  }
+
+  std::cout << "\ntrend to check: degradation shrinks as psi_in grows, PARSEC is\n"
+               "costlier than SPEC, and sparse workloads (bzip2, gcc) sit near 0.\n";
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Motivation study (paper §I): real workloads write non-uniformly, so an
+// unleveled PCM dies orders of magnitude before its ideal lifetime even
+// WITHOUT an attacker. This bench replays synthetic workload patterns
+// against every scheme and reports the achieved fraction of the ideal
+// lifetime — the "why wear leveling at all" table.
+
+#include "analytic/lifetime_models.hpp"
+#include "bench_util.hpp"
+#include "controller/memory_controller.hpp"
+#include "trace/generators.hpp"
+#include "wl/factory.hpp"
+
+int main() {
+  using namespace srbsg;
+  using namespace srbsg::bench;
+
+  print_header("Workload lifetime: non-uniform traffic vs wear leveling",
+               "§I-II motivation: hot lines fail early without leveling");
+
+  const u64 lines = full_mode() ? (1u << 12) : (1u << 11);
+  const u64 endurance = 1u << 14;
+  const auto cfg = pcm::PcmConfig::scaled(lines, endurance);
+  const double ideal = analytic::ideal_lifetime_ns(cfg);
+
+  auto make_trace = [&](const std::string& pattern, u64 seed) {
+    trace::GeneratorOptions opt;
+    opt.lines = lines;
+    opt.accesses = 1u << 20;
+    opt.write_ratio = 1.0;
+    opt.seed = seed;
+    if (pattern == "hotspot") return trace::make_hotspot(opt, 0.02, 0.9);
+    if (pattern == "zipf") return trace::make_zipf(opt, 1.1);
+    return trace::make_uniform(opt);
+  };
+
+  Table t({"workload", "scheme", "lifetime fraction of ideal", "max/mean wear"});
+  for (const std::string pattern : {"hotspot", "zipf", "uniform"}) {
+    for (auto kind : {wl::SchemeKind::kNone, wl::SchemeKind::kTable, wl::SchemeKind::kRbsg,
+                      wl::SchemeKind::kSecurityRbsg}) {
+      wl::SchemeSpec spec;
+      spec.kind = kind;
+      spec.lines = lines;
+      spec.regions = lines / 64;
+      spec.inner_interval = 16;
+      spec.outer_interval = 32;
+      spec.stages = 7;
+      ctl::MemoryController mc(cfg, wl::make_scheme(spec));
+
+      // Replay the pattern until first failure (regenerate as needed).
+      u64 seed = 3;
+      while (!mc.failed() && mc.total_writes() < lines * endurance) {
+        for (const auto& rec : make_trace(pattern, seed++)) {
+          mc.write(La{rec.addr}, pcm::LineData::mixed(rec.addr));
+          if (mc.failed()) break;
+        }
+      }
+      const double frac =
+          mc.failed() ? static_cast<double>(mc.failure().time.value()) / ideal : 1.0;
+      const auto wear = compute_wear_metrics(mc.bank().wear_counts());
+      t.add_row({pattern, std::string(wl::to_string(kind)), fmt_double(frac, 3),
+                 fmt_double(wear.max_over_mean, 3)});
+    }
+  }
+  t.print(std::cout);
+
+  std::cout << "\nreading: a 90/2 hotspot kills an unleveled bank at a tiny fraction\n"
+               "of ideal; RBSG and Security RBSG recover most of it (Security RBSG\n"
+               "additionally resists the adversarial streams of the other benches).\n";
+  return 0;
+}

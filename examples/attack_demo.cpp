@@ -1,0 +1,62 @@
+// Attack demo: run the paper's three attacks (RAA, BPA, RTA) against
+// RBSG, two-level Security Refresh and Security RBSG on a scaled bank,
+// and print who dies and how fast.
+//
+//   ./attack_demo [lines] [endurance]
+
+#include <cstdlib>
+#include <iostream>
+
+#include "common/table.hpp"
+#include "sim/sweep.hpp"
+
+int main(int argc, char** argv) {
+  using namespace srbsg;
+  using sim::AttackKind;
+
+  const u64 lines = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 4096;
+  const u64 endurance = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 32768;
+
+  std::cout << "Scaled bank: " << lines << " lines, endurance " << endurance
+            << " (the paper's 1 GB / 1e8 bank behaves identically, just slower)\n\n";
+
+  std::vector<sim::LifetimeConfig> configs;
+  for (auto scheme : {wl::SchemeKind::kRbsg, wl::SchemeKind::kSr2,
+                      wl::SchemeKind::kSecurityRbsg}) {
+    for (auto attack : {AttackKind::kRaa, AttackKind::kBpa, AttackKind::kRta}) {
+      sim::LifetimeConfig c;
+      c.pcm = pcm::PcmConfig::scaled(lines, endurance);
+      c.scheme.kind = scheme;
+      c.scheme.lines = lines;
+      c.scheme.regions = scheme == wl::SchemeKind::kRbsg ? 8 : 16;
+      c.scheme.inner_interval = 8;
+      c.scheme.outer_interval = 16;
+      c.scheme.stages = 7;
+      c.scheme.seed = 21;
+      c.attack = attack;
+      // Cap the effort: an attack that cannot kill the bank within ~64x
+      // the RAA-equivalent budget is reported as "survived".
+      c.write_budget = 64 * lines * endurance / 8;
+      configs.push_back(c);
+    }
+  }
+
+  ThreadPool pool;
+  const auto entries = sim::run_sweep(configs, pool);
+
+  Table t({"scheme", "attack", "outcome", "lifetime", "attack writes", "max/mean wear"});
+  for (const auto& e : entries) {
+    const auto& r = e.outcome.result;
+    t.add_row({std::string(wl::to_string(e.config.scheme.kind)),
+               std::string(sim::to_string(e.config.attack)),
+               r.succeeded ? "WORN OUT" : "survived",
+               r.succeeded ? fmt_duration_ns(static_cast<double>(r.lifetime.value())) : "-",
+               std::to_string(r.writes), fmt_double(e.outcome.wear.max_over_mean, 3)});
+  }
+  t.print(std::cout);
+
+  std::cout << "\nReading the table: RTA wipes out RBSG and SR2 orders of magnitude\n"
+               "faster than RAA/BPA, while Security RBSG's dynamic Feistel mapping\n"
+               "reduces RTA to birthday-paradox effectiveness.\n";
+  return 0;
+}

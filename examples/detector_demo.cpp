@@ -1,0 +1,76 @@
+// Detector demo: watch the online attack detector (paper reference [15])
+// classify traffic in real time — benign phases keep the wear-leveling
+// rate low, hammering phases trip the detector and boost it.
+//
+//   ./detector_demo
+
+#include <iostream>
+
+#include "common/table.hpp"
+#include "controller/memory_controller.hpp"
+#include "trace/generators.hpp"
+#include "wl/factory.hpp"
+
+int main() {
+  using namespace srbsg;
+
+  const u64 lines = 1u << 14;
+  wl::SchemeSpec spec;
+  spec.kind = wl::SchemeKind::kSecurityRbsg;
+  spec.lines = lines;
+  spec.regions = 64;
+  spec.inner_interval = 64;
+  spec.outer_interval = 128;
+  spec.stages = 7;
+
+  ctl::MemoryController mc(pcm::PcmConfig::scaled(lines, u64{1} << 40),
+                           wl::make_scheme(spec));
+  wl::AttackDetectorConfig dcfg;
+  dcfg.window = 1u << 14;
+  dcfg.threshold = 8.0;
+  dcfg.max_boost = 4;
+  mc.enable_detector(dcfg);
+
+  Table t({"phase", "writes", "boost after", "windows", "trips"});
+  auto report = [&](const char* phase, u64 writes) {
+    t.add_row({phase, std::to_string(writes), std::to_string(mc.detector()->boost()),
+               std::to_string(mc.detector()->windows_observed()),
+               std::to_string(mc.detector()->trips())});
+  };
+
+  // Phase 1: benign uniform traffic.
+  trace::GeneratorOptions opt;
+  opt.lines = lines;
+  opt.accesses = 100'000;
+  opt.write_ratio = 1.0;
+  opt.seed = 3;
+  for (const auto& rec : trace::make_uniform(opt)) {
+    mc.write(La{rec.addr}, pcm::LineData::mixed());
+  }
+  report("uniform (benign)", 100'000);
+
+  // Phase 2: a zipf-skewed but plausible workload.
+  opt.seed = 4;
+  for (const auto& rec : trace::make_zipf(opt, 0.9)) {
+    mc.write(La{rec.addr}, pcm::LineData::mixed());
+  }
+  report("zipf 0.9 (hot but benign)", 100'000);
+
+  // Phase 3: hammering — a repeated-address attack.
+  mc.write_repeated(La{77}, pcm::LineData::mixed(), 200'000);
+  report("RAA hammering", 200'000);
+
+  // Phase 4: the attacker gives up; traffic normalizes.
+  opt.seed = 5;
+  opt.accesses = 200'000;
+  for (const auto& rec : trace::make_uniform(opt)) {
+    mc.write(La{rec.addr}, pcm::LineData::mixed());
+  }
+  report("uniform again (recovery)", 200'000);
+
+  t.print(std::cout);
+  std::cout << "\nThe boost column is the log2 divisor applied to the scheme's\n"
+               "remapping intervals: 0 when traffic looks benign, rising while a\n"
+               "write stream concentrates, decaying once it stops.\n";
+  return 0;
+}

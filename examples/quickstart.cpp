@@ -1,0 +1,72 @@
+// Quickstart: put a Security RBSG wear-leveler in front of a PCM bank,
+// run a hot-spotted workload, and watch the wear stay flat.
+//
+//   ./quickstart [lines] [writes]
+
+#include <cstdlib>
+#include <iostream>
+
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "controller/memory_controller.hpp"
+#include "trace/generators.hpp"
+#include "wl/factory.hpp"
+
+int main(int argc, char** argv) {
+  using namespace srbsg;
+
+  const u64 lines = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : (1u << 14);
+  const u64 writes = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 2'000'000;
+
+  // 1. Describe the PCM device (defaults follow the paper: SET 1000 ns,
+  //    RESET/READ 125 ns). The endurance is irrelevant for this demo.
+  const auto pcm_cfg = pcm::PcmConfig::scaled(lines, u64{1} << 40);
+
+  // 2. Pick a wear-leveling scheme. Security RBSG with 7 Feistel stages
+  //    is the paper's recommended configuration.
+  wl::SchemeSpec spec;
+  spec.kind = wl::SchemeKind::kSecurityRbsg;
+  spec.lines = lines;
+  spec.regions = 64;
+  spec.inner_interval = 64;
+  spec.outer_interval = 128;
+  spec.stages = 7;
+
+  // 3. The controller glues the scheme to a bank and keeps simulated time.
+  ctl::MemoryController mc(pcm_cfg, wl::make_scheme(spec));
+
+  // Basic reads and writes go through the dynamic translation:
+  mc.write(La{42}, pcm::LineData::mixed(/*token=*/0xC0FFEE));
+  const auto [data, read_latency] = mc.read(La{42});
+  std::cout << "read back token 0x" << std::hex << data.token << std::dec << " in "
+            << read_latency.value() << " ns\n";
+
+  // 4. Hammer a hotspot: 90% of traffic on 1% of the address space.
+  trace::GeneratorOptions opt;
+  opt.lines = lines;
+  opt.accesses = writes;
+  opt.write_ratio = 1.0;
+  opt.seed = 7;
+  const auto trc = trace::make_hotspot(opt, 0.01, 0.9);
+  for (const auto& rec : trc) {
+    mc.write(La{rec.addr}, pcm::LineData::mixed(rec.addr));
+  }
+
+  // 5. Inspect the wear landscape.
+  const auto metrics = compute_wear_metrics(mc.bank().wear_counts());
+  Table t({"metric", "value"});
+  t.add_row({"scheme", std::string(mc.scheme().name())});
+  t.add_row({"logical lines", std::to_string(lines)});
+  t.add_row({"writes issued", std::to_string(mc.total_writes())});
+  t.add_row({"simulated time", fmt_duration_ns(static_cast<double>(mc.now().value()))});
+  t.add_row({"mean wear", fmt_double(metrics.mean)});
+  t.add_row({"max wear", std::to_string(metrics.max)});
+  t.add_row({"max/mean (1.0 = perfectly even)", fmt_double(metrics.max_over_mean)});
+  t.add_row({"gini coefficient", fmt_double(metrics.gini)});
+  t.print(std::cout);
+
+  std::cout << "\nA 90/1 hotspot would wear one line " << lines / 100
+            << "x faster than average without wear leveling; Security RBSG keeps\n"
+               "max/mean close to 1.\n";
+  return 0;
+}

@@ -1,0 +1,28 @@
+#include "analytic/latency_model.hpp"
+
+namespace srbsg::analytic {
+
+Latencies latencies_of(const pcm::PcmConfig& cfg) {
+  Latencies l{};
+  l.read_ns = static_cast<double>(cfg.read_latency.value());
+  l.reset_ns = static_cast<double>(cfg.reset_latency.value());
+  l.set_ns = static_cast<double>(cfg.set_latency.value());
+  l.move0_ns = l.read_ns + l.reset_ns;
+  l.move1_ns = l.read_ns + l.set_ns;
+  l.swap00_ns = 2 * l.read_ns + 2 * l.reset_ns;
+  l.swap01_ns = 2 * l.read_ns + l.reset_ns + l.set_ns;
+  l.swap11_ns = 2 * l.read_ns + 2 * l.set_ns;
+  return l;
+}
+
+double ideal_lifetime_ns(const pcm::PcmConfig& cfg) {
+  const auto l = latencies_of(cfg);
+  return static_cast<double>(cfg.line_count) * static_cast<double>(cfg.endurance) * l.set_ns;
+}
+
+double raa_baseline_ns(const pcm::PcmConfig& cfg) {
+  const auto l = latencies_of(cfg);
+  return static_cast<double>(cfg.endurance) * l.set_ns;
+}
+
+}  // namespace srbsg::analytic

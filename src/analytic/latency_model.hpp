@@ -1,0 +1,31 @@
+#pragma once
+// Closed-form latency/lifetime building blocks shared by the analytic
+// models. All results are in double nanoseconds — paper-scale numbers
+// (1 GB bank, E = 1e8) exceed what per-write simulation can reach, and
+// doubles keep the formulas overflow-free.
+
+#include "pcm/config.hpp"
+
+namespace srbsg::analytic {
+
+struct Latencies {
+  double read_ns;
+  double reset_ns;  ///< ALL-0 write
+  double set_ns;    ///< write containing a SET transition (incl. normal data)
+  double move0_ns;  ///< remap movement of an ALL-0 line (read + RESET)
+  double move1_ns;  ///< remap movement of a SET line (read + SET)
+  double swap00_ns;  ///< SR swap of two ALL-0 lines
+  double swap01_ns;
+  double swap11_ns;
+};
+
+[[nodiscard]] Latencies latencies_of(const pcm::PcmConfig& cfg);
+
+/// Ideal lifetime (paper Figs. 13-15 reference line): perfectly uniform
+/// wear under normal (SET-latency) writes — N·E writes.
+[[nodiscard]] double ideal_lifetime_ns(const pcm::PcmConfig& cfg);
+
+/// Lifetime of the unprotected baseline under RAA: E writes to one line.
+[[nodiscard]] double raa_baseline_ns(const pcm::PcmConfig& cfg);
+
+}  // namespace srbsg::analytic

@@ -1,0 +1,172 @@
+#include "analytic/lifetime_models.hpp"
+
+#include <cmath>
+
+#include "common/bitops.hpp"
+#include "common/check.hpp"
+
+namespace srbsg::analytic {
+namespace {
+
+double dbl(u64 v) { return static_cast<double>(v); }
+
+}  // namespace
+
+double raa_rbsg_ns(const pcm::PcmConfig& cfg, const RbsgShape& s) {
+  check(s.regions > 0 && cfg.line_count % s.regions == 0, "raa_rbsg: bad regions");
+  const auto l = latencies_of(cfg);
+  const double m = dbl(cfg.line_count / s.regions);
+  // Each physical slot hosts the hammered LA for one rotation
+  // ((M+1)·ψ writes) out of every M+1 rotations; E·(M+1) writes total.
+  return dbl(cfg.endurance) * (m + 1) * l.set_ns;
+}
+
+double raa_rbsg_exact_ns(const pcm::PcmConfig& cfg, const RbsgShape& s) {
+  check(s.regions > 0 && cfg.line_count % s.regions == 0, "raa_rbsg_exact: bad regions");
+  const auto l = latencies_of(cfg);
+  const double m = dbl(cfg.line_count / s.regions);
+  const double psi = dbl(s.interval);
+  // The first-visited slot accumulates one hammer visit of (M+1)·ψ writes
+  // plus M+1 movement writes per cycle of M+1 rotations; the fatal visit
+  // happens at the start of the final cycle.
+  const double per_visit = (m + 1) * psi;
+  const double per_cycle_wear = per_visit + (m + 1);
+  const double full_cycles = std::floor(dbl(cfg.endurance) / per_cycle_wear);
+  const double remaining = dbl(cfg.endurance) - full_cycles * per_cycle_wear;
+  const double hammer_writes = full_cycles * (m + 1) * per_visit + remaining;
+  const double movements = hammer_writes / psi;
+  // Normal (mixed) data everywhere: writes at SET, movements read+SET.
+  return hammer_writes * l.set_ns + movements * (l.read_ns + l.set_ns);
+}
+
+RtaRbsgBreakdown rta_rbsg_ns(const pcm::PcmConfig& cfg, const RbsgShape& s) {
+  check(s.regions > 0 && cfg.line_count % s.regions == 0, "rta_rbsg: bad regions");
+  const auto l = latencies_of(cfg);
+  const double n = dbl(cfg.line_count);
+  const double m = dbl(cfg.line_count / s.regions);
+  const double psi = dbl(s.interval);
+  const double bits = dbl(log2_floor(cfg.line_count));
+  const double rotation = (m + 1) * psi;  // writes per full region rotation
+
+  RtaRbsgBreakdown b{};
+  // Step 1: blanket ALL-0.
+  b.blanket_ns = n * l.reset_ns;
+  // Steps 2-3: hammer ALL-1 until the target's own migration stalls —
+  // half a rotation in expectation.
+  b.align_ns = 0.5 * rotation * l.set_ns;
+  // Steps 4-6, per address bit: one pattern pass over the space (half the
+  // lines flip to ALL-1, half to ALL-0) plus one rotation of trigger
+  // writes whose content follows the target's own pattern bit (ALL-0 or
+  // ALL-1 with equal probability over bit positions).
+  const double pattern_pass = n * 0.5 * (l.reset_ns + l.set_ns);
+  const double trigger_rotation = rotation * 0.5 * (l.reset_ns + l.set_ns);
+  b.detect_ns = bits * (pattern_pass + trigger_rotation);
+  // Wear-out: the pinned slot absorbs ~M·ψ of every rotation's writes;
+  // the attacker hammers ALL-0.
+  const double rounds = std::ceil(dbl(cfg.endurance) / (m * psi));
+  b.wear_ns = rounds * rotation * l.reset_ns;
+  b.total_ns = b.blanket_ns + b.align_ns + b.detect_ns + b.wear_ns;
+  b.writes = n + 0.5 * rotation + bits * (n + rotation) + rounds * rotation;
+  return b;
+}
+
+double bpa_expected_probes(u64 slots, u64 hits_needed) {
+  check(slots > 0 && hits_needed > 0, "bpa_expected_probes: bad parameters");
+  if (hits_needed == 1) return 1.0;
+  const double bins = dbl(slots);
+  // P(Pois(lambda) >= k) for the tail; search n geometrically then refine.
+  auto tail = [&](double lambda, u64 k) {
+    double term = std::exp(-lambda);
+    double cdf = term;
+    for (u64 i = 1; i < k; ++i) {
+      term *= lambda / dbl(i);
+      cdf += term;
+    }
+    return 1.0 - cdf;
+  };
+  double lo = 1.0;
+  double hi = bins * dbl(hits_needed);
+  while (bins * tail(hi / bins, hits_needed) < 1.0) hi *= 2.0;
+  for (int iter = 0; iter < 60; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    if (bins * tail(mid / bins, hits_needed) >= 1.0) {
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+  }
+  return hi;
+}
+
+double bpa_rbsg_ns(const pcm::PcmConfig& cfg, const RbsgShape& s) {
+  check(s.regions > 0 && cfg.line_count % s.regions == 0, "bpa_rbsg: bad regions");
+  const auto l = latencies_of(cfg);
+  const double m = dbl(cfg.line_count / s.regions);
+  // Expected hammer length before the probed line is moved: half a
+  // rotation of its region.
+  const double deposit = (m + 1) * dbl(s.interval) / 2.0;
+  const u64 hits = static_cast<u64>(std::ceil(dbl(cfg.endurance) / deposit));
+  const double slots = dbl(cfg.line_count + s.regions);  // data lines + gap lines
+  const double probes = bpa_expected_probes(static_cast<u64>(slots), hits);
+  // BPA hammers crafted ALL-1 data to detect its own migration (§II.B).
+  return probes * deposit * l.set_ns;
+}
+
+RtaSr2Breakdown rta_sr2_ns(const pcm::PcmConfig& cfg, const Sr2Shape& s) {
+  check(is_pow2(s.sub_regions) && s.sub_regions > 1, "rta_sr2: bad sub_regions");
+  const auto l = latencies_of(cfg);
+  const double n = dbl(cfg.line_count);
+  const double m = dbl(cfg.line_count / s.sub_regions);
+  const double psi_o = dbl(s.outer_interval);
+  const double region_bits = dbl(log2_floor(s.sub_regions));
+
+  RtaSr2Breakdown b{};
+  b.round_writes = n * psi_o;  // outer CRP walks all N lines
+  // Per-round detection: log2(R) pattern passes of ~N/2 delta writes plus
+  // a few boundary observations each (negligible).
+  b.detect_writes = region_bits * (n / 2.0);
+  b.wear_writes = b.round_writes - b.detect_writes;
+  check(b.wear_writes > 0, "rta_sr2: detection exceeds the round budget");
+  // The flood spreads uniformly over the sub-region's M lines; the first
+  // line dies when the region has absorbed E·M writes.
+  b.rounds = std::ceil(dbl(cfg.endurance) * m / b.wear_writes);
+  const double detect_ns = b.detect_writes * 0.5 * (l.reset_ns + l.set_ns);
+  const double wear_ns = b.wear_writes * l.reset_ns;  // attacker floods ALL-0
+  b.total_ns = b.rounds * (detect_ns + wear_ns);
+  b.writes = b.rounds * b.round_writes;
+  return b;
+}
+
+double raa_sr2_ns(const pcm::PcmConfig& cfg, double uniformity) {
+  check(uniformity > 0.0 && uniformity <= 1.0, "raa_sr2: bad uniformity");
+  return uniformity * ideal_lifetime_ns(cfg);
+}
+
+double security_rbsg_fraction_ns(const pcm::PcmConfig& cfg, double fraction) {
+  check(fraction > 0.0 && fraction <= 1.0, "security_rbsg: bad fraction");
+  return fraction * ideal_lifetime_ns(cfg);
+}
+
+double dfn_security_margin(const pcm::PcmConfig& cfg, const SecurityRbsgShape& s) {
+  const double b = dbl(cfg.address_bits());
+  const double key_bits = dbl(s.stages) * b;
+  const double per_bit_writes = dbl(cfg.line_count / s.sub_regions);
+  const double round_writes = dbl(cfg.line_count / s.sub_regions) * dbl(s.outer_interval);
+  return key_bits * per_bit_writes / round_writes;  // = stages·B/ψ_out
+}
+
+u32 min_secure_stages(const pcm::PcmConfig& cfg, const SecurityRbsgShape& s) {
+  SecurityRbsgShape probe = s;
+  for (u32 k = 1; k <= 64; ++k) {
+    probe.stages = k;
+    if (dfn_security_margin(cfg, probe) >= 1.0) return k;
+  }
+  return 64;
+}
+
+double extrapolate_lifetime(double measured_ns, double model_from_ns, double model_to_ns) {
+  check(model_from_ns > 0.0, "extrapolate: degenerate source model");
+  return measured_ns * (model_to_ns / model_from_ns);
+}
+
+}  // namespace srbsg::analytic

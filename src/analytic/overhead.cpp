@@ -1,0 +1,29 @@
+#include "analytic/overhead.hpp"
+
+#include "common/bitops.hpp"
+#include "common/check.hpp"
+
+namespace srbsg::analytic {
+
+OverheadReport security_rbsg_overhead(const pcm::PcmConfig& cfg, const OverheadShape& s) {
+  check(s.sub_regions > 0 && cfg.line_count % s.sub_regions == 0,
+        "overhead: sub_regions must divide lines");
+  const u64 n = cfg.line_count;
+  const u64 b = cfg.address_bits();
+  const u64 region_lines = n / s.sub_regions;
+
+  OverheadReport r{};
+  const u64 outer_bits = (u64{s.stages} + 1) * b + log2_ceil(s.outer_interval);
+  const u64 inner_bits =
+      s.sub_regions * (2 * log2_ceil(region_lines) + log2_ceil(s.inner_interval));
+  r.register_bits = outer_bits + inner_bits;
+  r.spare_lines = s.sub_regions + 1;
+  r.spare_bytes = r.spare_lines * cfg.line_bytes;
+  r.isremap_sram_bits = n;
+  r.cubing_gates = (3 * u64{s.stages} * b * b) / 8;
+  r.spare_capacity_fraction =
+      static_cast<double>(r.spare_lines) / static_cast<double>(n + r.spare_lines);
+  return r;
+}
+
+}  // namespace srbsg::analytic

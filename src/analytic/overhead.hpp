@@ -1,0 +1,36 @@
+#pragma once
+// Hardware overhead model for Security RBSG (paper §V.C.3).
+
+#include "pcm/config.hpp"
+
+namespace srbsg::analytic {
+
+struct OverheadShape {
+  u64 sub_regions{512};     ///< R
+  u64 inner_interval{64};   ///< ψ_in
+  u64 outer_interval{128};  ///< ψ_out
+  u32 stages{7};            ///< S
+};
+
+struct OverheadReport {
+  /// Controller register bits:
+  /// (S+1)·B + log2(ψ_out) for the outer level (Gap, Kc/Kp arrays, write
+  /// counter) + R·(2·log2(N/R) + log2(ψ_in)) for the per-region Start-Gap
+  /// state.
+  u64 register_bits{0};
+  /// Extra PCM lines: one outer spare + one gap line per sub-region.
+  u64 spare_lines{0};
+  u64 spare_bytes{0};
+  /// isRemap bits: one per logical line, held in SRAM.
+  u64 isremap_sram_bits{0};
+  /// Cubing-circuit gate estimate: (3/8)·S·B² (squarer ≈ B²/2 gates,
+  /// multiplier ≈ B² gates, per Liddicoat & Flynn).
+  u64 cubing_gates{0};
+  /// Fraction of PCM capacity consumed by spare lines.
+  double spare_capacity_fraction{0.0};
+};
+
+[[nodiscard]] OverheadReport security_rbsg_overhead(const pcm::PcmConfig& cfg,
+                                                    const OverheadShape& s);
+
+}  // namespace srbsg::analytic

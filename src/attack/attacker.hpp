@@ -1,0 +1,31 @@
+#pragma once
+// Attacker interface. Attack implementations interact with the memory
+// controller exactly like malicious software would: they issue writes and
+// observe per-request latencies (the remap-stall side channel). They are
+// configured with the public scheme parameters (N, R, ψ — assumed known,
+// as in the paper's threat model where the OS is compromised) but never
+// inspect the scheme's secret state.
+
+#include <string>
+#include <string_view>
+
+#include "controller/memory_controller.hpp"
+
+namespace srbsg::attack {
+
+class Attacker {
+ public:
+  virtual ~Attacker() = default;
+
+  [[nodiscard]] virtual std::string_view name() const = 0;
+
+  /// Attack until the bank fails or `write_budget` writes were issued.
+  /// Implementations must poll `mc.failed()` and stop promptly.
+  virtual void run(ctl::MemoryController& mc, u64 write_budget) = 0;
+
+  /// Scheme-specific notes filled in during the run (detected key bits,
+  /// phase write counts, ...). Purely informational.
+  [[nodiscard]] virtual std::string detail() const { return {}; }
+};
+
+}  // namespace srbsg::attack

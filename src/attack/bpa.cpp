@@ -1,0 +1,35 @@
+#include "attack/bpa.hpp"
+
+#include <algorithm>
+
+namespace srbsg::attack {
+
+BirthdayParadoxAttack::BirthdayParadoxAttack(u64 seed, u64 hammer_cap)
+    : rng_(seed), hammer_cap_(hammer_cap) {}
+
+void BirthdayParadoxAttack::run(ctl::MemoryController& mc, u64 write_budget) {
+  const u64 lines = mc.logical_lines();
+  u64 issued = 0;
+  while (!mc.failed() && issued < write_budget) {
+    const La la{rng_.next_below(lines)};
+    ++addresses_tried_;
+    const Pa original = mc.scheme().translate(la);
+    u64 hammered = 0;
+    while (!mc.failed() && issued < write_budget && hammered < hammer_cap_ &&
+           mc.scheme().translate(la) == original) {
+      // Chunk between observation points; remaps are only detectable at
+      // movement boundaries anyway, which arrive every ψ writes at most.
+      const u64 n = std::min<u64>({256, write_budget - issued, hammer_cap_ - hammered});
+      const auto out = mc.write_repeated(la, pcm::LineData::all_one(0xBB), n);
+      issued += out.writes_applied;
+      hammered += out.writes_applied;
+      if (out.writes_applied == 0) return;
+    }
+  }
+}
+
+std::string BirthdayParadoxAttack::detail() const {
+  return "addresses_tried=" + std::to_string(addresses_tried_);
+}
+
+}  // namespace srbsg::attack

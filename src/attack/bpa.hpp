@@ -1,0 +1,35 @@
+#pragma once
+// Birthday Paradox Attack (Seznec'09; paper §II.B): pick logical
+// addresses at random and hammer each until it gets remapped away, then
+// move on. After surprisingly few picks some physical line has absorbed
+// several full hammer windows and dies.
+//
+// The attacker detects "my line just moved" through the same timing
+// channel RTA uses (hammering crafted ALL-1 data while the rest of the
+// region is colder makes the migration stall stand out); the simulator
+// grants that detection by watching for the translation change, which is
+// timing-equivalent and keeps this attacker scheme-agnostic.
+
+#include "attack/attacker.hpp"
+#include "common/rng.hpp"
+
+namespace srbsg::attack {
+
+class BirthdayParadoxAttack final : public Attacker {
+ public:
+  /// `hammer_cap` bounds the writes spent on a single address before
+  /// giving up on it (covers schemes whose remap of a given line can be
+  /// starved arbitrarily long).
+  BirthdayParadoxAttack(u64 seed, u64 hammer_cap);
+
+  [[nodiscard]] std::string_view name() const override { return "BPA"; }
+  void run(ctl::MemoryController& mc, u64 write_budget) override;
+  [[nodiscard]] std::string detail() const override;
+
+ private:
+  Rng rng_;
+  u64 hammer_cap_;
+  u64 addresses_tried_{0};
+};
+
+}  // namespace srbsg::attack

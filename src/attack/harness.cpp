@@ -1,0 +1,22 @@
+#include "attack/harness.hpp"
+
+namespace srbsg::attack {
+
+AttackResult run_attack(ctl::MemoryController& mc, Attacker& attacker, u64 write_budget) {
+  attacker.run(mc, write_budget);
+  AttackResult res;
+  res.succeeded = mc.failed();
+  res.writes = mc.total_writes();
+  res.elapsed = mc.now();
+  if (res.succeeded) {
+    res.lifetime = mc.failure().time;
+    res.elapsed = res.lifetime;
+    res.writes = mc.failure().total_writes;
+  }
+  res.attacker = std::string(attacker.name());
+  res.scheme = std::string(mc.scheme().name());
+  res.detail = attacker.detail();
+  return res;
+}
+
+}  // namespace srbsg::attack

@@ -1,0 +1,20 @@
+#include "attack/raa.hpp"
+
+#include <algorithm>
+
+namespace srbsg::attack {
+
+RepeatedAddressAttack::RepeatedAddressAttack(La target) : target_(target) {}
+
+void RepeatedAddressAttack::run(ctl::MemoryController& mc, u64 write_budget) {
+  constexpr u64 kChunk = 1u << 20;
+  u64 issued = 0;
+  while (!mc.failed() && issued < write_budget) {
+    const u64 n = std::min(kChunk, write_budget - issued);
+    const auto out = mc.write_repeated(target_, pcm::LineData::mixed(0xAA), n);
+    issued += out.writes_applied;
+    if (out.writes_applied == 0) break;  // defensive: no forward progress
+  }
+}
+
+}  // namespace srbsg::attack

@@ -1,0 +1,23 @@
+#pragma once
+// Repeated Address Attack (paper §II.B): hammer one logical address with
+// ordinary data. Kills an unprotected PCM line in about a minute; against
+// wear-leveled memory it is the slow baseline RTA is compared with.
+
+#include "attack/attacker.hpp"
+
+namespace srbsg::attack {
+
+class RepeatedAddressAttack final : public Attacker {
+ public:
+  /// `target` is the hammered logical address. Normal data contains both
+  /// transitions, so each write costs the SET latency (§II.C).
+  explicit RepeatedAddressAttack(La target = La{0});
+
+  [[nodiscard]] std::string_view name() const override { return "RAA"; }
+  void run(ctl::MemoryController& mc, u64 write_budget) override;
+
+ private:
+  La target_;
+};
+
+}  // namespace srbsg::attack

@@ -1,0 +1,38 @@
+#include "attack/region_flood.hpp"
+
+#include <algorithm>
+
+#include "common/bitops.hpp"
+#include "common/check.hpp"
+
+namespace srbsg::attack {
+
+StaticRegionFloodAttack::StaticRegionFloodAttack(const RegionFloodParams& p) : p_(p) {
+  check(p.lines > 0 && is_pow2(p.lines), "RegionFlood: lines must be a power of two");
+  check(is_pow2(p.regions) && p.regions >= 1 && p.regions <= p.lines,
+        "RegionFlood: bad region count");
+  check(p.target_region < p.regions, "RegionFlood: target out of range");
+  check(p.chunk >= 1, "RegionFlood: bad chunk");
+}
+
+void StaticRegionFloodAttack::run(ctl::MemoryController& mc, u64 write_budget) {
+  issued_ = 0;
+  const u64 m = p_.lines / p_.regions;
+  const u64 base = p_.target_region * m;
+  u64 off = 0;
+  while (!mc.failed() && issued_ < write_budget) {
+    const u64 n = std::min(p_.chunk, write_budget - issued_);
+    const auto out =
+        mc.write_repeated(La{base + off}, pcm::LineData::all_zero(), n);
+    issued_ += out.writes_applied;
+    if (out.writes_applied == 0) break;
+    off = (off + 1) % m;
+  }
+}
+
+std::string StaticRegionFloodAttack::detail() const {
+  return "region=" + std::to_string(p_.target_region) +
+         " issued=" + std::to_string(issued_);
+}
+
+}  // namespace srbsg::attack

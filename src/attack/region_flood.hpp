@@ -1,0 +1,37 @@
+#pragma once
+// Static-region flood — the §III.E observation weaponized: schemes that
+// partition the memory "by the address sequence and perform wear leveling
+// for each sub-region independently" (Multi-Way SR) expose the LA→region
+// assignment statically, so no timing detection is needed at all. The
+// attacker floods the N/R logical addresses of one sub-region round-robin
+// and waits for the region's weakest line to absorb E writes.
+//
+// Against Multi-Way SR this is the paper's full attack minus the (free)
+// key detection; it also serves as a baseline for the dynamic schemes,
+// where the same flood is diluted across the whole bank.
+
+#include "attack/attacker.hpp"
+
+namespace srbsg::attack {
+
+struct RegionFloodParams {
+  u64 lines{0};        ///< N
+  u64 regions{0};      ///< R (static partition by high LA bits)
+  u64 target_region{0};
+  u64 chunk{64};       ///< writes per address before cycling
+};
+
+class StaticRegionFloodAttack final : public Attacker {
+ public:
+  explicit StaticRegionFloodAttack(const RegionFloodParams& p);
+
+  [[nodiscard]] std::string_view name() const override { return "region-flood"; }
+  void run(ctl::MemoryController& mc, u64 write_budget) override;
+  [[nodiscard]] std::string detail() const override;
+
+ private:
+  RegionFloodParams p_;
+  u64 issued_{0};
+};
+
+}  // namespace srbsg::attack

@@ -1,0 +1,59 @@
+#pragma once
+// RTA feasibility probe against Security RBSG (paper §IV.B / §V.C.1).
+//
+// The RTA primitive that breaks RBSG and SR reads, from each remap stall,
+// one data-pattern bit of the line being migrated. Against a *dynamic*
+// Feistel network this still works — the attacker sees bit j of LOC_t for
+// every outer movement t — but the sequence of migrated lines is a keyed
+// pseudorandom permutation that is re-keyed every round, so the bits are
+// useless: they cannot be stitched into key bits (the cubing round
+// function is non-linear) and cannot be replayed across rounds (the keys
+// rotate first).
+//
+// This probe quantifies that emptiness: it patterns memory, harvests the
+// migration-bit stream for several rounds, and reports (a) the bias of
+// the stream and (b) the agreement between consecutive rounds at the same
+// movement index — both ≈ 0.5 for a secure mapping, far from it for a
+// static one. It then falls back to birthday-paradox hammering, which is
+// the best remaining strategy, so the measured lifetime doubles as the
+// "Security RBSG under RTA" number.
+
+#include <string>
+#include <vector>
+
+#include "attack/attacker.hpp"
+#include "common/rng.hpp"
+
+namespace srbsg::attack {
+
+struct RtaProbeParams {
+  u64 lines{0};           ///< N
+  u64 outer_interval{0};  ///< ψ_out (outer movements fire every ψ_out writes)
+  u64 probe_bit{0};       ///< which LA bit to pattern during the probe
+  u64 probe_movements{4096};  ///< stall samples to harvest
+  u64 seed{7};
+  u64 hammer_cap{1u << 20};  ///< per-address cap for the BPA fallback
+};
+
+class RtaProbeAttacker final : public Attacker {
+ public:
+  explicit RtaProbeAttacker(const RtaProbeParams& p);
+
+  [[nodiscard]] std::string_view name() const override { return "RTA-probe"; }
+  void run(ctl::MemoryController& mc, u64 write_budget) override;
+  [[nodiscard]] std::string detail() const override { return notes_; }
+
+  /// Fraction of 1-bits in the harvested migration-bit stream.
+  [[nodiscard]] double bit_bias() const { return bias_; }
+  /// Agreement between successive halves of the stream at equal offsets
+  /// (≈ 0.5 when rounds are independent).
+  [[nodiscard]] double round_agreement() const { return agreement_; }
+
+ private:
+  RtaProbeParams p_;
+  double bias_{0.0};
+  double agreement_{0.0};
+  std::string notes_;
+};
+
+}  // namespace srbsg::attack

@@ -1,0 +1,41 @@
+#pragma once
+// Bit manipulation helpers used by the address mappers.
+
+#include <bit>
+#include <cstdint>
+
+#include "common/check.hpp"
+#include "common/types.hpp"
+
+namespace srbsg {
+
+[[nodiscard]] constexpr bool is_pow2(u64 x) { return x != 0 && (x & (x - 1)) == 0; }
+
+/// floor(log2(x)); x must be nonzero.
+[[nodiscard]] constexpr u32 log2_floor(u64 x) {
+  return static_cast<u32>(63 - std::countl_zero(x));
+}
+
+/// ceil(log2(x)); x must be nonzero.
+[[nodiscard]] constexpr u32 log2_ceil(u64 x) {
+  return is_pow2(x) ? log2_floor(x) : log2_floor(x) + 1;
+}
+
+/// Mask with the low `bits` bits set. `bits` may be 0..64.
+[[nodiscard]] constexpr u64 low_mask(u32 bits) {
+  return bits >= 64 ? ~u64{0} : ((u64{1} << bits) - 1);
+}
+
+/// Extract bit `i` (0 = LSB) of `x` as 0/1.
+[[nodiscard]] constexpr u64 bit_of(u64 x, u32 i) { return (x >> i) & 1; }
+
+/// Number of set bits.
+[[nodiscard]] constexpr u32 popcount(u64 x) { return static_cast<u32>(std::popcount(x)); }
+
+/// Round `x` up to the next multiple of `m` (m > 0).
+[[nodiscard]] constexpr u64 round_up(u64 x, u64 m) { return (x + m - 1) / m * m; }
+
+/// Ceiling division.
+[[nodiscard]] constexpr u64 ceil_div(u64 x, u64 y) { return (x + y - 1) / y; }
+
+}  // namespace srbsg

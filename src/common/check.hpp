@@ -1,0 +1,29 @@
+#pragma once
+// Lightweight runtime checking. Invariant violations in a simulator are
+// programming errors, not recoverable conditions, so they throw
+// `std::logic_error` with source location attached; callers are expected
+// to let the exception terminate the experiment.
+
+#include <source_location>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace srbsg {
+
+class CheckFailure : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+/// Throws CheckFailure if `cond` is false. Used for invariants that must
+/// hold regardless of build type (simulation correctness depends on them).
+inline void check(bool cond, std::string_view msg,
+                  std::source_location loc = std::source_location::current()) {
+  if (!cond) {
+    throw CheckFailure(std::string(msg) + " [" + loc.file_name() + ":" +
+                       std::to_string(loc.line()) + "]");
+  }
+}
+
+}  // namespace srbsg

@@ -1,0 +1,73 @@
+#pragma once
+// Deterministic, fast random number generation (xoshiro256** seeded by
+// SplitMix64). Every stochastic component of the simulator takes an
+// explicit seed so experiments are exactly reproducible; nothing reads
+// std::random_device.
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace srbsg {
+
+/// SplitMix64 step; used for seeding and as a cheap stateless mixer.
+[[nodiscard]] constexpr u64 splitmix64(u64& state) {
+  state += 0x9e3779b97f4a7c15ULL;
+  u64 z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** 1.0 (Blackman & Vigna). Satisfies UniformRandomBitGenerator.
+class Rng {
+ public:
+  using result_type = u64;
+
+  explicit Rng(u64 seed = 0x5eed5eed5eed5eedULL);
+
+  [[nodiscard]] static constexpr result_type min() { return 0; }
+  [[nodiscard]] static constexpr result_type max() { return ~u64{0}; }
+
+  result_type operator()() { return next(); }
+
+  /// Next raw 64-bit value.
+  u64 next();
+
+  /// Uniform value in [0, bound); bound must be nonzero.
+  /// Uses Lemire's multiply-shift rejection method (unbiased).
+  u64 next_below(u64 bound);
+
+  /// Uniform value in [lo, hi] inclusive.
+  u64 next_in(u64 lo, u64 hi);
+
+  /// Uniform double in [0, 1).
+  double next_double();
+
+  /// Bernoulli trial with probability p.
+  bool next_bool(double p = 0.5);
+
+  /// Fisher-Yates shuffle of a span.
+  template <class T>
+  void shuffle(std::span<T> data) {
+    for (u64 i = data.size(); i > 1; --i) {
+      u64 j = next_below(i);
+      using std::swap;
+      swap(data[i - 1], data[j]);
+    }
+  }
+
+  /// Fork a statistically independent child generator (for threads).
+  [[nodiscard]] Rng fork();
+
+ private:
+  std::array<u64, 4> s_{};
+};
+
+/// Draw `n` distinct values in [0, bound). O(n) expected when n << bound.
+[[nodiscard]] std::vector<u64> sample_distinct(Rng& rng, u64 bound, u64 n);
+
+}  // namespace srbsg

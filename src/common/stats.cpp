@@ -1,0 +1,134 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "common/check.hpp"
+
+namespace srbsg {
+
+void RunningStats::add(double x) {
+  if (n_ == 0) {
+    min_ = x;
+    max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::variance() const {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+Histogram::Histogram(double lo, double hi, std::size_t buckets)
+    : lo_(lo), hi_(hi), counts_(buckets, 0) {
+  check(buckets > 0, "Histogram: need at least one bucket");
+  check(hi > lo, "Histogram: empty range");
+}
+
+void Histogram::add(double x, u64 weight) {
+  const double t = (x - lo_) / (hi_ - lo_);
+  auto idx = static_cast<std::ptrdiff_t>(t * static_cast<double>(counts_.size()));
+  idx = std::clamp<std::ptrdiff_t>(idx, 0, static_cast<std::ptrdiff_t>(counts_.size()) - 1);
+  counts_[static_cast<std::size_t>(idx)] += weight;
+  total_ += weight;
+}
+
+double Histogram::bucket_lo(std::size_t i) const {
+  return lo_ + (hi_ - lo_) * static_cast<double>(i) / static_cast<double>(counts_.size());
+}
+
+double Histogram::quantile(double p) const {
+  check(p >= 0.0 && p <= 1.0, "quantile: p out of range");
+  if (total_ == 0) return lo_;
+  const double target = p * static_cast<double>(total_);
+  double cum = 0.0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    cum += static_cast<double>(counts_[i]);
+    if (cum >= target) {
+      const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+      return bucket_lo(i) + width / 2.0;
+    }
+  }
+  return hi_;
+}
+
+WearMetrics compute_wear_metrics(std::span<const u64> writes) {
+  WearMetrics m;
+  if (writes.empty()) return m;
+  RunningStats rs;
+  u64 mx = 0;
+  u64 mn = std::numeric_limits<u64>::max();
+  for (u64 w : writes) {
+    rs.add(static_cast<double>(w));
+    mx = std::max(mx, w);
+    mn = std::min(mn, w);
+  }
+  m.mean = rs.mean();
+  m.max = mx;
+  m.min = mn;
+  if (m.mean > 0.0) {
+    m.coefficient_of_variation = rs.stddev() / m.mean;
+    m.max_over_mean = static_cast<double>(mx) / m.mean;
+  }
+  // Gini via the sorted-rank formula: G = (2*sum(i*x_i)/(n*sum(x)) - (n+1)/n).
+  std::vector<u64> sorted(writes.begin(), writes.end());
+  std::sort(sorted.begin(), sorted.end());
+  const auto n = static_cast<double>(sorted.size());
+  double weighted = 0.0;
+  double total = 0.0;
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    weighted += static_cast<double>(i + 1) * static_cast<double>(sorted[i]);
+    total += static_cast<double>(sorted[i]);
+  }
+  if (total > 0.0) {
+    m.gini = (2.0 * weighted) / (n * total) - (n + 1.0) / n;
+  }
+  return m;
+}
+
+std::vector<double> normalized_cumulative(std::span<const u64> writes, std::size_t points) {
+  check(points >= 2, "normalized_cumulative: need at least two points");
+  std::vector<double> out(points, 0.0);
+  if (writes.empty()) return out;
+  double total = 0.0;
+  for (u64 w : writes) total += static_cast<double>(w);
+  if (total == 0.0) return out;
+  double cum = 0.0;
+  std::size_t next_sample = 0;
+  for (std::size_t i = 0; i < writes.size(); ++i) {
+    cum += static_cast<double>(writes[i]);
+    // Emit samples for every point whose address threshold we just passed.
+    while (next_sample < points &&
+           static_cast<double>(i + 1) >=
+               static_cast<double>(next_sample + 1) / static_cast<double>(points) *
+                   static_cast<double>(writes.size())) {
+      out[next_sample++] = cum / total;
+    }
+  }
+  while (next_sample < points) out[next_sample++] = 1.0;
+  return out;
+}
+
+double cumulative_linearity_deviation(std::span<const double> curve) {
+  double worst = 0.0;
+  const auto n = static_cast<double>(curve.size());
+  for (std::size_t i = 0; i < curve.size(); ++i) {
+    const double ideal = static_cast<double>(i + 1) / n;
+    worst = std::max(worst, std::abs(curve[i] - ideal));
+  }
+  return worst;
+}
+
+}  // namespace srbsg

@@ -1,0 +1,84 @@
+#pragma once
+// Streaming statistics and wear-distribution metrics.
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace srbsg {
+
+/// Welford streaming accumulator: mean/variance/min/max without storing
+/// the samples.
+class RunningStats {
+ public:
+  void add(double x);
+
+  [[nodiscard]] std::size_t count() const { return n_; }
+  [[nodiscard]] double mean() const { return n_ ? mean_ : 0.0; }
+  [[nodiscard]] double variance() const;  ///< sample variance (n-1)
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const { return min_; }
+  [[nodiscard]] double max() const { return max_; }
+  [[nodiscard]] double sum() const { return sum_; }
+
+ private:
+  std::size_t n_{0};
+  double mean_{0.0};
+  double m2_{0.0};
+  double min_{0.0};
+  double max_{0.0};
+  double sum_{0.0};
+};
+
+/// Fixed-width histogram over [lo, hi); values outside are clamped into
+/// the first/last bucket.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t buckets);
+
+  void add(double x, u64 weight = 1);
+
+  [[nodiscard]] std::size_t buckets() const { return counts_.size(); }
+  [[nodiscard]] u64 bucket_count(std::size_t i) const { return counts_[i]; }
+  [[nodiscard]] double bucket_lo(std::size_t i) const;
+  [[nodiscard]] u64 total() const { return total_; }
+
+  /// p in [0,1] -> approximate quantile (bucket midpoint interpolation).
+  [[nodiscard]] double quantile(double p) const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<u64> counts_;
+  u64 total_{0};
+};
+
+/// Wear-uniformity metrics over a vector of per-line write counts.
+/// `coefficient_of_variation` is stddev/mean (0 = perfectly even);
+/// `gini` is the Gini coefficient of the distribution (0 = even, →1 =
+/// concentrated); `max_over_mean` is the hot-line ratio the paper's
+/// "ideal lifetime" comparisons hinge on.
+struct WearMetrics {
+  double mean{0.0};
+  double coefficient_of_variation{0.0};
+  double gini{0.0};
+  double max_over_mean{0.0};
+  u64 max{0};
+  u64 min{0};
+};
+
+[[nodiscard]] WearMetrics compute_wear_metrics(std::span<const u64> writes);
+
+/// Normalized cumulative distribution of `writes` in address order —
+/// exactly the y-axis of the paper's Fig. 16. Returns `points` samples of
+/// the normalized accumulated write count at evenly spaced addresses.
+[[nodiscard]] std::vector<double> normalized_cumulative(std::span<const u64> writes,
+                                                        std::size_t points);
+
+/// Maximum absolute deviation of a normalized-cumulative curve from the
+/// y=x diagonal (0 = perfectly uniform writes; used to score Fig. 16).
+[[nodiscard]] double cumulative_linearity_deviation(std::span<const double> curve);
+
+}  // namespace srbsg

@@ -1,0 +1,84 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace srbsg {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  check(!headers_.empty(), "Table: need at least one column");
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  check(cells.size() == headers_.size(), "Table: row width mismatch");
+  rows_.push_back(std::move(cells));
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+    for (const auto& row : rows_) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto rule = [&] {
+    os << '+';
+    for (auto w : widths) os << std::string(w + 2, '-') << '+';
+    os << '\n';
+  };
+  auto line = [&](const std::vector<std::string>& cells) {
+    os << '|';
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      os << ' ' << std::left << std::setw(static_cast<int>(widths[c])) << cells[c] << " |";
+    }
+    os << '\n';
+  };
+  rule();
+  line(headers_);
+  rule();
+  for (const auto& row : rows_) line(row);
+  rule();
+}
+
+void Table::print_csv(std::ostream& os) const {
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      if (c) os << ',';
+      os << cells[c];
+    }
+    os << '\n';
+  };
+  emit(headers_);
+  for (const auto& row : rows_) emit(row);
+}
+
+std::string fmt_double(double v, int precision) {
+  std::ostringstream ss;
+  ss << std::setprecision(precision) << v;
+  return ss.str();
+}
+
+std::string fmt_duration_ns(double ns) {
+  const double s = ns * 1e-9;
+  std::ostringstream ss;
+  ss << std::setprecision(4);
+  if (s < 120.0) {
+    ss << s << " s";
+  } else if (s < 2.0 * 3600.0) {
+    ss << s / 60.0 << " min";
+  } else if (s < 2.0 * 86400.0) {
+    ss << s / 3600.0 << " h";
+  } else if (s < 90.0 * 86400.0) {
+    ss << s / 86400.0 << " days";
+  } else {
+    ss << s / 86400.0 / 30.44 << " months";
+  }
+  return ss.str();
+}
+
+}  // namespace srbsg

@@ -1,0 +1,34 @@
+#pragma once
+// ASCII table / CSV emission for benchmark harnesses. Every figure bench
+// prints one of these so the paper's rows/series can be compared by eye.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace srbsg {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// All rows must have exactly as many cells as there are headers.
+  void add_row(std::vector<std::string> cells);
+
+  void print(std::ostream& os) const;
+  void print_csv(std::ostream& os) const;
+
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Fixed-precision double formatting ("%.3g"-style but stable).
+[[nodiscard]] std::string fmt_double(double v, int precision = 4);
+
+/// Human-readable duration from nanoseconds: picks s / h / days / months.
+[[nodiscard]] std::string fmt_duration_ns(double ns);
+
+}  // namespace srbsg

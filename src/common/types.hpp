@@ -1,0 +1,82 @@
+#pragma once
+// Fundamental strong types shared by every subsystem.
+//
+// The simulator juggles three address spaces (logical, intermediate,
+// physical). Mixing them up is the dominant bug class in wear-leveling
+// code, so each space gets its own vocabulary type. Conversions are
+// explicit: only mappers and wear-levelers are allowed to move a value
+// between spaces.
+
+#include <cstdint>
+#include <compare>
+#include <functional>
+#include <limits>
+
+namespace srbsg {
+
+using u8 = std::uint8_t;
+using u16 = std::uint16_t;
+using u32 = std::uint32_t;
+using u64 = std::uint64_t;
+using i64 = std::int64_t;
+
+/// Strong address wrapper. `Tag` distinguishes the address space.
+template <class Tag>
+struct Addr {
+  u64 v{0};
+
+  constexpr Addr() = default;
+  constexpr explicit Addr(u64 value) : v(value) {}
+
+  [[nodiscard]] constexpr u64 value() const { return v; }
+  constexpr auto operator<=>(const Addr&) const = default;
+};
+
+struct LogicalTag {};
+struct IntermediateTag {};
+struct PhysicalTag {};
+
+/// Logical address: what the program (or the attacker) writes to.
+using La = Addr<LogicalTag>;
+/// Intermediate address: output of the outer-level mapping.
+using Ia = Addr<IntermediateTag>;
+/// Physical address: actual PCM line index.
+using Pa = Addr<PhysicalTag>;
+
+/// Simulated time in nanoseconds. PCM latencies in the paper are given in
+/// ns; lifetimes are reported in seconds/hours/days, hence the helpers.
+struct Ns {
+  u64 v{0};
+
+  constexpr Ns() = default;
+  constexpr explicit Ns(u64 value) : v(value) {}
+
+  [[nodiscard]] constexpr u64 value() const { return v; }
+  [[nodiscard]] constexpr double seconds() const { return static_cast<double>(v) * 1e-9; }
+  [[nodiscard]] constexpr double hours() const { return seconds() / 3600.0; }
+  [[nodiscard]] constexpr double days() const { return seconds() / 86400.0; }
+  [[nodiscard]] constexpr double months() const { return days() / 30.44; }
+  [[nodiscard]] constexpr double years() const { return days() / 365.25; }
+
+  constexpr auto operator<=>(const Ns&) const = default;
+
+  constexpr Ns& operator+=(Ns other) {
+    v += other.v;
+    return *this;
+  }
+};
+
+[[nodiscard]] constexpr Ns operator+(Ns a, Ns b) { return Ns{a.v + b.v}; }
+[[nodiscard]] constexpr Ns operator*(Ns a, u64 n) { return Ns{a.v * n}; }
+[[nodiscard]] constexpr Ns operator*(u64 n, Ns a) { return Ns{a.v * n}; }
+
+inline constexpr u64 kInvalidAddr = std::numeric_limits<u64>::max();
+
+}  // namespace srbsg
+
+template <class Tag>
+struct std::hash<srbsg::Addr<Tag>> {
+  std::size_t operator()(const srbsg::Addr<Tag>& a) const noexcept {
+    return std::hash<srbsg::u64>{}(a.v);
+  }
+};

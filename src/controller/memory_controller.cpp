@@ -1,0 +1,71 @@
+#include "controller/memory_controller.hpp"
+
+#include "common/check.hpp"
+
+namespace srbsg::ctl {
+
+MemoryController::MemoryController(const pcm::PcmConfig& cfg,
+                                   std::unique_ptr<wl::WearLeveler> scheme)
+    : bank_(cfg, scheme->physical_lines()), scheme_(std::move(scheme)) {
+  check(scheme_ != nullptr, "MemoryController: null scheme");
+  check(cfg.line_count == scheme_->logical_lines(),
+        "MemoryController: scheme sized for a different bank");
+}
+
+void MemoryController::maybe_record_failure(Ns per_write_latency) {
+  if (failure_ || !bank_.has_failure()) return;
+  const u64 overshoot = bank_.failure_overshoot();
+  FailureInfo info;
+  info.line = bank_.first_failed_line();
+  // Writes past the crossing (bulk overshoot) happened "after" the
+  // failure; rewind both the write count and the clock.
+  info.total_writes = writes_issued_ > overshoot ? writes_issued_ - overshoot : 0;
+  // Rewind to the instant the endurance limit was crossed: overshoot
+  // writes of this op's per-write latency happened after it.
+  const u64 rewind = overshoot * per_write_latency.value();
+  info.time = Ns{now_.value() > rewind ? now_.value() - rewind : 0};
+  failure_ = info;
+}
+
+void MemoryController::enable_detector(const wl::AttackDetectorConfig& cfg) {
+  detector_ = std::make_unique<wl::AttackDetector>(cfg, scheme_->logical_lines());
+}
+
+void MemoryController::feed_detector(La la, u64 count) {
+  if (detector_ && detector_->record(la, count)) {
+    scheme_->set_rate_boost(detector_->boost());
+  }
+}
+
+wl::WriteOutcome MemoryController::write(La la, const pcm::LineData& data) {
+  feed_detector(la, 1);
+  const wl::WriteOutcome out = scheme_->write(la, data, bank_);
+  now_ += out.total;
+  ++writes_issued_;
+  maybe_record_failure(pcm::write_latency(bank_.config(), data.cls));
+  return out;
+}
+
+wl::BulkOutcome MemoryController::write_repeated(La la, const pcm::LineData& data, u64 count) {
+  // Bulk writes notify the detector up-front; a boost therefore applies
+  // from the start of the bulk, which only makes the defense stronger.
+  feed_detector(la, count);
+  const wl::BulkOutcome out = scheme_->write_repeated(la, data, count, bank_);
+  now_ += out.total;
+  writes_issued_ += out.writes_applied;
+  maybe_record_failure(pcm::write_latency(bank_.config(), data.cls));
+  return out;
+}
+
+std::pair<pcm::LineData, Ns> MemoryController::read(La la) {
+  auto res = scheme_->read(la, bank_);
+  now_ += res.second;
+  return res;
+}
+
+const FailureInfo& MemoryController::failure() const {
+  check(failure_.has_value(), "MemoryController: no failure recorded");
+  return *failure_;
+}
+
+}  // namespace srbsg::ctl

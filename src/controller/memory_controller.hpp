@@ -1,0 +1,70 @@
+#pragma once
+// Memory controller: glues a wear-leveling scheme to a PCM bank, keeps
+// the simulated clock, and exposes exactly what a software attacker can
+// observe — per-request latencies. Remap movements stall the triggering
+// request (paper §III), which is the RTA side channel.
+
+#include <memory>
+#include <optional>
+
+#include "common/types.hpp"
+#include "pcm/bank.hpp"
+#include "wl/attack_detector.hpp"
+#include "wl/wear_leveler.hpp"
+
+namespace srbsg::ctl {
+
+struct FailureInfo {
+  Ns time{0};         ///< simulated instant of the first line failure
+  Pa line{0};         ///< physical line that failed
+  u64 total_writes{0};  ///< logical writes issued up to the failure
+};
+
+class MemoryController {
+ public:
+  MemoryController(const pcm::PcmConfig& cfg, std::unique_ptr<wl::WearLeveler> scheme);
+
+  /// One write; returns the latency the requester observes (data write +
+  /// any remap stall) — this is the timing oracle.
+  wl::WriteOutcome write(La la, const pcm::LineData& data);
+
+  /// `count` identical writes to `la` (event-driven fast path).
+  wl::BulkOutcome write_repeated(La la, const pcm::LineData& data, u64 count);
+
+  /// Read through the translation.
+  std::pair<pcm::LineData, Ns> read(La la);
+
+  [[nodiscard]] Ns now() const { return now_; }
+  [[nodiscard]] u64 total_writes() const { return writes_issued_; }
+  [[nodiscard]] u64 logical_lines() const { return scheme_->logical_lines(); }
+
+  [[nodiscard]] bool failed() const { return failure_.has_value(); }
+  [[nodiscard]] const FailureInfo& failure() const;
+
+  [[nodiscard]] pcm::PcmBank& bank() { return bank_; }
+  [[nodiscard]] const pcm::PcmBank& bank() const { return bank_; }
+  [[nodiscard]] wl::WearLeveler& scheme() { return *scheme_; }
+  [[nodiscard]] const wl::WearLeveler& scheme() const { return *scheme_; }
+
+  /// Attach an online attack detector (Qureshi HPCA'11, reference [15]):
+  /// suspicious write concentration boosts the scheme's remapping rate.
+  void enable_detector(const wl::AttackDetectorConfig& cfg);
+  [[nodiscard]] const wl::AttackDetector* detector() const { return detector_.get(); }
+
+ private:
+  /// Captures failure info the first time the bank reports one. The bank
+  /// records how many writes overshot the endurance limit inside a bulk
+  /// op; the failure instant is rewound by that amount.
+  void maybe_record_failure(Ns per_write_latency);
+
+  void feed_detector(La la, u64 count);
+
+  pcm::PcmBank bank_;
+  std::unique_ptr<wl::WearLeveler> scheme_;
+  std::unique_ptr<wl::AttackDetector> detector_;
+  Ns now_{0};
+  u64 writes_issued_{0};
+  std::optional<FailureInfo> failure_;
+};
+
+}  // namespace srbsg::ctl

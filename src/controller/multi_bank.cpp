@@ -1,0 +1,85 @@
+#include "controller/multi_bank.hpp"
+
+#include <algorithm>
+
+#include "common/bitops.hpp"
+#include "common/check.hpp"
+
+namespace srbsg::ctl {
+
+void MultiBankConfig::validate() const {
+  check(is_pow2(banks) && banks >= 1, "MultiBankConfig: banks must be a power of two");
+}
+
+MultiBankMemory::MultiBankMemory(const MultiBankConfig& cfg, const pcm::PcmConfig& pcm,
+                                 const wl::SchemeSpec& scheme)
+    : cfg_(cfg), lines_per_bank_(pcm.line_count) {
+  cfg_.validate();
+  check(pcm.line_count == scheme.lines, "MultiBankMemory: scheme/pcm size mismatch");
+  banks_.reserve(cfg.banks);
+  for (u64 b = 0; b < cfg.banks; ++b) {
+    wl::SchemeSpec per_bank = scheme;
+    per_bank.seed = scheme.seed + b;  // independent keys per bank (§IV.A)
+    banks_.push_back(std::make_unique<MemoryController>(pcm, wl::make_scheme(per_bank)));
+  }
+}
+
+MultiBankMemory::Location MultiBankMemory::locate(La global) const {
+  check(global.value() < logical_lines(), "MultiBankMemory: address out of range");
+  if (cfg_.line_interleaved) {
+    return {global.value() % banks(), La{global.value() / banks()}};
+  }
+  return {global.value() / lines_per_bank_, La{global.value() % lines_per_bank_}};
+}
+
+wl::WriteOutcome MultiBankMemory::write(La global, const pcm::LineData& data) {
+  const auto loc = locate(global);
+  return banks_[loc.bank]->write(loc.local, data);
+}
+
+wl::BulkOutcome MultiBankMemory::write_repeated(La global, const pcm::LineData& data,
+                                                u64 count) {
+  const auto loc = locate(global);
+  return banks_[loc.bank]->write_repeated(loc.local, data, count);
+}
+
+std::pair<pcm::LineData, Ns> MultiBankMemory::read(La global) {
+  const auto loc = locate(global);
+  return banks_[loc.bank]->read(loc.local);
+}
+
+Ns MultiBankMemory::now() const {
+  Ns busiest{0};
+  for (const auto& b : banks_) busiest = std::max(busiest, b->now());
+  return busiest;
+}
+
+u64 MultiBankMemory::total_writes() const {
+  u64 total = 0;
+  for (const auto& b : banks_) total += b->total_writes();
+  return total;
+}
+
+bool MultiBankMemory::failed() const {
+  return std::any_of(banks_.begin(), banks_.end(),
+                     [](const auto& b) { return b->failed(); });
+}
+
+u64 MultiBankMemory::failed_bank() const {
+  u64 best = banks();
+  Ns best_time{~u64{0}};
+  for (u64 i = 0; i < banks(); ++i) {
+    if (banks_[i]->failed() && banks_[i]->failure().time < best_time) {
+      best = i;
+      best_time = banks_[i]->failure().time;
+    }
+  }
+  check(best < banks(), "MultiBankMemory: no failure recorded");
+  return best;
+}
+
+const FailureInfo& MultiBankMemory::failure() const {
+  return banks_[failed_bank()]->failure();
+}
+
+}  // namespace srbsg::ctl

@@ -1,0 +1,59 @@
+#include "mapping/binary_matrix.hpp"
+
+#include "common/bitops.hpp"
+#include "common/check.hpp"
+
+namespace srbsg::mapping {
+
+u64 gf2_matvec(const std::vector<u64>& rows, u64 x) {
+  u64 y = 0;
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    y |= static_cast<u64>(popcount(rows[i] & x) & 1u) << i;
+  }
+  return y;
+}
+
+std::vector<u64> gf2_invert(std::vector<u64> rows, u32 width_bits) {
+  const std::size_t n = width_bits;
+  std::vector<u64> inv(n);
+  for (std::size_t i = 0; i < n; ++i) inv[i] = u64{1} << i;
+
+  for (std::size_t col = 0; col < n; ++col) {
+    // Find pivot with bit `col` set at or below row `col`.
+    std::size_t pivot = col;
+    while (pivot < n && !bit_of(rows[pivot], static_cast<u32>(col))) ++pivot;
+    if (pivot == n) return {};  // singular
+    std::swap(rows[col], rows[pivot]);
+    std::swap(inv[col], inv[pivot]);
+    for (std::size_t r = 0; r < n; ++r) {
+      if (r != col && bit_of(rows[r], static_cast<u32>(col))) {
+        rows[r] ^= rows[col];
+        inv[r] ^= inv[col];
+      }
+    }
+  }
+  return inv;
+}
+
+BinaryMatrixMapper::BinaryMatrixMapper(u32 width_bits, Rng& rng) : width_bits_(width_bits) {
+  check(width_bits >= 1 && width_bits <= 62, "BinaryMatrixMapper: width out of range");
+  const u64 mask = low_mask(width_bits);
+  for (;;) {
+    rows_.assign(width_bits, 0);
+    for (auto& row : rows_) row = rng.next() & mask;
+    inv_rows_ = gf2_invert(rows_, width_bits);
+    if (!inv_rows_.empty()) break;  // invertible
+  }
+}
+
+u64 BinaryMatrixMapper::map(u64 x) const {
+  check(x < domain_size(), "BinaryMatrixMapper::map: input out of domain");
+  return gf2_matvec(rows_, x);
+}
+
+u64 BinaryMatrixMapper::unmap(u64 y) const {
+  check(y < domain_size(), "BinaryMatrixMapper::unmap: input out of domain");
+  return gf2_matvec(inv_rows_, y);
+}
+
+}  // namespace srbsg::mapping

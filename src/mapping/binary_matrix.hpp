@@ -1,0 +1,35 @@
+#pragma once
+// Random Invertible Binary Matrix randomizer — the alternative static
+// address scrambler mentioned by RBSG (§III.A): y = M·x over GF(2).
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "mapping/mapper.hpp"
+
+namespace srbsg::mapping {
+
+class BinaryMatrixMapper final : public AddressMapper {
+ public:
+  /// Builds a uniformly random invertible B×B matrix over GF(2)
+  /// (rejection-sampled; expected < 4 attempts).
+  BinaryMatrixMapper(u32 width_bits, Rng& rng);
+
+  [[nodiscard]] u32 width_bits() const override { return width_bits_; }
+  [[nodiscard]] u64 map(u64 x) const override;
+  [[nodiscard]] u64 unmap(u64 y) const override;
+
+ private:
+  u32 width_bits_;
+  std::vector<u64> rows_;      ///< forward matrix, row-major bitmasks
+  std::vector<u64> inv_rows_;  ///< inverse matrix
+};
+
+/// GF(2) matrix-vector product: bit i of the result is parity(rows[i] & x).
+[[nodiscard]] u64 gf2_matvec(const std::vector<u64>& rows, u64 x);
+
+/// Gauss-Jordan inverse over GF(2); returns empty vector if singular.
+[[nodiscard]] std::vector<u64> gf2_invert(std::vector<u64> rows, u32 width_bits);
+
+}  // namespace srbsg::mapping

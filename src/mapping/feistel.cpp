@@ -1,0 +1,80 @@
+#include "mapping/feistel.hpp"
+
+#include "common/bitops.hpp"
+#include "common/check.hpp"
+
+namespace srbsg::mapping {
+
+u64 cubing_round(u64 v, u64 key, u32 half_bits) {
+  const u64 mask = low_mask(half_bits);
+  const u64 t = (v ^ key) & mask;
+  // (t^3) mod 2^half_bits. Half widths never exceed 32 bits in practice
+  // (62-bit address spaces), so t*t fits in 64 bits after masking; mask
+  // between multiplications to stay exact for any half width <= 32.
+  check(half_bits <= 32, "cubing_round: half width too large");
+  const u64 sq = (t * t) & mask;
+  return (sq * t) & mask;
+}
+
+FeistelNetwork::FeistelNetwork(u32 width_bits, std::span<const u64> keys)
+    : width_bits_(width_bits),
+      even_bits_(width_bits % 2 == 0 ? width_bits : width_bits + 1),
+      half_bits_(even_bits_ / 2),
+      half_mask_(low_mask(half_bits_)),
+      keys_(keys.begin(), keys.end()) {
+  check(width_bits >= 2 && width_bits <= 62, "FeistelNetwork: width out of range");
+  check(!keys_.empty(), "FeistelNetwork: need at least one stage");
+  for (auto& k : keys_) k &= half_mask_;
+}
+
+u64 FeistelNetwork::round_once(u64 x, u64 key) const {
+  const u64 left = x >> half_bits_;
+  const u64 right = x & half_mask_;
+  const u64 new_left = right;
+  const u64 new_right = left ^ cubing_round(right, key, half_bits_);
+  return (new_left << half_bits_) | new_right;
+}
+
+u64 FeistelNetwork::unround_once(u64 x, u64 key) const {
+  const u64 new_left = x >> half_bits_;
+  const u64 new_right = x & half_mask_;
+  const u64 right = new_left;
+  const u64 left = new_right ^ cubing_round(right, key, half_bits_);
+  return (left << half_bits_) | right;
+}
+
+u64 FeistelNetwork::encrypt_even(u64 x) const {
+  for (u64 k : keys_) x = round_once(x, k);
+  return x;
+}
+
+u64 FeistelNetwork::decrypt_even(u64 x) const {
+  for (auto it = keys_.rbegin(); it != keys_.rend(); ++it) x = unround_once(x, *it);
+  return x;
+}
+
+u64 FeistelNetwork::map(u64 x) const {
+  check(x < domain_size(), "FeistelNetwork::map: input out of domain");
+  u64 y = encrypt_even(x);
+  // Cycle-walk back into the domain for odd widths.
+  while (y >= domain_size()) y = encrypt_even(y);
+  return y;
+}
+
+u64 FeistelNetwork::unmap(u64 y) const {
+  check(y < domain_size(), "FeistelNetwork::unmap: input out of domain");
+  u64 x = decrypt_even(y);
+  while (x >= domain_size()) x = decrypt_even(x);
+  return x;
+}
+
+std::vector<u64> FeistelNetwork::random_keys(u32 width_bits, u32 stages, Rng& rng) {
+  check(stages > 0, "random_keys: need at least one stage");
+  const u32 even = width_bits % 2 == 0 ? width_bits : width_bits + 1;
+  const u64 mask = low_mask(even / 2);
+  std::vector<u64> keys(stages);
+  for (auto& k : keys) k = rng.next() & mask;
+  return keys;
+}
+
+}  // namespace srbsg::mapping

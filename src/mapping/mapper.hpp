@@ -1,0 +1,25 @@
+#pragma once
+// Common interface for invertible address randomizers. All mappers are
+// bijections on [0, 2^width_bits).
+
+#include "common/types.hpp"
+
+namespace srbsg::mapping {
+
+class AddressMapper {
+ public:
+  virtual ~AddressMapper() = default;
+
+  /// Domain is [0, 2^width_bits()).
+  [[nodiscard]] virtual u32 width_bits() const = 0;
+
+  /// Forward mapping (bijective).
+  [[nodiscard]] virtual u64 map(u64 x) const = 0;
+
+  /// Inverse mapping: unmap(map(x)) == x.
+  [[nodiscard]] virtual u64 unmap(u64 y) const = 0;
+
+  [[nodiscard]] u64 domain_size() const { return u64{1} << width_bits(); }
+};
+
+}  // namespace srbsg::mapping

@@ -1,0 +1,68 @@
+#include "mapping/quality.hpp"
+
+#include <vector>
+
+#include "common/bitops.hpp"
+#include "common/check.hpp"
+
+namespace srbsg::mapping {
+
+QualityReport measure_quality(const AddressMapper& mapper, std::size_t samples,
+                              std::size_t buckets, Rng& rng) {
+  check(samples > 0 && buckets > 0, "measure_quality: bad parameters");
+  const u32 width = mapper.width_bits();
+  const u64 domain = mapper.domain_size();
+
+  QualityReport rep;
+  rep.buckets = buckets;
+  rep.samples = samples;
+
+  // Avalanche + fixed points over random probes.
+  double flip_sum = 0.0;
+  std::size_t fixed = 0;
+  for (std::size_t i = 0; i < samples; ++i) {
+    const u64 x = rng.next_below(domain);
+    const u64 y = mapper.map(x);
+    if (x == y) ++fixed;
+    const u32 bit = static_cast<u32>(rng.next_below(width));
+    const u64 x2 = x ^ (u64{1} << bit);
+    if (x2 < domain) {
+      const u64 y2 = mapper.map(x2);
+      flip_sum += static_cast<double>(popcount(y ^ y2)) / static_cast<double>(width);
+    }
+  }
+  rep.avalanche = flip_sum / static_cast<double>(samples);
+  rep.fixed_point_rate = static_cast<double>(fixed) / static_cast<double>(samples);
+
+  // Sequential-input bucket chi-square: RBSG relies on the randomizer
+  // destroying spatial locality of sequential traffic.
+  std::vector<u64> occupancy(buckets, 0);
+  const std::size_t seq = std::min<std::size_t>(samples, static_cast<std::size_t>(domain));
+  for (std::size_t i = 0; i < seq; ++i) {
+    const u64 y = mapper.map(static_cast<u64>(i));
+    const auto b = static_cast<std::size_t>((static_cast<__uint128_t>(y) * buckets) / domain);
+    ++occupancy[b];
+  }
+  const double expect = static_cast<double>(seq) / static_cast<double>(buckets);
+  double chi2 = 0.0;
+  for (u64 c : occupancy) {
+    const double d = static_cast<double>(c) - expect;
+    chi2 += d * d / expect;
+  }
+  rep.sequential_chi2 = chi2;
+  return rep;
+}
+
+bool verify_bijection(const AddressMapper& mapper) {
+  const u64 domain = mapper.domain_size();
+  std::vector<bool> seen(domain, false);
+  for (u64 x = 0; x < domain; ++x) {
+    const u64 y = mapper.map(x);
+    if (y >= domain || seen[y]) return false;
+    seen[y] = true;
+    if (mapper.unmap(y) != x) return false;
+  }
+  return true;
+}
+
+}  // namespace srbsg::mapping

@@ -1,0 +1,40 @@
+#pragma once
+// Permutation-quality metrics. Fig. 14 of the paper shows that the
+// *randomness quality* of a few-stage Feistel network determines how much
+// of the ideal lifetime RAA traffic can reach — these metrics quantify
+// that effect and are used by tests and the fig14 bench commentary.
+
+#include <cstddef>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "mapping/mapper.hpp"
+
+namespace srbsg::mapping {
+
+struct QualityReport {
+  /// Average fraction of output bits flipped per single-bit input flip
+  /// (ideal 0.5 for a random permutation).
+  double avalanche{0.0};
+  /// Fraction of sampled inputs that map to themselves (ideal ~1/2^B).
+  double fixed_point_rate{0.0};
+  /// Chi-square statistic of output bucket occupancy when inputs are the
+  /// first `samples` consecutive addresses and outputs are hashed into
+  /// `buckets` equal ranges. For a random permutation this is close to
+  /// the bucket count.
+  double sequential_chi2{0.0};
+  std::size_t buckets{0};
+  std::size_t samples{0};
+};
+
+/// Measures mapper quality with `samples` probes (sampled deterministically
+/// from `rng`).
+[[nodiscard]] QualityReport measure_quality(const AddressMapper& mapper, std::size_t samples,
+                                            std::size_t buckets, Rng& rng);
+
+/// Exhaustively verifies that `mapper` is a bijection on its full domain
+/// (intended for widths <= ~22 in tests). Returns true iff bijective and
+/// unmap inverts map everywhere.
+[[nodiscard]] bool verify_bijection(const AddressMapper& mapper);
+
+}  // namespace srbsg::mapping

@@ -1,0 +1,29 @@
+#include "mapping/table_mapper.hpp"
+
+#include <span>
+
+#include "common/check.hpp"
+
+namespace srbsg::mapping {
+
+TableMapper::TableMapper(u32 width_bits, Rng& rng) : width_bits_(width_bits) {
+  check(width_bits >= 1 && width_bits <= 28, "TableMapper: width out of range");
+  const u64 n = u64{1} << width_bits;
+  fwd_.resize(n);
+  inv_.resize(n);
+  for (u64 i = 0; i < n; ++i) fwd_[i] = static_cast<u32>(i);
+  rng.shuffle(std::span<u32>(fwd_));
+  for (u64 i = 0; i < n; ++i) inv_[fwd_[i]] = static_cast<u32>(i);
+}
+
+u64 TableMapper::map(u64 x) const {
+  check(x < fwd_.size(), "TableMapper::map: input out of domain");
+  return fwd_[x];
+}
+
+u64 TableMapper::unmap(u64 y) const {
+  check(y < inv_.size(), "TableMapper::unmap: input out of domain");
+  return inv_[y];
+}
+
+}  // namespace srbsg::mapping

@@ -1,0 +1,23 @@
+#include "mapping/xor_mapper.hpp"
+
+#include "common/bitops.hpp"
+#include "common/check.hpp"
+
+namespace srbsg::mapping {
+
+XorMapper::XorMapper(u32 width_bits, u64 key)
+    : width_bits_(width_bits), key_(key & low_mask(width_bits)) {
+  check(width_bits >= 1 && width_bits <= 62, "XorMapper: width out of range");
+}
+
+u64 XorMapper::map(u64 x) const {
+  check(x < domain_size(), "XorMapper::map: input out of domain");
+  return x ^ key_;
+}
+
+u64 XorMapper::unmap(u64 y) const {
+  check(y < domain_size(), "XorMapper::unmap: input out of domain");
+  return y ^ key_;
+}
+
+}  // namespace srbsg::mapping

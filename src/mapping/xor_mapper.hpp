@@ -1,0 +1,25 @@
+#pragma once
+// XOR-with-key mapper — the Security Refresh remapping primitive
+// (PA = LA XOR key). Self-inverse.
+
+#include "common/types.hpp"
+#include "mapping/mapper.hpp"
+
+namespace srbsg::mapping {
+
+class XorMapper final : public AddressMapper {
+ public:
+  XorMapper(u32 width_bits, u64 key);
+
+  [[nodiscard]] u32 width_bits() const override { return width_bits_; }
+  [[nodiscard]] u64 key() const { return key_; }
+
+  [[nodiscard]] u64 map(u64 x) const override;
+  [[nodiscard]] u64 unmap(u64 y) const override;
+
+ private:
+  u32 width_bits_;
+  u64 key_;
+};
+
+}  // namespace srbsg::mapping

@@ -1,0 +1,106 @@
+#include "pcm/bank.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+
+namespace srbsg::pcm {
+
+PcmBank::PcmBank(const PcmConfig& cfg, u64 total_lines) : cfg_(cfg) {
+  cfg_.validate();
+  check(total_lines >= cfg.line_count, "PcmBank: fewer physical than logical lines");
+  data_.assign(total_lines, LineData::all_zero());
+  wear_.assign(total_lines, 0);
+  if (cfg_.endurance_variation > 0.0) {
+    // Truncated-Gaussian per-line limits (sum of 12 uniforms ≈ N(0,1)),
+    // clamped to ±3σ so no line is pathological in either direction.
+    Rng rng(cfg_.variation_seed);
+    endurance_.resize(total_lines);
+    const double mu = static_cast<double>(cfg_.endurance);
+    const double sigma = cfg_.endurance_variation * mu;
+    for (auto& e : endurance_) {
+      double z = -6.0;
+      for (int i = 0; i < 12; ++i) z += rng.next_double();
+      z = std::clamp(z, -3.0, 3.0);
+      e = static_cast<u64>(std::max(1.0, mu + sigma * z));
+    }
+  }
+}
+
+u64 PcmBank::line_endurance(Pa pa) const {
+  check(pa.value() < wear_.size(), "PcmBank: physical address out of range");
+  return endurance_.empty() ? cfg_.endurance : endurance_[pa.value()];
+}
+
+void PcmBank::record_wear(Pa pa, u64 count) {
+  check(pa.value() < wear_.size(), "PcmBank: physical address out of range");
+  u64& w = wear_[pa.value()];
+  w += count;
+  total_writes_ += count;
+  const u64 limit = endurance_.empty() ? cfg_.endurance : endurance_[pa.value()];
+  if (!first_failure_ && w >= limit) {
+    first_failure_ = pa;
+    // Writes applied after the one that hit the endurance limit.
+    failure_overshoot_ = w - limit;
+  }
+}
+
+Ns PcmBank::write(Pa pa, const LineData& data) {
+  record_wear(pa, 1);
+  data_[pa.value()] = data;
+  return write_latency(cfg_, data.cls);
+}
+
+Ns PcmBank::bulk_write(Pa pa, const LineData& data, u64 count) {
+  if (count == 0) return Ns{0};
+  record_wear(pa, count);
+  data_[pa.value()] = data;
+  return write_latency(cfg_, data.cls) * count;
+}
+
+std::pair<LineData, Ns> PcmBank::read(Pa pa) const {
+  check(pa.value() < data_.size(), "PcmBank: physical address out of range");
+  return {data_[pa.value()], read_latency(cfg_)};
+}
+
+Ns PcmBank::move_line(Pa from, Pa to) {
+  check(from.value() < data_.size() && to.value() < data_.size(),
+        "PcmBank: physical address out of range");
+  const LineData moved = data_[from.value()];
+  record_wear(to, 1);
+  data_[to.value()] = moved;
+  return move_latency(cfg_, moved.cls);
+}
+
+Ns PcmBank::swap_lines(Pa a, Pa b) {
+  check(a.value() < data_.size() && b.value() < data_.size(),
+        "PcmBank: physical address out of range");
+  const LineData da = data_[a.value()];
+  const LineData db = data_[b.value()];
+  record_wear(a, 1);
+  record_wear(b, 1);
+  data_[a.value()] = db;
+  data_[b.value()] = da;
+  return swap_latency(cfg_, da.cls, db.cls);
+}
+
+Pa PcmBank::first_failed_line() const {
+  check(first_failure_.has_value(), "PcmBank: no failure recorded");
+  return *first_failure_;
+}
+
+u64 PcmBank::max_wear() const {
+  return wear_.empty() ? 0 : *std::max_element(wear_.begin(), wear_.end());
+}
+
+void PcmBank::reset() {
+  std::fill(data_.begin(), data_.end(), LineData::all_zero());
+  std::fill(wear_.begin(), wear_.end(), u64{0});
+  total_writes_ = 0;
+  first_failure_.reset();
+  failure_overshoot_ = 0;
+}
+
+}  // namespace srbsg::pcm

@@ -1,0 +1,79 @@
+#pragma once
+// Line-granularity PCM bank: data classes, per-line wear counters,
+// endurance tracking, and the bulk-write fast path that makes exact
+// to-failure simulation feasible.
+
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "common/types.hpp"
+#include "pcm/config.hpp"
+#include "pcm/timing.hpp"
+
+namespace srbsg::pcm {
+
+/// A PCM bank of `total_lines` physical lines. The bank does not know
+/// about address translation — all addresses here are physical. Writes
+/// past the endurance limit are recorded (first failed line + the wear
+/// overshoot) rather than thrown, so the harness can pinpoint the exact
+/// failure instant inside a bulk write.
+class PcmBank {
+ public:
+  PcmBank(const PcmConfig& cfg, u64 total_lines);
+
+  [[nodiscard]] const PcmConfig& config() const { return cfg_; }
+  [[nodiscard]] u64 total_lines() const { return data_.size(); }
+
+  /// Write `data` into line `pa`; returns data-dependent latency.
+  Ns write(Pa pa, const LineData& data);
+
+  /// `count` consecutive writes of the same data to the same line.
+  /// Equivalent to calling write() `count` times; O(1).
+  Ns bulk_write(Pa pa, const LineData& data, u64 count);
+
+  /// Read the line; returns {data, latency}.
+  [[nodiscard]] std::pair<LineData, Ns> read(Pa pa) const;
+
+  /// Remap movement: copy line `from` into line `to` (read + write).
+  /// `from` keeps its data (the algorithms treat the source as the new
+  /// gap; its stale content is never read again).
+  Ns move_line(Pa from, Pa to);
+
+  /// Security-Refresh movement: swap the contents of two lines
+  /// (two reads + two writes, both destinations wear by one).
+  Ns swap_lines(Pa a, Pa b);
+
+  [[nodiscard]] u64 wear(Pa pa) const { return wear_[pa.value()]; }
+  [[nodiscard]] std::span<const u64> wear_counts() const { return wear_; }
+  [[nodiscard]] const LineData& data(Pa pa) const { return data_[pa.value()]; }
+  /// Endurance limit of one line (constant unless variation is enabled).
+  [[nodiscard]] u64 line_endurance(Pa pa) const;
+
+  [[nodiscard]] bool has_failure() const { return first_failure_.has_value(); }
+  /// Physical line that first reached the endurance limit.
+  [[nodiscard]] Pa first_failed_line() const;
+  /// How many writes past the failure instant the failing line received
+  /// during the operation that killed it (0 when it failed exactly on its
+  /// last write). Lets callers rewind simulated time to the true instant.
+  [[nodiscard]] u64 failure_overshoot() const { return failure_overshoot_; }
+
+  [[nodiscard]] u64 total_writes() const { return total_writes_; }
+  [[nodiscard]] u64 max_wear() const;
+
+  /// Reset wear, data and failure state (config unchanged).
+  void reset();
+
+ private:
+  void record_wear(Pa pa, u64 count);
+
+  PcmConfig cfg_;
+  std::vector<LineData> data_;
+  std::vector<u64> wear_;
+  std::vector<u64> endurance_;  ///< per-line limits; empty when uniform
+  u64 total_writes_{0};
+  std::optional<Pa> first_failure_;
+  u64 failure_overshoot_{0};
+};
+
+}  // namespace srbsg::pcm

@@ -1,0 +1,35 @@
+#include "pcm/config.hpp"
+
+#include "common/bitops.hpp"
+#include "common/check.hpp"
+
+namespace srbsg::pcm {
+
+void PcmConfig::validate() const {
+  check(is_pow2(line_count), "PcmConfig: line_count must be a power of two");
+  check(line_bytes > 0, "PcmConfig: line_bytes must be positive");
+  check(endurance > 0, "PcmConfig: endurance must be positive");
+  check(set_latency.value() >= reset_latency.value(),
+        "PcmConfig: SET must not be faster than RESET");
+  check(read_latency.value() > 0, "PcmConfig: read latency must be positive");
+  check(endurance_variation >= 0.0 && endurance_variation < 0.5,
+        "PcmConfig: endurance variation out of range");
+}
+
+u32 PcmConfig::address_bits() const { return log2_floor(line_count); }
+
+PcmConfig PcmConfig::paper_bank() {
+  PcmConfig cfg;
+  cfg.validate();
+  return cfg;
+}
+
+PcmConfig PcmConfig::scaled(u64 line_count, u64 endurance) {
+  PcmConfig cfg;
+  cfg.line_count = line_count;
+  cfg.endurance = endurance;
+  cfg.validate();
+  return cfg;
+}
+
+}  // namespace srbsg::pcm

@@ -1,0 +1,49 @@
+#pragma once
+// PCM device configuration. Defaults follow the paper's evaluation setup
+// (§V): 1 GB bank, 256 B lines (= 2^22 lines), endurance 1e8 writes,
+// SET 1000 ns, RESET/READ 125 ns.
+
+#include "common/types.hpp"
+
+namespace srbsg::pcm {
+
+struct PcmConfig {
+  /// Number of addressable logical lines in the bank (power of two).
+  u64 line_count{u64{1} << 22};
+  /// Line (block) size in bytes; equals the last-level cache line (256 B).
+  u64 line_bytes{256};
+  /// Per-line write endurance before a stuck-at fault (the mean, when
+  /// variation is enabled).
+  u64 endurance{100'000'000};
+  /// Process-variation coefficient (σ/μ) of per-line endurance; 0 =
+  /// deterministic (the paper's model). PCM cells vary strongly in
+  /// practice (the wear-rate-leveling literature the paper cites), and a
+  /// weak line makes every lifetime number worse — the bank samples a
+  /// truncated Gaussian per line when this is nonzero.
+  double endurance_variation{0.0};
+  /// Seed for the per-line endurance draw.
+  u64 variation_seed{0x7a71e7};
+  /// Latency of a write whose data requires at least one SET transition.
+  Ns set_latency{Ns{1000}};
+  /// Latency of a write whose data is ALL-0 (RESET pulses only).
+  Ns reset_latency{Ns{125}};
+  /// Read latency.
+  Ns read_latency{Ns{125}};
+
+  /// Throws CheckFailure on inconsistent values.
+  void validate() const;
+
+  [[nodiscard]] u64 capacity_bytes() const { return line_count * line_bytes; }
+  [[nodiscard]] u32 address_bits() const;
+
+  /// The paper's 1 GB evaluation bank.
+  [[nodiscard]] static PcmConfig paper_bank();
+
+  /// A scaled-down bank for exact to-failure simulation. Keeps the latency
+  /// model; shrinks line count and endurance so first-failure runs finish
+  /// in milliseconds while preserving the write-count identities that
+  /// govern lifetime (see DESIGN.md §3).
+  [[nodiscard]] static PcmConfig scaled(u64 line_count, u64 endurance);
+};
+
+}  // namespace srbsg::pcm

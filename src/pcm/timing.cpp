@@ -1,0 +1,19 @@
+#include "pcm/timing.hpp"
+
+#include <string_view>
+
+namespace srbsg::pcm {
+
+std::string_view to_string(DataClass cls) {
+  switch (cls) {
+    case DataClass::kAllZero:
+      return "ALL-0";
+    case DataClass::kAllOne:
+      return "ALL-1";
+    case DataClass::kMixed:
+      return "MIXED";
+  }
+  return "?";
+}
+
+}  // namespace srbsg::pcm

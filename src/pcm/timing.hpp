@@ -1,0 +1,67 @@
+#pragma once
+// Data-dependent write timing — the physical effect behind the Remapping
+// Timing Attack (paper §II.C).
+//
+// A PCM line write completes when its slowest cell completes. Writing a
+// line whose data contains at least one '1' requires a SET pulse
+// (~1000 ns); a line of all '0's needs only RESET pulses (~125 ns).
+// Uncontrolled ("normal") data virtually always contains both transitions
+// and therefore costs the SET time. We track per-line data as a latency
+// class plus a 64-bit integrity token so tests can prove remapping never
+// loses or duplicates a line.
+
+#include <string_view>
+
+#include "common/types.hpp"
+#include "pcm/config.hpp"
+
+namespace srbsg::pcm {
+
+enum class DataClass : u8 {
+  kAllZero,  ///< every bit is 0 — RESET-only write
+  kAllOne,   ///< every bit is 1 — SET-dominated write
+  kMixed,    ///< arbitrary data — SET-dominated write (worst cell wins)
+};
+
+struct LineData {
+  DataClass cls{DataClass::kAllZero};
+  /// Opaque integrity token carried through remappings (not timing-relevant).
+  u64 token{0};
+
+  [[nodiscard]] static constexpr LineData all_zero(u64 token = 0) {
+    return LineData{DataClass::kAllZero, token};
+  }
+  [[nodiscard]] static constexpr LineData all_one(u64 token = 0) {
+    return LineData{DataClass::kAllOne, token};
+  }
+  [[nodiscard]] static constexpr LineData mixed(u64 token = 0) {
+    return LineData{DataClass::kMixed, token};
+  }
+
+  constexpr bool operator==(const LineData&) const = default;
+};
+
+/// Human-readable name ("ALL-0" / "ALL-1" / "MIXED").
+[[nodiscard]] std::string_view to_string(DataClass cls);
+
+/// Latency of writing `data` into a line (data-dependent; §II.C / Fig. 1).
+[[nodiscard]] constexpr Ns write_latency(const PcmConfig& cfg, DataClass data) {
+  return data == DataClass::kAllZero ? cfg.reset_latency : cfg.set_latency;
+}
+
+/// Latency of a read (data-independent).
+[[nodiscard]] constexpr Ns read_latency(const PcmConfig& cfg) { return cfg.read_latency; }
+
+/// Latency of one remap *movement* that copies `data` from one line to
+/// another: a read plus a data-dependent write (paper Fig. 4(a)).
+[[nodiscard]] constexpr Ns move_latency(const PcmConfig& cfg, DataClass data) {
+  return read_latency(cfg) + write_latency(cfg, data);
+}
+
+/// Latency of a Security-Refresh style *swap* of two lines: both are read,
+/// then both written (paper Fig. 4(b): 500/1375/2250 ns).
+[[nodiscard]] constexpr Ns swap_latency(const PcmConfig& cfg, DataClass a, DataClass b) {
+  return 2 * read_latency(cfg) + write_latency(cfg, a) + write_latency(cfg, b);
+}
+
+}  // namespace srbsg::pcm

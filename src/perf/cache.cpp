@@ -1,0 +1,104 @@
+#include "perf/cache.hpp"
+
+#include "common/bitops.hpp"
+#include "common/check.hpp"
+
+namespace srbsg::perf {
+
+void CacheConfig::validate() const {
+  check(size_bytes > 0 && line_bytes > 0 && ways > 0, "CacheConfig: zero dimension");
+  check(size_bytes % (line_bytes * ways) == 0, "CacheConfig: size not set-aligned");
+  check(is_pow2(sets()), "CacheConfig: set count must be a power of two");
+}
+
+SetAssocCache::SetAssocCache(const CacheConfig& cfg) : cfg_(cfg) {
+  cfg_.validate();
+  ways_.assign(cfg_.sets() * cfg_.ways, Way{});
+}
+
+SetAssocCache::Result SetAssocCache::access(u64 line_addr, bool is_write) {
+  ++stats_.accesses;
+  ++tick_;
+  const u64 set = line_addr & (cfg_.sets() - 1);
+  const u64 tag = line_addr / cfg_.sets();
+  Way* base = &ways_[set * cfg_.ways];
+
+  Result res;
+  // Hit?
+  for (u32 w = 0; w < cfg_.ways; ++w) {
+    Way& way = base[w];
+    if (way.valid && way.tag == tag) {
+      ++stats_.hits;
+      way.lru = tick_;
+      way.dirty = way.dirty || is_write;
+      res.hit = true;
+      return res;
+    }
+  }
+  // Miss: pick a victim (invalid first, else LRU).
+  ++stats_.misses;
+  u32 victim = 0;
+  for (u32 w = 0; w < cfg_.ways; ++w) {
+    if (!base[w].valid) {
+      victim = w;
+      break;
+    }
+    if (base[w].lru < base[victim].lru) victim = w;
+  }
+  Way& v = base[victim];
+  if (v.valid && v.dirty) {
+    ++stats_.writebacks;
+    res.writeback = v.tag * cfg_.sets() + set;
+  }
+  v.valid = true;
+  v.dirty = is_write;
+  v.tag = tag;
+  v.lru = tick_;
+  res.fill = line_addr;
+  return res;
+}
+
+void SetAssocCache::flush(std::vector<u64>* dirty_out) {
+  const u64 sets = cfg_.sets();
+  for (u64 s = 0; s < sets; ++s) {
+    for (u32 w = 0; w < cfg_.ways; ++w) {
+      Way& way = ways_[s * cfg_.ways + w];
+      if (way.valid && way.dirty && dirty_out) {
+        dirty_out->push_back(way.tag * sets + s);
+      }
+      way = Way{};
+    }
+  }
+}
+
+CacheHierarchy::CacheHierarchy(const HierarchyConfig& cfg)
+    : l1_(cfg.l1), l2_(cfg.l2), l3_(cfg.l3) {}
+
+CacheHierarchy::MemoryTraffic CacheHierarchy::access(u64 line_addr, bool is_write) {
+  MemoryTraffic out;
+  const auto r1 = l1_.access(line_addr, is_write);
+  if (r1.hit && !r1.writeback) return out;
+
+  // L1 writebacks land in L2 as writes; L1 fills look up L2 as reads.
+  auto to_l3 = [&](u64 addr, bool write) {
+    const auto r3 = l3_.access(addr, write);
+    if (r3.fill) {
+      ++out.reads;
+      out.read_addr = *r3.fill;
+    }
+    if (r3.writeback) {
+      ++out.writes;
+      out.write_addr = *r3.writeback;
+    }
+  };
+  auto to_l2 = [&](u64 addr, bool write) {
+    const auto r2 = l2_.access(addr, write);
+    if (r2.fill && !r2.hit) to_l3(addr, false);
+    if (r2.writeback) to_l3(*r2.writeback, true);
+  };
+  if (r1.writeback) to_l2(*r1.writeback, true);
+  if (!r1.hit) to_l2(line_addr, false);
+  return out;
+}
+
+}  // namespace srbsg::perf

@@ -1,0 +1,106 @@
+#pragma once
+// Set-associative cache hierarchy — the L1/L2/L3-DRAM-cache stack of the
+// paper's gem5 platform (§V.C.4). The lifetime studies bypass caches (as
+// the paper argues attackers can), but the performance study and the
+// "normal workload" wear studies are more faithful when CPU-level access
+// streams are filtered down to PCM traffic by a real hierarchy.
+//
+// Write-back, write-allocate, true-LRU within a set. Addresses are in
+// cache-line units (one PCM line = one cache line, §V).
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace srbsg::perf {
+
+struct CacheConfig {
+  u64 size_bytes{32 * 1024};
+  u64 line_bytes{256};  ///< equals the PCM line size in the paper
+  u32 ways{8};
+
+  [[nodiscard]] u64 sets() const { return size_bytes / line_bytes / ways; }
+  void validate() const;
+};
+
+struct CacheStats {
+  u64 accesses{0};
+  u64 hits{0};
+  u64 misses{0};
+  u64 writebacks{0};
+
+  [[nodiscard]] double miss_rate() const {
+    return accesses ? static_cast<double>(misses) / static_cast<double>(accesses) : 0.0;
+  }
+};
+
+/// One cache level. `access` returns what the level passes down: a miss
+/// fill (line address) and, possibly, a dirty eviction.
+class SetAssocCache {
+ public:
+  explicit SetAssocCache(const CacheConfig& cfg);
+
+  struct Result {
+    bool hit{false};
+    std::optional<u64> fill;      ///< line to fetch from the level below
+    std::optional<u64> writeback;  ///< dirty line evicted to the level below
+  };
+
+  Result access(u64 line_addr, bool is_write);
+
+  [[nodiscard]] const CacheStats& stats() const { return stats_; }
+  [[nodiscard]] const CacheConfig& config() const { return cfg_; }
+
+  /// Drop everything (dirty lines are reported through `sink`).
+  void flush(std::vector<u64>* dirty_out = nullptr);
+
+ private:
+  struct Way {
+    u64 tag{0};
+    bool valid{false};
+    bool dirty{false};
+    u64 lru{0};  ///< smaller = older
+  };
+
+  CacheConfig cfg_;
+  std::vector<Way> ways_;  ///< sets × ways, row-major
+  u64 tick_{0};
+  CacheStats stats_;
+};
+
+/// Three-level hierarchy matching the paper's platform: private L1,
+/// shared L2, L3 DRAM cache in front of PCM.
+struct HierarchyConfig {
+  CacheConfig l1{32 * 1024, 256, 2};
+  CacheConfig l2{256 * 1024, 256, 8};
+  CacheConfig l3{8 * 1024 * 1024, 256, 16};
+};
+
+class CacheHierarchy {
+ public:
+  explicit CacheHierarchy(const HierarchyConfig& cfg);
+
+  /// What PCM sees for one CPU access: zero or more line reads (fills)
+  /// and line writes (L3 dirty writebacks).
+  struct MemoryTraffic {
+    u32 reads{0};
+    u32 writes{0};
+    u64 read_addr{0};   ///< valid when reads > 0
+    u64 write_addr{0};  ///< valid when writes > 0
+  };
+
+  MemoryTraffic access(u64 line_addr, bool is_write);
+
+  [[nodiscard]] const SetAssocCache& l1() const { return l1_; }
+  [[nodiscard]] const SetAssocCache& l2() const { return l2_; }
+  [[nodiscard]] const SetAssocCache& l3() const { return l3_; }
+
+ private:
+  SetAssocCache l1_;
+  SetAssocCache l2_;
+  SetAssocCache l3_;
+};
+
+}  // namespace srbsg::perf

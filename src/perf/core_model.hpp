@@ -1,0 +1,44 @@
+#pragma once
+// Trace-driven core + memory-controller timing model — the gem5
+// substitute for the paper's §V.C.4 IPC study (see DESIGN.md §3).
+//
+// The core retires instructions at `base_ipc` until a memory access from
+// the trace is due. Reads block the core for the full service time
+// (translation + queue/bank wait + array read). Writes are posted into a
+// bounded queue drained by the bank in FCFS order with reads given
+// priority via bank serialization; the core blocks only on a full queue.
+// Wear-leveling remap stalls extend the device service time of the
+// triggering write exactly as in the lifetime simulations, and address
+// translation adds a constant latency (the paper charges 10 ns for the
+// DFN plus SRAM lookup).
+
+#include "controller/memory_controller.hpp"
+#include "perf/request_queue.hpp"
+#include "trace/trace.hpp"
+
+namespace srbsg::perf {
+
+struct CoreParams {
+  double clock_ghz{1.0};    ///< paper platform: 1 GHz cores
+  double base_ipc{1.0};     ///< IPC when no access misses to PCM
+  std::size_t queue_depth{32};
+  Ns translation{Ns{0}};    ///< address translation latency (10 ns for DFN)
+};
+
+struct ExecutionResult {
+  u64 instructions{0};
+  double time_ns{0.0};
+  double ipc{0.0};
+  u64 reads{0};
+  u64 writes{0};
+  u64 queue_full_stalls{0};
+  double avg_write_service_ns{0.0};
+};
+
+/// Replays `trace` against the controller and returns execution timing.
+/// The controller's wear-leveling state advances as a side effect.
+[[nodiscard]] ExecutionResult execute_trace(const trace::Trace& trace,
+                                            ctl::MemoryController& mc,
+                                            const CoreParams& params);
+
+}  // namespace srbsg::perf

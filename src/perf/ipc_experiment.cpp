@@ -1,0 +1,63 @@
+#include "perf/ipc_experiment.hpp"
+
+#include "common/check.hpp"
+#include "wl/no_wl.hpp"
+
+namespace srbsg::perf {
+
+IpcComparison compare_ipc(const trace::Trace& trc, const wl::SchemeSpec& spec,
+                          const pcm::PcmConfig& cfg, const CoreParams& core, Ns translation) {
+  check(cfg.line_count == spec.lines, "compare_ipc: spec/config size mismatch");
+
+  CoreParams base_core = core;
+  base_core.translation = Ns{0};
+  ctl::MemoryController base(cfg, std::make_unique<wl::NoWearLeveling>(cfg.line_count));
+  const auto base_res = execute_trace(trc, base, base_core);
+
+  CoreParams scheme_core = core;
+  scheme_core.translation = translation;
+  ctl::MemoryController with_scheme(cfg, wl::make_scheme(spec));
+  const auto scheme_res = execute_trace(trc, with_scheme, scheme_core);
+
+  IpcComparison cmp;
+  cmp.workload = trc.name();
+  cmp.ipc_baseline = base_res.ipc;
+  cmp.ipc_scheme = scheme_res.ipc;
+  if (base_res.ipc > 0.0) {
+    cmp.degradation_pct = 100.0 * (base_res.ipc - scheme_res.ipc) / base_res.ipc;
+  }
+  return cmp;
+}
+
+std::vector<IpcComparison> run_ipc_suite(std::span<const trace::WorkloadProfile> profiles,
+                                         const wl::SchemeSpec& spec, const pcm::PcmConfig& cfg,
+                                         const CoreParams& core, Ns translation,
+                                         u64 instructions, u64 seed) {
+  std::vector<IpcComparison> out;
+  out.reserve(profiles.size());
+  u64 s = seed;
+  for (const auto& p : profiles) {
+    const auto trc = trace::make_profile_trace(p, cfg.line_count, instructions, s++);
+    out.push_back(compare_ipc(trc, spec, cfg, core, translation));
+  }
+  return out;
+}
+
+IpcComparison compare_ipc_filtered(const trace::Trace& cpu_trace,
+                                   const HierarchyConfig& hierarchy,
+                                   const wl::SchemeSpec& spec, const pcm::PcmConfig& cfg,
+                                   const CoreParams& core, Ns translation) {
+  const auto filtered = filter_through_hierarchy(cpu_trace, hierarchy);
+  auto cmp = compare_ipc(filtered.pcm_trace, spec, cfg, core, translation);
+  cmp.workload = cpu_trace.name() + "+cache";
+  return cmp;
+}
+
+double mean_degradation(const std::vector<IpcComparison>& results) {
+  if (results.empty()) return 0.0;
+  double sum = 0.0;
+  for (const auto& r : results) sum += r.degradation_pct;
+  return sum / static_cast<double>(results.size());
+}
+
+}  // namespace srbsg::perf

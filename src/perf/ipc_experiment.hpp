@@ -1,0 +1,46 @@
+#pragma once
+// IPC-impact experiment (§V.C.4): replay a workload against a baseline
+// (no wear leveling, no translation latency) and against a scheme, and
+// report the IPC degradation caused by remap stalls + translation.
+
+#include <vector>
+
+#include "perf/core_model.hpp"
+#include "perf/trace_filter.hpp"
+#include "trace/profiles.hpp"
+#include "wl/factory.hpp"
+
+namespace srbsg::perf {
+
+struct IpcComparison {
+  std::string workload;
+  double ipc_baseline{0.0};
+  double ipc_scheme{0.0};
+  double degradation_pct{0.0};
+};
+
+/// Runs `trc` twice: against `none` (baseline) and against `spec`.
+/// `translation` is charged only on the scheme run.
+[[nodiscard]] IpcComparison compare_ipc(const trace::Trace& trc, const wl::SchemeSpec& spec,
+                                        const pcm::PcmConfig& cfg, const CoreParams& core,
+                                        Ns translation);
+
+/// Suite sweep: one comparison per profile; `instructions` per workload.
+[[nodiscard]] std::vector<IpcComparison> run_ipc_suite(
+    std::span<const trace::WorkloadProfile> profiles, const wl::SchemeSpec& spec,
+    const pcm::PcmConfig& cfg, const CoreParams& core, Ns translation, u64 instructions,
+    u64 seed);
+
+/// Mean degradation over a set of comparisons.
+[[nodiscard]] double mean_degradation(const std::vector<IpcComparison>& results);
+
+/// End-to-end variant: treat `cpu_trace` as CPU-level accesses, filter it
+/// through the cache hierarchy first (only misses and dirty writebacks
+/// reach PCM), then compare IPC as above.
+[[nodiscard]] IpcComparison compare_ipc_filtered(const trace::Trace& cpu_trace,
+                                                 const HierarchyConfig& hierarchy,
+                                                 const wl::SchemeSpec& spec,
+                                                 const pcm::PcmConfig& cfg,
+                                                 const CoreParams& core, Ns translation);
+
+}  // namespace srbsg::perf

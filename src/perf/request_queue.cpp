@@ -1,0 +1,29 @@
+#include "perf/request_queue.hpp"
+
+#include "common/check.hpp"
+
+namespace srbsg::perf {
+
+WriteQueue::WriteQueue(std::size_t depth) : depth_(depth) {
+  check(depth >= 1, "WriteQueue: depth must be positive");
+}
+
+void WriteQueue::drain_until(u64 now_ns) {
+  while (!completions_.empty() && completions_.front() <= now_ns) {
+    completions_.pop_front();
+  }
+}
+
+u64 WriteQueue::earliest_completion() const {
+  check(!completions_.empty(), "WriteQueue: empty");
+  return completions_.front();
+}
+
+void WriteQueue::push(u64 done_ns) {
+  check(completions_.size() < depth_, "WriteQueue: overflow");
+  check(completions_.empty() || done_ns >= completions_.back(),
+        "WriteQueue: non-monotone completion");
+  completions_.push_back(done_ns);
+}
+
+}  // namespace srbsg::perf

@@ -1,0 +1,36 @@
+#pragma once
+// Bounded write queue with completion-time bookkeeping — the 32-entry
+// memory-controller queue of the paper's gem5 platform (§V.C.4). Writes
+// are posted: the core only blocks when the queue is full.
+
+#include <cstddef>
+#include <deque>
+
+#include "common/types.hpp"
+
+namespace srbsg::perf {
+
+class WriteQueue {
+ public:
+  explicit WriteQueue(std::size_t depth);
+
+  [[nodiscard]] std::size_t depth() const { return depth_; }
+  [[nodiscard]] std::size_t occupancy() const { return completions_.size(); }
+  [[nodiscard]] bool full() const { return completions_.size() >= depth_; }
+
+  /// Retire every entry whose device service finishes at or before `now`.
+  void drain_until(u64 now_ns);
+
+  /// Earliest completion time (queue must be non-empty).
+  [[nodiscard]] u64 earliest_completion() const;
+
+  /// Record a write whose device service completes at `done_ns`
+  /// (completions are monotone because the bank is serialized).
+  void push(u64 done_ns);
+
+ private:
+  std::size_t depth_;
+  std::deque<u64> completions_;
+};
+
+}  // namespace srbsg::perf

@@ -1,0 +1,47 @@
+#include "perf/trace_filter.hpp"
+
+namespace srbsg::perf {
+
+FilterResult filter_through_hierarchy(const trace::Trace& cpu_trace,
+                                      const HierarchyConfig& cfg) {
+  CacheHierarchy hierarchy(cfg);
+  FilterResult res;
+  res.pcm_trace = trace::Trace(cpu_trace.name() + ".pcm");
+
+  u64 pending_gap = 0;
+  u64 instructions = 0;
+  for (const auto& rec : cpu_trace) {
+    pending_gap += rec.instruction_gap;
+    instructions += rec.instruction_gap;
+    const auto traffic = hierarchy.access(rec.addr, rec.is_write);
+    if (traffic.reads > 0) {
+      trace::TraceRecord out;
+      out.instruction_gap = static_cast<u32>(pending_gap);
+      pending_gap = 0;
+      out.is_write = false;
+      out.addr = traffic.read_addr;
+      out.data = pcm::DataClass::kMixed;
+      res.pcm_trace.add(out);
+    }
+    if (traffic.writes > 0) {
+      trace::TraceRecord out;
+      out.instruction_gap = static_cast<u32>(pending_gap);
+      pending_gap = 0;
+      out.is_write = true;
+      out.addr = traffic.write_addr;
+      out.data = pcm::DataClass::kMixed;
+      res.pcm_trace.add(out);
+    }
+  }
+  res.l1 = hierarchy.l1().stats();
+  res.l2 = hierarchy.l2().stats();
+  res.l3 = hierarchy.l3().stats();
+  const auto stats = res.pcm_trace.stats();
+  if (instructions > 0) {
+    res.pcm_write_mpki =
+        1000.0 * static_cast<double>(stats.writes) / static_cast<double>(instructions);
+  }
+  return res;
+}
+
+}  // namespace srbsg::perf

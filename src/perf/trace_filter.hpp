@@ -1,0 +1,28 @@
+#pragma once
+// CPU-trace → PCM-trace filtering through the cache hierarchy: the
+// lifetime studies deliberately bypass caches (the paper shows attackers
+// can), but normal-workload wear and performance studies are more
+// faithful when only the hierarchy's misses and dirty writebacks reach
+// the PCM bank.
+
+#include "perf/cache.hpp"
+#include "trace/trace.hpp"
+
+namespace srbsg::perf {
+
+struct FilterResult {
+  trace::Trace pcm_trace;
+  CacheStats l1;
+  CacheStats l2;
+  CacheStats l3;
+  /// PCM writes per kilo-instruction after filtering.
+  double pcm_write_mpki{0.0};
+};
+
+/// Runs `cpu_trace` through a fresh hierarchy. Instruction gaps are
+/// redistributed onto the surviving records so MPKI accounting stays
+/// consistent; reads are L3 miss fills, writes are L3 dirty writebacks.
+[[nodiscard]] FilterResult filter_through_hierarchy(const trace::Trace& cpu_trace,
+                                                    const HierarchyConfig& cfg);
+
+}  // namespace srbsg::perf

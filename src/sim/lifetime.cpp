@@ -1,0 +1,155 @@
+#include "sim/lifetime.hpp"
+
+#include <algorithm>
+
+#include "attack/bpa.hpp"
+#include "attack/raa.hpp"
+#include "attack/rta_probe.hpp"
+#include "attack/rta_rbsg.hpp"
+#include "attack/rta_sr1.hpp"
+#include "attack/region_flood.hpp"
+#include "attack/rta_sr2.hpp"
+#include "common/check.hpp"
+#include "common/rng.hpp"
+
+namespace srbsg::sim {
+
+std::string_view to_string(AttackKind kind) {
+  switch (kind) {
+    case AttackKind::kRaa:
+      return "RAA";
+    case AttackKind::kBpa:
+      return "BPA";
+    case AttackKind::kRta:
+      return "RTA";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Writes a BPA can spend on one address before concluding it will not be
+/// remapped soon: roughly two remap windows of the scheme.
+u64 bpa_hammer_cap(const wl::SchemeSpec& spec) {
+  switch (spec.kind) {
+    case wl::SchemeKind::kNone:
+      return spec.lines;  // nothing ever remaps; cap arbitrarily
+    case wl::SchemeKind::kStartGap:
+      return 2 * (spec.lines + 1) * spec.inner_interval;
+    case wl::SchemeKind::kRbsg: {
+      const u64 m = spec.lines / spec.regions;
+      return 2 * (m + 1) * spec.inner_interval;
+    }
+    case wl::SchemeKind::kSr1:
+      // One swap per address per round; a round is N steps of ψ writes.
+      return 2 * spec.lines * spec.inner_interval;
+    case wl::SchemeKind::kMultiWaySr: {
+      const u64 m = spec.lines / spec.regions;
+      return 2 * m * spec.inner_interval;
+    }
+    case wl::SchemeKind::kSr2:
+    case wl::SchemeKind::kSecurityRbsg: {
+      // The inner level remaps within the sub-region long before the
+      // outer round completes.
+      const u64 m = spec.lines / spec.regions;
+      return 2 * (m + 1) * spec.inner_interval;
+    }
+    case wl::SchemeKind::kTable:
+      // The hottest line swaps at the next interval boundary.
+      return 4 * spec.inner_interval;
+  }
+  return 1u << 20;
+}
+
+}  // namespace
+
+std::unique_ptr<attack::Attacker> make_attacker(const LifetimeConfig& cfg) {
+  const auto& s = cfg.scheme;
+  switch (cfg.attack) {
+    case AttackKind::kRaa: {
+      // A seed-derived target rather than LA 0: the cubing Feistel's
+      // diffusion is measurably weaker on degenerate inputs (all-zero
+      // address), which would bias scheme comparisons. See EXPERIMENTS.md.
+      u64 sm = cfg.seed ^ 0x5AA0u;
+      return std::make_unique<attack::RepeatedAddressAttack>(
+          La{splitmix64(sm) % s.lines});
+    }
+    case AttackKind::kBpa:
+      return std::make_unique<attack::BirthdayParadoxAttack>(cfg.seed, bpa_hammer_cap(s));
+    case AttackKind::kRta:
+      break;
+  }
+  // RTA: pick the attack model matching the scheme.
+  switch (s.kind) {
+    case wl::SchemeKind::kNone:
+      return std::make_unique<attack::RepeatedAddressAttack>(La{0});
+    case wl::SchemeKind::kStartGap: {
+      attack::RtaRbsgParams p;
+      p.lines = s.lines;
+      p.regions = 1;
+      p.interval = s.inner_interval;
+      p.endurance = cfg.pcm.endurance;
+      return std::make_unique<attack::RtaRbsgAttacker>(p);
+    }
+    case wl::SchemeKind::kRbsg: {
+      attack::RtaRbsgParams p;
+      p.lines = s.lines;
+      p.regions = s.regions;
+      p.interval = s.inner_interval;
+      p.endurance = cfg.pcm.endurance;
+      return std::make_unique<attack::RtaRbsgAttacker>(p);
+    }
+    case wl::SchemeKind::kSr1: {
+      attack::RtaSr1Params p;
+      p.lines = s.lines;
+      p.interval = s.inner_interval;
+      p.endurance = cfg.pcm.endurance;
+      return std::make_unique<attack::RtaSr1Attacker>(p);
+    }
+    case wl::SchemeKind::kSr2: {
+      attack::RtaSr2Params p;
+      p.lines = s.lines;
+      p.sub_regions = s.regions;
+      p.inner_interval = s.inner_interval;
+      p.outer_interval = s.outer_interval;
+      p.endurance = cfg.pcm.endurance;
+      return std::make_unique<attack::RtaSr2Attacker>(p);
+    }
+    case wl::SchemeKind::kMultiWaySr: {
+      // §III.E: the static LA→region partition makes key detection
+      // unnecessary — flooding one region is the whole attack.
+      attack::RegionFloodParams p;
+      p.lines = s.lines;
+      p.regions = s.regions;
+      p.target_region = 0;
+      p.chunk = std::max<u64>(s.inner_interval, 16);
+      return std::make_unique<attack::StaticRegionFloodAttack>(p);
+    }
+    case wl::SchemeKind::kTable:
+      // §II.B: deterministic table schemes fall to plain hammering (this
+      // implementation ping-pongs the attacked line between two slots).
+      return std::make_unique<attack::RepeatedAddressAttack>(La{0});
+    case wl::SchemeKind::kSecurityRbsg: {
+      attack::RtaProbeParams p;
+      p.lines = s.lines;
+      p.outer_interval = s.outer_interval;
+      p.probe_bit = 0;
+      p.seed = cfg.seed;
+      p.hammer_cap = bpa_hammer_cap(s);
+      return std::make_unique<attack::RtaProbeAttacker>(p);
+    }
+  }
+  throw CheckFailure("make_attacker: unhandled scheme kind");
+}
+
+LifetimeOutcome run_lifetime(const LifetimeConfig& cfg) {
+  check(cfg.pcm.line_count == cfg.scheme.lines, "run_lifetime: scheme/pcm size mismatch");
+  ctl::MemoryController mc(cfg.pcm, wl::make_scheme(cfg.scheme));
+  const auto attacker = make_attacker(cfg);
+  LifetimeOutcome out;
+  out.result = attack::run_attack(mc, *attacker, cfg.write_budget);
+  out.wear = compute_wear_metrics(mc.bank().wear_counts());
+  return out;
+}
+
+}  // namespace srbsg::sim

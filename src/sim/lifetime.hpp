@@ -1,0 +1,41 @@
+#pragma once
+// To-failure lifetime simulation: builds a controller from a scheme spec,
+// picks the right attacker implementation, and runs until the first line
+// dies (or a write budget runs out).
+
+#include <memory>
+
+#include "attack/harness.hpp"
+#include "common/stats.hpp"
+#include "wl/factory.hpp"
+
+namespace srbsg::sim {
+
+enum class AttackKind : u8 {
+  kRaa,
+  kBpa,
+  kRta,       ///< scheme-specific RTA variant (probe for Security RBSG)
+};
+
+[[nodiscard]] std::string_view to_string(AttackKind kind);
+
+struct LifetimeConfig {
+  pcm::PcmConfig pcm;
+  wl::SchemeSpec scheme;
+  AttackKind attack{AttackKind::kRaa};
+  u64 write_budget{u64{1} << 40};
+  u64 seed{1};
+};
+
+struct LifetimeOutcome {
+  attack::AttackResult result;
+  WearMetrics wear;  ///< over all physical lines at the end of the run
+};
+
+/// The scheme-appropriate attacker: RTA resolves to the RBSG / SR1 / SR2
+/// models of §III, or to the feasibility probe for Security RBSG.
+[[nodiscard]] std::unique_ptr<attack::Attacker> make_attacker(const LifetimeConfig& cfg);
+
+[[nodiscard]] LifetimeOutcome run_lifetime(const LifetimeConfig& cfg);
+
+}  // namespace srbsg::sim

@@ -1,0 +1,37 @@
+#include "sim/sweep.hpp"
+
+#include "common/check.hpp"
+
+namespace srbsg::sim {
+
+std::vector<SweepEntry> run_sweep(std::span<const LifetimeConfig> configs, ThreadPool& pool) {
+  std::vector<SweepEntry> entries(configs.size());
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    entries[i].config = configs[i];
+  }
+  parallel_for(pool, configs.size(),
+               [&entries](std::size_t i) { entries[i].outcome = run_lifetime(entries[i].config); });
+  return entries;
+}
+
+double average_lifetime_ns(const LifetimeConfig& base, u64 seeds, ThreadPool& pool) {
+  check(seeds >= 1, "average_lifetime_ns: need at least one seed");
+  std::vector<LifetimeConfig> configs(seeds, base);
+  for (u64 s = 0; s < seeds; ++s) {
+    configs[s].seed = base.seed + s;
+    configs[s].scheme.seed = base.scheme.seed + s;
+  }
+  const auto entries = run_sweep(configs, pool);
+  double sum = 0.0;
+  u64 counted = 0;
+  for (const auto& e : entries) {
+    if (e.outcome.result.succeeded) {
+      sum += static_cast<double>(e.outcome.result.lifetime.value());
+      ++counted;
+    }
+  }
+  check(counted > 0, "average_lifetime_ns: no run reached failure within budget");
+  return sum / static_cast<double>(counted);
+}
+
+}  // namespace srbsg::sim

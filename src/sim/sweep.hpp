@@ -1,0 +1,28 @@
+#pragma once
+// Parameter sweeps over (scheme config × attack × seed) — the engine
+// behind the figure benches. Runs are independent, so they fan out over a
+// thread pool.
+
+#include <span>
+#include <vector>
+
+#include "common/thread_pool.hpp"
+#include "sim/lifetime.hpp"
+
+namespace srbsg::sim {
+
+struct SweepEntry {
+  LifetimeConfig config;
+  LifetimeOutcome outcome;
+};
+
+/// Runs every config; results are in input order.
+[[nodiscard]] std::vector<SweepEntry> run_sweep(std::span<const LifetimeConfig> configs,
+                                                ThreadPool& pool);
+
+/// Averages the lifetime over `seeds` seeded replicas of `base`
+/// (paper Fig. 12 averages five random keys per configuration).
+[[nodiscard]] double average_lifetime_ns(const LifetimeConfig& base, u64 seeds,
+                                         ThreadPool& pool);
+
+}  // namespace srbsg::sim

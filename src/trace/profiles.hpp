@@ -1,0 +1,39 @@
+#pragma once
+// Synthetic per-benchmark memory profiles standing in for the PARSEC and
+// SPEC CPU2006 binaries the paper runs under gem5 (§V.C.4). Each profile
+// captures the aspects the IPC-impact experiment is sensitive to: memory
+// intensity (read/write MPKI at the PCM, i.e. post-L3-DRAM-cache),
+// footprint and locality. The MPKI magnitudes follow the published
+// working-set characterizations (PARSEC is markedly more write-intensive
+// at the memory interface than most of SPEC; bzip2/gcc barely miss the
+// DRAM cache, matching the paper's "no degradation" remark).
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "trace/trace.hpp"
+
+namespace srbsg::trace {
+
+struct WorkloadProfile {
+  std::string name;
+  std::string suite;     ///< "parsec" or "spec2006"
+  double read_mpki;      ///< reads per kilo-instruction reaching PCM
+  double write_mpki;     ///< writes per kilo-instruction reaching PCM
+  double zipf_alpha;     ///< address locality (higher = hotter)
+  double footprint;      ///< fraction of the bank the workload touches
+};
+
+/// 13 PARSEC-like profiles.
+[[nodiscard]] std::span<const WorkloadProfile> parsec_profiles();
+
+/// 27 SPEC CPU2006-like profiles.
+[[nodiscard]] std::span<const WorkloadProfile> spec2006_profiles();
+
+/// Generates a trace realizing `profile` over `instructions` simulated
+/// instructions on a bank of `lines` lines.
+[[nodiscard]] Trace make_profile_trace(const WorkloadProfile& profile, u64 lines,
+                                       u64 instructions, u64 seed);
+
+}  // namespace srbsg::trace

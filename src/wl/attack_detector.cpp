@@ -1,0 +1,54 @@
+#include "wl/attack_detector.hpp"
+
+#include <algorithm>
+
+#include "common/bitops.hpp"
+#include "common/check.hpp"
+
+namespace srbsg::wl {
+
+void AttackDetectorConfig::validate() const {
+  check(window > 0, "AttackDetectorConfig: window must be positive");
+  check(threshold > 1.0, "AttackDetectorConfig: threshold must exceed 1");
+  check(is_pow2(tracked_regions), "AttackDetectorConfig: regions must be a power of two");
+}
+
+AttackDetector::AttackDetector(const AttackDetectorConfig& cfg, u64 lines)
+    : cfg_(cfg), lines_(lines) {
+  cfg_.validate();
+  check(is_pow2(lines), "AttackDetector: lines must be a power of two");
+  const u64 regions = std::min(cfg_.tracked_regions, lines);
+  region_shift_ = log2_floor(lines / regions);
+  counts_.assign(regions, 0);
+}
+
+bool AttackDetector::record(La la, u64 count) {
+  check(la.value() < lines_, "AttackDetector: address out of range");
+  const u32 before = boost_;
+  u64 remaining = count;
+  while (remaining > 0) {
+    const u64 room = cfg_.window - in_window_;
+    const u64 chunk = std::min(remaining, room);
+    counts_[la.value() >> region_shift_] += chunk;
+    in_window_ += chunk;
+    remaining -= chunk;
+    if (in_window_ >= cfg_.window) roll_window();
+  }
+  return boost_ != before;
+}
+
+void AttackDetector::roll_window() {
+  ++windows_;
+  const u64 hottest = *std::max_element(counts_.begin(), counts_.end());
+  const double fair = static_cast<double>(cfg_.window) / static_cast<double>(counts_.size());
+  if (static_cast<double>(hottest) > cfg_.threshold * fair) {
+    if (boost_ < cfg_.max_boost) ++boost_;
+    ++trips_;
+  } else if (boost_ > 0) {
+    --boost_;
+  }
+  std::fill(counts_.begin(), counts_.end(), u64{0});
+  in_window_ = 0;
+}
+
+}  // namespace srbsg::wl

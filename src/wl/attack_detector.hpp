@@ -1,0 +1,56 @@
+#pragma once
+// Online malicious-write-stream detector, after Qureshi et al., "Practical
+// and secure PCM systems by online detection of malicious write streams"
+// (HPCA'11) — reference [15] of the paper. The paper argues such a
+// detector defeats BPA-style attacks (boosting the wear-leveling rate
+// when traffic concentrates) but claims that "increasing the rate of
+// wear leveling instead accelerates RTA"; the ablation bench puts that
+// claim to the test.
+//
+// Mechanism: writes are counted per coarse region over a sliding window.
+// If the hottest region's share exceeds `threshold` × fair share, the
+// boost level rises (halving the effective remap interval); when traffic
+// looks benign for a full window, the boost decays.
+
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace srbsg::wl {
+
+struct AttackDetectorConfig {
+  u64 window{1u << 16};    ///< writes per observation window
+  double threshold{8.0};   ///< hot-share multiple of fair share that trips
+  u32 max_boost{4};        ///< maximum log2 interval divisor
+  u64 tracked_regions{64};  ///< counting granularity
+
+  void validate() const;
+};
+
+class AttackDetector {
+ public:
+  AttackDetector(const AttackDetectorConfig& cfg, u64 lines);
+
+  /// Record `count` writes to `la`. Returns true when the boost level
+  /// changed (caller should push the new level into the scheme).
+  bool record(La la, u64 count = 1);
+
+  [[nodiscard]] u32 boost() const { return boost_; }
+  [[nodiscard]] u64 windows_observed() const { return windows_; }
+  [[nodiscard]] u64 trips() const { return trips_; }
+
+ private:
+  /// Close the current window and update the boost level.
+  void roll_window();
+
+  AttackDetectorConfig cfg_;
+  u64 lines_;
+  u32 region_shift_;
+  std::vector<u64> counts_;
+  u64 in_window_{0};
+  u32 boost_{0};
+  u64 windows_{0};
+  u64 trips_{0};
+};
+
+}  // namespace srbsg::wl

@@ -1,0 +1,104 @@
+#include "wl/dfn.hpp"
+
+#include "common/check.hpp"
+#include "mapping/feistel.hpp"
+#include "mapping/table_mapper.hpp"
+
+namespace srbsg::wl {
+
+std::unique_ptr<mapping::AddressMapper> DynamicFeistelOuter::make_prp(u64 seed) const {
+  Rng rng(seed);
+  switch (kind_) {
+    case OuterPrpKind::kCubingFeistel: {
+      const auto keys = mapping::FeistelNetwork::random_keys(width_, stages_, rng);
+      return std::make_unique<mapping::FeistelNetwork>(width_, keys);
+    }
+    case OuterPrpKind::kTablePrp:
+      return std::make_unique<mapping::TableMapper>(width_, rng);
+  }
+  throw CheckFailure("DynamicFeistelOuter: unhandled PRP kind");
+}
+
+DynamicFeistelOuter::DynamicFeistelOuter(u32 width_bits, u32 stages, Rng rng,
+                                         OuterPrpKind kind)
+    : width_(width_bits), stages_(stages), kind_(kind), rng_(rng) {
+  check(width_bits >= 2 && width_bits <= 28, "DynamicFeistelOuter: width out of range");
+  check(stages >= 1, "DynamicFeistelOuter: need at least one stage");
+  // Boot: both epochs use the same permutation, everything consistently
+  // mapped, all lines counted as remapped so the first advance starts a
+  // fresh round.
+  const u64 seed0 = rng_.next();
+  enc_p_ = make_prp(seed0);
+  enc_c_ = make_prp(seed0);
+  is_remap_.assign(lines(), true);
+  remapped_ = lines();
+}
+
+u64 DynamicFeistelOuter::translate(u64 la) const {
+  check(la < lines(), "DynamicFeistelOuter: address out of range");
+  if (spare_holder_ && *spare_holder_ == la) return spare_ia();
+  return is_remap_[la] ? enc_c_->map(la) : enc_p_->map(la);
+}
+
+void DynamicFeistelOuter::begin_round() {
+  enc_p_ = std::move(enc_c_);
+  enc_c_ = make_prp(rng_.next());
+  is_remap_.assign(lines(), false);
+  remapped_ = 0;
+  scan_ = 0;
+}
+
+u64 DynamicFeistelOuter::next_unremapped_slot() {
+  // Scan slots in order (the paper starts at slot 0); a slot still holds
+  // its previous-round resident DEC_Kp(slot) iff that LA has not been
+  // remapped yet, which makes it a valid next cycle start. Scanning by
+  // slot keeps the evicted LA key-dependent — scanning by LA would park
+  // the same logical line on the (un-leveled) spare every single round.
+  while (scan_ < lines() && is_remap_[enc_p_->unmap(scan_)]) ++scan_;
+  check(scan_ < lines(), "DynamicFeistelOuter: no unremapped slot left");
+  return scan_;
+}
+
+DynamicFeistelOuter::Movement DynamicFeistelOuter::advance() {
+  if (phase_ == Phase::kIdle) {
+    begin_round();
+    round_movements_ = 0;
+  }
+  ++round_movements_;
+  if (phase_ == Phase::kIdle || phase_ == Phase::kNeedNewCycle) {
+    phase_ = Phase::kInCycle;
+    // Open a cycle: evict the first slot whose resident has not been
+    // remapped yet into the spare.
+    const u64 slot = next_unremapped_slot();
+    const u64 la = enc_p_->unmap(slot);
+    spare_holder_ = la;
+    cycle_start_ = slot;
+    gap_ = slot;
+    return Movement{slot, spare_ia()};
+  }
+
+  // In-cycle movement (Fig. 9): the LA that belongs at the gap under the
+  // current keys moves in; its old slot becomes the new gap.
+  const u64 loc = enc_c_->unmap(gap_);
+  const u64 old_gap = gap_;
+  if (spare_holder_ && *spare_holder_ == loc) {
+    // Cycle closes: loc's data was parked in the spare at eviction time.
+    spare_holder_.reset();
+    is_remap_[loc] = true;
+    ++remapped_;
+    if (remapped_ == lines()) {
+      phase_ = Phase::kIdle;
+      ++rounds_completed_;
+    } else {
+      phase_ = Phase::kNeedNewCycle;
+    }
+    return Movement{spare_ia(), old_gap};
+  }
+  const u64 src = enc_p_->map(loc);
+  is_remap_[loc] = true;
+  ++remapped_;
+  gap_ = src;
+  return Movement{src, old_gap};
+}
+
+}  // namespace srbsg::wl

@@ -1,0 +1,104 @@
+#pragma once
+// Dynamic Feistel Network (DFN) outer-level mapping — the paper's core
+// contribution (§IV.B, Figs. 8-10).
+//
+// LA→IA is a keyed permutation whose keys are re-randomized every
+// remapping round, so a timing attacker never has enough writes to
+// recover them before they change. One extra spare line (IA index N)
+// plus a Gap register enable incremental migration of the whole address
+// space from the previous permutation (ENC_Kp) to the current one
+// (ENC_Kc); a per-line isRemap bit selects which one translates each LA.
+//
+// The permutation family is pluggable: the paper's multi-stage Feistel
+// network with the cubing round function (kCubingFeistel) or an explicit
+// uniform random permutation table (kTablePrp) — the latter is a
+// hardware-unrealistic ablation upper bound quantifying how much wear
+// uniformity the cubing round's weak diffusion costs.
+//
+// The paper walks a single permutation cycle starting at slot 0 (Fig. 9).
+// A random key pair generally induces *multiple* cycles in
+// ENC_Kp ∘ DEC_Kc, so this implementation generalizes the flowchart: when
+// a cycle closes (the spare's content returns to the gap), the next slot
+// whose resident has not been remapped is evicted to the spare and its
+// cycle is walked, until every line has been remapped. Each advance()
+// performs exactly one line copy; a round therefore takes N + (#cycles)
+// movements, which is N + 1 in the paper's single-cycle illustration.
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "mapping/mapper.hpp"
+
+namespace srbsg::wl {
+
+enum class OuterPrpKind : u8 {
+  kCubingFeistel,  ///< the paper's design
+  kTablePrp,       ///< ideal-randomizer ablation
+};
+
+class DynamicFeistelOuter {
+ public:
+  /// Address space of 2^width_bits lines; `stages` Feistel stages
+  /// (ignored for kTablePrp).
+  DynamicFeistelOuter(u32 width_bits, u32 stages, Rng rng,
+                      OuterPrpKind kind = OuterPrpKind::kCubingFeistel);
+
+  [[nodiscard]] u64 lines() const { return u64{1} << width_; }
+  /// IA index of the spare line.
+  [[nodiscard]] u64 spare_ia() const { return lines(); }
+  [[nodiscard]] u32 stages() const { return stages_; }
+  [[nodiscard]] OuterPrpKind prp_kind() const { return kind_; }
+
+  /// Current IA of `la`, in [0, N] (N = spare, while `la`'s data is
+  /// parked there mid-round).
+  [[nodiscard]] u64 translate(u64 la) const;
+
+  /// One remapping movement: the owner must copy the data of IA slot
+  /// `from` into IA slot `to` (either may be the spare index N).
+  struct Movement {
+    u64 from;
+    u64 to;
+  };
+  Movement advance();
+
+  /// Movements executed so far in the current round (0 between rounds).
+  [[nodiscard]] u64 round_movements() const { return round_movements_; }
+  /// Logical lines already remapped to the current keys this round.
+  [[nodiscard]] u64 remapped_count() const { return remapped_; }
+  /// True when no round is in progress (all lines under one key array).
+  [[nodiscard]] bool round_idle() const { return phase_ == Phase::kIdle; }
+  /// Rounds completed since construction.
+  [[nodiscard]] u64 rounds_completed() const { return rounds_completed_; }
+
+ private:
+  enum class Phase : u8 {
+    kIdle,          ///< between rounds; next advance starts a round
+    kInCycle,       ///< walking a cycle; gap_ is the empty slot
+    kNeedNewCycle,  ///< cycle closed but lines remain; next advance evicts
+  };
+
+  [[nodiscard]] std::unique_ptr<mapping::AddressMapper> make_prp(u64 seed) const;
+  void begin_round();
+  [[nodiscard]] u64 next_unremapped_slot();
+
+  u32 width_;
+  u32 stages_;
+  OuterPrpKind kind_;
+  Rng rng_;
+  std::unique_ptr<mapping::AddressMapper> enc_p_;
+  std::unique_ptr<mapping::AddressMapper> enc_c_;
+  std::vector<bool> is_remap_;
+  Phase phase_{Phase::kIdle};
+  u64 gap_{0};                       ///< empty IA slot while kInCycle
+  u64 cycle_start_{0};               ///< slot evicted into the spare
+  std::optional<u64> spare_holder_;  ///< LA whose data sits in the spare
+  u64 scan_{0};                      ///< next-unremapped scan pointer
+  u64 remapped_{0};
+  u64 round_movements_{0};
+  u64 rounds_completed_{0};
+};
+
+}  // namespace srbsg::wl

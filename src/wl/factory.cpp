@@ -1,0 +1,107 @@
+#include "wl/factory.hpp"
+
+#include "common/check.hpp"
+#include "wl/multiway_sr.hpp"
+#include "wl/no_wl.hpp"
+#include "wl/rbsg.hpp"
+#include "wl/security_rbsg.hpp"
+#include "wl/security_refresh.hpp"
+#include "wl/table_wl.hpp"
+#include "wl/two_level_sr.hpp"
+
+namespace srbsg::wl {
+
+std::string_view to_string(SchemeKind kind) {
+  switch (kind) {
+    case SchemeKind::kNone:
+      return "none";
+    case SchemeKind::kStartGap:
+      return "start-gap";
+    case SchemeKind::kRbsg:
+      return "rbsg";
+    case SchemeKind::kSr1:
+      return "sr1";
+    case SchemeKind::kSr2:
+      return "sr2";
+    case SchemeKind::kMultiWaySr:
+      return "mwsr";
+    case SchemeKind::kSecurityRbsg:
+      return "security-rbsg";
+    case SchemeKind::kTable:
+      return "table";
+  }
+  return "?";
+}
+
+SchemeKind parse_scheme(std::string_view name) {
+  for (SchemeKind k :
+       {SchemeKind::kNone, SchemeKind::kStartGap, SchemeKind::kRbsg, SchemeKind::kSr1,
+        SchemeKind::kSr2, SchemeKind::kMultiWaySr, SchemeKind::kSecurityRbsg,
+        SchemeKind::kTable}) {
+    if (name == to_string(k)) return k;
+  }
+  throw CheckFailure("unknown scheme name: " + std::string(name));
+}
+
+std::unique_ptr<WearLeveler> make_scheme(const SchemeSpec& spec) {
+  switch (spec.kind) {
+    case SchemeKind::kNone:
+      return std::make_unique<NoWearLeveling>(spec.lines);
+    case SchemeKind::kStartGap: {
+      return std::make_unique<RegionStartGap>(
+          RegionStartGap::plain_start_gap(spec.lines, spec.inner_interval));
+    }
+    case SchemeKind::kRbsg: {
+      RbsgConfig cfg;
+      cfg.lines = spec.lines;
+      cfg.regions = spec.regions;
+      cfg.interval = spec.inner_interval;
+      cfg.feistel_stages = spec.stages;
+      cfg.seed = spec.seed;
+      return std::make_unique<RegionStartGap>(cfg);
+    }
+    case SchemeKind::kSr1: {
+      SecurityRefreshConfig cfg;
+      cfg.lines = spec.lines;
+      cfg.interval = spec.inner_interval;
+      cfg.seed = spec.seed;
+      return std::make_unique<SecurityRefresh>(cfg);
+    }
+    case SchemeKind::kSr2: {
+      TwoLevelSrConfig cfg;
+      cfg.lines = spec.lines;
+      cfg.sub_regions = spec.regions;
+      cfg.inner_interval = spec.inner_interval;
+      cfg.outer_interval = spec.outer_interval;
+      cfg.seed = spec.seed;
+      return std::make_unique<TwoLevelSecurityRefresh>(cfg);
+    }
+    case SchemeKind::kMultiWaySr: {
+      MultiWaySrConfig cfg;
+      cfg.lines = spec.lines;
+      cfg.regions = spec.regions;
+      cfg.interval = spec.inner_interval;
+      cfg.seed = spec.seed;
+      return std::make_unique<MultiWaySecurityRefresh>(cfg);
+    }
+    case SchemeKind::kTable: {
+      TableWlConfig cfg;
+      cfg.lines = spec.lines;
+      cfg.interval = spec.inner_interval;
+      return std::make_unique<TableWearLeveling>(cfg);
+    }
+    case SchemeKind::kSecurityRbsg: {
+      SecurityRbsgConfig cfg;
+      cfg.lines = spec.lines;
+      cfg.sub_regions = spec.regions;
+      cfg.inner_interval = spec.inner_interval;
+      cfg.outer_interval = spec.outer_interval;
+      cfg.stages = spec.stages;
+      cfg.seed = spec.seed;
+      return std::make_unique<SecurityRbsg>(cfg);
+    }
+  }
+  throw CheckFailure("make_scheme: unhandled scheme kind");
+}
+
+}  // namespace srbsg::wl

@@ -1,0 +1,47 @@
+#pragma once
+// Uniform construction of wear-leveling schemes from a flat spec —
+// used by the sweep driver, examples and CLI tools.
+
+#include <memory>
+#include <string_view>
+
+#include "wl/wear_leveler.hpp"
+
+namespace srbsg::wl {
+
+enum class SchemeKind : u8 {
+  kNone,          ///< identity mapping (unprotected baseline)
+  kStartGap,      ///< single-region Start-Gap, no randomizer
+  kRbsg,          ///< Region-Based Start-Gap with static randomizer
+  kSr1,           ///< one-level Security Refresh
+  kSr2,           ///< two-level Security Refresh
+  kMultiWaySr,    ///< Multi-Way Security Refresh
+  kSecurityRbsg,  ///< this paper's scheme
+  kTable,         ///< table-based hot/cold swapping (§II.A family)
+};
+
+[[nodiscard]] std::string_view to_string(SchemeKind kind);
+
+/// Parses "none|start-gap|rbsg|sr1|sr2|mwsr|security-rbsg|table";
+/// throws on unknown names.
+[[nodiscard]] SchemeKind parse_scheme(std::string_view name);
+
+/// Flat parameter set covering every scheme; irrelevant fields are
+/// ignored by schemes that do not use them.
+struct SchemeSpec {
+  SchemeKind kind{SchemeKind::kSecurityRbsg};
+  u64 lines{1u << 16};
+  /// Regions (RBSG) / sub-regions (SR2, MWSR, Security RBSG).
+  u64 regions{512};
+  /// ψ for single-level schemes; ψ_in for two-level schemes.
+  u64 inner_interval{64};
+  /// ψ_out for two-level schemes.
+  u64 outer_interval{128};
+  /// Feistel stages (RBSG static randomizer / Security RBSG DFN).
+  u32 stages{7};
+  u64 seed{1};
+};
+
+[[nodiscard]] std::unique_ptr<WearLeveler> make_scheme(const SchemeSpec& spec);
+
+}  // namespace srbsg::wl

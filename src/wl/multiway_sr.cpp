@@ -1,0 +1,75 @@
+#include "wl/multiway_sr.hpp"
+
+#include "common/bitops.hpp"
+#include "common/check.hpp"
+
+namespace srbsg::wl {
+
+void MultiWaySrConfig::validate() const {
+  check(is_pow2(lines), "MultiWaySrConfig: lines must be a power of two");
+  check(is_pow2(regions) && regions >= 1 && regions < lines,
+        "MultiWaySrConfig: regions must be a power of two smaller than lines");
+  check(interval >= 1, "MultiWaySrConfig: interval must be positive");
+}
+
+MultiWaySecurityRefresh::MultiWaySecurityRefresh(const MultiWaySrConfig& cfg)
+    : cfg_(cfg), region_bits_(log2_floor(cfg.region_lines())) {
+  cfg_.validate();
+  Rng seeder(cfg.seed ^ 0x3157ac0deULL);
+  regions_.reserve(cfg_.regions);
+  for (u64 q = 0; q < cfg_.regions; ++q) {
+    regions_.emplace_back(region_bits_, seeder.fork());
+  }
+  counter_.assign(cfg_.regions, 0);
+}
+
+Pa MultiWaySecurityRefresh::translate(La la) const {
+  check(la.value() < cfg_.lines, "MultiWaySecurityRefresh: address out of range");
+  const u64 q = la.value() >> region_bits_;
+  const u64 off = la.value() & low_mask(region_bits_);
+  return Pa{(q << region_bits_) | regions_[q].translate(off)};
+}
+
+Ns MultiWaySecurityRefresh::do_step(u64 q, pcm::PcmBank& bank, u64* movements) {
+  const auto swap = regions_[q].advance();
+  if (!swap) return Ns{0};
+  if (movements) ++*movements;
+  const u64 base = q << region_bits_;
+  return bank.swap_lines(Pa{base | swap->a}, Pa{base | swap->b});
+}
+
+WriteOutcome MultiWaySecurityRefresh::write(La la, const pcm::LineData& data,
+                                            pcm::PcmBank& bank) {
+  const u64 q = la.value() >> region_bits_;
+  WriteOutcome out;
+  out.total = bank.write(translate(la), data);
+  if (++counter_[q] >= effective_interval()) {
+    counter_[q] = 0;
+    u64 moved = 0;
+    out.stall = do_step(q, bank, &moved);
+    out.movements = static_cast<u32>(moved);
+    out.total += out.stall;
+  }
+  return out;
+}
+
+BulkOutcome MultiWaySecurityRefresh::write_repeated(La la, const pcm::LineData& data, u64 count,
+                                                    pcm::PcmBank& bank) {
+  BulkOutcome out;
+  const u64 q = la.value() >> region_bits_;
+  while (out.writes_applied < count && !bank.has_failure()) {
+    const u64 iv = effective_interval();
+    const u64 until = counter_[q] >= iv ? 1 : iv - counter_[q];
+    const u64 chunk = std::min(count - out.writes_applied, until);
+    out.total += bank.bulk_write(translate(la), data, chunk);
+    out.writes_applied += chunk;
+    counter_[q] += chunk;
+    if (counter_[q] >= iv && !bank.has_failure()) {
+      counter_[q] = 0;
+      out.total += do_step(q, bank, &out.movements);
+    }
+  }
+  return out;
+}
+
+}  // namespace srbsg::wl

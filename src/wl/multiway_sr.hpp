@@ -1,0 +1,56 @@
+#pragma once
+// Multi-Way Security Refresh (Yu & Du, IEEE TC'14), as characterized in
+// paper §III.E: the memory is partitioned into R sub-regions *by address
+// sequence* (high LA bits select the region) and each sub-region runs an
+// independent one-level Security Refresh. The static partition is exactly
+// what makes the scheme vulnerable to the sub-region detection attack.
+
+#include <vector>
+
+#include "wl/security_refresh_region.hpp"
+#include "wl/wear_leveler.hpp"
+
+namespace srbsg::wl {
+
+struct MultiWaySrConfig {
+  u64 lines{1u << 16};  ///< N, power of two
+  u64 regions{64};      ///< R, power of two
+  u64 interval{64};     ///< ψ per sub-region
+  u64 seed{1};
+
+  void validate() const;
+  [[nodiscard]] u64 region_lines() const { return lines / regions; }
+};
+
+class MultiWaySecurityRefresh final : public WearLeveler {
+ public:
+  explicit MultiWaySecurityRefresh(const MultiWaySrConfig& cfg);
+
+  [[nodiscard]] std::string_view name() const override { return "mwsr"; }
+  [[nodiscard]] u64 logical_lines() const override { return cfg_.lines; }
+  [[nodiscard]] u64 physical_lines() const override { return cfg_.lines; }
+  [[nodiscard]] Pa translate(La la) const override;
+
+  WriteOutcome write(La la, const pcm::LineData& data, pcm::PcmBank& bank) override;
+  BulkOutcome write_repeated(La la, const pcm::LineData& data, u64 count,
+                             pcm::PcmBank& bank) override;
+
+  [[nodiscard]] const MultiWaySrConfig& config() const { return cfg_; }
+
+  void set_rate_boost(u32 log2_divisor) override { boost_ = log2_divisor; }
+  [[nodiscard]] u64 effective_interval() const {
+    const u64 iv = cfg_.interval >> boost_;
+    return iv == 0 ? 1 : iv;
+  }
+
+ private:
+  Ns do_step(u64 q, pcm::PcmBank& bank, u64* movements);
+
+  MultiWaySrConfig cfg_;
+  u32 region_bits_;
+  std::vector<SecurityRefreshRegion> regions_;
+  std::vector<u64> counter_;
+  u32 boost_{0};
+};
+
+}  // namespace srbsg::wl

@@ -1,0 +1,30 @@
+#include "wl/no_wl.hpp"
+
+#include "common/check.hpp"
+
+namespace srbsg::wl {
+
+NoWearLeveling::NoWearLeveling(u64 lines) : lines_(lines) {
+  check(lines >= 1, "NoWearLeveling: need at least one line");
+}
+
+Pa NoWearLeveling::translate(La la) const {
+  check(la.value() < lines_, "NoWearLeveling: address out of range");
+  return Pa{la.value()};
+}
+
+WriteOutcome NoWearLeveling::write(La la, const pcm::LineData& data, pcm::PcmBank& bank) {
+  const Ns lat = bank.write(translate(la), data);
+  return WriteOutcome{lat, Ns{0}, 0};
+}
+
+BulkOutcome NoWearLeveling::write_repeated(La la, const pcm::LineData& data, u64 count,
+                                           pcm::PcmBank& bank) {
+  BulkOutcome out;
+  if (count == 0 || bank.has_failure()) return out;
+  out.total = bank.bulk_write(translate(la), data, count);
+  out.writes_applied = count;
+  return out;
+}
+
+}  // namespace srbsg::wl

@@ -1,0 +1,26 @@
+#pragma once
+// Identity mapping, no remapping — the paper's unprotected baseline
+// (RAA kills a line on it in about a minute, §II.B).
+
+#include "wl/wear_leveler.hpp"
+
+namespace srbsg::wl {
+
+class NoWearLeveling final : public WearLeveler {
+ public:
+  explicit NoWearLeveling(u64 lines);
+
+  [[nodiscard]] std::string_view name() const override { return "none"; }
+  [[nodiscard]] u64 logical_lines() const override { return lines_; }
+  [[nodiscard]] u64 physical_lines() const override { return lines_; }
+  [[nodiscard]] Pa translate(La la) const override;
+
+  WriteOutcome write(La la, const pcm::LineData& data, pcm::PcmBank& bank) override;
+  BulkOutcome write_repeated(La la, const pcm::LineData& data, u64 count,
+                             pcm::PcmBank& bank) override;
+
+ private:
+  u64 lines_;
+};
+
+}  // namespace srbsg::wl

@@ -1,0 +1,103 @@
+#include "wl/rbsg.hpp"
+
+#include "common/bitops.hpp"
+#include "common/check.hpp"
+#include "common/rng.hpp"
+#include "mapping/binary_matrix.hpp"
+#include "mapping/feistel.hpp"
+
+namespace srbsg::wl {
+
+void RbsgConfig::validate() const {
+  check(is_pow2(lines), "RbsgConfig: lines must be a power of two");
+  check(regions >= 1 && lines % regions == 0, "RbsgConfig: regions must divide lines");
+  check(interval >= 1, "RbsgConfig: interval must be positive");
+  check(feistel_stages >= 1, "RbsgConfig: need at least one Feistel stage");
+}
+
+RegionStartGap::RegionStartGap(const RbsgConfig& cfg) : cfg_(cfg) {
+  cfg_.validate();
+  Rng rng(cfg_.seed);
+  const u32 bits = log2_floor(cfg_.lines);
+  switch (cfg_.randomizer) {
+    case RbsgConfig::Randomizer::kNone:
+      break;
+    case RbsgConfig::Randomizer::kFeistel: {
+      const auto keys = mapping::FeistelNetwork::random_keys(bits, cfg_.feistel_stages, rng);
+      mapper_ = std::make_unique<mapping::FeistelNetwork>(bits, keys);
+      break;
+    }
+    case RbsgConfig::Randomizer::kMatrix:
+      mapper_ = std::make_unique<mapping::BinaryMatrixMapper>(bits, rng);
+      break;
+  }
+  sg_.assign(cfg_.regions, StartGapRegion(cfg_.region_lines()));
+  counter_.assign(cfg_.regions, 0);
+}
+
+u64 RegionStartGap::randomize(u64 la) const { return mapper_ ? mapper_->map(la) : la; }
+
+u64 RegionStartGap::derandomize(u64 ia) const { return mapper_ ? mapper_->unmap(ia) : ia; }
+
+Pa RegionStartGap::translate(La la) const {
+  check(la.value() < cfg_.lines, "RegionStartGap: address out of range");
+  const u64 ia = randomize(la.value());
+  const u64 m = cfg_.region_lines();
+  const u64 q = ia / m;
+  const u64 off = ia % m;
+  return Pa{region_base(q) + sg_[q].translate(off)};
+}
+
+Ns RegionStartGap::do_movement(u64 q, pcm::PcmBank& bank) {
+  const auto mv = sg_[q].advance();
+  return bank.move_line(Pa{region_base(q) + mv.from}, Pa{region_base(q) + mv.to});
+}
+
+WriteOutcome RegionStartGap::write(La la, const pcm::LineData& data, pcm::PcmBank& bank) {
+  const u64 ia = randomize(la.value());
+  const u64 q = ia / cfg_.region_lines();
+  WriteOutcome out;
+  out.total = bank.write(translate(la), data);
+  if (++counter_[q] >= effective_interval()) {
+    counter_[q] = 0;
+    out.stall = do_movement(q, bank);
+    out.movements = 1;
+    out.total += out.stall;
+  }
+  return out;
+}
+
+BulkOutcome RegionStartGap::write_repeated(La la, const pcm::LineData& data, u64 count,
+                                           pcm::PcmBank& bank) {
+  BulkOutcome out;
+  const u64 ia = randomize(la.value());
+  const u64 m = cfg_.region_lines();
+  const u64 q = ia / m;
+  const u64 off = ia % m;
+  while (out.writes_applied < count && !bank.has_failure()) {
+    const u64 iv = effective_interval();
+    const u64 until = counter_[q] >= iv ? 1 : iv - counter_[q];
+    const u64 chunk = std::min(count - out.writes_applied, until);
+    const Pa pa{region_base(q) + sg_[q].translate(off)};
+    out.total += bank.bulk_write(pa, data, chunk);
+    out.writes_applied += chunk;
+    counter_[q] += chunk;
+    if (counter_[q] >= iv && !bank.has_failure()) {
+      counter_[q] = 0;
+      out.total += do_movement(q, bank);
+      ++out.movements;
+    }
+  }
+  return out;
+}
+
+RbsgConfig RegionStartGap::plain_start_gap(u64 lines, u64 interval) {
+  RbsgConfig cfg;
+  cfg.lines = lines;
+  cfg.regions = 1;
+  cfg.interval = interval;
+  cfg.randomizer = RbsgConfig::Randomizer::kNone;
+  return cfg;
+}
+
+}  // namespace srbsg::wl

@@ -1,0 +1,84 @@
+#pragma once
+// Region-Based Start-Gap (RBSG, Qureshi et al. MICRO'09; paper §III.A).
+//
+// A *static* randomizer (Feistel network or random invertible binary
+// matrix, fixed at boot) maps LA→IA; the IA space is split into R equal
+// contiguous regions, each wear-leveled independently by Start-Gap with
+// one extra gap line. Every `interval` writes to a region trigger one gap
+// movement in that region.
+//
+// With `regions == 1` and `randomizer == kNone` this degenerates to the
+// plain Start-Gap scheme.
+
+#include <memory>
+#include <vector>
+
+#include "mapping/mapper.hpp"
+#include "wl/start_gap_region.hpp"
+#include "wl/wear_leveler.hpp"
+
+namespace srbsg::wl {
+
+struct RbsgConfig {
+  u64 lines{1u << 16};  ///< N, power of two
+  u64 regions{32};      ///< R, must divide N
+  u64 interval{100};    ///< ψ, writes per region between gap movements
+  enum class Randomizer { kNone, kFeistel, kMatrix } randomizer{Randomizer::kFeistel};
+  u32 feistel_stages{3};  ///< RBSG's recommended static randomizer depth
+  u64 seed{1};
+
+  void validate() const;
+  [[nodiscard]] u64 region_lines() const { return lines / regions; }
+};
+
+class RegionStartGap final : public WearLeveler {
+ public:
+  explicit RegionStartGap(const RbsgConfig& cfg);
+
+  [[nodiscard]] std::string_view name() const override {
+    return cfg_.regions == 1 && cfg_.randomizer == RbsgConfig::Randomizer::kNone
+               ? "start-gap"
+               : "rbsg";
+  }
+  [[nodiscard]] u64 logical_lines() const override { return cfg_.lines; }
+  [[nodiscard]] u64 physical_lines() const override {
+    return cfg_.regions * (cfg_.region_lines() + 1);
+  }
+  [[nodiscard]] Pa translate(La la) const override;
+
+  WriteOutcome write(La la, const pcm::LineData& data, pcm::PcmBank& bank) override;
+  BulkOutcome write_repeated(La la, const pcm::LineData& data, u64 count,
+                             pcm::PcmBank& bank) override;
+
+  [[nodiscard]] const RbsgConfig& config() const { return cfg_; }
+  /// Static randomizer (identity when configured with kNone).
+  [[nodiscard]] u64 randomize(u64 la) const;
+  [[nodiscard]] u64 derandomize(u64 ia) const;
+  /// Gap register of region `q` (for tests).
+  [[nodiscard]] u64 region_gap(u64 q) const { return sg_[q].gap(); }
+  [[nodiscard]] u64 region_write_counter(u64 q) const { return counter_[q]; }
+
+  /// Convenience: plain Start-Gap over the whole bank (single region, no
+  /// randomizer).
+  [[nodiscard]] static RbsgConfig plain_start_gap(u64 lines, u64 interval);
+
+  void set_rate_boost(u32 log2_divisor) override { boost_ = log2_divisor; }
+  /// Effective remapping interval (configured ψ divided by the boost).
+  [[nodiscard]] u64 effective_interval() const {
+    const u64 iv = cfg_.interval >> boost_;
+    return iv == 0 ? 1 : iv;
+  }
+
+ private:
+  /// Executes one gap movement in region `q`; returns its latency.
+  Ns do_movement(u64 q, pcm::PcmBank& bank);
+  [[nodiscard]] u64 region_base(u64 q) const { return q * (cfg_.region_lines() + 1); }
+
+  RbsgConfig cfg_;
+  std::unique_ptr<mapping::AddressMapper> mapper_;  ///< null = identity
+  std::vector<StartGapRegion> sg_;
+  std::vector<u64> counter_;
+  u32 boost_{0};
+};
+
+}  // namespace srbsg::wl

@@ -1,0 +1,110 @@
+#include "wl/security_rbsg.hpp"
+
+#include "common/bitops.hpp"
+#include "common/check.hpp"
+
+namespace srbsg::wl {
+
+void SecurityRbsgConfig::validate() const {
+  check(is_pow2(lines), "SecurityRbsgConfig: lines must be a power of two");
+  check(is_pow2(sub_regions) && sub_regions >= 1 && sub_regions < lines,
+        "SecurityRbsgConfig: sub_regions must be a power of two smaller than lines");
+  check(inner_interval >= 1 && outer_interval >= 1, "SecurityRbsgConfig: bad intervals");
+  check(stages >= 1, "SecurityRbsgConfig: need at least one stage");
+}
+
+SecurityRbsg::SecurityRbsg(const SecurityRbsgConfig& cfg)
+    : cfg_(cfg), outer_(log2_floor(cfg.lines), cfg.stages, Rng(cfg.seed), cfg.prp) {
+  cfg_.validate();
+  inner_.assign(cfg_.sub_regions, StartGapRegion(cfg_.region_lines()));
+  inner_counter_.assign(cfg_.sub_regions, 0);
+}
+
+Pa SecurityRbsg::ia_to_pa(u64 ia) const {
+  if (ia == outer_.spare_ia()) return spare_pa();
+  const u64 m = cfg_.region_lines();
+  const u64 q = ia / m;
+  const u64 off = ia % m;
+  return Pa{q * (m + 1) + inner_[q].translate(off)};
+}
+
+Pa SecurityRbsg::translate(La la) const {
+  check(la.value() < cfg_.lines, "SecurityRbsg: address out of range");
+  return ia_to_pa(outer_.translate(la.value()));
+}
+
+Ns SecurityRbsg::do_inner_movement(u64 q, pcm::PcmBank& bank) {
+  const auto mv = inner_[q].advance();
+  const u64 base = q * (cfg_.region_lines() + 1);
+  return bank.move_line(Pa{base + mv.from}, Pa{base + mv.to});
+}
+
+Ns SecurityRbsg::do_outer_movement(pcm::PcmBank& bank) {
+  // The outer movement copies one intermediate line; both endpoints are
+  // located through the inner mappings at this instant.
+  const auto mv = outer_.advance();
+  return bank.move_line(ia_to_pa(mv.from), ia_to_pa(mv.to));
+}
+
+WriteOutcome SecurityRbsg::write(La la, const pcm::LineData& data, pcm::PcmBank& bank) {
+  const u64 ia = outer_.translate(la.value());
+  WriteOutcome out;
+  out.total = bank.write(ia_to_pa(ia), data);
+  Ns stall{0};
+  u32 moved = 0;
+  if (ia != outer_.spare_ia()) {
+    const u64 q = ia / cfg_.region_lines();
+    if (++inner_counter_[q] >= effective_inner_interval()) {
+      inner_counter_[q] = 0;
+      stall += do_inner_movement(q, bank);
+      ++moved;
+    }
+  }
+  if (++outer_counter_ >= effective_outer_interval()) {
+    outer_counter_ = 0;
+    stall += do_outer_movement(bank);
+    ++moved;
+  }
+  out.stall = stall;
+  out.movements = moved;
+  out.total += stall;
+  return out;
+}
+
+BulkOutcome SecurityRbsg::write_repeated(La la, const pcm::LineData& data, u64 count,
+                                         pcm::PcmBank& bank) {
+  BulkOutcome out;
+  while (out.writes_applied < count && !bank.has_failure()) {
+    // An outer movement can remap `la` into another sub-region (or the
+    // spare), so the chunk ends at the nearest trigger and everything is
+    // recomputed afterwards.
+    const u64 ia = outer_.translate(la.value());
+    const bool on_spare = ia == outer_.spare_ia();
+    const u64 q = on_spare ? 0 : ia / cfg_.region_lines();
+    const u64 iv_in = effective_inner_interval();
+    const u64 iv_out = effective_outer_interval();
+    const u64 until_inner =
+        on_spare ? count
+                 : (inner_counter_[q] >= iv_in ? 1 : iv_in - inner_counter_[q]);
+    const u64 until_outer = outer_counter_ >= iv_out ? 1 : iv_out - outer_counter_;
+    const u64 chunk = std::min({count - out.writes_applied, until_inner, until_outer});
+    out.total += bank.bulk_write(ia_to_pa(ia), data, chunk);
+    out.writes_applied += chunk;
+    if (!on_spare) inner_counter_[q] += chunk;
+    outer_counter_ += chunk;
+    if (bank.has_failure()) break;
+    if (!on_spare && inner_counter_[q] >= iv_in) {
+      inner_counter_[q] = 0;
+      out.total += do_inner_movement(q, bank);
+      ++out.movements;
+    }
+    if (outer_counter_ >= iv_out) {
+      outer_counter_ = 0;
+      out.total += do_outer_movement(bank);
+      ++out.movements;
+    }
+  }
+  return out;
+}
+
+}  // namespace srbsg::wl

@@ -1,0 +1,81 @@
+#pragma once
+// Security Region-Based Start-Gap — the paper's proposed scheme (§IV).
+//
+// Outer level: security-level-adjustable *dynamic* Feistel network maps
+// LA→IA, re-keyed every remapping round so a timing attacker cannot
+// recover the keys before they rotate. One outer movement every
+// `outer_interval` writes to the bank.
+//
+// Inner level: the IA space is split into `sub_regions` fixed-size
+// regions, each rotated by plain Start-Gap (low overhead; security is
+// already provided by the outer level). One inner movement every
+// `inner_interval` writes landing in that sub-region.
+//
+// Physical layout: sub-region q occupies slots [q*(M+1), (q+1)*(M+1));
+// the outer spare line is the final physical line.
+
+#include <vector>
+
+#include "wl/dfn.hpp"
+#include "wl/start_gap_region.hpp"
+#include "wl/wear_leveler.hpp"
+
+namespace srbsg::wl {
+
+struct SecurityRbsgConfig {
+  u64 lines{1u << 16};      ///< N, power of two
+  u64 sub_regions{512};     ///< R, power of two, divides N
+  u64 inner_interval{64};   ///< ψ_in (Start-Gap movements)
+  u64 outer_interval{128};  ///< ψ_out (DFN movements)
+  u32 stages{7};            ///< Feistel stages (security level; paper picks 7)
+  OuterPrpKind prp{OuterPrpKind::kCubingFeistel};  ///< outer permutation family
+  u64 seed{1};
+
+  void validate() const;
+  [[nodiscard]] u64 region_lines() const { return lines / sub_regions; }
+};
+
+class SecurityRbsg final : public WearLeveler {
+ public:
+  explicit SecurityRbsg(const SecurityRbsgConfig& cfg);
+
+  [[nodiscard]] std::string_view name() const override { return "security-rbsg"; }
+  [[nodiscard]] u64 logical_lines() const override { return cfg_.lines; }
+  [[nodiscard]] u64 physical_lines() const override {
+    return cfg_.sub_regions * (cfg_.region_lines() + 1) + 1;
+  }
+  [[nodiscard]] Pa translate(La la) const override;
+
+  WriteOutcome write(La la, const pcm::LineData& data, pcm::PcmBank& bank) override;
+  BulkOutcome write_repeated(La la, const pcm::LineData& data, u64 count,
+                             pcm::PcmBank& bank) override;
+
+  [[nodiscard]] const SecurityRbsgConfig& config() const { return cfg_; }
+  [[nodiscard]] const DynamicFeistelOuter& outer() const { return outer_; }
+  [[nodiscard]] u64 to_ia(u64 la) const { return outer_.translate(la); }
+
+  void set_rate_boost(u32 log2_divisor) override { boost_ = log2_divisor; }
+  [[nodiscard]] u64 effective_inner_interval() const {
+    const u64 iv = cfg_.inner_interval >> boost_;
+    return iv == 0 ? 1 : iv;
+  }
+  [[nodiscard]] u64 effective_outer_interval() const {
+    const u64 iv = cfg_.outer_interval >> boost_;
+    return iv == 0 ? 1 : iv;
+  }
+
+ private:
+  [[nodiscard]] Pa ia_to_pa(u64 ia) const;
+  [[nodiscard]] Pa spare_pa() const { return Pa{physical_lines() - 1}; }
+  Ns do_inner_movement(u64 q, pcm::PcmBank& bank);
+  Ns do_outer_movement(pcm::PcmBank& bank);
+
+  SecurityRbsgConfig cfg_;
+  DynamicFeistelOuter outer_;
+  std::vector<StartGapRegion> inner_;
+  std::vector<u64> inner_counter_;
+  u64 outer_counter_{0};
+  u32 boost_{0};
+};
+
+}  // namespace srbsg::wl

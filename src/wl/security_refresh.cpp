@@ -1,0 +1,61 @@
+#include "wl/security_refresh.hpp"
+
+#include "common/bitops.hpp"
+#include "common/check.hpp"
+
+namespace srbsg::wl {
+
+void SecurityRefreshConfig::validate() const {
+  check(is_pow2(lines), "SecurityRefreshConfig: lines must be a power of two");
+  check(interval >= 1, "SecurityRefreshConfig: interval must be positive");
+}
+
+SecurityRefresh::SecurityRefresh(const SecurityRefreshConfig& cfg)
+    : cfg_(cfg), region_(log2_floor(cfg.lines), Rng(cfg.seed)) {
+  cfg_.validate();
+}
+
+Pa SecurityRefresh::translate(La la) const {
+  check(la.value() < cfg_.lines, "SecurityRefresh: address out of range");
+  return Pa{region_.translate(la.value())};
+}
+
+Ns SecurityRefresh::do_step(pcm::PcmBank& bank, u64* movements) {
+  const auto swap = region_.advance();
+  if (!swap) return Ns{0};
+  if (movements) ++*movements;
+  return bank.swap_lines(Pa{swap->a}, Pa{swap->b});
+}
+
+WriteOutcome SecurityRefresh::write(La la, const pcm::LineData& data, pcm::PcmBank& bank) {
+  WriteOutcome out;
+  out.total = bank.write(translate(la), data);
+  if (++counter_ >= effective_interval()) {
+    counter_ = 0;
+    u64 moved = 0;
+    out.stall = do_step(bank, &moved);
+    out.movements = static_cast<u32>(moved);
+    out.total += out.stall;
+  }
+  return out;
+}
+
+BulkOutcome SecurityRefresh::write_repeated(La la, const pcm::LineData& data, u64 count,
+                                            pcm::PcmBank& bank) {
+  BulkOutcome out;
+  while (out.writes_applied < count && !bank.has_failure()) {
+    const u64 iv = effective_interval();
+    const u64 until = counter_ >= iv ? 1 : iv - counter_;
+    const u64 chunk = std::min(count - out.writes_applied, until);
+    out.total += bank.bulk_write(translate(la), data, chunk);
+    out.writes_applied += chunk;
+    counter_ += chunk;
+    if (counter_ >= iv && !bank.has_failure()) {
+      counter_ = 0;
+      out.total += do_step(bank, &out.movements);
+    }
+  }
+  return out;
+}
+
+}  // namespace srbsg::wl

@@ -1,0 +1,51 @@
+#pragma once
+// One-level Security Refresh covering the whole bank (paper §III.C).
+// Every `interval` writes advance the CRP by one step.
+
+#include <vector>
+
+#include "wl/security_refresh_region.hpp"
+#include "wl/wear_leveler.hpp"
+
+namespace srbsg::wl {
+
+struct SecurityRefreshConfig {
+  u64 lines{1u << 16};  ///< N, power of two
+  u64 interval{100};    ///< ψ, writes between refresh steps
+  u64 seed{1};
+
+  void validate() const;
+};
+
+class SecurityRefresh final : public WearLeveler {
+ public:
+  explicit SecurityRefresh(const SecurityRefreshConfig& cfg);
+
+  [[nodiscard]] std::string_view name() const override { return "sr1"; }
+  [[nodiscard]] u64 logical_lines() const override { return cfg_.lines; }
+  [[nodiscard]] u64 physical_lines() const override { return cfg_.lines; }
+  [[nodiscard]] Pa translate(La la) const override;
+
+  WriteOutcome write(La la, const pcm::LineData& data, pcm::PcmBank& bank) override;
+  BulkOutcome write_repeated(La la, const pcm::LineData& data, u64 count,
+                             pcm::PcmBank& bank) override;
+
+  [[nodiscard]] const SecurityRefreshRegion& region() const { return region_; }
+
+  void set_rate_boost(u32 log2_divisor) override { boost_ = log2_divisor; }
+  [[nodiscard]] u64 effective_interval() const {
+    const u64 iv = cfg_.interval >> boost_;
+    return iv == 0 ? 1 : iv;
+  }
+
+ private:
+  /// Performs one CRP step; returns the swap latency (0 when skipped).
+  Ns do_step(pcm::PcmBank& bank, u64* movements);
+
+  SecurityRefreshConfig cfg_;
+  SecurityRefreshRegion region_;
+  u64 counter_{0};
+  u32 boost_{0};
+};
+
+}  // namespace srbsg::wl

@@ -1,0 +1,57 @@
+#pragma once
+// The Security Refresh primitive (Seong et al., ISCA'10; paper §III.C,
+// Fig. 5): addresses in a 2^width region are remapped by XOR with a
+// per-round random key. The Current Refresh Pointer (CRP) walks the
+// region; remapping LA c swaps the physical slots c⊕key_p and c⊕key_c,
+// which simultaneously remaps c's pair (c ⊕ key_c ⊕ key_p). When the CRP
+// wraps, key_p ← key_c and a fresh key_c is drawn.
+//
+// Pure bookkeeping in region-local slot space; owners perform the swaps.
+
+#include <optional>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+
+namespace srbsg::wl {
+
+class SecurityRefreshRegion {
+ public:
+  /// Region of 2^width_bits lines; keys are drawn from `rng`.
+  SecurityRefreshRegion(u32 width_bits, Rng rng);
+
+  [[nodiscard]] u64 lines() const { return u64{1} << width_; }
+  [[nodiscard]] u64 crp() const { return crp_; }
+  [[nodiscard]] u64 key_c() const { return kc_; }
+  [[nodiscard]] u64 key_p() const { return kp_; }
+
+  /// Pair address: remapping `la` also remaps pair_of(la) (§III.D).
+  [[nodiscard]] u64 pair_of(u64 la) const { return la ^ kc_ ^ kp_; }
+
+  /// Has `la` been remapped in the current round?
+  [[nodiscard]] bool refreshed(u64 la) const;
+
+  /// Current slot of `la` within the region.
+  [[nodiscard]] u64 translate(u64 la) const;
+
+  /// One refresh step (one CRP advance). Returns the pair of slots whose
+  /// contents the owner must swap, or nullopt when the candidate was
+  /// already remapped earlier in the round (CRP simply increments).
+  struct SwapSlots {
+    u64 a;
+    u64 b;
+  };
+  std::optional<SwapSlots> advance();
+
+ private:
+  void maybe_begin_round();
+
+  u32 width_;
+  u64 mask_;
+  Rng rng_;
+  u64 kp_;
+  u64 kc_;
+  u64 crp_;  ///< in [0, lines]; lines = round boundary
+};
+
+}  // namespace srbsg::wl

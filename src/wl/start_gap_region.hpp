@@ -1,0 +1,42 @@
+#pragma once
+// The Start-Gap rotation primitive (Qureshi et al., MICRO'09; paper §III.A,
+// Fig. 2): M lines live in M+1 slots; a Gap register points at the empty
+// slot and a Start register tracks completed rotations. Every gap movement
+// copies slot[Gap-1] into slot[Gap] and decrements Gap; after M+1
+// movements every line has shifted by one slot.
+//
+// This class is pure bookkeeping in "slot space" [0, M]; owners add their
+// region base and perform the actual data copies.
+
+#include "common/types.hpp"
+
+namespace srbsg::wl {
+
+class StartGapRegion {
+ public:
+  /// `lines` = M (data lines); the region occupies M+1 physical slots.
+  explicit StartGapRegion(u64 lines);
+
+  [[nodiscard]] u64 lines() const { return lines_; }
+  [[nodiscard]] u64 slots() const { return lines_ + 1; }
+  [[nodiscard]] u64 gap() const { return gap_; }
+  [[nodiscard]] u64 start() const { return start_; }
+
+  /// Slot currently holding intermediate address `ia` (ia in [0, M)).
+  [[nodiscard]] u64 translate(u64 ia) const;
+
+  /// One gap movement. Returns {from, to}: the owner must copy the data
+  /// of slot `from` into slot `to`.
+  struct Movement {
+    u64 from;
+    u64 to;
+  };
+  Movement advance();
+
+ private:
+  u64 lines_;
+  u64 gap_;    ///< empty slot, in [0, M]
+  u64 start_;  ///< rotation offset, in [0, M)
+};
+
+}  // namespace srbsg::wl

@@ -1,0 +1,93 @@
+#include "wl/table_wl.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace srbsg::wl {
+
+void TableWlConfig::validate() const {
+  check(lines >= 2, "TableWlConfig: need at least two lines");
+  check(interval >= 1, "TableWlConfig: interval must be positive");
+}
+
+TableWearLeveling::TableWearLeveling(const TableWlConfig& cfg) : cfg_(cfg) {
+  cfg_.validate();
+  la_to_pa_.resize(cfg_.lines);
+  pa_to_la_.resize(cfg_.lines);
+  for (u64 i = 0; i < cfg_.lines; ++i) {
+    la_to_pa_[i] = i;
+    pa_to_la_[i] = i;
+  }
+  residual_.assign(cfg_.lines, 0);
+  total_.assign(cfg_.lines, 0);
+}
+
+Pa TableWearLeveling::translate(La la) const {
+  check(la.value() < cfg_.lines, "TableWearLeveling: address out of range");
+  return Pa{la_to_pa_[la.value()]};
+}
+
+TableWearLeveling::SwapPrediction TableWearLeveling::predict_next_swap() const {
+  u64 hot = 0, cold = 0;
+  for (u64 pa = 1; pa < cfg_.lines; ++pa) {
+    if (residual_[pa] > residual_[hot]) hot = pa;
+    if (total_[pa] < total_[cold]) cold = pa;
+  }
+  return {hot, cold};
+}
+
+Ns TableWearLeveling::do_swap(pcm::PcmBank& bank, u64* movements) {
+  const auto pred = predict_next_swap();
+  if (pred.hot_pa == pred.cold_pa) return Ns{0};
+  const u64 la_hot = pa_to_la_[pred.hot_pa];
+  const u64 la_cold = pa_to_la_[pred.cold_pa];
+  const Ns lat = bank.swap_lines(Pa{pred.hot_pa}, Pa{pred.cold_pa});
+  std::swap(la_to_pa_[la_hot], la_to_pa_[la_cold]);
+  std::swap(pa_to_la_[pred.hot_pa], pa_to_la_[pred.cold_pa]);
+  residual_[pred.hot_pa] = 0;
+  residual_[pred.cold_pa] = 0;
+  ++total_[pred.hot_pa];  // the swap itself writes both lines
+  ++total_[pred.cold_pa];
+  if (movements) ++*movements;
+  return lat;
+}
+
+WriteOutcome TableWearLeveling::write(La la, const pcm::LineData& data, pcm::PcmBank& bank) {
+  WriteOutcome out;
+  const Pa pa = translate(la);
+  out.total = bank.write(pa, data);
+  ++residual_[pa.value()];
+  ++total_[pa.value()];
+  if (++counter_ >= effective_interval()) {
+    counter_ = 0;
+    u64 moved = 0;
+    out.stall = do_swap(bank, &moved);
+    out.movements = static_cast<u32>(moved);
+    out.total += out.stall;
+  }
+  return out;
+}
+
+BulkOutcome TableWearLeveling::write_repeated(La la, const pcm::LineData& data, u64 count,
+                                              pcm::PcmBank& bank) {
+  BulkOutcome out;
+  while (out.writes_applied < count && !bank.has_failure()) {
+    const u64 iv = effective_interval();
+    const u64 until = counter_ >= iv ? 1 : iv - counter_;
+    const u64 chunk = std::min(count - out.writes_applied, until);
+    const Pa pa = translate(la);
+    out.total += bank.bulk_write(pa, data, chunk);
+    residual_[pa.value()] += chunk;
+    total_[pa.value()] += chunk;
+    out.writes_applied += chunk;
+    counter_ += chunk;
+    if (counter_ >= iv && !bank.has_failure()) {
+      counter_ = 0;
+      out.total += do_swap(bank, &out.movements);
+    }
+  }
+  return out;
+}
+
+}  // namespace srbsg::wl

@@ -1,0 +1,69 @@
+#pragma once
+// Table-based wear leveling (§II.A background family, e.g. Zhou et al.
+// ISCA'09): an indirection table maps every LA to a PA and a per-line
+// write counter drives periodic hot↔cold swaps. The paper dismisses the
+// family for two reasons this implementation makes measurable:
+//   * cost — a full map plus counters (N·B bits of table state vs a few
+//     registers for algebraic schemes), and a swap that needs two line
+//     writes;
+//   * security — the remapping is *deterministic* given the write
+//     counts, so an attacker who knows the algorithm can predict exactly
+//     where a hot line goes (no key material at all).
+//
+// Mechanism (Zhou et al. style): every `interval` writes, the hottest
+// line (by residual wear since its last swap) is swapped with the
+// coldest line (by total lifetime wear); residuals reset at the swap.
+
+#include <vector>
+
+#include "wl/wear_leveler.hpp"
+
+namespace srbsg::wl {
+
+struct TableWlConfig {
+  u64 lines{1u << 16};
+  u64 interval{100};  ///< writes between hot/cold swaps
+  void validate() const;
+};
+
+class TableWearLeveling final : public WearLeveler {
+ public:
+  explicit TableWearLeveling(const TableWlConfig& cfg);
+
+  [[nodiscard]] std::string_view name() const override { return "table"; }
+  [[nodiscard]] u64 logical_lines() const override { return cfg_.lines; }
+  [[nodiscard]] u64 physical_lines() const override { return cfg_.lines; }
+  [[nodiscard]] Pa translate(La la) const override;
+
+  WriteOutcome write(La la, const pcm::LineData& data, pcm::PcmBank& bank) override;
+  BulkOutcome write_repeated(La la, const pcm::LineData& data, u64 count,
+                             pcm::PcmBank& bank) override;
+
+  void set_rate_boost(u32 log2_divisor) override { boost_ = log2_divisor; }
+  [[nodiscard]] u64 effective_interval() const {
+    const u64 iv = cfg_.interval >> boost_;
+    return iv == 0 ? 1 : iv;
+  }
+
+  /// The determinism the paper criticizes: given the same write sequence,
+  /// the next swap pair is fully predictable (exposed for the tests that
+  /// demonstrate the weakness).
+  struct SwapPrediction {
+    u64 hot_pa;
+    u64 cold_pa;
+  };
+  [[nodiscard]] SwapPrediction predict_next_swap() const;
+
+ private:
+  Ns do_swap(pcm::PcmBank& bank, u64* movements);
+
+  TableWlConfig cfg_;
+  std::vector<u64> la_to_pa_;
+  std::vector<u64> pa_to_la_;
+  std::vector<u64> residual_;  ///< writes since the line's last swap (by PA)
+  std::vector<u64> total_;     ///< lifetime writes per PA (scheme's own view)
+  u64 counter_{0};
+  u32 boost_{0};
+};
+
+}  // namespace srbsg::wl

@@ -1,0 +1,109 @@
+#include "wl/two_level_sr.hpp"
+
+#include "common/bitops.hpp"
+#include "common/check.hpp"
+
+namespace srbsg::wl {
+
+void TwoLevelSrConfig::validate() const {
+  check(is_pow2(lines), "TwoLevelSrConfig: lines must be a power of two");
+  check(is_pow2(sub_regions) && sub_regions >= 1 && sub_regions < lines,
+        "TwoLevelSrConfig: sub_regions must be a power of two smaller than lines");
+  check(inner_interval >= 1 && outer_interval >= 1, "TwoLevelSrConfig: bad intervals");
+}
+
+TwoLevelSecurityRefresh::TwoLevelSecurityRefresh(const TwoLevelSrConfig& cfg)
+    : cfg_(cfg),
+      region_bits_(log2_floor(cfg.region_lines())),
+      outer_(log2_floor(cfg.lines), Rng(cfg.seed)) {
+  cfg_.validate();
+  Rng seeder(cfg.seed ^ 0x517ac0deULL);
+  inner_.reserve(cfg_.sub_regions);
+  for (u64 q = 0; q < cfg_.sub_regions; ++q) {
+    inner_.emplace_back(region_bits_, seeder.fork());
+  }
+  inner_counter_.assign(cfg_.sub_regions, 0);
+}
+
+Pa TwoLevelSecurityRefresh::ia_to_pa(u64 ia) const {
+  const u64 q = ia >> region_bits_;
+  const u64 off = ia & low_mask(region_bits_);
+  return Pa{(q << region_bits_) | inner_[q].translate(off)};
+}
+
+Pa TwoLevelSecurityRefresh::translate(La la) const {
+  check(la.value() < cfg_.lines, "TwoLevelSecurityRefresh: address out of range");
+  return ia_to_pa(outer_.translate(la.value()));
+}
+
+Ns TwoLevelSecurityRefresh::do_inner_step(u64 q, pcm::PcmBank& bank, u64* movements) {
+  const auto swap = inner_[q].advance();
+  if (!swap) return Ns{0};
+  if (movements) ++*movements;
+  const u64 base = q << region_bits_;
+  return bank.swap_lines(Pa{base | swap->a}, Pa{base | swap->b});
+}
+
+Ns TwoLevelSecurityRefresh::do_outer_step(pcm::PcmBank& bank, u64* movements) {
+  // The outer level swaps two *intermediate* lines; where they physically
+  // live right now is decided by the inner mappings of their sub-regions.
+  const auto swap = outer_.advance();
+  if (!swap) return Ns{0};
+  if (movements) ++*movements;
+  return bank.swap_lines(ia_to_pa(swap->a), ia_to_pa(swap->b));
+}
+
+WriteOutcome TwoLevelSecurityRefresh::write(La la, const pcm::LineData& data,
+                                            pcm::PcmBank& bank) {
+  const u64 ia = outer_.translate(la.value());
+  const u64 q = ia >> region_bits_;
+  WriteOutcome out;
+  out.total = bank.write(ia_to_pa(ia), data);
+  u64 moved = 0;
+  Ns stall{0};
+  if (++inner_counter_[q] >= effective_inner_interval()) {
+    inner_counter_[q] = 0;
+    stall += do_inner_step(q, bank, &moved);
+  }
+  if (++outer_counter_ >= effective_outer_interval()) {
+    outer_counter_ = 0;
+    stall += do_outer_step(bank, &moved);
+  }
+  out.stall = stall;
+  out.movements = static_cast<u32>(moved);
+  out.total += stall;
+  return out;
+}
+
+BulkOutcome TwoLevelSecurityRefresh::write_repeated(La la, const pcm::LineData& data, u64 count,
+                                                    pcm::PcmBank& bank) {
+  BulkOutcome out;
+  while (out.writes_applied < count && !bank.has_failure()) {
+    // The IA (and thus sub-region) of `la` can change at any outer step,
+    // so recompute per chunk; chunks end at the nearest trigger.
+    const u64 ia = outer_.translate(la.value());
+    const u64 q = ia >> region_bits_;
+    const u64 iv_in = effective_inner_interval();
+    const u64 iv_out = effective_outer_interval();
+    const u64 until_inner = inner_counter_[q] >= iv_in ? 1 : iv_in - inner_counter_[q];
+    const u64 until_outer = outer_counter_ >= iv_out ? 1 : iv_out - outer_counter_;
+    const u64 chunk =
+        std::min({count - out.writes_applied, until_inner, until_outer});
+    out.total += bank.bulk_write(ia_to_pa(ia), data, chunk);
+    out.writes_applied += chunk;
+    inner_counter_[q] += chunk;
+    outer_counter_ += chunk;
+    if (bank.has_failure()) break;
+    if (inner_counter_[q] >= iv_in) {
+      inner_counter_[q] = 0;
+      out.total += do_inner_step(q, bank, &out.movements);
+    }
+    if (outer_counter_ >= iv_out) {
+      outer_counter_ = 0;
+      out.total += do_outer_step(bank, &out.movements);
+    }
+  }
+  return out;
+}
+
+}  // namespace srbsg::wl

@@ -1,0 +1,70 @@
+#pragma once
+// Two-level Security Refresh (paper §III.C, last paragraph): an outer SR
+// over the whole bank maps LA→IA; the IA space is split into equal
+// sub-regions, each managed by an independent inner SR mapping IA→PA.
+// Outer steps trigger every `outer_interval` writes to the bank; inner
+// steps every `inner_interval` writes landing in that sub-region.
+
+#include <vector>
+
+#include "wl/security_refresh_region.hpp"
+#include "wl/wear_leveler.hpp"
+
+namespace srbsg::wl {
+
+struct TwoLevelSrConfig {
+  u64 lines{1u << 16};     ///< N, power of two
+  u64 sub_regions{512};    ///< R, power of two, divides N
+  u64 inner_interval{64};  ///< ψ_in
+  u64 outer_interval{128};  ///< ψ_out
+  u64 seed{1};
+
+  void validate() const;
+  [[nodiscard]] u64 region_lines() const { return lines / sub_regions; }
+};
+
+class TwoLevelSecurityRefresh final : public WearLeveler {
+ public:
+  explicit TwoLevelSecurityRefresh(const TwoLevelSrConfig& cfg);
+
+  [[nodiscard]] std::string_view name() const override { return "sr2"; }
+  [[nodiscard]] u64 logical_lines() const override { return cfg_.lines; }
+  [[nodiscard]] u64 physical_lines() const override { return cfg_.lines; }
+  [[nodiscard]] Pa translate(La la) const override;
+
+  WriteOutcome write(La la, const pcm::LineData& data, pcm::PcmBank& bank) override;
+  BulkOutcome write_repeated(La la, const pcm::LineData& data, u64 count,
+                             pcm::PcmBank& bank) override;
+
+  [[nodiscard]] const TwoLevelSrConfig& config() const { return cfg_; }
+  [[nodiscard]] const SecurityRefreshRegion& outer() const { return outer_; }
+  [[nodiscard]] const SecurityRefreshRegion& inner(u64 q) const { return inner_[q]; }
+
+  /// Intermediate address of `la` under the current outer mapping.
+  [[nodiscard]] u64 to_ia(u64 la) const { return outer_.translate(la); }
+
+  void set_rate_boost(u32 log2_divisor) override { boost_ = log2_divisor; }
+  [[nodiscard]] u64 effective_inner_interval() const {
+    const u64 iv = cfg_.inner_interval >> boost_;
+    return iv == 0 ? 1 : iv;
+  }
+  [[nodiscard]] u64 effective_outer_interval() const {
+    const u64 iv = cfg_.outer_interval >> boost_;
+    return iv == 0 ? 1 : iv;
+  }
+
+ private:
+  [[nodiscard]] Pa ia_to_pa(u64 ia) const;
+  Ns do_inner_step(u64 q, pcm::PcmBank& bank, u64* movements);
+  Ns do_outer_step(pcm::PcmBank& bank, u64* movements);
+
+  TwoLevelSrConfig cfg_;
+  u32 region_bits_;
+  SecurityRefreshRegion outer_;
+  std::vector<SecurityRefreshRegion> inner_;
+  std::vector<u64> inner_counter_;
+  u64 outer_counter_{0};
+  u32 boost_{0};
+};
+
+}  // namespace srbsg::wl

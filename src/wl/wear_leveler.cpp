@@ -1,0 +1,23 @@
+#include "wl/wear_leveler.hpp"
+
+namespace srbsg::wl {
+
+BulkOutcome WearLeveler::write_repeated(La la, const pcm::LineData& data, u64 count,
+                                        pcm::PcmBank& bank) {
+  // Generic fallback: one write at a time. Schemes override this with an
+  // event-driven fast path.
+  BulkOutcome out;
+  for (u64 i = 0; i < count && !bank.has_failure(); ++i) {
+    const WriteOutcome w = write(la, data, bank);
+    out.total += w.total;
+    out.movements += w.movements;
+    ++out.writes_applied;
+  }
+  return out;
+}
+
+std::pair<pcm::LineData, Ns> WearLeveler::read(La la, const pcm::PcmBank& bank) const {
+  return bank.read(translate(la));
+}
+
+}  // namespace srbsg::wl

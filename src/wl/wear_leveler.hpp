@@ -1,0 +1,74 @@
+#pragma once
+// Common interface for wear-leveling schemes.
+//
+// A scheme owns the logical→physical translation state and the remapping
+// triggers; the PCM bank is passed into every operation so schemes stay
+// decoupled from storage. The `WriteOutcome::stall` field is the timing
+// side channel the Remapping Timing Attack observes: remap movements halt
+// the triggering request (paper §III), so their latency is added to it.
+
+#include <string_view>
+#include <utility>
+
+#include "common/types.hpp"
+#include "pcm/bank.hpp"
+#include "pcm/timing.hpp"
+
+namespace srbsg::wl {
+
+struct WriteOutcome {
+  /// Latency observed by the requester (data write + remap stall).
+  Ns total{0};
+  /// Extra latency contributed by remap movements triggered by this write.
+  Ns stall{0};
+  /// Number of remap movements this write triggered (usually 0 or 1).
+  u32 movements{0};
+};
+
+struct BulkOutcome {
+  /// Total simulated time for the applied writes (including remap stalls).
+  Ns total{0};
+  /// Writes actually applied (< requested when the bank failed mid-bulk).
+  u64 writes_applied{0};
+  /// Remap movements performed during the bulk.
+  u64 movements{0};
+};
+
+class WearLeveler {
+ public:
+  virtual ~WearLeveler() = default;
+
+  [[nodiscard]] virtual std::string_view name() const = 0;
+
+  /// Number of logical lines exposed to software.
+  [[nodiscard]] virtual u64 logical_lines() const = 0;
+
+  /// Physical lines the backing bank must provide (logical + spares).
+  [[nodiscard]] virtual u64 physical_lines() const = 0;
+
+  /// Current logical→physical translation (inspection/testing only; the
+  /// attack code never calls this — it works from observed latencies).
+  [[nodiscard]] virtual Pa translate(La la) const = 0;
+
+  /// One write of `data` to `la`: performs the data write, advances the
+  /// remap counters, and executes any triggered remap movement(s).
+  virtual WriteOutcome write(La la, const pcm::LineData& data, pcm::PcmBank& bank) = 0;
+
+  /// `count` consecutive writes of identical data to `la`. Semantically
+  /// identical to calling write() in a loop, but schemes override it with
+  /// an event-driven fast path (O(remap events), not O(count)). Stops
+  /// early once the bank records a failure.
+  virtual BulkOutcome write_repeated(La la, const pcm::LineData& data, u64 count,
+                                     pcm::PcmBank& bank);
+
+  /// Read through the translation (no wear, no counter advance).
+  [[nodiscard]] std::pair<pcm::LineData, Ns> read(La la, const pcm::PcmBank& bank) const;
+
+  /// Online-attack-detector hook (Qureshi et al., HPCA'11): divide the
+  /// remapping interval(s) by 2^log2_divisor, speeding up wear leveling
+  /// while a suspicious write stream is active. Schemes that support
+  /// adaptive rates override this; the default ignores it.
+  virtual void set_rate_boost(u32 log2_divisor) { (void)log2_divisor; }
+};
+
+}  // namespace srbsg::wl

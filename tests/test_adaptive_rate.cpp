@@ -1,0 +1,143 @@
+// Adaptive wear-leveling rate: the scheme hook, the controller + detector
+// integration, and the defensive effect against concentration attacks.
+
+#include <gtest/gtest.h>
+
+#include "attack/harness.hpp"
+#include "attack/raa.hpp"
+#include "controller/memory_controller.hpp"
+#include "wl/factory.hpp"
+#include "wl/rbsg.hpp"
+#include "wl/security_rbsg.hpp"
+
+namespace srbsg {
+namespace {
+
+TEST(AdaptiveRate, BoostHalvesEffectiveInterval) {
+  wl::RbsgConfig cfg;
+  cfg.lines = 256;
+  cfg.regions = 4;
+  cfg.interval = 16;
+  wl::RegionStartGap s(cfg);
+  EXPECT_EQ(s.effective_interval(), 16u);
+  s.set_rate_boost(2);
+  EXPECT_EQ(s.effective_interval(), 4u);
+  s.set_rate_boost(10);  // over-boost clamps at 1
+  EXPECT_EQ(s.effective_interval(), 1u);
+  s.set_rate_boost(0);
+  EXPECT_EQ(s.effective_interval(), 16u);
+}
+
+TEST(AdaptiveRate, BoostedSchemeRemapsMoreOften) {
+  wl::RbsgConfig cfg;
+  cfg.lines = 256;
+  cfg.regions = 4;
+  cfg.interval = 16;
+  wl::RegionStartGap calm(cfg), hot(cfg);
+  hot.set_rate_boost(2);
+  pcm::PcmBank bank_a(pcm::PcmConfig::scaled(256, u64{1} << 40), calm.physical_lines());
+  pcm::PcmBank bank_b(pcm::PcmConfig::scaled(256, u64{1} << 40), hot.physical_lines());
+  u64 calm_moves = 0, hot_moves = 0;
+  for (int i = 0; i < 1000; ++i) {
+    calm_moves += calm.write(La{0}, pcm::LineData::all_zero(), bank_a).movements;
+    hot_moves += hot.write(La{0}, pcm::LineData::all_zero(), bank_b).movements;
+  }
+  EXPECT_NEAR(static_cast<double>(hot_moves), 4.0 * static_cast<double>(calm_moves),
+              static_cast<double>(calm_moves));
+}
+
+TEST(AdaptiveRate, BulkPathHonorsBoost) {
+  wl::SecurityRbsgConfig cfg;
+  cfg.lines = 256;
+  cfg.sub_regions = 8;
+  cfg.inner_interval = 16;
+  cfg.outer_interval = 32;
+  wl::SecurityRbsg a(cfg), b(cfg);
+  b.set_rate_boost(2);
+  pcm::PcmBank bank_a(pcm::PcmConfig::scaled(256, u64{1} << 40), a.physical_lines());
+  pcm::PcmBank bank_b(pcm::PcmConfig::scaled(256, u64{1} << 40), b.physical_lines());
+  const auto slow = a.write_repeated(La{3}, pcm::LineData::all_zero(), 10'000, bank_a);
+  const auto fast = b.write_repeated(La{3}, pcm::LineData::all_zero(), 10'000, bank_b);
+  EXPECT_NEAR(static_cast<double>(fast.movements), 4.0 * static_cast<double>(slow.movements),
+              static_cast<double>(slow.movements));
+}
+
+TEST(AdaptiveRate, BoostChangeMidStreamStaysConsistent) {
+  // Raising and lowering the rate must never corrupt the mapping.
+  wl::SecurityRbsgConfig cfg;
+  cfg.lines = 128;
+  cfg.sub_regions = 4;
+  cfg.inner_interval = 8;
+  cfg.outer_interval = 16;
+  wl::SecurityRbsg s(cfg);
+  pcm::PcmBank bank(pcm::PcmConfig::scaled(128, u64{1} << 40), s.physical_lines());
+  for (u64 la = 0; la < 128; ++la) {
+    s.write(La{la}, pcm::LineData::mixed(0xD00D0000 + la), bank);
+  }
+  for (int epoch = 0; epoch < 20; ++epoch) {
+    s.set_rate_boost(static_cast<u32>(epoch % 4));
+    for (int i = 0; i < 500; ++i) {
+      const u64 la = static_cast<u64>(i) % 128;
+      s.write(La{la}, pcm::LineData::mixed(0xD00D0000 + la), bank);
+    }
+  }
+  for (u64 la = 0; la < 128; ++la) {
+    EXPECT_EQ(s.read(La{la}, bank).first.token, 0xD00D0000 + la) << la;
+  }
+}
+
+TEST(DetectorIntegration, HammeringTriggersBoostThroughController) {
+  const auto cfg = pcm::PcmConfig::scaled(1u << 12, u64{1} << 40);
+  wl::SchemeSpec spec;
+  spec.kind = wl::SchemeKind::kRbsg;
+  spec.lines = 1u << 12;
+  spec.regions = 8;
+  spec.inner_interval = 64;
+  ctl::MemoryController mc(cfg, wl::make_scheme(spec));
+  wl::AttackDetectorConfig dcfg;
+  dcfg.window = 4096;
+  dcfg.threshold = 8.0;
+  dcfg.max_boost = 4;
+  mc.enable_detector(dcfg);
+  mc.write_repeated(La{0}, pcm::LineData::mixed(), 10 * 4096);
+  ASSERT_NE(mc.detector(), nullptr);
+  EXPECT_GT(mc.detector()->boost(), 0u);
+}
+
+TEST(DetectorIntegration, ExtendsLifetimeAgainstRaaOnSlowScheme) {
+  // A deliberately slow wear leveler (huge interval) dies quickly under
+  // RAA; the detector boosts it back into a safe regime.
+  const u64 lines = 1u << 12;
+  const u64 endurance = 1u << 15;
+  auto make = [&](bool with_detector) {
+    wl::SchemeSpec spec;
+    spec.kind = wl::SchemeKind::kRbsg;
+    spec.lines = lines;
+    spec.regions = 8;
+    spec.inner_interval = 256;  // LVF = (513)*256 >> E: unsafe when calm
+    auto mc = std::make_unique<ctl::MemoryController>(pcm::PcmConfig::scaled(lines, endurance),
+                                                      wl::make_scheme(spec));
+    if (with_detector) {
+      wl::AttackDetectorConfig dcfg;
+      dcfg.window = 4096;
+      dcfg.threshold = 8.0;
+      dcfg.max_boost = 6;
+      mc->enable_detector(dcfg);
+    }
+    return mc;
+  };
+  auto mc_plain = make(false);
+  attack::RepeatedAddressAttack raa_a(La{17});
+  const auto undefended = run_attack(*mc_plain, raa_a, u64{1} << 34);
+  ASSERT_TRUE(undefended.succeeded);
+
+  auto mc_guarded = make(true);
+  attack::RepeatedAddressAttack raa_b(La{17});
+  const auto defended = run_attack(*mc_guarded, raa_b, u64{1} << 34);
+  ASSERT_TRUE(defended.succeeded);
+
+  EXPECT_GT(defended.lifetime.value(), 4 * undefended.lifetime.value());
+}
+
+}  // namespace
+}  // namespace srbsg

@@ -1,0 +1,156 @@
+#include <gtest/gtest.h>
+
+#include "analytic/lifetime_models.hpp"
+#include "analytic/overhead.hpp"
+
+namespace srbsg::analytic {
+namespace {
+
+TEST(LatencyModel, PaperValues) {
+  const auto l = latencies_of(pcm::PcmConfig::paper_bank());
+  EXPECT_DOUBLE_EQ(l.move0_ns, 250.0);
+  EXPECT_DOUBLE_EQ(l.move1_ns, 1125.0);
+  EXPECT_DOUBLE_EQ(l.swap00_ns, 500.0);
+  EXPECT_DOUBLE_EQ(l.swap01_ns, 1375.0);
+  EXPECT_DOUBLE_EQ(l.swap11_ns, 2250.0);
+}
+
+TEST(LatencyModel, IdealLifetimeIsAbout4850Days) {
+  // Figs. 13-15 draw the ideal line just below 5000 days.
+  const double days = ideal_lifetime_ns(pcm::PcmConfig::paper_bank()) / 86400e9;
+  EXPECT_NEAR(days, 4854.0, 10.0);
+}
+
+TEST(LatencyModel, BaselineRaaDiesInUnderTwoMinutes) {
+  // §II.B: "an adversary can render a memory line unusable in one minute".
+  const double seconds = raa_baseline_ns(pcm::PcmConfig::paper_bank()) / 1e9;
+  EXPECT_LT(seconds, 120.0);
+  EXPECT_GT(seconds, 30.0);
+}
+
+TEST(RbsgModels, RaaLifetimeAtRecommendedConfig) {
+  // 32 regions, ψ=100: E·(M+1) normal writes ≈ 151 days.
+  const auto cfg = pcm::PcmConfig::paper_bank();
+  const double days = raa_rbsg_ns(cfg, RbsgShape{32, 100}) / 86400e9;
+  EXPECT_NEAR(days, 151.7, 2.0);
+}
+
+TEST(RbsgModels, RtaKillsInHundredsOfSeconds) {
+  // Paper: 478 s at the recommended config; our attacker's cost model
+  // lands in the same order (ALL-0 wear writes make it a bit faster).
+  const auto cfg = pcm::PcmConfig::paper_bank();
+  const auto b = rta_rbsg_ns(cfg, RbsgShape{32, 100});
+  EXPECT_GT(b.total_ns / 1e9, 60.0);
+  EXPECT_LT(b.total_ns / 1e9, 1000.0);
+}
+
+TEST(RbsgModels, RtaVsRaaSpeedupIsFourOrdersOfMagnitude) {
+  const auto cfg = pcm::PcmConfig::paper_bank();
+  const RbsgShape s{32, 100};
+  const double speedup = raa_rbsg_ns(cfg, s) / rta_rbsg_ns(cfg, s).total_ns;
+  EXPECT_GT(speedup, 5'000.0);
+  EXPECT_LT(speedup, 200'000.0);
+}
+
+TEST(RbsgModels, RtaFasterWithMoreRegions) {
+  // Fig. 11's region trend: fewer lines per region mean shorter detection
+  // rotations, so RTA kills faster.
+  const auto cfg = pcm::PcmConfig::paper_bank();
+  EXPECT_GT(rta_rbsg_ns(cfg, RbsgShape{32, 100}).total_ns,
+            rta_rbsg_ns(cfg, RbsgShape{128, 100}).total_ns);
+}
+
+TEST(RbsgModels, RtaDetectionCostGrowsWithInterval) {
+  // Documented deviation from the paper's narrative (EXPERIMENTS.md): in
+  // a faithful implementation the per-bit detection sweep costs a full
+  // region rotation ((M+1)·ψ writes), so a larger interval makes the
+  // timing attack *slower*, while the wear phase is interval-free.
+  const auto cfg = pcm::PcmConfig::paper_bank();
+  const auto fast = rta_rbsg_ns(cfg, RbsgShape{32, 16});
+  const auto slow = rta_rbsg_ns(cfg, RbsgShape{32, 100});
+  EXPECT_LT(fast.detect_ns, slow.detect_ns);
+  EXPECT_NEAR(fast.wear_ns / slow.wear_ns, 1.0, 0.15);
+}
+
+TEST(RbsgModels, ExactRaaFormBoundedBySmoothForm) {
+  const auto cfg = pcm::PcmConfig::paper_bank();
+  for (u64 regions : {32u, 64u, 128u}) {
+    const RbsgShape s{regions, 100};
+    const double exact = raa_rbsg_exact_ns(cfg, s);
+    const double smooth = raa_rbsg_ns(cfg, s);
+    EXPECT_LT(exact, smooth * 1.15) << regions;
+    EXPECT_GT(exact, smooth * 0.5) << regions;
+  }
+}
+
+TEST(Sr2Models, RtaLifetimeTensOfHours) {
+  // Paper: 178.8 h at 512 regions / ψ_in 64 / ψ_out 128. Our attacker
+  // floods ALL-0 (strictly stronger), landing at ~30 h — same ballpark,
+  // same trends (documented in EXPERIMENTS.md).
+  const auto cfg = pcm::PcmConfig::paper_bank();
+  const auto b = rta_sr2_ns(cfg, Sr2Shape{512, 64, 128});
+  const double hours = b.total_ns / 3600e9;
+  EXPECT_GT(hours, 10.0);
+  EXPECT_LT(hours, 200.0);
+}
+
+TEST(Sr2Models, LifetimeDropsWithMoreSubRegionsAndLargerOuterInterval) {
+  const auto cfg = pcm::PcmConfig::paper_bank();
+  EXPECT_GT(rta_sr2_ns(cfg, Sr2Shape{256, 64, 128}).total_ns,
+            rta_sr2_ns(cfg, Sr2Shape{1024, 64, 128}).total_ns);
+  EXPECT_GT(rta_sr2_ns(cfg, Sr2Shape{512, 64, 64}).total_ns,
+            rta_sr2_ns(cfg, Sr2Shape{512, 64, 256}).total_ns);
+}
+
+TEST(Sr2Models, RaaUniformityScalesIdeal) {
+  const auto cfg = pcm::PcmConfig::paper_bank();
+  const double months = raa_sr2_ns(cfg, 0.66) / (86400e9 * 30.44);
+  EXPECT_NEAR(months, 105.0, 6.0);  // paper: "about 105 months"
+}
+
+TEST(SecurityRbsgModels, PaperFractionsReproduceFig14) {
+  const auto cfg = pcm::PcmConfig::paper_bank();
+  const double days = security_rbsg_fraction_ns(cfg, 0.672) / 86400e9;
+  EXPECT_NEAR(days, 0.672 * 4854.0, 20.0);
+}
+
+TEST(SecurityRbsgModels, SixStagesAreTheSecurityKnee) {
+  // §V.C.1: "K >= 6 is capable to avoid information leakage ... when the
+  // outer-level remapping interval is not larger than 132".
+  const auto cfg = pcm::PcmConfig::paper_bank();
+  SecurityRbsgShape s{512, 64, 128, 7};
+  EXPECT_EQ(min_secure_stages(cfg, s), 6u);
+  s.outer_interval = 132;
+  EXPECT_EQ(min_secure_stages(cfg, s), 6u);
+  s.outer_interval = 256;
+  EXPECT_GT(min_secure_stages(cfg, s), 6u);
+}
+
+TEST(SecurityRbsgModels, MarginGrowsLinearlyWithStages) {
+  const auto cfg = pcm::PcmConfig::paper_bank();
+  const SecurityRbsgShape s3{512, 64, 128, 3};
+  const SecurityRbsgShape s6{512, 64, 128, 6};
+  EXPECT_NEAR(dfn_security_margin(cfg, s6) / dfn_security_margin(cfg, s3), 2.0, 1e-9);
+}
+
+TEST(Extrapolate, ScalesByModelRatio) {
+  EXPECT_DOUBLE_EQ(extrapolate_lifetime(10.0, 2.0, 8.0), 40.0);
+}
+
+TEST(Overhead, RecommendedConfigMatchesPaperScale) {
+  const auto cfg = pcm::PcmConfig::paper_bank();
+  const auto r = security_rbsg_overhead(cfg, OverheadShape{512, 64, 128, 7});
+  // Paper: "about 2KB register for a 1GB bank".
+  EXPECT_NEAR(static_cast<double>(r.register_bits) / 8.0 / 1024.0, 2.0, 0.5);
+  // Paper: 0.5 MB of isRemap SRAM (one bit per line; the text's
+  // "log2(N) bit" is a typo — 2^22 bits = 0.5 MB).
+  EXPECT_EQ(r.isremap_sram_bits, u64{1} << 22);
+  // One outer spare + one gap line per sub-region.
+  EXPECT_EQ(r.spare_lines, 513u);
+  // (3/8)·S·B² cubing gates.
+  EXPECT_EQ(r.cubing_gates, 3 * 7 * 22 * 22 / 8);
+  EXPECT_LT(r.spare_capacity_fraction, 0.001);
+}
+
+}  // namespace
+}  // namespace srbsg::analytic

@@ -1,0 +1,76 @@
+#include "wl/attack_detector.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+
+namespace srbsg::wl {
+namespace {
+
+AttackDetectorConfig small_cfg() {
+  AttackDetectorConfig c;
+  c.window = 1024;
+  c.threshold = 4.0;
+  c.max_boost = 3;
+  c.tracked_regions = 16;
+  return c;
+}
+
+TEST(AttackDetector, BenignUniformTrafficStaysCalm) {
+  AttackDetector d(small_cfg(), 1u << 12);
+  Rng rng(3);
+  for (int i = 0; i < 20'000; ++i) {
+    d.record(La{rng.next_below(1u << 12)});
+  }
+  EXPECT_EQ(d.boost(), 0u);
+  EXPECT_GT(d.windows_observed(), 10u);
+  EXPECT_EQ(d.trips(), 0u);
+}
+
+TEST(AttackDetector, HammeringTripsAndEscalates) {
+  AttackDetector d(small_cfg(), 1u << 12);
+  for (int i = 0; i < 5 * 1024; ++i) {
+    d.record(La{42});
+  }
+  EXPECT_EQ(d.boost(), 3u);  // capped at max_boost
+  EXPECT_GE(d.trips(), 3u);
+}
+
+TEST(AttackDetector, BoostDecaysWhenAttackStops) {
+  AttackDetector d(small_cfg(), 1u << 12);
+  for (int i = 0; i < 4 * 1024; ++i) d.record(La{42});
+  const u32 peak = d.boost();
+  EXPECT_GT(peak, 0u);
+  Rng rng(5);
+  for (int i = 0; i < 8 * 1024; ++i) d.record(La{rng.next_below(1u << 12)});
+  EXPECT_LT(d.boost(), peak);
+}
+
+TEST(AttackDetector, BulkRecordingCrossesWindows) {
+  AttackDetector d(small_cfg(), 1u << 12);
+  const bool changed = d.record(La{7}, 10 * 1024);  // ten windows at once
+  EXPECT_TRUE(changed);
+  EXPECT_EQ(d.boost(), 3u);
+  EXPECT_GE(d.windows_observed(), 10u);
+}
+
+TEST(AttackDetector, RecordReportsChangesOnly) {
+  AttackDetector d(small_cfg(), 1u << 12);
+  EXPECT_FALSE(d.record(La{1}));  // mid-window: no level change
+  bool changed = false;
+  for (int i = 0; i < 2048 && !changed; ++i) changed = d.record(La{1});
+  EXPECT_TRUE(changed);
+}
+
+TEST(AttackDetector, Validation) {
+  AttackDetectorConfig c = small_cfg();
+  c.threshold = 0.5;
+  EXPECT_THROW((AttackDetector{c, 1u << 12}), CheckFailure);
+  c = small_cfg();
+  c.tracked_regions = 7;
+  EXPECT_THROW((AttackDetector{c, 1u << 12}), CheckFailure);
+}
+
+}  // namespace
+}  // namespace srbsg::wl

@@ -1,0 +1,120 @@
+#include <gtest/gtest.h>
+
+#include "analytic/lifetime_models.hpp"
+#include "attack/bpa.hpp"
+#include "attack/harness.hpp"
+#include "attack/raa.hpp"
+#include "wl/factory.hpp"
+
+namespace srbsg::attack {
+namespace {
+
+ctl::MemoryController make_mc(const pcm::PcmConfig& cfg, const wl::SchemeSpec& spec) {
+  return ctl::MemoryController(cfg, wl::make_scheme(spec));
+}
+
+TEST(Raa, KillsUnprotectedLineInExactlyEnduranceWrites) {
+  const auto cfg = pcm::PcmConfig::scaled(64, 1000);
+  wl::SchemeSpec spec;
+  spec.kind = wl::SchemeKind::kNone;
+  spec.lines = 64;
+  auto mc = make_mc(cfg, spec);
+  RepeatedAddressAttack atk(La{0});
+  const auto res = run_attack(mc, atk, u64{1} << 30);
+  ASSERT_TRUE(res.succeeded);
+  EXPECT_EQ(res.writes, 1000u);
+  // Normal data: every write costs the SET latency.
+  EXPECT_EQ(res.lifetime, Ns{1000 * 1000});
+}
+
+TEST(Raa, RbsgLifetimeMatchesClosedForm) {
+  const u64 lines = 1024, regions = 8, interval = 8, endurance = 4096;
+  const auto cfg = pcm::PcmConfig::scaled(lines, endurance);
+  wl::SchemeSpec spec;
+  spec.kind = wl::SchemeKind::kRbsg;
+  spec.lines = lines;
+  spec.regions = regions;
+  spec.inner_interval = interval;
+  auto mc = make_mc(cfg, spec);
+  RepeatedAddressAttack atk(La{0});
+  const auto res = run_attack(mc, atk, u64{1} << 34);
+  ASSERT_TRUE(res.succeeded);
+  const double exact =
+      analytic::raa_rbsg_exact_ns(cfg, analytic::RbsgShape{regions, interval});
+  const double measured = static_cast<double>(res.lifetime.value());
+  EXPECT_NEAR(measured / exact, 1.0, 0.15);
+  // The smooth (paper-arithmetic) form is an upper bound within ~30%.
+  const double smooth = analytic::raa_rbsg_ns(cfg, analytic::RbsgShape{regions, interval});
+  EXPECT_LE(measured, smooth * 1.05);
+  EXPECT_GE(measured, smooth * 0.6);
+}
+
+TEST(Raa, StartGapSpreadsWearBeforeFailure) {
+  // Regime matters: the per-visit wear (M+1)·ψ must sit well below the
+  // endurance or the line dies before it is ever moved (the LVF rule of
+  // §II.B). Here (257)·2 = 514 << 8192.
+  const auto cfg = pcm::PcmConfig::scaled(256, 8192);
+  wl::SchemeSpec spec;
+  spec.kind = wl::SchemeKind::kStartGap;
+  spec.lines = 256;
+  spec.inner_interval = 2;
+  auto mc = make_mc(cfg, spec);
+  RepeatedAddressAttack atk(La{0});
+  const auto res = run_attack(mc, atk, u64{1} << 32);
+  ASSERT_TRUE(res.succeeded);
+  // Far more writes than E were needed because they spread.
+  EXPECT_GT(res.writes, 100 * cfg.endurance);
+}
+
+TEST(Bpa, BeatsRaaAgainstOversizedRegions) {
+  // Classic Seznec observation: with too few regions (large M), random
+  // probing accumulates deposits on unlucky slots and kills one much
+  // sooner than RAA's rotating target comes back around.
+  const u64 lines = 4096, endurance = 1u << 14;
+  const auto cfg = pcm::PcmConfig::scaled(lines, endurance);
+  wl::SchemeSpec spec;
+  spec.kind = wl::SchemeKind::kStartGap;  // single region: worst case
+  spec.lines = lines;
+  spec.inner_interval = 2;  // LVF = 8194 < E so RAA must rotate twice
+
+  auto mc_bpa = make_mc(cfg, spec);
+  BirthdayParadoxAttack bpa(123, /*hammer_cap=*/2 * (lines + 1) * 2);
+  const auto res_bpa = run_attack(mc_bpa, bpa, u64{1} << 34);
+  ASSERT_TRUE(res_bpa.succeeded);
+
+  auto mc_raa = make_mc(cfg, spec);
+  RepeatedAddressAttack raa(La{0});
+  const auto res_raa = run_attack(mc_raa, raa, u64{1} << 34);
+  ASSERT_TRUE(res_raa.succeeded);
+
+  EXPECT_LT(res_bpa.lifetime.value(), res_raa.lifetime.value());
+}
+
+TEST(Bpa, SucceedsAgainstRbsg) {
+  const auto cfg = pcm::PcmConfig::scaled(1024, 1u << 13);
+  wl::SchemeSpec spec;
+  spec.kind = wl::SchemeKind::kRbsg;
+  spec.lines = 1024;
+  spec.regions = 4;
+  spec.inner_interval = 8;
+  auto mc = make_mc(cfg, spec);
+  BirthdayParadoxAttack bpa(7, 2 * (1024 / 4 + 1) * 8);
+  const auto res = run_attack(mc, bpa, u64{1} << 34);
+  EXPECT_TRUE(res.succeeded);
+  EXPECT_FALSE(res.detail.empty());
+}
+
+TEST(Harness, RespectsBudget) {
+  const auto cfg = pcm::PcmConfig::scaled(64, u64{1} << 40);
+  wl::SchemeSpec spec;
+  spec.kind = wl::SchemeKind::kNone;
+  spec.lines = 64;
+  auto mc = make_mc(cfg, spec);
+  RepeatedAddressAttack atk(La{0});
+  const auto res = run_attack(mc, atk, 5000);
+  EXPECT_FALSE(res.succeeded);
+  EXPECT_LE(res.writes, 5000u + (u64{1} << 20));  // one chunk of slack
+}
+
+}  // namespace
+}  // namespace srbsg::attack

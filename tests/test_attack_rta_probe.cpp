@@ -1,0 +1,78 @@
+#include "attack/rta_probe.hpp"
+
+#include <gtest/gtest.h>
+
+#include "attack/harness.hpp"
+#include "wl/security_rbsg.hpp"
+
+namespace srbsg::attack {
+namespace {
+
+wl::SecurityRbsgConfig scheme_cfg(u64 lines = 1024, u32 stages = 7) {
+  wl::SecurityRbsgConfig c;
+  c.lines = lines;
+  c.sub_regions = 16;
+  // Coprime-ish intervals so pure outer movements are observable (when
+  // ψ_in divides ψ_out every outer boundary carries an inner coincidence
+  // and the probe would have nothing clean to sample).
+  c.inner_interval = 3;
+  c.outer_interval = 8;
+  c.stages = stages;
+  c.seed = 13;
+  return c;
+}
+
+TEST(RtaProbe, MigrationBitStreamCarriesNoStructure) {
+  const auto cfg = scheme_cfg();
+  ctl::MemoryController mc(pcm::PcmConfig::scaled(cfg.lines, u64{1} << 40),
+                           std::make_unique<wl::SecurityRbsg>(cfg));
+  RtaProbeParams p;
+  p.lines = cfg.lines;
+  p.outer_interval = cfg.outer_interval;
+  p.probe_bit = 3;
+  p.probe_movements = 4096;
+  RtaProbeAttacker atk(p);
+  // Budget covers the probe but not a BPA kill at huge endurance.
+  const auto res = run_attack(mc, atk, 2'000'000);
+  EXPECT_FALSE(res.succeeded);
+  // Balanced pattern bit -> balanced stream; re-keying -> no replay.
+  EXPECT_NEAR(atk.bit_bias(), 0.5, 0.15);
+  EXPECT_NEAR(atk.round_agreement(), 0.5, 0.15);
+}
+
+TEST(RtaProbe, FallbackEventuallyWearsOutLikeBpa) {
+  const auto cfg = scheme_cfg();
+  ctl::MemoryController mc(pcm::PcmConfig::scaled(cfg.lines, 1u << 12),
+                           std::make_unique<wl::SecurityRbsg>(cfg));
+  RtaProbeParams p;
+  p.lines = cfg.lines;
+  p.outer_interval = cfg.outer_interval;
+  p.probe_movements = 512;
+  RtaProbeAttacker atk(p);
+  const auto res = run_attack(mc, atk, u64{1} << 34);
+  // With a small endurance the BPA fallback does finish the job — but
+  // only by brute volume, not by timing inference.
+  EXPECT_TRUE(res.succeeded) << res.detail;
+  EXPECT_GT(res.writes, (u64{1} << 12) * 32);
+}
+
+TEST(RtaProbe, SecurityRbsgOutlastsRbsgUnderEqualBudget) {
+  // Same bank, same budget: RTA kills RBSG; Security RBSG survives.
+  const u64 lines = 1024, endurance = 1u << 14;
+
+  ctl::MemoryController mc_srbsg(pcm::PcmConfig::scaled(lines, endurance),
+                                 std::make_unique<wl::SecurityRbsg>(scheme_cfg(lines)));
+  RtaProbeParams p;
+  p.lines = lines;
+  p.outer_interval = 8;
+  p.probe_movements = 1024;
+  RtaProbeAttacker probe(p);
+  // An RTA on an equally-sized RBSG bank needs ~50k writes; grant several
+  // times that. The BPA fallback needs ~1M+ at this endurance.
+  const u64 budget = 300'000;
+  const auto res_srbsg = run_attack(mc_srbsg, probe, budget);
+  EXPECT_FALSE(res_srbsg.succeeded) << res_srbsg.detail;
+}
+
+}  // namespace
+}  // namespace srbsg::attack

@@ -1,0 +1,151 @@
+#include "attack/rta_rbsg.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+
+#include "attack/harness.hpp"
+#include "attack/raa.hpp"
+#include "wl/rbsg.hpp"
+
+namespace srbsg::attack {
+namespace {
+
+struct AttackSetup {
+  u64 lines = 4096;
+  u64 regions = 8;
+  u64 interval = 8;
+  u64 endurance = 16384;  // rounds = E/(M·ψ) = 4
+  u64 seed = 3;
+
+  [[nodiscard]] wl::RbsgConfig scheme_cfg() const {
+    wl::RbsgConfig c;
+    c.lines = lines;
+    c.regions = regions;
+    c.interval = interval;
+    c.seed = seed;
+    return c;
+  }
+  [[nodiscard]] pcm::PcmConfig pcm_cfg() const {
+    return pcm::PcmConfig::scaled(lines, endurance);
+  }
+  [[nodiscard]] RtaRbsgParams params() const {
+    RtaRbsgParams p;
+    p.lines = lines;
+    p.regions = regions;
+    p.interval = interval;
+    p.endurance = endurance;
+    p.target = La{0};
+    return p;
+  }
+};
+
+TEST(RtaRbsg, DetectsTruePredecessorSequence) {
+  // The attacker must recover Li−k = f⁻¹(f(Li) − k) purely from timing.
+  const AttackSetup s;
+  auto scheme = std::make_unique<wl::RegionStartGap>(s.scheme_cfg());
+  const wl::RegionStartGap* raw = scheme.get();
+  ctl::MemoryController mc(s.pcm_cfg(), std::move(scheme));
+
+  RtaRbsgAttacker atk(s.params());
+  const auto res = run_attack(mc, atk, u64{1} << 32);
+  ASSERT_TRUE(res.succeeded) << res.detail;
+
+  const u64 m = s.lines / s.regions;
+  const u64 ia0 = raw->randomize(0);
+  const u64 base = ia0 - (ia0 % m);
+  const u64 off0 = ia0 % m;
+  const auto& seq = atk.detected_sequence();
+  ASSERT_GE(seq.size(), 3u);
+  for (std::size_t k = 1; k <= seq.size(); ++k) {
+    const u64 expected = raw->derandomize(base + (off0 + m - k) % m);
+    EXPECT_EQ(seq[k - 1], expected) << "Li-" << k;
+  }
+}
+
+TEST(RtaRbsg, ConcentratesWearOnOneLine) {
+  const AttackSetup s;
+  ctl::MemoryController mc(s.pcm_cfg(),
+                           std::make_unique<wl::RegionStartGap>(s.scheme_cfg()));
+  RtaRbsgAttacker atk(s.params());
+  const auto res = run_attack(mc, atk, u64{1} << 32);
+  ASSERT_TRUE(res.succeeded);
+  const Pa dead = mc.failure().line;
+  EXPECT_GE(mc.bank().wear(dead), s.endurance);
+  // The kill must come from concentration, not from grinding the whole
+  // space to death: mean wear stays far below the endurance.
+  double total = 0;
+  for (u64 w : mc.bank().wear_counts()) total += static_cast<double>(w);
+  const double mean = total / static_cast<double>(mc.bank().total_lines());
+  EXPECT_LT(mean, static_cast<double>(s.endurance) / 4.0);
+}
+
+TEST(RtaRbsg, OrdersOfMagnitudeFasterThanRaa) {
+  // The paper's headline: RTA >> RAA against RBSG (27435× at full scale).
+  const AttackSetup s;
+  ctl::MemoryController mc_rta(s.pcm_cfg(),
+                               std::make_unique<wl::RegionStartGap>(s.scheme_cfg()));
+  RtaRbsgAttacker rta(s.params());
+  const auto res_rta = run_attack(mc_rta, rta, u64{1} << 34);
+  ASSERT_TRUE(res_rta.succeeded);
+
+  ctl::MemoryController mc_raa(s.pcm_cfg(),
+                               std::make_unique<wl::RegionStartGap>(s.scheme_cfg()));
+  RepeatedAddressAttack raa(La{0});
+  const auto res_raa = run_attack(mc_raa, raa, u64{1} << 34);
+  ASSERT_TRUE(res_raa.succeeded);
+
+  EXPECT_LT(res_rta.lifetime.value() * 4, res_raa.lifetime.value());
+}
+
+TEST(RtaRbsg, WorksAcrossSeeds) {
+  for (u64 seed : {11u, 22u, 33u}) {
+    AttackSetup s;
+    s.seed = seed;
+    s.lines = 2048;
+    s.regions = 4;
+    s.endurance = 8192;  // rounds = 2
+    ctl::MemoryController mc(s.pcm_cfg(),
+                             std::make_unique<wl::RegionStartGap>(s.scheme_cfg()));
+    RtaRbsgAttacker atk(s.params());
+    const auto res = run_attack(mc, atk, u64{1} << 32);
+    EXPECT_TRUE(res.succeeded) << "seed " << seed << ": " << res.detail;
+  }
+}
+
+TEST(RtaRbsg, WorksWithMatrixRandomizer) {
+  AttackSetup s;
+  auto cfg = s.scheme_cfg();
+  cfg.randomizer = wl::RbsgConfig::Randomizer::kMatrix;
+  ctl::MemoryController mc(s.pcm_cfg(), std::make_unique<wl::RegionStartGap>(cfg));
+  RtaRbsgAttacker atk(s.params());
+  const auto res = run_attack(mc, atk, u64{1} << 32);
+  EXPECT_TRUE(res.succeeded) << res.detail;
+}
+
+TEST(RtaRbsg, FasterWithFewerRegions) {
+  // Paper Fig. 11: more regions -> smaller M -> faster RTA.
+  auto lifetime_for = [](u64 regions) {
+    AttackSetup s;
+    s.regions = regions;
+    ctl::MemoryController mc(s.pcm_cfg(),
+                             std::make_unique<wl::RegionStartGap>(s.scheme_cfg()));
+    RtaRbsgAttacker atk(s.params());
+    const auto res = run_attack(mc, atk, u64{1} << 34);
+    EXPECT_TRUE(res.succeeded);
+    return res.lifetime.value();
+  };
+  EXPECT_GT(lifetime_for(4), lifetime_for(16));
+}
+
+TEST(RtaRbsg, RejectsBadParams) {
+  RtaRbsgParams p;
+  p.lines = 100;  // not a power of two
+  p.regions = 4;
+  p.interval = 8;
+  p.endurance = 100;
+  EXPECT_THROW(RtaRbsgAttacker{p}, CheckFailure);
+}
+
+}  // namespace
+}  // namespace srbsg::attack

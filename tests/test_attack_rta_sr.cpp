@@ -1,0 +1,177 @@
+#include <gtest/gtest.h>
+
+#include "common/bitops.hpp"
+
+#include "attack/harness.hpp"
+#include "attack/raa.hpp"
+#include "attack/rta_sr1.hpp"
+#include "attack/rta_sr2.hpp"
+#include "wl/security_refresh.hpp"
+#include "wl/two_level_sr.hpp"
+
+namespace srbsg::attack {
+namespace {
+
+TEST(RtaSr1, KillsOneLevelSr) {
+  // The per-round detection (B pattern passes of N/2 writes) must fit in
+  // the round's guaranteed swap-active first half, i.e. ψ ≳ 2·log2(N) —
+  // comfortably true at paper scale and enforced in scaled runs.
+  const u64 lines = 1024, interval = 16, endurance = 16384;
+  wl::SecurityRefreshConfig scfg;
+  scfg.lines = lines;
+  scfg.interval = interval;
+  scfg.seed = 5;
+  ctl::MemoryController mc(pcm::PcmConfig::scaled(lines, endurance),
+                           std::make_unique<wl::SecurityRefresh>(scfg));
+  RtaSr1Params p;
+  p.lines = lines;
+  p.interval = interval;
+  p.endurance = endurance;
+  RtaSr1Attacker atk(p);
+  const auto res = run_attack(mc, atk, u64{1} << 32);
+  ASSERT_TRUE(res.succeeded) << res.detail;
+  EXPECT_GE(atk.rounds_attacked(), 1u);
+}
+
+TEST(RtaSr1, DetectedKeyMatchesSchemeState) {
+  const u64 lines = 512, interval = 16, endurance = 16384;
+  wl::SecurityRefreshConfig scfg;
+  scfg.lines = lines;
+  scfg.interval = interval;
+  scfg.seed = 9;
+  auto scheme = std::make_unique<wl::SecurityRefresh>(scfg);
+  const wl::SecurityRefresh* raw = scheme.get();
+  ctl::MemoryController mc(pcm::PcmConfig::scaled(lines, endurance), std::move(scheme));
+  RtaSr1Params p;
+  p.lines = lines;
+  p.interval = interval;
+  p.endurance = endurance;
+  RtaSr1Attacker atk(p);
+  const auto res = run_attack(mc, atk, u64{1} << 32);
+  ASSERT_TRUE(res.succeeded) << res.detail;
+  // The last completed detection read the current round's key delta. If
+  // the run ended in a wear phase (the common case), it must match.
+  const u64 true_key = raw->region().key_c() ^ raw->region().key_p();
+  EXPECT_EQ(atk.detected_key(), true_key) << res.detail;
+}
+
+TEST(RtaSr1, MuchFasterThanRaa) {
+  // Under one-level SR, the RAA target gets one round's worth of writes
+  // per slot visit (N·ψ = 8192), so the endurance must cover several
+  // visits or RAA degenerates to an instant kill.
+  const u64 lines = 1024, interval = 16, endurance = 131072;
+  auto make = [&]() {
+    wl::SecurityRefreshConfig scfg;
+    scfg.lines = lines;
+    scfg.interval = interval;
+    scfg.seed = 5;
+    return ctl::MemoryController(pcm::PcmConfig::scaled(lines, endurance),
+                                 std::make_unique<wl::SecurityRefresh>(scfg));
+  };
+  auto mc_rta = make();
+  RtaSr1Params p;
+  p.lines = lines;
+  p.interval = interval;
+  p.endurance = endurance;
+  RtaSr1Attacker rta(p);
+  const auto res_rta = run_attack(mc_rta, rta, u64{1} << 34);
+  ASSERT_TRUE(res_rta.succeeded);
+
+  auto mc_raa = make();
+  RepeatedAddressAttack raa(La{0});
+  const auto res_raa = run_attack(mc_raa, raa, u64{1} << 34);
+  ASSERT_TRUE(res_raa.succeeded);
+
+  EXPECT_LT(res_rta.lifetime.value() * 4, res_raa.lifetime.value());
+}
+
+struct Sr2Setup {
+  u64 lines = 1024;
+  u64 sub_regions = 16;
+  u64 inner_interval = 4;
+  u64 outer_interval = 8;
+  u64 endurance = 2048;
+  u64 seed = 7;
+
+  [[nodiscard]] wl::TwoLevelSrConfig scheme_cfg() const {
+    wl::TwoLevelSrConfig c;
+    c.lines = lines;
+    c.sub_regions = sub_regions;
+    c.inner_interval = inner_interval;
+    c.outer_interval = outer_interval;
+    c.seed = seed;
+    return c;
+  }
+  [[nodiscard]] RtaSr2Params params() const {
+    RtaSr2Params p;
+    p.lines = lines;
+    p.sub_regions = sub_regions;
+    p.inner_interval = inner_interval;
+    p.outer_interval = outer_interval;
+    p.endurance = endurance;
+    return p;
+  }
+};
+
+TEST(RtaSr2, KillsTwoLevelSr) {
+  const Sr2Setup s;
+  ctl::MemoryController mc(pcm::PcmConfig::scaled(s.lines, s.endurance),
+                           std::make_unique<wl::TwoLevelSecurityRefresh>(s.scheme_cfg()));
+  RtaSr2Attacker atk(s.params());
+  const auto res = run_attack(mc, atk, u64{1} << 34);
+  ASSERT_TRUE(res.succeeded) << res.detail;
+  EXPECT_GE(atk.rounds_attacked(), 1u);
+}
+
+TEST(RtaSr2, FailedLineIsInTargetSubRegion) {
+  const Sr2Setup s;
+  auto scheme = std::make_unique<wl::TwoLevelSecurityRefresh>(s.scheme_cfg());
+  const wl::TwoLevelSecurityRefresh* raw = scheme.get();
+  ctl::MemoryController mc(pcm::PcmConfig::scaled(s.lines, s.endurance), std::move(scheme));
+  RtaSr2Attacker atk(s.params());
+  const auto res = run_attack(mc, atk, u64{1} << 34);
+  ASSERT_TRUE(res.succeeded) << res.detail;
+  const u64 m = s.lines / s.sub_regions;
+  const u32 region_bits = log2_floor(m);
+  const u64 tracked_la = atk.current_prefix() << region_bits;
+  const u64 target_region = raw->to_ia(tracked_la) / m;
+  EXPECT_EQ(mc.failure().line.value() / m, target_region) << res.detail;
+}
+
+TEST(RtaSr2, MuchFasterThanRaa) {
+  const Sr2Setup s;
+  ctl::MemoryController mc_rta(
+      pcm::PcmConfig::scaled(s.lines, s.endurance),
+      std::make_unique<wl::TwoLevelSecurityRefresh>(s.scheme_cfg()));
+  RtaSr2Attacker rta(s.params());
+  const auto res_rta = run_attack(mc_rta, rta, u64{1} << 34);
+  ASSERT_TRUE(res_rta.succeeded);
+
+  ctl::MemoryController mc_raa(
+      pcm::PcmConfig::scaled(s.lines, s.endurance),
+      std::make_unique<wl::TwoLevelSecurityRefresh>(s.scheme_cfg()));
+  RepeatedAddressAttack raa(La{0});
+  const auto res_raa = run_attack(mc_raa, raa, u64{1} << 36);
+  ASSERT_TRUE(res_raa.succeeded);
+
+  EXPECT_LT(res_rta.lifetime.value() * 2, res_raa.lifetime.value());
+}
+
+TEST(RtaSr2, LifetimeDropsWithMoreSubRegions) {
+  // Paper Fig. 12: more sub-regions -> fewer lines to wear out -> faster.
+  auto lifetime_for = [](u64 sub_regions) {
+    Sr2Setup s;
+    s.sub_regions = sub_regions;
+    ctl::MemoryController mc(
+        pcm::PcmConfig::scaled(s.lines, s.endurance),
+        std::make_unique<wl::TwoLevelSecurityRefresh>(s.scheme_cfg()));
+    RtaSr2Attacker atk(s.params());
+    const auto res = run_attack(mc, atk, u64{1} << 34);
+    EXPECT_TRUE(res.succeeded);
+    return res.lifetime.value();
+  };
+  EXPECT_GT(lifetime_for(8), lifetime_for(32));
+}
+
+}  // namespace
+}  // namespace srbsg::attack

@@ -1,0 +1,65 @@
+#include "mapping/binary_matrix.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+#include "mapping/quality.hpp"
+
+namespace srbsg::mapping {
+namespace {
+
+TEST(Gf2, MatvecIdentity) {
+  std::vector<u64> rows = {1, 2, 4, 8};  // identity
+  for (u64 x = 0; x < 16; ++x) EXPECT_EQ(gf2_matvec(rows, x), x);
+}
+
+TEST(Gf2, InvertIdentity) {
+  std::vector<u64> rows = {1, 2, 4, 8};
+  EXPECT_EQ(gf2_invert(rows, 4), rows);
+}
+
+TEST(Gf2, SingularDetected) {
+  std::vector<u64> rows = {1, 1, 4, 8};  // duplicate rows -> singular
+  EXPECT_TRUE(gf2_invert(rows, 4).empty());
+}
+
+TEST(Gf2, InverseComposesToIdentity) {
+  Rng rng(9);
+  BinaryMatrixMapper m(10, rng);
+  for (u64 x = 0; x < m.domain_size(); ++x) {
+    EXPECT_EQ(m.unmap(m.map(x)), x);
+  }
+}
+
+TEST(BinaryMatrixMapper, IsBijective) {
+  Rng rng(10);
+  BinaryMatrixMapper m(12, rng);
+  EXPECT_TRUE(verify_bijection(m));
+}
+
+TEST(BinaryMatrixMapper, ZeroIsFixedPoint) {
+  // Linear maps always fix zero — a known (documented) weakness compared
+  // with a keyed Feistel network.
+  Rng rng(11);
+  BinaryMatrixMapper m(16, rng);
+  EXPECT_EQ(m.map(0), 0u);
+}
+
+TEST(BinaryMatrixMapper, DifferentSeedsDiffer) {
+  Rng r1(12), r2(13);
+  BinaryMatrixMapper a(14, r1), b(14, r2);
+  int diff = 0;
+  for (u64 x = 1; x < 1000; ++x) {
+    if (a.map(x) != b.map(x)) ++diff;
+  }
+  EXPECT_GT(diff, 900);
+}
+
+TEST(BinaryMatrixMapper, RejectsBadWidth) {
+  Rng rng(14);
+  EXPECT_THROW(BinaryMatrixMapper(0, rng), CheckFailure);
+  EXPECT_THROW(BinaryMatrixMapper(63, rng), CheckFailure);
+}
+
+}  // namespace
+}  // namespace srbsg::mapping

@@ -1,0 +1,77 @@
+#include <gtest/gtest.h>
+
+#include "analytic/lifetime_models.hpp"
+#include "attack/bpa.hpp"
+#include "attack/harness.hpp"
+#include "wl/factory.hpp"
+
+namespace srbsg::analytic {
+namespace {
+
+TEST(BpaProbes, OneHitIsOneProbe) { EXPECT_DOUBLE_EQ(bpa_expected_probes(1000, 1), 1.0); }
+
+TEST(BpaProbes, TwoHitsMatchBirthdayBound) {
+  // Classic birthday: ~sqrt(2·bins·ln...) ≈ the Poisson-tail solution;
+  // for 365 bins the expected first collision sits in the 20-40 range.
+  const double probes = bpa_expected_probes(365, 2);
+  EXPECT_GT(probes, 15.0);
+  EXPECT_LT(probes, 45.0);
+}
+
+TEST(BpaProbes, BeatsExhaustiveCoverage) {
+  // n(k) ~ bins^((k-1)/k)·(k!)^(1/k): monotone in k but always far below
+  // the bins·k probes an attacker without the birthday advantage needs.
+  const double n2 = bpa_expected_probes(4096, 2);
+  const double n4 = bpa_expected_probes(4096, 4);
+  const double n8 = bpa_expected_probes(4096, 8);
+  EXPECT_LT(n2, n4);
+  EXPECT_LT(n4, n8);
+  EXPECT_LT(n2, 4096.0 * 2);
+  EXPECT_LT(n4, 4096.0 * 4);
+  EXPECT_LT(n8, 4096.0 * 8);
+}
+
+TEST(BpaProbes, MoreBinsNeedMoreProbes) {
+  EXPECT_LT(bpa_expected_probes(1024, 4), bpa_expected_probes(16384, 4));
+}
+
+TEST(BpaModel, TracksSimulationWithinFactorTwo) {
+  const u64 lines = 4096, interval = 2, endurance = 1u << 14;
+  const auto cfg = pcm::PcmConfig::scaled(lines, endurance);
+  const RbsgShape shape{1, interval};
+
+  wl::SchemeSpec spec;
+  spec.kind = wl::SchemeKind::kStartGap;
+  spec.lines = lines;
+  spec.inner_interval = interval;
+
+  double total = 0.0;
+  constexpr int kRuns = 3;
+  for (int run = 0; run < kRuns; ++run) {
+    ctl::MemoryController mc(cfg, wl::make_scheme(spec));
+    attack::BirthdayParadoxAttack bpa(100 + static_cast<u64>(run),
+                                      2 * (lines + 1) * interval);
+    const auto res = run_attack(mc, bpa, u64{1} << 36);
+    ASSERT_TRUE(res.succeeded);
+    total += static_cast<double>(res.lifetime.value());
+  }
+  const double measured = total / kRuns;
+  const double model = bpa_rbsg_ns(cfg, shape);
+  EXPECT_GT(measured / model, 0.4);
+  EXPECT_LT(measured / model, 2.5);
+}
+
+TEST(BpaModel, PaperScaleBpaBeatsRaaOnUnderRegionedRbsg) {
+  // Seznec's point, in the closed forms: with too few regions, BPA kills
+  // RBSG much sooner than RAA.
+  const auto cfg = pcm::PcmConfig::paper_bank();
+  const RbsgShape big_regions{4, 100};  // M = 2^20: far beyond the BPA rule
+  EXPECT_LT(bpa_rbsg_ns(cfg, big_regions), raa_rbsg_ns(cfg, big_regions));
+  // With the paper's recommended 32 regions the two are comparable.
+  const RbsgShape recommended{32, 100};
+  const double ratio = bpa_rbsg_ns(cfg, recommended) / raa_rbsg_ns(cfg, recommended);
+  EXPECT_GT(ratio, 0.05);
+}
+
+}  // namespace
+}  // namespace srbsg::analytic

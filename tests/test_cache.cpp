@@ -1,0 +1,139 @@
+#include "perf/cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+
+namespace srbsg::perf {
+namespace {
+
+CacheConfig small_cache() {
+  CacheConfig c;
+  c.size_bytes = 8 * 256;  // 8 lines
+  c.line_bytes = 256;
+  c.ways = 2;  // 4 sets
+  return c;
+}
+
+TEST(SetAssocCache, ColdMissThenHit) {
+  SetAssocCache c(small_cache());
+  const auto r1 = c.access(5, false);
+  EXPECT_FALSE(r1.hit);
+  ASSERT_TRUE(r1.fill.has_value());
+  EXPECT_EQ(*r1.fill, 5u);
+  const auto r2 = c.access(5, false);
+  EXPECT_TRUE(r2.hit);
+  EXPECT_EQ(c.stats().hits, 1u);
+  EXPECT_EQ(c.stats().misses, 1u);
+}
+
+TEST(SetAssocCache, DirtyEvictionProducesWriteback) {
+  SetAssocCache c(small_cache());
+  // Set 0 holds lines {0, 4, 8, ...}; 2 ways.
+  c.access(0, true);   // dirty
+  c.access(4, false);  // clean
+  const auto r = c.access(8, false);  // evicts LRU = line 0 (dirty)
+  ASSERT_TRUE(r.writeback.has_value());
+  EXPECT_EQ(*r.writeback, 0u);
+  EXPECT_EQ(c.stats().writebacks, 1u);
+}
+
+TEST(SetAssocCache, CleanEvictionSilent) {
+  SetAssocCache c(small_cache());
+  c.access(0, false);
+  c.access(4, false);
+  const auto r = c.access(8, false);
+  EXPECT_FALSE(r.writeback.has_value());
+}
+
+TEST(SetAssocCache, LruOrderRespected) {
+  SetAssocCache c(small_cache());
+  c.access(0, false);
+  c.access(4, false);
+  c.access(0, false);          // refresh 0; LRU is now 4
+  c.access(8, false);          // evicts 4
+  EXPECT_TRUE(c.access(0, false).hit);
+  EXPECT_FALSE(c.access(4, false).hit);
+}
+
+TEST(SetAssocCache, WriteHitMarksDirty) {
+  SetAssocCache c(small_cache());
+  c.access(0, false);  // clean fill
+  c.access(0, true);   // dirtied by hit
+  c.access(4, false);
+  const auto r = c.access(8, false);  // evict 0
+  ASSERT_TRUE(r.writeback.has_value());
+}
+
+TEST(SetAssocCache, FlushReportsDirtyLines) {
+  SetAssocCache c(small_cache());
+  c.access(1, true);
+  c.access(2, false);
+  std::vector<u64> dirty;
+  c.flush(&dirty);
+  ASSERT_EQ(dirty.size(), 1u);
+  EXPECT_EQ(dirty[0], 1u);
+  EXPECT_FALSE(c.access(2, false).hit);  // cold after flush
+}
+
+TEST(SetAssocCache, ConfigValidation) {
+  CacheConfig c = small_cache();
+  c.size_bytes = 1000;  // not set-aligned
+  EXPECT_THROW(SetAssocCache{c}, CheckFailure);
+}
+
+TEST(Hierarchy, HitInL1ProducesNoMemoryTraffic) {
+  HierarchyConfig cfg;
+  cfg.l1 = small_cache();
+  cfg.l2 = {32 * 256, 256, 4};
+  cfg.l3 = {128 * 256, 256, 8};
+  CacheHierarchy h(cfg);
+  h.access(3, false);
+  const auto t = h.access(3, false);
+  EXPECT_EQ(t.reads, 0u);
+  EXPECT_EQ(t.writes, 0u);
+}
+
+TEST(Hierarchy, ColdMissReachesMemory) {
+  HierarchyConfig cfg;
+  cfg.l1 = small_cache();
+  cfg.l2 = {32 * 256, 256, 4};
+  cfg.l3 = {128 * 256, 256, 8};
+  CacheHierarchy h(cfg);
+  const auto t = h.access(3, false);
+  EXPECT_EQ(t.reads, 1u);
+  EXPECT_EQ(t.read_addr, 3u);
+  EXPECT_EQ(t.writes, 0u);
+}
+
+TEST(Hierarchy, SmallFootprintIsAbsorbed) {
+  HierarchyConfig cfg;  // default paper-ish sizes
+  CacheHierarchy h(cfg);
+  u64 memory_ops = 0;
+  // Touch 64 lines over and over: everything fits in L1/L2.
+  for (int round = 0; round < 50; ++round) {
+    for (u64 a = 0; a < 64; ++a) {
+      const auto t = h.access(a, round % 2 == 0);
+      memory_ops += t.reads + t.writes;
+    }
+  }
+  EXPECT_LE(memory_ops, 64u);  // only the cold fills
+}
+
+TEST(Hierarchy, StreamingFootprintLeaksWritebacks) {
+  HierarchyConfig cfg;
+  cfg.l3 = {1024 * 256, 256, 8};  // shrink L3 to 1024 lines
+  CacheHierarchy h(cfg);
+  u64 writes = 0;
+  // Stream writes over 8x the L3 capacity: dirty evictions must reach PCM.
+  for (u64 a = 0; a < 8 * 1024; ++a) {
+    writes += h.access(a, true).writes;
+  }
+  for (u64 a = 0; a < 8 * 1024; ++a) {
+    writes += h.access(a, true).writes;
+  }
+  EXPECT_GT(writes, 4 * 1024u);
+}
+
+}  // namespace
+}  // namespace srbsg::perf

@@ -1,0 +1,97 @@
+#include "controller/memory_controller.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+#include "wl/factory.hpp"
+
+namespace srbsg::ctl {
+namespace {
+
+wl::SchemeSpec spec_for(u64 lines, wl::SchemeKind kind = wl::SchemeKind::kRbsg) {
+  wl::SchemeSpec s;
+  s.kind = kind;
+  s.lines = lines;
+  s.regions = 4;
+  s.inner_interval = 8;
+  s.outer_interval = 16;
+  s.stages = 3;
+  return s;
+}
+
+TEST(Controller, ClockAdvancesWithWrites) {
+  const auto cfg = pcm::PcmConfig::scaled(128, 1000);
+  MemoryController mc(cfg, wl::make_scheme(spec_for(128)));
+  EXPECT_EQ(mc.now(), Ns{0});
+  const auto out = mc.write(La{0}, pcm::LineData::all_zero());
+  EXPECT_EQ(mc.now(), out.total);
+  EXPECT_EQ(mc.total_writes(), 1u);
+}
+
+TEST(Controller, ReadAdvancesClock) {
+  const auto cfg = pcm::PcmConfig::scaled(128, 1000);
+  MemoryController mc(cfg, wl::make_scheme(spec_for(128)));
+  mc.read(La{5});
+  EXPECT_EQ(mc.now(), Ns{125});
+}
+
+TEST(Controller, SizeMismatchRejected) {
+  const auto cfg = pcm::PcmConfig::scaled(128, 1000);
+  EXPECT_THROW(MemoryController(cfg, wl::make_scheme(spec_for(256))), CheckFailure);
+}
+
+TEST(Controller, FailureReportedWithExactTime) {
+  // No wear leveling: the target line dies after exactly E writes.
+  const auto cfg = pcm::PcmConfig::scaled(64, 100);
+  MemoryController mc(cfg, wl::make_scheme(spec_for(64, wl::SchemeKind::kNone)));
+  for (int i = 0; i < 99; ++i) mc.write(La{3}, pcm::LineData::all_one());
+  EXPECT_FALSE(mc.failed());
+  mc.write(La{3}, pcm::LineData::all_one());
+  ASSERT_TRUE(mc.failed());
+  EXPECT_EQ(mc.failure().line, Pa{3});
+  EXPECT_EQ(mc.failure().time, Ns{100 * 1000});
+}
+
+TEST(Controller, BulkFailureTimeRewoundToCrossing) {
+  const auto cfg = pcm::PcmConfig::scaled(64, 100);
+  MemoryController mc(cfg, wl::make_scheme(spec_for(64, wl::SchemeKind::kNone)));
+  mc.write_repeated(La{3}, pcm::LineData::all_one(), 150);
+  ASSERT_TRUE(mc.failed());
+  // 50 overshoot writes at 1000 ns each are rewound.
+  EXPECT_EQ(mc.failure().time, Ns{100 * 1000});
+}
+
+TEST(Controller, BulkMatchesLoopOnSchemes) {
+  const auto cfg = pcm::PcmConfig::scaled(128, u64{1} << 40);
+  MemoryController loop_mc(cfg, wl::make_scheme(spec_for(128)));
+  MemoryController bulk_mc(cfg, wl::make_scheme(spec_for(128)));
+  for (int i = 0; i < 3000; ++i) loop_mc.write(La{7}, pcm::LineData::mixed());
+  bulk_mc.write_repeated(La{7}, pcm::LineData::mixed(), 3000);
+  EXPECT_EQ(loop_mc.now(), bulk_mc.now());
+  EXPECT_EQ(loop_mc.total_writes(), bulk_mc.total_writes());
+}
+
+TEST(Controller, StallExposedToRequester) {
+  // This is the timing side channel: remap movements must surface in the
+  // request latency.
+  const auto cfg = pcm::PcmConfig::scaled(128, u64{1} << 40);
+  MemoryController mc(cfg, wl::make_scheme(spec_for(128)));
+  bool saw_stall = false;
+  for (int i = 0; i < 200; ++i) {
+    const auto out = mc.write(La{0}, pcm::LineData::all_zero());
+    if (out.stall.value() > 0) {
+      saw_stall = true;
+      EXPECT_EQ(out.total.value(), 125 + out.stall.value());
+    }
+  }
+  EXPECT_TRUE(saw_stall);
+}
+
+TEST(Controller, FailureQueryWithoutFailureThrows) {
+  const auto cfg = pcm::PcmConfig::scaled(64, 1000);
+  MemoryController mc(cfg, wl::make_scheme(spec_for(64)));
+  EXPECT_THROW((void)mc.failure(), CheckFailure);
+}
+
+}  // namespace
+}  // namespace srbsg::ctl

@@ -1,0 +1,99 @@
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+#include "pcm/bank.hpp"
+#include "sim/lifetime.hpp"
+
+namespace srbsg::pcm {
+namespace {
+
+TEST(EnduranceVariation, DisabledMeansUniformLimits) {
+  PcmBank bank(PcmConfig::scaled(64, 1000), 64);
+  for (u64 i = 0; i < 64; ++i) {
+    EXPECT_EQ(bank.line_endurance(Pa{i}), 1000u);
+  }
+}
+
+TEST(EnduranceVariation, LimitsSpreadAroundMean) {
+  auto cfg = PcmConfig::scaled(1u << 12, 100'000);
+  cfg.endurance_variation = 0.1;
+  PcmBank bank(cfg, 1u << 12);
+  double sum = 0.0;
+  u64 mn = ~u64{0}, mx = 0;
+  for (u64 i = 0; i < bank.total_lines(); ++i) {
+    const u64 e = bank.line_endurance(Pa{i});
+    sum += static_cast<double>(e);
+    mn = std::min(mn, e);
+    mx = std::max(mx, e);
+  }
+  const double mean = sum / static_cast<double>(bank.total_lines());
+  EXPECT_NEAR(mean, 100'000.0, 2'000.0);
+  EXPECT_LT(mn, 95'000u);   // some weak lines
+  EXPECT_GT(mx, 105'000u);  // some strong lines
+  EXPECT_GE(mn, 70'000u);   // ±3σ clamp
+  EXPECT_LE(mx, 130'000u);
+}
+
+TEST(EnduranceVariation, DeterministicPerSeed) {
+  auto cfg = PcmConfig::scaled(256, 10'000);
+  cfg.endurance_variation = 0.1;
+  PcmBank a(cfg, 256), b(cfg, 256);
+  for (u64 i = 0; i < 256; ++i) {
+    EXPECT_EQ(a.line_endurance(Pa{i}), b.line_endurance(Pa{i}));
+  }
+  cfg.variation_seed = 999;
+  PcmBank c(cfg, 256);
+  int diff = 0;
+  for (u64 i = 0; i < 256; ++i) {
+    if (a.line_endurance(Pa{i}) != c.line_endurance(Pa{i})) ++diff;
+  }
+  EXPECT_GT(diff, 200);
+}
+
+TEST(EnduranceVariation, WeakLineFailsFirst) {
+  auto cfg = PcmConfig::scaled(64, 1000);
+  cfg.endurance_variation = 0.2;
+  PcmBank bank(cfg, 64);
+  // Find the weakest line and grind everything evenly: it must die first.
+  u64 weakest = 0;
+  for (u64 i = 1; i < 64; ++i) {
+    if (bank.line_endurance(Pa{i}) < bank.line_endurance(Pa{weakest})) weakest = i;
+  }
+  while (!bank.has_failure()) {
+    for (u64 i = 0; i < 64 && !bank.has_failure(); ++i) {
+      bank.write(Pa{i}, LineData::all_zero());
+    }
+  }
+  EXPECT_EQ(bank.first_failed_line().value(), weakest);
+}
+
+TEST(EnduranceVariation, ShortensLeveledLifetime) {
+  // With perfect-ish leveling the weakest line gates the whole bank:
+  // lifetime drops roughly by the left tail of the distribution.
+  auto run = [](double variation) {
+    sim::LifetimeConfig c;
+    c.pcm = pcm::PcmConfig::scaled(1u << 11, 1u << 14);
+    c.pcm.endurance_variation = variation;
+    c.scheme.kind = wl::SchemeKind::kSecurityRbsg;
+    c.scheme.lines = 1u << 11;
+    c.scheme.regions = 32;
+    c.scheme.inner_interval = 8;
+    c.scheme.outer_interval = 16;
+    c.scheme.seed = 9;
+    c.attack = sim::AttackKind::kRaa;
+    c.write_budget = u64{1} << 40;
+    const auto out = sim::run_lifetime(c);
+    EXPECT_TRUE(out.result.succeeded);
+    return out.result.lifetime.value();
+  };
+  EXPECT_LT(run(0.2), run(0.0));
+}
+
+TEST(EnduranceVariation, Validation) {
+  auto cfg = PcmConfig::scaled(64, 1000);
+  cfg.endurance_variation = 0.9;
+  EXPECT_THROW(cfg.validate(), CheckFailure);
+}
+
+}  // namespace
+}  // namespace srbsg::pcm

@@ -1,0 +1,51 @@
+#include "wl/factory.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+#include "wl_test_util.hpp"
+
+namespace srbsg::wl {
+namespace {
+
+TEST(Factory, NamesRoundTrip) {
+  for (SchemeKind k : {SchemeKind::kNone, SchemeKind::kStartGap, SchemeKind::kRbsg,
+                       SchemeKind::kSr1, SchemeKind::kSr2, SchemeKind::kMultiWaySr,
+                       SchemeKind::kSecurityRbsg, SchemeKind::kTable}) {
+    EXPECT_EQ(parse_scheme(to_string(k)), k);
+  }
+}
+
+TEST(Factory, UnknownNameThrows) {
+  EXPECT_THROW((void)parse_scheme("bogus"), CheckFailure);
+}
+
+class FactoryAllSchemes : public ::testing::TestWithParam<SchemeKind> {};
+
+TEST_P(FactoryAllSchemes, BuildsWorkingScheme) {
+  SchemeSpec spec;
+  spec.kind = GetParam();
+  spec.lines = 128;
+  spec.regions = 4;
+  spec.inner_interval = 4;
+  spec.outer_interval = 8;
+  spec.stages = 5;
+  spec.seed = 3;
+  const auto scheme = make_scheme(spec);
+  ASSERT_NE(scheme, nullptr);
+  EXPECT_EQ(scheme->logical_lines(), 128u);
+  EXPECT_GE(scheme->physical_lines(), 128u);
+  EXPECT_EQ(to_string(GetParam()), scheme->name());
+
+  pcm::PcmBank bank(pcm::PcmConfig::scaled(128, u64{1} << 40), scheme->physical_lines());
+  testutil::run_integrity_churn(*scheme, bank, 5'000);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSchemes, FactoryAllSchemes,
+                         ::testing::Values(SchemeKind::kNone, SchemeKind::kStartGap,
+                                           SchemeKind::kRbsg, SchemeKind::kSr1,
+                                           SchemeKind::kSr2, SchemeKind::kMultiWaySr,
+                                           SchemeKind::kSecurityRbsg, SchemeKind::kTable));
+
+}  // namespace
+}  // namespace srbsg::wl

@@ -1,0 +1,137 @@
+#include "pcm/bank.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+
+namespace srbsg::pcm {
+namespace {
+
+PcmConfig small_cfg(u64 lines = 16, u64 endurance = 10) {
+  return PcmConfig::scaled(lines, endurance);
+}
+
+TEST(PcmBank, WriteUpdatesDataAndWear) {
+  PcmBank bank(small_cfg(), 16);
+  const Ns lat = bank.write(Pa{3}, LineData::all_one(42));
+  EXPECT_EQ(lat, Ns{1000});
+  EXPECT_EQ(bank.wear(Pa{3}), 1u);
+  EXPECT_EQ(bank.data(Pa{3}).token, 42u);
+  EXPECT_EQ(bank.data(Pa{3}).cls, DataClass::kAllOne);
+  EXPECT_EQ(bank.total_writes(), 1u);
+}
+
+TEST(PcmBank, AllZeroWriteIsResetFast) {
+  PcmBank bank(small_cfg(), 16);
+  EXPECT_EQ(bank.write(Pa{0}, LineData::all_zero()), Ns{125});
+  EXPECT_EQ(bank.write(Pa{0}, LineData::mixed()), Ns{1000});
+}
+
+TEST(PcmBank, BulkWriteEquivalentToLoop) {
+  PcmBank a(small_cfg(16, 1000), 16);
+  PcmBank b(small_cfg(16, 1000), 16);
+  Ns t_loop{0};
+  for (int i = 0; i < 100; ++i) t_loop += a.write(Pa{5}, LineData::all_one());
+  const Ns t_bulk = b.bulk_write(Pa{5}, LineData::all_one(), 100);
+  EXPECT_EQ(t_loop, t_bulk);
+  EXPECT_EQ(a.wear(Pa{5}), b.wear(Pa{5}));
+  EXPECT_EQ(a.total_writes(), b.total_writes());
+}
+
+TEST(PcmBank, BulkWriteZeroIsNoop) {
+  PcmBank bank(small_cfg(), 16);
+  EXPECT_EQ(bank.bulk_write(Pa{1}, LineData::all_one(), 0), Ns{0});
+  EXPECT_EQ(bank.wear(Pa{1}), 0u);
+}
+
+TEST(PcmBank, ReadReturnsDataWithoutWear) {
+  PcmBank bank(small_cfg(), 16);
+  bank.write(Pa{2}, LineData::mixed(7));
+  const auto [data, lat] = bank.read(Pa{2});
+  EXPECT_EQ(data.token, 7u);
+  EXPECT_EQ(lat, Ns{125});
+  EXPECT_EQ(bank.wear(Pa{2}), 1u);
+}
+
+TEST(PcmBank, MoveLineCopiesDataAndWearsDestination) {
+  PcmBank bank(small_cfg(), 16);
+  bank.write(Pa{1}, LineData::all_one(99));
+  const Ns lat = bank.move_line(Pa{1}, Pa{4});
+  EXPECT_EQ(lat, Ns{1125});  // read + SET
+  EXPECT_EQ(bank.data(Pa{4}).token, 99u);
+  EXPECT_EQ(bank.wear(Pa{4}), 1u);
+  EXPECT_EQ(bank.wear(Pa{1}), 1u);  // source keeps its wear, gains none
+}
+
+TEST(PcmBank, MoveAllZeroLineIsFast) {
+  PcmBank bank(small_cfg(), 16);
+  EXPECT_EQ(bank.move_line(Pa{0}, Pa{1}), Ns{250});
+}
+
+TEST(PcmBank, SwapExchangesDataAndWearsBoth) {
+  PcmBank bank(small_cfg(), 16);
+  bank.write(Pa{1}, LineData::all_one(11));
+  bank.write(Pa{2}, LineData::all_zero(22));
+  const Ns lat = bank.swap_lines(Pa{1}, Pa{2});
+  EXPECT_EQ(lat, Ns{2 * 125 + 125 + 1000});  // Fig. 4(b): 1375 ns
+  EXPECT_EQ(bank.data(Pa{1}).token, 22u);
+  EXPECT_EQ(bank.data(Pa{2}).token, 11u);
+  EXPECT_EQ(bank.wear(Pa{1}), 2u);
+  EXPECT_EQ(bank.wear(Pa{2}), 2u);
+}
+
+TEST(PcmBank, FailureRecordedAtEndurance) {
+  PcmBank bank(small_cfg(16, 5), 16);
+  for (int i = 0; i < 4; ++i) bank.write(Pa{7}, LineData::all_zero());
+  EXPECT_FALSE(bank.has_failure());
+  bank.write(Pa{7}, LineData::all_zero());
+  ASSERT_TRUE(bank.has_failure());
+  EXPECT_EQ(bank.first_failed_line(), Pa{7});
+  EXPECT_EQ(bank.failure_overshoot(), 0u);
+}
+
+TEST(PcmBank, BulkOvershootTracked) {
+  PcmBank bank(small_cfg(16, 5), 16);
+  bank.bulk_write(Pa{3}, LineData::all_zero(), 12);
+  ASSERT_TRUE(bank.has_failure());
+  EXPECT_EQ(bank.first_failed_line(), Pa{3});
+  EXPECT_EQ(bank.failure_overshoot(), 7u);
+}
+
+TEST(PcmBank, FirstFailureSticks) {
+  PcmBank bank(small_cfg(16, 3), 16);
+  bank.bulk_write(Pa{1}, LineData::all_zero(), 5);
+  bank.bulk_write(Pa{2}, LineData::all_zero(), 50);
+  EXPECT_EQ(bank.first_failed_line(), Pa{1});
+}
+
+TEST(PcmBank, ResetClearsEverything) {
+  PcmBank bank(small_cfg(16, 3), 16);
+  bank.bulk_write(Pa{1}, LineData::all_one(5), 10);
+  bank.reset();
+  EXPECT_FALSE(bank.has_failure());
+  EXPECT_EQ(bank.total_writes(), 0u);
+  EXPECT_EQ(bank.wear(Pa{1}), 0u);
+  EXPECT_EQ(bank.max_wear(), 0u);
+}
+
+TEST(PcmBank, OutOfRangeThrows) {
+  PcmBank bank(small_cfg(), 16);
+  EXPECT_THROW(bank.write(Pa{16}, LineData::all_zero()), CheckFailure);
+  EXPECT_THROW((void)bank.read(Pa{100}), CheckFailure);
+}
+
+TEST(PcmBank, NoFailureQueryThrows) {
+  PcmBank bank(small_cfg(), 16);
+  EXPECT_THROW((void)bank.first_failed_line(), CheckFailure);
+}
+
+TEST(PcmBank, ExtraPhysicalLinesAllowed) {
+  PcmBank bank(small_cfg(16, 10), 20);
+  EXPECT_EQ(bank.total_lines(), 20u);
+  bank.write(Pa{19}, LineData::all_zero());
+  EXPECT_EQ(bank.wear(Pa{19}), 1u);
+}
+
+}  // namespace
+}  // namespace srbsg::pcm

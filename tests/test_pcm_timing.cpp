@@ -1,0 +1,66 @@
+#include "pcm/timing.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+
+namespace srbsg::pcm {
+namespace {
+
+TEST(PcmConfig, PaperBankShape) {
+  const auto cfg = PcmConfig::paper_bank();
+  EXPECT_EQ(cfg.line_count, u64{1} << 22);
+  EXPECT_EQ(cfg.line_bytes, 256u);
+  EXPECT_EQ(cfg.capacity_bytes(), u64{1} << 30);  // 1 GB
+  EXPECT_EQ(cfg.address_bits(), 22u);
+  EXPECT_EQ(cfg.endurance, 100'000'000u);
+}
+
+TEST(PcmConfig, ValidationRejectsNonPow2) {
+  PcmConfig cfg;
+  cfg.line_count = 1000;
+  EXPECT_THROW(cfg.validate(), CheckFailure);
+}
+
+TEST(PcmConfig, ValidationRejectsFastSet) {
+  PcmConfig cfg;
+  cfg.set_latency = Ns{100};
+  cfg.reset_latency = Ns{125};
+  EXPECT_THROW(cfg.validate(), CheckFailure);
+}
+
+TEST(Timing, WriteLatencyByDataClass) {
+  const auto cfg = PcmConfig::paper_bank();
+  EXPECT_EQ(write_latency(cfg, DataClass::kAllZero), Ns{125});
+  EXPECT_EQ(write_latency(cfg, DataClass::kAllOne), Ns{1000});
+  EXPECT_EQ(write_latency(cfg, DataClass::kMixed), Ns{1000});
+}
+
+TEST(Timing, MoveLatencyMatchesFig4a) {
+  const auto cfg = PcmConfig::paper_bank();
+  EXPECT_EQ(move_latency(cfg, DataClass::kAllZero), Ns{250});
+  EXPECT_EQ(move_latency(cfg, DataClass::kAllOne), Ns{1125});
+}
+
+TEST(Timing, SwapLatencyMatchesFig4b) {
+  const auto cfg = PcmConfig::paper_bank();
+  EXPECT_EQ(swap_latency(cfg, DataClass::kAllZero, DataClass::kAllZero), Ns{500});
+  EXPECT_EQ(swap_latency(cfg, DataClass::kAllZero, DataClass::kAllOne), Ns{1375});
+  EXPECT_EQ(swap_latency(cfg, DataClass::kAllOne, DataClass::kAllOne), Ns{2250});
+}
+
+TEST(Timing, NsConversions) {
+  const Ns day{86'400'000'000'000ULL};
+  EXPECT_DOUBLE_EQ(day.days(), 1.0);
+  EXPECT_DOUBLE_EQ(day.hours(), 24.0);
+  EXPECT_DOUBLE_EQ(Ns{1'000'000'000}.seconds(), 1.0);
+}
+
+TEST(Timing, DataClassNames) {
+  EXPECT_EQ(to_string(DataClass::kAllZero), "ALL-0");
+  EXPECT_EQ(to_string(DataClass::kAllOne), "ALL-1");
+  EXPECT_EQ(to_string(DataClass::kMixed), "MIXED");
+}
+
+}  // namespace
+}  // namespace srbsg::pcm

@@ -1,0 +1,128 @@
+#include "perf/ipc_experiment.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+#include "trace/generators.hpp"
+
+namespace srbsg::perf {
+namespace {
+
+constexpr u64 kLines = 1u << 12;
+
+pcm::PcmConfig cfg() { return pcm::PcmConfig::scaled(kLines, u64{1} << 40); }
+
+wl::SchemeSpec srbsg_spec(u64 inner = 64) {
+  wl::SchemeSpec s;
+  s.kind = wl::SchemeKind::kSecurityRbsg;
+  s.lines = kLines;
+  s.regions = 32;
+  s.inner_interval = inner;
+  s.outer_interval = 128;
+  s.stages = 7;
+  return s;
+}
+
+trace::Trace light_trace() {
+  trace::GeneratorOptions o;
+  o.lines = kLines;
+  o.accesses = 20'000;
+  o.write_ratio = 0.3;
+  o.mean_instruction_gap = 500;  // sparse accesses
+  o.seed = 3;
+  return make_uniform(o);
+}
+
+TEST(WriteQueue, DrainAndOverflowSemantics) {
+  WriteQueue q(2);
+  q.push(100);
+  q.push(200);
+  EXPECT_TRUE(q.full());
+  EXPECT_EQ(q.earliest_completion(), 100u);
+  q.drain_until(150);
+  EXPECT_EQ(q.occupancy(), 1u);
+  q.push(300);
+  EXPECT_THROW(q.push(400), CheckFailure);
+  q.drain_until(1000);
+  EXPECT_EQ(q.occupancy(), 0u);
+}
+
+TEST(CoreModel, IpcApproachesBaseWithSparseAccesses) {
+  ctl::MemoryController mc(cfg(), wl::make_scheme(srbsg_spec()));
+  CoreParams core;
+  const auto res = execute_trace(light_trace(), mc, core);
+  EXPECT_GT(res.ipc, 0.5);
+  EXPECT_LE(res.ipc, 1.0);
+  EXPECT_EQ(res.reads + res.writes, 20'000u);
+}
+
+TEST(CoreModel, DenseTrafficLowersIpc) {
+  trace::GeneratorOptions o;
+  o.lines = kLines;
+  o.accesses = 20'000;
+  o.write_ratio = 0.95;  // write bursts actually fill the queue
+  o.mean_instruction_gap = 5;  // memory-bound
+  o.seed = 4;
+  ctl::MemoryController mc_dense(cfg(), wl::make_scheme(srbsg_spec()));
+  ctl::MemoryController mc_light(cfg(), wl::make_scheme(srbsg_spec()));
+  CoreParams core;
+  const auto dense = execute_trace(make_uniform(o), mc_dense, core);
+  const auto light = execute_trace(light_trace(), mc_light, core);
+  EXPECT_LT(dense.ipc, light.ipc);
+  EXPECT_GT(dense.queue_full_stalls, 0u);
+}
+
+TEST(IpcExperiment, DegradationSmallAndPositive) {
+  // The paper's headline: wear-leveling overhead is ~1% or less.
+  const auto cmp = compare_ipc(light_trace(), srbsg_spec(), cfg(), CoreParams{}, Ns{10});
+  EXPECT_GE(cmp.degradation_pct, 0.0);
+  EXPECT_LT(cmp.degradation_pct, 10.0);
+  EXPECT_GT(cmp.ipc_scheme, 0.0);
+}
+
+TEST(IpcExperiment, SmallerInnerIntervalCostsMore) {
+  // Fig-like trend from §V.C.4: ψ_in 32 degrades more than ψ_in 128.
+  const auto t = light_trace();
+  const auto d32 = compare_ipc(t, srbsg_spec(32), cfg(), CoreParams{}, Ns{10});
+  const auto d128 = compare_ipc(t, srbsg_spec(128), cfg(), CoreParams{}, Ns{10});
+  EXPECT_GE(d32.degradation_pct, d128.degradation_pct);
+}
+
+TEST(IpcExperiment, CacheFilteredVariantFiltersTraffic) {
+  // With the hierarchy in front, far fewer accesses reach PCM, so the
+  // wear-leveling cost (translation + stalls) shrinks further.
+  trace::GeneratorOptions o;
+  o.lines = 64;  // cache-resident CPU footprint
+  o.accesses = 30'000;
+  o.write_ratio = 0.5;
+  o.mean_instruction_gap = 20;
+  o.seed = 11;
+  const auto cpu = trace::make_uniform(o);
+  HierarchyConfig hier;
+  hier.l1 = {16 * 256, 256, 2};
+  hier.l2 = {64 * 256, 256, 4};
+  hier.l3 = {256 * 256, 256, 8};
+  const auto filtered_trace = filter_through_hierarchy(cpu, hier);
+  EXPECT_LT(filtered_trace.pcm_trace.size(), cpu.size() / 50);
+
+  const auto filtered = compare_ipc_filtered(cpu, hier, srbsg_spec(), cfg(), CoreParams{},
+                                             Ns{10});
+  // Residual cold-miss traffic still sees only a small relative cost.
+  EXPECT_GE(filtered.degradation_pct, 0.0);
+  EXPECT_LT(filtered.degradation_pct, 10.0);
+  EXPECT_NE(filtered.workload.find("+cache"), std::string::npos);
+}
+
+TEST(IpcExperiment, SuiteRunsAllProfiles) {
+  const auto results = run_ipc_suite(trace::parsec_profiles(), srbsg_spec(), cfg(),
+                                     CoreParams{}, Ns{10}, 200'000, 5);
+  EXPECT_EQ(results.size(), 13u);
+  for (const auto& r : results) {
+    EXPECT_FALSE(r.workload.empty());
+    EXPECT_GT(r.ipc_baseline, 0.0);
+  }
+  EXPECT_LT(mean_degradation(results), 15.0);
+}
+
+}  // namespace
+}  // namespace srbsg::perf

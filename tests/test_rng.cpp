@@ -1,0 +1,131 @@
+#include "common/rng.hpp"
+
+#include "common/check.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <unordered_set>
+#include <vector>
+
+namespace srbsg {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next(), b.next());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next() == b.next()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, NextBelowInRange) {
+  Rng rng(7);
+  for (u64 bound : {u64{1}, u64{2}, u64{7}, u64{1000}, u64{1} << 40}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.next_below(bound), bound);
+    }
+  }
+}
+
+TEST(Rng, NextBelowOneIsZero) {
+  Rng rng(3);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.next_below(1), 0u);
+}
+
+TEST(Rng, NextBelowIsRoughlyUniform) {
+  Rng rng(11);
+  constexpr u64 kBuckets = 16;
+  constexpr int kSamples = 160000;
+  std::vector<int> counts(kBuckets, 0);
+  for (int i = 0; i < kSamples; ++i) ++counts[rng.next_below(kBuckets)];
+  const double expect = static_cast<double>(kSamples) / kBuckets;
+  for (u64 b = 0; b < kBuckets; ++b) {
+    EXPECT_NEAR(counts[b], expect, expect * 0.1) << "bucket " << b;
+  }
+}
+
+TEST(Rng, NextInInclusiveBounds) {
+  Rng rng(5);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 10000; ++i) {
+    const u64 v = rng.next_in(3, 6);
+    EXPECT_GE(v, 3u);
+    EXPECT_LE(v, 6u);
+    saw_lo |= v == 3;
+    saw_hi |= v == 6;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = rng.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, BernoulliMatchesProbability) {
+  Rng rng(13);
+  int hits = 0;
+  constexpr int kTrials = 100000;
+  for (int i = 0; i < kTrials; ++i) hits += rng.next_bool(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / kTrials, 0.3, 0.01);
+}
+
+TEST(Rng, ShufflePermutes) {
+  Rng rng(17);
+  std::vector<u64> v(100);
+  for (u64 i = 0; i < 100; ++i) v[i] = i;
+  auto w = v;
+  rng.shuffle(std::span<u64>(w));
+  EXPECT_NE(v, w);  // astronomically unlikely to be identity
+  std::sort(w.begin(), w.end());
+  EXPECT_EQ(v, w);
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  Rng a(21);
+  Rng child = a.fork();
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next() == child.next()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(SampleDistinct, ProducesDistinctValuesInRange) {
+  Rng rng(23);
+  const auto vals = sample_distinct(rng, 1000, 200);
+  EXPECT_EQ(vals.size(), 200u);
+  std::unordered_set<u64> set(vals.begin(), vals.end());
+  EXPECT_EQ(set.size(), 200u);
+  for (u64 v : vals) EXPECT_LT(v, 1000u);
+}
+
+TEST(SampleDistinct, DenseCaseCoversPopulation) {
+  Rng rng(29);
+  const auto vals = sample_distinct(rng, 16, 16);
+  std::unordered_set<u64> set(vals.begin(), vals.end());
+  EXPECT_EQ(set.size(), 16u);
+}
+
+TEST(SampleDistinct, RejectsOversizedRequest) {
+  Rng rng(31);
+  EXPECT_THROW((void)sample_distinct(rng, 4, 5), CheckFailure);
+}
+
+}  // namespace
+}  // namespace srbsg

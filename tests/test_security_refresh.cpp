@@ -1,0 +1,133 @@
+#include "wl/security_refresh.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "common/check.hpp"
+#include "wl/security_refresh_region.hpp"
+#include "wl_test_util.hpp"
+
+namespace srbsg::wl {
+namespace {
+
+void expect_region_bijective(const SecurityRefreshRegion& r) {
+  std::unordered_set<u64> used;
+  for (u64 la = 0; la < r.lines(); ++la) {
+    const u64 slot = r.translate(la);
+    ASSERT_LT(slot, r.lines());
+    ASSERT_TRUE(used.insert(slot).second) << "collision at la " << la;
+  }
+}
+
+TEST(SrRegion, InitiallyBijective) {
+  SecurityRefreshRegion r(6, Rng(1));
+  expect_region_bijective(r);
+}
+
+TEST(SrRegion, PairwiseProperty) {
+  SecurityRefreshRegion r(8, Rng(2));
+  r.advance();  // start a real round so kc != kp (almost surely)
+  for (u64 la = 0; la < r.lines(); ++la) {
+    EXPECT_EQ(r.pair_of(r.pair_of(la)), la);
+    // LA and its pair exchange destinations across rounds (paper §III.C):
+    // la ^ kc == pair ^ kp.
+    EXPECT_EQ(la ^ r.key_c(), r.pair_of(la) ^ r.key_p());
+  }
+}
+
+TEST(SrRegion, StaysBijectiveThroughRounds) {
+  SecurityRefreshRegion r(5, Rng(3));
+  for (int i = 0; i < 200; ++i) {
+    r.advance();
+    expect_region_bijective(r);
+  }
+}
+
+TEST(SrRegion, SwapSlotsMatchTranslationChange) {
+  SecurityRefreshRegion r(6, Rng(4));
+  for (int i = 0; i < 150; ++i) {
+    // Whoever translates to the swap's slots before must translate to the
+    // other slot after (the swap is what makes translation consistent).
+    std::vector<u64> before(r.lines());
+    for (u64 la = 0; la < r.lines(); ++la) before[la] = r.translate(la);
+    const auto swap = r.advance();
+    if (!swap) continue;
+    for (u64 la = 0; la < r.lines(); ++la) {
+      const u64 after = r.translate(la);
+      if (before[la] == swap->a) {
+        EXPECT_TRUE(after == swap->b || after == before[la]);
+      }
+      if (before[la] != swap->a && before[la] != swap->b) {
+        EXPECT_EQ(after, before[la]) << "la " << la << " moved without a swap";
+      }
+    }
+  }
+}
+
+TEST(SrRegion, RoundProcessesEveryAddressOnce) {
+  SecurityRefreshRegion r(7, Rng(5));
+  // Run one full round; every LA must end up translated by key_c.
+  const u64 n = r.lines();
+  for (u64 i = 0; i < n; ++i) r.advance();
+  const u64 kc = r.key_c();
+  for (u64 la = 0; la < n; ++la) {
+    EXPECT_EQ(r.translate(la), la ^ kc);
+  }
+}
+
+SecurityRefreshConfig sr1_cfg() {
+  SecurityRefreshConfig cfg;
+  cfg.lines = 256;
+  cfg.interval = 8;
+  cfg.seed = 6;
+  return cfg;
+}
+
+TEST(Sr1, NoSpareLines) {
+  SecurityRefresh s(sr1_cfg());
+  EXPECT_EQ(s.physical_lines(), s.logical_lines());
+}
+
+TEST(Sr1, IntegrityChurn) {
+  SecurityRefresh s(sr1_cfg());
+  pcm::PcmBank bank(pcm::PcmConfig::scaled(256, u64{1} << 40), s.physical_lines());
+  testutil::run_integrity_churn(s, bank, 20'000, 2'500);
+}
+
+TEST(Sr1, BulkMatchesPerWriteExactly) {
+  SecurityRefresh a(sr1_cfg()), b(sr1_cfg());
+  pcm::PcmBank bank_a(pcm::PcmConfig::scaled(256, u64{1} << 40), a.physical_lines());
+  pcm::PcmBank bank_b(pcm::PcmConfig::scaled(256, u64{1} << 40), b.physical_lines());
+  Ns t_loop{0};
+  for (int i = 0; i < 6000; ++i) {
+    t_loop += a.write(La{7}, pcm::LineData::all_one(), bank_a).total;
+  }
+  const auto bulk = b.write_repeated(La{7}, pcm::LineData::all_one(), 6000, bank_b);
+  EXPECT_EQ(bulk.total, t_loop);
+  for (u64 la = 0; la < 256; ++la) {
+    EXPECT_EQ(a.translate(La{la}), b.translate(La{la}));
+  }
+}
+
+TEST(Sr1, SwapStallValuesMatchFig4b) {
+  SecurityRefresh s(sr1_cfg());
+  pcm::PcmBank bank(pcm::PcmConfig::scaled(256, u64{1} << 40), s.physical_lines());
+  // All lines ALL-0: every observed swap stall must be 500 ns.
+  for (u64 la = 0; la < 256; ++la) s.write(La{la}, pcm::LineData::all_zero(), bank);
+  for (int i = 0; i < 5000; ++i) {
+    const auto out = s.write(La{1}, pcm::LineData::all_zero(), bank);
+    if (out.movements > 0) {
+      EXPECT_EQ(out.stall, Ns{500});
+    }
+  }
+}
+
+TEST(Sr1, ConfigValidation) {
+  auto cfg = sr1_cfg();
+  cfg.lines = 100;
+  EXPECT_THROW(SecurityRefresh{cfg}, CheckFailure);
+}
+
+}  // namespace
+}  // namespace srbsg::wl

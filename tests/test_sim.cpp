@@ -1,0 +1,114 @@
+#include "sim/sweep.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/write_distribution.hpp"
+
+namespace srbsg::sim {
+namespace {
+
+LifetimeConfig base_cfg() {
+  LifetimeConfig c;
+  c.pcm = pcm::PcmConfig::scaled(1024, 4096);
+  c.scheme.kind = wl::SchemeKind::kRbsg;
+  c.scheme.lines = 1024;
+  c.scheme.regions = 8;
+  c.scheme.inner_interval = 8;
+  c.scheme.seed = 3;
+  c.attack = AttackKind::kRaa;
+  c.write_budget = u64{1} << 34;
+  return c;
+}
+
+TEST(Lifetime, RaaRunCompletes) {
+  const auto out = run_lifetime(base_cfg());
+  EXPECT_TRUE(out.result.succeeded);
+  EXPECT_GT(out.result.lifetime.value(), 0u);
+  EXPECT_GT(out.wear.max, 0u);
+}
+
+TEST(Lifetime, RtaBeatsRaaOnRbsg) {
+  auto rta = base_cfg();
+  rta.attack = AttackKind::kRta;
+  rta.pcm = pcm::PcmConfig::scaled(1024, 8192);
+  rta.scheme.regions = 4;
+  auto raa = rta;
+  raa.attack = AttackKind::kRaa;
+  const auto out_rta = run_lifetime(rta);
+  const auto out_raa = run_lifetime(raa);
+  ASSERT_TRUE(out_rta.result.succeeded) << out_rta.result.detail;
+  ASSERT_TRUE(out_raa.result.succeeded);
+  EXPECT_LT(out_rta.result.lifetime.value(), out_raa.result.lifetime.value());
+}
+
+TEST(Lifetime, AttackerDispatchCoversEverySchemeAndAttack) {
+  for (auto kind : {wl::SchemeKind::kNone, wl::SchemeKind::kStartGap, wl::SchemeKind::kRbsg,
+                    wl::SchemeKind::kSr1, wl::SchemeKind::kSr2, wl::SchemeKind::kMultiWaySr,
+                    wl::SchemeKind::kSecurityRbsg, wl::SchemeKind::kTable}) {
+    for (auto atk : {AttackKind::kRaa, AttackKind::kBpa, AttackKind::kRta}) {
+      LifetimeConfig c = base_cfg();
+      c.scheme.kind = kind;
+      c.scheme.regions = 8;
+      c.attack = atk;
+      EXPECT_NE(make_attacker(c), nullptr);
+    }
+  }
+}
+
+TEST(Lifetime, NamesResolve) {
+  EXPECT_EQ(to_string(AttackKind::kRaa), "RAA");
+  EXPECT_EQ(to_string(AttackKind::kBpa), "BPA");
+  EXPECT_EQ(to_string(AttackKind::kRta), "RTA");
+}
+
+TEST(Sweep, RunsAllConfigsInOrder) {
+  ThreadPool pool(2);
+  std::vector<LifetimeConfig> configs;
+  for (u64 regions : {4u, 8u, 16u}) {
+    auto c = base_cfg();
+    c.scheme.regions = regions;
+    configs.push_back(c);
+  }
+  const auto entries = run_sweep(configs, pool);
+  ASSERT_EQ(entries.size(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(entries[i].config.scheme.regions, configs[i].scheme.regions);
+    EXPECT_TRUE(entries[i].outcome.result.succeeded);
+  }
+}
+
+TEST(Sweep, AverageLifetimeOverSeeds) {
+  ThreadPool pool(2);
+  const double avg = average_lifetime_ns(base_cfg(), 3, pool);
+  EXPECT_GT(avg, 0.0);
+}
+
+TEST(Distribution, SecurityRbsgSpreadsRaaWrites) {
+  wl::SchemeSpec spec;
+  spec.kind = wl::SchemeKind::kSecurityRbsg;
+  spec.lines = 1024;
+  spec.regions = 16;
+  spec.inner_interval = 8;
+  spec.outer_interval = 16;
+  spec.stages = 7;
+  const auto cfg = pcm::PcmConfig::scaled(1024, u64{1} << 40);
+  const auto few = raa_write_distribution(cfg, spec, 100'000, 32);
+  const auto many = raa_write_distribution(cfg, spec, 10'000'000, 32);
+  // Fig. 16: more writes -> closer to the diagonal.
+  EXPECT_LT(many.linearity_deviation, few.linearity_deviation);
+  EXPECT_LT(many.linearity_deviation, 0.2);
+  EXPECT_EQ(many.cumulative.size(), 32u);
+  EXPECT_DOUBLE_EQ(many.cumulative.back(), 1.0);
+}
+
+TEST(Distribution, NoWlIsAStepFunction) {
+  wl::SchemeSpec spec;
+  spec.kind = wl::SchemeKind::kNone;
+  spec.lines = 1024;
+  const auto cfg = pcm::PcmConfig::scaled(1024, u64{1} << 40);
+  const auto res = raa_write_distribution(cfg, spec, 100'000, 32);
+  EXPECT_GT(res.linearity_deviation, 0.9);
+}
+
+}  // namespace
+}  // namespace srbsg::sim

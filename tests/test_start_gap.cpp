@@ -1,0 +1,116 @@
+#include "wl/start_gap_region.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "common/check.hpp"
+
+namespace srbsg::wl {
+namespace {
+
+void expect_region_consistent(const StartGapRegion& r) {
+  std::unordered_set<u64> used;
+  for (u64 ia = 0; ia < r.lines(); ++ia) {
+    const u64 slot = r.translate(ia);
+    ASSERT_LT(slot, r.slots());
+    ASSERT_NE(slot, r.gap()) << "ia " << ia << " mapped onto the gap";
+    ASSERT_TRUE(used.insert(slot).second) << "slot collision at ia " << ia;
+  }
+}
+
+TEST(StartGapRegion, InitialStateMatchesFig2a) {
+  StartGapRegion r(8);
+  EXPECT_EQ(r.gap(), 8u);
+  EXPECT_EQ(r.start(), 0u);
+  for (u64 ia = 0; ia < 8; ++ia) EXPECT_EQ(r.translate(ia), ia);
+}
+
+TEST(StartGapRegion, FirstMovementMatchesFig2b) {
+  StartGapRegion r(8);
+  const auto mv = r.advance();
+  EXPECT_EQ(mv.from, 7u);
+  EXPECT_EQ(mv.to, 8u);
+  EXPECT_EQ(r.gap(), 7u);
+  EXPECT_EQ(r.translate(7), 8u);  // IA7 moved up
+  EXPECT_EQ(r.translate(6), 6u);
+}
+
+TEST(StartGapRegion, EighthMovementMatchesFig2c) {
+  StartGapRegion r(8);
+  for (int i = 0; i < 8; ++i) r.advance();
+  EXPECT_EQ(r.gap(), 0u);
+  // All lines shifted by one: IA k at slot k+1.
+  for (u64 ia = 0; ia < 8; ++ia) EXPECT_EQ(r.translate(ia), ia + 1);
+}
+
+TEST(StartGapRegion, WrapMovementAdvancesStart) {
+  StartGapRegion r(8);
+  for (int i = 0; i < 8; ++i) r.advance();
+  const auto mv = r.advance();  // gap at 0: wrap
+  EXPECT_EQ(mv.from, 8u);
+  EXPECT_EQ(mv.to, 0u);
+  EXPECT_EQ(r.gap(), 8u);
+  EXPECT_EQ(r.start(), 1u);
+  // IA7 wrapped to slot 0.
+  EXPECT_EQ(r.translate(7), 0u);
+  EXPECT_EQ(r.translate(0), 1u);
+}
+
+TEST(StartGapRegion, ConsistentThroughManyMovements) {
+  StartGapRegion r(8);
+  for (int i = 0; i < 200; ++i) {
+    expect_region_consistent(r);
+    r.advance();
+  }
+}
+
+TEST(StartGapRegion, FullRotationShiftsEveryLineByOne) {
+  // One gap cycle (M+1 movements) moves every line up one slot, except
+  // the line that was adjacent to the boot gap: it crosses the gap twice
+  // (once into the old gap slot, once through the wrap).
+  StartGapRegion r(16);
+  std::vector<u64> before(16);
+  for (u64 ia = 0; ia < 16; ++ia) before[ia] = r.translate(ia);
+  for (u64 i = 0; i < r.slots(); ++i) r.advance();
+  for (u64 ia = 0; ia < 15; ++ia) {
+    EXPECT_EQ(r.translate(ia), before[ia] + 1) << "ia " << ia;
+  }
+  EXPECT_EQ(r.translate(15), 0u);  // 15 -> 16 -> 0
+}
+
+TEST(StartGapRegion, MovementSourceHoldsALine) {
+  // The movement's `from` slot must never be the gap itself.
+  StartGapRegion r(5);
+  for (int i = 0; i < 50; ++i) {
+    const u64 gap_before = r.gap();
+    const auto mv = r.advance();
+    EXPECT_EQ(mv.to, gap_before);
+    EXPECT_NE(mv.from, gap_before);
+  }
+}
+
+TEST(StartGapRegion, SingleLineRegion) {
+  StartGapRegion r(1);
+  for (int i = 0; i < 10; ++i) {
+    expect_region_consistent(r);
+    r.advance();
+  }
+}
+
+TEST(StartGapRegion, RejectsZeroLines) { EXPECT_THROW(StartGapRegion(0), CheckFailure); }
+
+class StartGapSizes : public ::testing::TestWithParam<u64> {};
+
+TEST_P(StartGapSizes, StaysConsistentOverThreeRotations) {
+  StartGapRegion r(GetParam());
+  for (u64 i = 0; i < 3 * r.slots(); ++i) {
+    expect_region_consistent(r);
+    r.advance();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, StartGapSizes, ::testing::Values(1u, 2u, 3u, 8u, 17u, 64u));
+
+}  // namespace
+}  // namespace srbsg::wl

@@ -1,0 +1,86 @@
+#include "common/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace srbsg {
+namespace {
+
+TEST(RunningStats, Basics) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.stddev(), 2.138, 1e-3);  // sample stddev
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(Histogram, CountsAndQuantiles) {
+  Histogram h(0.0, 100.0, 10);
+  for (int i = 0; i < 100; ++i) h.add(i + 0.5);
+  EXPECT_EQ(h.total(), 100u);
+  for (std::size_t b = 0; b < 10; ++b) EXPECT_EQ(h.bucket_count(b), 10u);
+  EXPECT_NEAR(h.quantile(0.5), 45.0, 10.0);
+}
+
+TEST(Histogram, ClampsOutOfRange) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(-100.0);
+  h.add(1000.0);
+  EXPECT_EQ(h.bucket_count(0), 1u);
+  EXPECT_EQ(h.bucket_count(4), 1u);
+}
+
+TEST(WearMetrics, UniformDistribution) {
+  std::vector<u64> wear(100, 50);
+  const auto m = compute_wear_metrics(wear);
+  EXPECT_DOUBLE_EQ(m.mean, 50.0);
+  EXPECT_DOUBLE_EQ(m.coefficient_of_variation, 0.0);
+  EXPECT_NEAR(m.gini, 0.0, 1e-9);
+  EXPECT_DOUBLE_EQ(m.max_over_mean, 1.0);
+}
+
+TEST(WearMetrics, ConcentratedDistribution) {
+  std::vector<u64> wear(100, 0);
+  wear[7] = 1000;
+  const auto m = compute_wear_metrics(wear);
+  EXPECT_NEAR(m.gini, 0.99, 0.02);
+  EXPECT_NEAR(m.max_over_mean, 100.0, 1e-6);
+}
+
+TEST(NormalizedCumulative, UniformIsDiagonal) {
+  std::vector<u64> wear(1000, 3);
+  const auto curve = normalized_cumulative(wear, 10);
+  for (std::size_t i = 0; i < curve.size(); ++i) {
+    EXPECT_NEAR(curve[i], static_cast<double>(i + 1) / 10.0, 0.01);
+  }
+  EXPECT_LT(cumulative_linearity_deviation(curve), 0.01);
+}
+
+TEST(NormalizedCumulative, ConcentratedIsStep) {
+  std::vector<u64> wear(1000, 0);
+  wear[0] = 100;
+  const auto curve = normalized_cumulative(wear, 10);
+  EXPECT_DOUBLE_EQ(curve.front(), 1.0);
+  EXPECT_DOUBLE_EQ(curve.back(), 1.0);
+  EXPECT_GT(cumulative_linearity_deviation(curve), 0.8);
+}
+
+TEST(NormalizedCumulative, EndsAtOne) {
+  std::vector<u64> wear{1, 2, 3, 4, 5, 6, 7};
+  const auto curve = normalized_cumulative(wear, 5);
+  EXPECT_DOUBLE_EQ(curve.back(), 1.0);
+}
+
+}  // namespace
+}  // namespace srbsg

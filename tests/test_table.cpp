@@ -1,0 +1,50 @@
+#include "common/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace srbsg {
+namespace {
+
+TEST(Table, PrintsAlignedColumns) {
+  Table t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"b", "12345"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("| name  | value |"), std::string::npos);
+  EXPECT_NE(s.find("| alpha | 1     |"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(Table, CsvOutput) {
+  Table t({"a", "b"});
+  t.add_row({"1", "2"});
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "a,b\n1,2\n");
+}
+
+TEST(Table, RejectsMismatchedRow) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), CheckFailure);
+}
+
+TEST(FmtDouble, Precision) {
+  EXPECT_EQ(fmt_double(1.23456, 3), "1.23");
+  EXPECT_EQ(fmt_double(1000000.0, 4), "1e+06");
+}
+
+TEST(FmtDurationNs, PicksSensibleUnits) {
+  EXPECT_NE(fmt_duration_ns(5e9).find(" s"), std::string::npos);
+  EXPECT_NE(fmt_duration_ns(3.6e12 * 3).find(" h"), std::string::npos);
+  EXPECT_NE(fmt_duration_ns(86400e9 * 10).find("days"), std::string::npos);
+  EXPECT_NE(fmt_duration_ns(86400e9 * 200).find("months"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace srbsg

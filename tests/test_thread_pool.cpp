@@ -1,0 +1,58 @@
+#include "common/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace srbsg {
+namespace {
+
+TEST(ThreadPool, ExecutesAllTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  std::vector<std::future<void>> futs;
+  for (int i = 0; i < 100; ++i) {
+    futs.push_back(pool.submit([&counter] { counter.fetch_add(1); }));
+  }
+  for (auto& f : futs) f.get();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, ReturnsValues) {
+  ThreadPool pool(2);
+  auto f = pool.submit([] { return 41 + 1; });
+  EXPECT_EQ(f.get(), 42);
+}
+
+TEST(ThreadPool, PropagatesExceptions) {
+  ThreadPool pool(2);
+  auto f = pool.submit([]() -> int { throw std::runtime_error("boom"); });
+  EXPECT_THROW(f.get(), std::runtime_error);
+}
+
+TEST(ParallelFor, CoversRange) {
+  ThreadPool pool(4);
+  std::vector<int> hits(1000, 0);
+  parallel_for(pool, hits.size(), [&hits](std::size_t i) { hits[i] = 1; });
+  EXPECT_EQ(std::accumulate(hits.begin(), hits.end(), 0), 1000);
+}
+
+TEST(ParallelFor, PropagatesFirstException) {
+  ThreadPool pool(4);
+  EXPECT_THROW(parallel_for(pool, 10,
+                            [](std::size_t i) {
+                              if (i == 5) throw std::runtime_error("x");
+                            }),
+               std::runtime_error);
+}
+
+TEST(ThreadPool, DefaultSizeIsPositive) {
+  ThreadPool pool;
+  EXPECT_GE(pool.size(), 1u);
+}
+
+}  // namespace
+}  // namespace srbsg

@@ -1,0 +1,76 @@
+#include "perf/trace_filter.hpp"
+
+#include <gtest/gtest.h>
+
+#include "trace/generators.hpp"
+
+namespace srbsg::perf {
+namespace {
+
+HierarchyConfig tiny_hierarchy() {
+  HierarchyConfig cfg;
+  cfg.l1 = {16 * 256, 256, 2};
+  cfg.l2 = {64 * 256, 256, 4};
+  cfg.l3 = {256 * 256, 256, 8};
+  return cfg;
+}
+
+TEST(TraceFilter, CacheFriendlyTrafficMostlyFiltered) {
+  trace::GeneratorOptions opt;
+  opt.lines = 16;  // fits in L1
+  opt.accesses = 50'000;
+  opt.write_ratio = 0.5;
+  opt.seed = 3;
+  const auto cpu = trace::make_uniform(opt);
+  const auto res = filter_through_hierarchy(cpu, tiny_hierarchy());
+  // Cold fills only; steady state produces nothing.
+  EXPECT_LT(res.pcm_trace.size(), 200u);
+  EXPECT_GT(res.l1.hits, res.l1.misses);
+}
+
+TEST(TraceFilter, StreamingTrafficPassesThrough) {
+  trace::GeneratorOptions opt;
+  opt.lines = 64 * 1024;  // 256x the L3
+  opt.accesses = 100'000;
+  opt.write_ratio = 1.0;
+  opt.seed = 5;
+  const auto cpu = trace::make_sequential(opt);
+  const auto res = filter_through_hierarchy(cpu, tiny_hierarchy());
+  // Every line is touched once: all fills miss, writebacks stream out.
+  EXPECT_GT(res.pcm_trace.size(), 50'000u);
+  const auto stats = res.pcm_trace.stats();
+  EXPECT_GT(stats.writes, 20'000u);
+}
+
+TEST(TraceFilter, InstructionCountPreserved) {
+  trace::GeneratorOptions opt;
+  opt.lines = 1024;
+  opt.accesses = 10'000;
+  opt.mean_instruction_gap = 37;
+  opt.seed = 7;
+  const auto cpu = trace::make_zipf(opt, 1.0);
+  const auto res = filter_through_hierarchy(cpu, tiny_hierarchy());
+  // Gaps are redistributed, never dropped, as long as traffic survives:
+  // total instructions in the filtered trace can only fall short by the
+  // trailing gap after the last surviving access.
+  const u64 cpu_instr = cpu.stats().instructions;
+  const u64 pcm_instr = res.pcm_trace.stats().instructions;
+  EXPECT_LE(pcm_instr, cpu_instr);
+  EXPECT_GT(pcm_instr, cpu_instr / 2);
+}
+
+TEST(TraceFilter, WritebacksOnlyFromWrites) {
+  trace::GeneratorOptions opt;
+  opt.lines = 64 * 1024;
+  opt.accesses = 50'000;
+  opt.write_ratio = 0.0;  // read-only stream
+  opt.seed = 9;
+  const auto cpu = trace::make_sequential(opt);
+  const auto res = filter_through_hierarchy(cpu, tiny_hierarchy());
+  EXPECT_EQ(res.pcm_trace.stats().writes, 0u);
+  EXPECT_GT(res.pcm_trace.stats().reads, 10'000u);
+  EXPECT_DOUBLE_EQ(res.pcm_write_mpki, 0.0);
+}
+
+}  // namespace
+}  // namespace srbsg::perf

@@ -1,0 +1,57 @@
+#pragma once
+// Shared invariant checkers for wear-leveling scheme tests.
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "pcm/bank.hpp"
+#include "wl/wear_leveler.hpp"
+
+namespace srbsg::wl::testutil {
+
+/// Asserts that the current translation is injective and within bounds.
+inline void expect_translation_bijective(const WearLeveler& scheme) {
+  std::unordered_set<u64> seen;
+  for (u64 la = 0; la < scheme.logical_lines(); ++la) {
+    const Pa pa = scheme.translate(La{la});
+    ASSERT_LT(pa.value(), scheme.physical_lines()) << "la=" << la;
+    ASSERT_TRUE(seen.insert(pa.value()).second)
+        << "collision at la=" << la << " pa=" << pa.value();
+  }
+}
+
+/// Writes a unique token to every logical line.
+inline void tag_all_lines(WearLeveler& scheme, pcm::PcmBank& bank) {
+  for (u64 la = 0; la < scheme.logical_lines(); ++la) {
+    scheme.write(La{la}, pcm::LineData::mixed(0xD00D0000 + la), bank);
+  }
+}
+
+/// Asserts every logical line still reads back its unique token.
+inline void expect_tokens_intact(const WearLeveler& scheme, const pcm::PcmBank& bank) {
+  for (u64 la = 0; la < scheme.logical_lines(); ++la) {
+    const auto [data, lat] = scheme.read(La{la}, bank);
+    ASSERT_EQ(data.token, 0xD00D0000 + la) << "la=" << la;
+  }
+}
+
+/// Full integrity churn: tag all lines, push `writes` extra writes through
+/// one address to force many remap movements, then re-verify mapping and
+/// data. This is the core safety property of every scheme.
+inline void run_integrity_churn(WearLeveler& scheme, pcm::PcmBank& bank, u64 writes,
+                                u64 check_every = 0) {
+  tag_all_lines(scheme, bank);
+  expect_translation_bijective(scheme);
+  for (u64 i = 0; i < writes; ++i) {
+    const u64 la = i % scheme.logical_lines();
+    scheme.write(La{la}, pcm::LineData::mixed(0xD00D0000 + la), bank);
+    if (check_every != 0 && i % check_every == 0) {
+      expect_translation_bijective(scheme);
+    }
+  }
+  expect_translation_bijective(scheme);
+  expect_tokens_intact(scheme, bank);
+}
+
+}  // namespace srbsg::wl::testutil
