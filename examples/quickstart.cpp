@@ -1,11 +1,18 @@
 // Quickstart: put a Security RBSG wear-leveler in front of a PCM bank,
 // run a hot-spotted workload, and watch the wear stay flat.
 //
-//   ./quickstart [lines] [writes]
+//   ./quickstart [lines] [writes] [--audit]
+//
+// With --audit the scheme runs inside the invariant auditor, which
+// re-verifies translation injectivity, wear conservation and the DFN
+// state machine every 4096 writes (a CheckFailure aborts the run).
 
 #include <cstdlib>
+#include <cstring>
 #include <iostream>
+#include <memory>
 
+#include "audit/auditing_wear_leveler.hpp"
 #include "common/stats.hpp"
 #include "common/table.hpp"
 #include "controller/memory_controller.hpp"
@@ -15,8 +22,18 @@
 int main(int argc, char** argv) {
   using namespace srbsg;
 
-  const u64 lines = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : (1u << 14);
-  const u64 writes = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 2'000'000;
+  bool audit_enabled = false;
+  u64 positional[2] = {1u << 14, 2'000'000};
+  int npos = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--audit") == 0) {
+      audit_enabled = true;
+    } else if (npos < 2) {
+      positional[npos++] = std::strtoull(argv[i], nullptr, 10);
+    }
+  }
+  const u64 lines = positional[0];
+  const u64 writes = positional[1];
 
   // 1. Describe the PCM device (defaults follow the paper: SET 1000 ns,
   //    RESET/READ 125 ns). The endurance is irrelevant for this demo.
@@ -33,7 +50,14 @@ int main(int argc, char** argv) {
   spec.stages = 7;
 
   // 3. The controller glues the scheme to a bank and keeps simulated time.
-  ctl::MemoryController mc(pcm_cfg, wl::make_scheme(spec));
+  //    Optionally wrapped in the invariant auditor (see src/audit/).
+  std::unique_ptr<wl::WearLeveler> scheme = wl::make_scheme(spec);
+  if (audit_enabled) {
+    audit::AuditConfig acfg;
+    acfg.cadence = 4096;
+    scheme = audit::make_audited(std::move(scheme), acfg);
+  }
+  ctl::MemoryController mc(pcm_cfg, std::move(scheme));
 
   // Basic reads and writes go through the dynamic translation:
   mc.write(La{42}, pcm::LineData::mixed(/*token=*/0xC0FFEE));

@@ -3,8 +3,15 @@
 // programming errors, not recoverable conditions, so they throw
 // `std::logic_error` with source location attached; callers are expected
 // to let the exception terminate the experiment.
+//
+// Three levels of diagnosability:
+//   * check(cond, msg)        — message only (msg should name the invariant);
+//   * SRBSG_CHECK(expr)       — carries the failing expression text itself;
+//   * check_eq/check_lt/...   — carry both operand values, so an auditor
+//     failure reports *what* diverged, not just that something did.
 
 #include <source_location>
+#include <sstream>
 #include <stdexcept>
 #include <string>
 #include <string_view>
@@ -16,14 +23,95 @@ class CheckFailure : public std::logic_error {
   using std::logic_error::logic_error;
 };
 
+namespace detail {
+
+[[noreturn]] inline void throw_check_failure(std::string_view msg, std::string_view values,
+                                             std::source_location loc) {
+  std::string what(msg);
+  if (!values.empty()) {
+    what += " (";
+    what += values;
+    what += ")";
+  }
+  what += " [";
+  what += loc.file_name();
+  what += ":";
+  what += std::to_string(loc.line());
+  what += "]";
+  throw CheckFailure(what);
+}
+
+/// Renders a value for a failure message via operator<< (integers, strings,
+/// anything streamable).
+template <class T>
+[[nodiscard]] std::string display(const T& v) {
+  std::ostringstream os;
+  os << v;
+  return os.str();
+}
+
+template <class A, class B>
+[[noreturn]] void throw_cmp_failure(const A& a, const B& b, std::string_view op,
+                                    std::string_view msg, std::source_location loc) {
+  std::string values = "expected lhs ";
+  values += op;
+  values += " rhs; lhs=";
+  values += display(a);
+  values += ", rhs=";
+  values += display(b);
+  throw_check_failure(msg, values, loc);
+}
+
+}  // namespace detail
+
 /// Throws CheckFailure if `cond` is false. Used for invariants that must
 /// hold regardless of build type (simulation correctness depends on them).
 inline void check(bool cond, std::string_view msg,
                   std::source_location loc = std::source_location::current()) {
-  if (!cond) {
-    throw CheckFailure(std::string(msg) + " [" + loc.file_name() + ":" +
-                       std::to_string(loc.line()) + "]");
-  }
+  if (!cond) detail::throw_check_failure(msg, {}, loc);
+}
+
+/// Comparison checks that print both operand values on failure. Compare
+/// like-signed types; mixing signedness is a -Wsign-compare error under
+/// the default warning set.
+template <class A, class B>
+void check_eq(const A& a, const B& b, std::string_view msg,
+              std::source_location loc = std::source_location::current()) {
+  if (!(a == b)) detail::throw_cmp_failure(a, b, "==", msg, loc);
+}
+
+template <class A, class B>
+void check_ne(const A& a, const B& b, std::string_view msg,
+              std::source_location loc = std::source_location::current()) {
+  if (!(a != b)) detail::throw_cmp_failure(a, b, "!=", msg, loc);
+}
+
+template <class A, class B>
+void check_lt(const A& a, const B& b, std::string_view msg,
+              std::source_location loc = std::source_location::current()) {
+  if (!(a < b)) detail::throw_cmp_failure(a, b, "<", msg, loc);
+}
+
+template <class A, class B>
+void check_le(const A& a, const B& b, std::string_view msg,
+              std::source_location loc = std::source_location::current()) {
+  if (!(a <= b)) detail::throw_cmp_failure(a, b, "<=", msg, loc);
+}
+
+template <class A, class B>
+void check_gt(const A& a, const B& b, std::string_view msg,
+              std::source_location loc = std::source_location::current()) {
+  if (!(a > b)) detail::throw_cmp_failure(a, b, ">", msg, loc);
+}
+
+template <class A, class B>
+void check_ge(const A& a, const B& b, std::string_view msg,
+              std::source_location loc = std::source_location::current()) {
+  if (!(a >= b)) detail::throw_cmp_failure(a, b, ">=", msg, loc);
 }
 
 }  // namespace srbsg
+
+/// check() variant that carries the failing expression text; use when no
+/// better invariant name exists than the condition itself.
+#define SRBSG_CHECK(expr) ::srbsg::check((expr), "check failed: " #expr)

@@ -1,7 +1,10 @@
 #include "wl/dfn.hpp"
 
+#include <algorithm>
+
 #include "common/check.hpp"
 #include "mapping/feistel.hpp"
+#include "mapping/quality.hpp"
 #include "mapping/table_mapper.hpp"
 
 namespace srbsg::wl {
@@ -99,6 +102,42 @@ DynamicFeistelOuter::Movement DynamicFeistelOuter::advance() {
   ++remapped_;
   gap_ = src;
   return Movement{src, old_gap};
+}
+
+void DynamicFeistelOuter::validate() const {
+  const u64 n = lines();
+  const u64 populated =
+      static_cast<u64>(std::count(is_remap_.begin(), is_remap_.end(), true));
+  check_eq(populated, remapped_, "DFN: isRemap population disagrees with remapped counter");
+  check_le(remapped_, n, "DFN: remapped counter exceeds line count");
+  check_le(scan_, n, "DFN: scan pointer out of bounds");
+  switch (phase_) {
+    case Phase::kIdle:
+      // Between rounds every line is consistently mapped under ENC_Kc.
+      check_eq(remapped_, n, "DFN: idle phase with unremapped lines");
+      check(!spare_holder_.has_value(), "DFN: idle phase but a line is parked in the spare");
+      break;
+    case Phase::kInCycle:
+      check(spare_holder_.has_value(), "DFN: in-cycle phase but the spare is empty");
+      check_lt(*spare_holder_, n, "DFN: spare holder out of range");
+      check(!is_remap_[*spare_holder_], "DFN: spare holder already marked remapped");
+      check_lt(gap_, n, "DFN: Gap register out of bounds");
+      check_lt(cycle_start_, n, "DFN: cycle start out of bounds");
+      check_eq(translate(*spare_holder_), spare_ia(),
+               "DFN: spare holder does not translate to the spare");
+      check_lt(remapped_, n, "DFN: in-cycle phase after every line was remapped");
+      break;
+    case Phase::kNeedNewCycle:
+      check(!spare_holder_.has_value(), "DFN: closed cycle left a line in the spare");
+      check_lt(remapped_, n, "DFN: need-new-cycle phase with all lines remapped");
+      break;
+  }
+  // The two key epochs must each be bijections — exhaustively verifiable
+  // for the widths the tests and scaled sims use.
+  if (width_ <= 16) {
+    check(mapping::verify_bijection(*enc_p_), "DFN: ENC_Kp is not a bijection");
+    check(mapping::verify_bijection(*enc_c_), "DFN: ENC_Kc is not a bijection");
+  }
 }
 
 }  // namespace srbsg::wl

@@ -73,6 +73,12 @@ class DynamicFeistelOuter {
   /// Rounds completed since construction.
   [[nodiscard]] u64 rounds_completed() const { return rounds_completed_; }
 
+  /// Full consistency audit of the DFN state machine: Gap/scan bounds,
+  /// isRemap population vs. the remapped counter, spare-holder/phase
+  /// agreement, and (for widths small enough to enumerate) bijectivity of
+  /// both key epochs' permutations. Throws CheckFailure on violation.
+  void validate() const;
+
  private:
   enum class Phase : u8 {
     kIdle,          ///< between rounds; next advance starts a round

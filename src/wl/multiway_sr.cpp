@@ -53,6 +53,13 @@ WriteOutcome MultiWaySecurityRefresh::write(La la, const pcm::LineData& data,
   return out;
 }
 
+void MultiWaySecurityRefresh::validate_state() const {
+  for (u64 q = 0; q < cfg_.regions; ++q) {
+    regions_[q].validate();
+    check_le(counter_[q], cfg_.interval, "MultiWaySecurityRefresh: write counter overran ψ");
+  }
+}
+
 BulkOutcome MultiWaySecurityRefresh::write_repeated(La la, const pcm::LineData& data, u64 count,
                                                     pcm::PcmBank& bank) {
   BulkOutcome out;

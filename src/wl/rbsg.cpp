@@ -5,6 +5,7 @@
 #include "common/rng.hpp"
 #include "mapping/binary_matrix.hpp"
 #include "mapping/feistel.hpp"
+#include "mapping/quality.hpp"
 
 namespace srbsg::wl {
 
@@ -89,6 +90,16 @@ BulkOutcome RegionStartGap::write_repeated(La la, const pcm::LineData& data, u64
     }
   }
   return out;
+}
+
+void RegionStartGap::validate_state() const {
+  for (u64 q = 0; q < cfg_.regions; ++q) {
+    sg_[q].validate();
+    check_le(counter_[q], cfg_.interval, "RegionStartGap: region write counter overran ψ");
+  }
+  if (mapper_ && cfg_.lines <= (u64{1} << 16)) {
+    check(mapping::verify_bijection(*mapper_), "RegionStartGap: randomizer is not a bijection");
+  }
 }
 
 RbsgConfig RegionStartGap::plain_start_gap(u64 lines, u64 interval) {

@@ -63,6 +63,9 @@ class RegionStartGap final : public WearLeveler {
   [[nodiscard]] static RbsgConfig plain_start_gap(u64 lines, u64 interval);
 
   void set_rate_boost(u32 log2_divisor) override { boost_ = log2_divisor; }
+  /// Region register bounds, write-counter bounds, and (for enumerable
+  /// widths) bijectivity of the static randomizer.
+  void validate_state() const override;
   /// Effective remapping interval (configured ψ divided by the boost).
   [[nodiscard]] u64 effective_interval() const {
     const u64 iv = cfg_.interval >> boost_;

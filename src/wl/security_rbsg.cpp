@@ -71,6 +71,17 @@ WriteOutcome SecurityRbsg::write(La la, const pcm::LineData& data, pcm::PcmBank&
   return out;
 }
 
+void SecurityRbsg::validate_state() const {
+  outer_.validate();
+  check_le(outer_counter_, cfg_.outer_interval,
+           "SecurityRbsg: outer write counter overran ψ_out");
+  for (u64 q = 0; q < cfg_.sub_regions; ++q) {
+    inner_[q].validate();
+    check_le(inner_counter_[q], cfg_.inner_interval,
+             "SecurityRbsg: inner write counter overran ψ_in");
+  }
+}
+
 BulkOutcome SecurityRbsg::write_repeated(La la, const pcm::LineData& data, u64 count,
                                          pcm::PcmBank& bank) {
   BulkOutcome out;

@@ -54,6 +54,10 @@ class SecurityRbsg final : public WearLeveler {
   [[nodiscard]] const DynamicFeistelOuter& outer() const { return outer_; }
   [[nodiscard]] u64 to_ia(u64 la) const { return outer_.translate(la); }
 
+  /// DFN state-machine consistency (Gap/Kc/Kp/isRemap), inner Start-Gap
+  /// register bounds, and the inner/outer write-counter bounds.
+  void validate_state() const override;
+
   void set_rate_boost(u32 log2_divisor) override { boost_ = log2_divisor; }
   [[nodiscard]] u64 effective_inner_interval() const {
     const u64 iv = cfg_.inner_interval >> boost_;

@@ -40,6 +40,11 @@ WriteOutcome SecurityRefresh::write(La la, const pcm::LineData& data, pcm::PcmBa
   return out;
 }
 
+void SecurityRefresh::validate_state() const {
+  region_.validate();
+  check_le(counter_, cfg_.interval, "SecurityRefresh: write counter overran ψ");
+}
+
 BulkOutcome SecurityRefresh::write_repeated(La la, const pcm::LineData& data, u64 count,
                                             pcm::PcmBank& bank) {
   BulkOutcome out;

@@ -32,6 +32,10 @@ class SecurityRefresh final : public WearLeveler {
 
   [[nodiscard]] const SecurityRefreshRegion& region() const { return region_; }
 
+  void validate_state() const override;
+  /// SR movements are swaps: two line writes each.
+  [[nodiscard]] u32 writes_per_movement() const override { return 2; }
+
   void set_rate_boost(u32 log2_divisor) override { boost_ = log2_divisor; }
   [[nodiscard]] u64 effective_interval() const {
     const u64 iv = cfg_.interval >> boost_;

@@ -50,4 +50,10 @@ std::optional<SecurityRefreshRegion::SwapSlots> SecurityRefreshRegion::advance()
   return std::nullopt;
 }
 
+void SecurityRefreshRegion::validate() const {
+  check_le(crp_, lines(), "SecurityRefreshRegion: CRP out of bounds");
+  check_le(kp_, mask_, "SecurityRefreshRegion: previous key exceeds region mask");
+  check_le(kc_, mask_, "SecurityRefreshRegion: current key exceeds region mask");
+}
+
 }  // namespace srbsg::wl

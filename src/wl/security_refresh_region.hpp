@@ -43,6 +43,10 @@ class SecurityRefreshRegion {
   };
   std::optional<SwapSlots> advance();
 
+  /// Register-bound invariants (CRP in [0, lines], keys within the region
+  /// mask); throws CheckFailure on violation. Audit hook.
+  void validate() const;
+
  private:
   void maybe_begin_round();
 

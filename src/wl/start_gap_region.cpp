@@ -32,4 +32,9 @@ StartGapRegion::Movement StartGapRegion::advance() {
   return mv;
 }
 
+void StartGapRegion::validate() const {
+  check_le(gap_, lines_, "StartGapRegion: Gap register out of bounds");
+  check_lt(start_, lines_, "StartGapRegion: Start register out of bounds");
+}
+
 }  // namespace srbsg::wl

@@ -33,6 +33,10 @@ class StartGapRegion {
   };
   Movement advance();
 
+  /// Register-bound invariants (Gap in [0, M], Start in [0, M)); throws
+  /// CheckFailure on violation. Audit hook, not a fast-path check.
+  void validate() const;
+
  private:
   u64 lines_;
   u64 gap_;    ///< empty slot, in [0, M]

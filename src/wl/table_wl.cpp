@@ -69,6 +69,19 @@ WriteOutcome TableWearLeveling::write(La la, const pcm::LineData& data, pcm::Pcm
   return out;
 }
 
+void TableWearLeveling::validate_state() const {
+  check_le(counter_, cfg_.interval, "TableWearLeveling: write counter overran ψ");
+  for (u64 la = 0; la < cfg_.lines; ++la) {
+    const u64 pa = la_to_pa_[la];
+    check_lt(pa, cfg_.lines, "TableWearLeveling: LA→PA entry out of range");
+    check_eq(pa_to_la_[pa], la, "TableWearLeveling: LA→PA and PA→LA tables diverged");
+  }
+  for (u64 pa = 0; pa < cfg_.lines; ++pa) {
+    check_le(residual_[pa], total_[pa],
+             "TableWearLeveling: residual wear exceeds lifetime wear");
+  }
+}
+
 BulkOutcome TableWearLeveling::write_repeated(La la, const pcm::LineData& data, u64 count,
                                               pcm::PcmBank& bank) {
   BulkOutcome out;

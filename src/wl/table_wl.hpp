@@ -39,6 +39,12 @@ class TableWearLeveling final : public WearLeveler {
   BulkOutcome write_repeated(La la, const pcm::LineData& data, u64 count,
                              pcm::PcmBank& bank) override;
 
+  /// The LA→PA and PA→LA tables must stay mutually inverse permutations;
+  /// per-line residual counters can never exceed lifetime totals.
+  void validate_state() const override;
+  /// Table WL movements are hot/cold swaps: two line writes each.
+  [[nodiscard]] u32 writes_per_movement() const override { return 2; }
+
   void set_rate_boost(u32 log2_divisor) override { boost_ = log2_divisor; }
   [[nodiscard]] u64 effective_interval() const {
     const u64 iv = cfg_.interval >> boost_;

@@ -75,6 +75,17 @@ WriteOutcome TwoLevelSecurityRefresh::write(La la, const pcm::LineData& data,
   return out;
 }
 
+void TwoLevelSecurityRefresh::validate_state() const {
+  outer_.validate();
+  check_le(outer_counter_, cfg_.outer_interval,
+           "TwoLevelSecurityRefresh: outer write counter overran ψ_out");
+  for (u64 q = 0; q < cfg_.sub_regions; ++q) {
+    inner_[q].validate();
+    check_le(inner_counter_[q], cfg_.inner_interval,
+             "TwoLevelSecurityRefresh: inner write counter overran ψ_in");
+  }
+}
+
 BulkOutcome TwoLevelSecurityRefresh::write_repeated(La la, const pcm::LineData& data, u64 count,
                                                     pcm::PcmBank& bank) {
   BulkOutcome out;

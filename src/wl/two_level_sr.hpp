@@ -43,6 +43,12 @@ class TwoLevelSecurityRefresh final : public WearLeveler {
   /// Intermediate address of `la` under the current outer mapping.
   [[nodiscard]] u64 to_ia(u64 la) const { return outer_.translate(la); }
 
+  /// Outer and every inner SR region's register invariants plus the
+  /// inner/outer write-counter bounds.
+  void validate_state() const override;
+  /// SR movements are swaps: two line writes each.
+  [[nodiscard]] u32 writes_per_movement() const override { return 2; }
+
   void set_rate_boost(u32 log2_divisor) override { boost_ = log2_divisor; }
   [[nodiscard]] u64 effective_inner_interval() const {
     const u64 iv = cfg_.inner_interval >> boost_;

@@ -69,6 +69,19 @@ class WearLeveler {
   /// while a suspicious write stream is active. Schemes that support
   /// adaptive rates override this; the default ignores it.
   virtual void set_rate_boost(u32 log2_divisor) { (void)log2_divisor; }
+
+  /// Scheme-specific invariant audit: throws CheckFailure when internal
+  /// state (gap bounds, key/round consistency, table inversions, ...) is
+  /// corrupt. Called by the audit::AuditingWearLeveler on its cadence and
+  /// free to be O(lines) — it never runs on the simulation fast path.
+  virtual void validate_state() const {}
+
+  /// Physical line writes one remap movement costs on the bank: 1 for
+  /// move-based schemes (Start-Gap family), 2 for swap-based schemes
+  /// (Security Refresh family, table WL). The auditor uses this for the
+  /// wear-conservation identity
+  ///   bank writes == data writes issued + movements * writes_per_movement.
+  [[nodiscard]] virtual u32 writes_per_movement() const { return 1; }
 };
 
 }  // namespace srbsg::wl

@@ -8,7 +8,9 @@
 #include <gtest/gtest.h>
 
 #include <unordered_map>
+#include <utility>
 
+#include "audit/auditing_wear_leveler.hpp"
 #include "common/rng.hpp"
 #include "controller/memory_controller.hpp"
 #include "wl/factory.hpp"
@@ -93,6 +95,91 @@ std::vector<FuzzCase> all_cases() {
 }
 
 INSTANTIATE_TEST_SUITE_P(AllSchemes, SchemeFuzz, ::testing::ValuesIn(all_cases()),
+                         [](const ::testing::TestParamInfo<FuzzCase>& param_info) {
+                           std::string name(to_string(param_info.param.kind));
+                           for (char& c : name) {
+                             if (c == '-') c = '_';
+                           }
+                           return name + "_seed" + std::to_string(param_info.param.seed);
+                         });
+
+// Same differential fuzz, but with the invariant auditor wrapped around the
+// scheme at cadence 1: translation injectivity, wear conservation and the
+// scheme's own state validator are re-proved after every single operation.
+// Smaller line counts / op counts keep the O(lines) audits affordable.
+class AuditedSchemeFuzz : public ::testing::TestWithParam<FuzzCase> {};
+
+TEST_P(AuditedSchemeFuzz, EveryOpAuditedPreservesInvariants) {
+  const auto [kind, seed] = GetParam();
+  const u64 lines = 256;
+  SchemeSpec spec;
+  spec.kind = kind;
+  spec.lines = lines;
+  spec.regions = 8;
+  spec.inner_interval = 3 + seed % 11;
+  spec.outer_interval = 5 + seed % 17;
+  spec.stages = 3 + static_cast<u32>(seed % 5);
+  spec.seed = seed;
+
+  audit::AuditConfig acfg;
+  acfg.cadence = 1;
+  acfg.seed = seed;
+  auto audited = audit::make_audited(make_scheme(spec), acfg);
+  auto* auditor = audited.get();
+  ctl::MemoryController mc(pcm::PcmConfig::scaled(lines, u64{1} << 40),
+                           std::move(audited));
+
+  Rng rng(seed * 104729 + 7);
+  std::unordered_map<u64, u64> oracle;  // la -> token
+  u64 next_token = 1;
+
+  for (int op = 0; op < 4'000; ++op) {
+    const u64 la = rng.next_below(lines);
+    switch (rng.next_below(4)) {
+      case 0:
+      case 1: {
+        const u64 token = next_token++;
+        mc.write(La{la}, pcm::LineData::mixed(token));
+        oracle[la] = token;
+        break;
+      }
+      case 2: {
+        const u64 token = next_token++;
+        const u64 n = 1 + rng.next_below(100);
+        mc.write_repeated(La{la}, pcm::LineData::mixed(token), n);
+        oracle[la] = token;
+        break;
+      }
+      case 3: {
+        const auto it = oracle.find(la);
+        if (it != oracle.end()) {
+          ASSERT_EQ(mc.read(La{la}).first.token, it->second)
+              << "op " << op << " la " << la;
+        }
+        break;
+      }
+    }
+  }
+  EXPECT_GT(auditor->stats().audits_run, 0u);
+  ASSERT_NO_THROW(auditor->audit_now(mc.bank()));
+  for (const auto& [la, token] : oracle) {
+    ASSERT_EQ(mc.read(La{la}).first.token, token) << "final audit, la " << la;
+  }
+}
+
+std::vector<FuzzCase> audited_cases() {
+  std::vector<FuzzCase> cases;
+  for (SchemeKind kind : {SchemeKind::kNone, SchemeKind::kStartGap, SchemeKind::kRbsg,
+                          SchemeKind::kSr1, SchemeKind::kSr2, SchemeKind::kMultiWaySr,
+                          SchemeKind::kSecurityRbsg, SchemeKind::kTable}) {
+    for (u64 seed : {1u, 2u}) {
+      cases.push_back({kind, seed});
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSchemes, AuditedSchemeFuzz, ::testing::ValuesIn(audited_cases()),
                          [](const ::testing::TestParamInfo<FuzzCase>& param_info) {
                            std::string name(to_string(param_info.param.kind));
                            for (char& c : name) {

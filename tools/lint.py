@@ -1,0 +1,113 @@
+#!/usr/bin/env python3
+"""Repo-specific lint rules the simulator's correctness story depends on.
+
+Rules (enforced over src/ only; tests and benches are exempt):
+  R1  no libc/std randomness or wall-clock sources — every stochastic
+      component must take an explicit seed (rand/srand, std::random_device,
+      time(...), <ctime>/<cstdlib> randomness are all banned);
+  R2  no bare assert() — invariants use srbsg::check / SRBSG_CHECK /
+      check_eq & friends, which stay armed in release builds and throw a
+      diagnosable CheckFailure instead of aborting;
+  R3  include hygiene — headers open with #pragma once, quoted includes
+      are src/-relative (no "../" escapes) and must resolve, angle
+      brackets are reserved for system/third-party headers, and <bits/...>
+      internals are banned;
+  R4  no `using namespace std` at any scope.
+
+Exit status 0 when clean, 1 when any finding is reported.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC_ROOT = REPO_ROOT / "src"
+
+# (rule, regex, message). Patterns are matched per line after comment
+# stripping, so prose in comments can mention rand()/time() freely.
+BANNED_PATTERNS = [
+    ("R1", re.compile(r"\b(?:std::)?s?rand\s*\("),
+     "rand()/srand() banned: use srbsg::Rng with an explicit seed"),
+    ("R1", re.compile(r"\bstd::random_device\b"),
+     "std::random_device banned: seeds must be explicit and reproducible"),
+    ("R1", re.compile(r"(?<![\w.:])time\s*\(\s*(?:NULL|nullptr|0|\))"),
+     "time() banned: simulated time only; seeds must be explicit"),
+    ("R1", re.compile(r"#\s*include\s*<ctime>"),
+     "<ctime> banned: no wall-clock sources in the simulator"),
+    ("R2", re.compile(r"(?<![\w.:])assert\s*\("),
+     "bare assert() banned: use srbsg::check / SRBSG_CHECK / check_eq family"),
+    ("R2", re.compile(r"#\s*include\s*<(?:cassert|assert\.h)>"),
+     "<cassert> banned: use common/check.hpp"),
+    ("R3", re.compile(r"#\s*include\s*\"\.\./"),
+     'relative "../" include banned: includes are src/-relative'),
+    ("R3", re.compile(r"#\s*include\s*<bits/"),
+     "<bits/...> internals banned: include the standard header"),
+    ("R4", re.compile(r"\busing\s+namespace\s+std\s*;"),
+     "`using namespace std` banned"),
+]
+
+QUOTED_INCLUDE = re.compile(r"#\s*include\s*\"([^\"]+)\"")
+LINE_COMMENT = re.compile(r"//.*$")
+
+
+def strip_comments(text: str) -> list[str]:
+    """Returns the file's lines with comment text blanked (newlines kept so
+    line numbers stay stable)."""
+    # Blank /* ... */ ranges first, preserving newlines.
+    def blank(match: re.Match[str]) -> str:
+        return re.sub(r"[^\n]", " ", match.group(0))
+
+    text = re.sub(r"/\*.*?\*/", blank, text, flags=re.S)
+    return [LINE_COMMENT.sub("", line) for line in text.splitlines()]
+
+
+def first_code_line(lines: list[str]) -> str:
+    for line in lines:
+        if line.strip():
+            return line.strip()
+    return ""
+
+
+def lint_file(path: Path) -> list[str]:
+    findings = []
+    rel = path.relative_to(REPO_ROOT)
+    lines = strip_comments(path.read_text(encoding="utf-8"))
+
+    if path.suffix == ".hpp" and first_code_line(lines) != "#pragma once":
+        findings.append(f"{rel}:1: R3: header must open with #pragma once")
+
+    for lineno, line in enumerate(lines, start=1):
+        for rule, pattern, message in BANNED_PATTERNS:
+            if pattern.search(line):
+                findings.append(f"{rel}:{lineno}: {rule}: {message}")
+        for match in QUOTED_INCLUDE.finditer(line):
+            target = match.group(1)
+            if not (SRC_ROOT / target).is_file():
+                findings.append(
+                    f"{rel}:{lineno}: R3: quoted include \"{target}\" does not "
+                    "resolve src/-relative (system headers use <...>)")
+    return findings
+
+
+def main() -> int:
+    files = sorted(p for p in SRC_ROOT.rglob("*") if p.suffix in (".hpp", ".cpp"))
+    if not files:
+        print("lint.py: no sources found under src/", file=sys.stderr)
+        return 1
+    findings = []
+    for path in files:
+        findings.extend(lint_file(path))
+    for finding in findings:
+        print(finding)
+    if findings:
+        print(f"lint.py: {len(findings)} finding(s) in {len(files)} files", file=sys.stderr)
+        return 1
+    print(f"lint.py: clean ({len(files)} files)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
