@@ -15,6 +15,8 @@
 #include <stdexcept>
 #include <string>
 #include <string_view>
+#include <type_traits>
+#include <utility>
 
 namespace srbsg {
 
@@ -108,6 +110,21 @@ template <class A, class B>
 void check_ge(const A& a, const B& b, std::string_view msg,
               std::source_location loc = std::source_location::current()) {
   if (!(a >= b)) detail::throw_cmp_failure(a, b, ">=", msg, loc);
+}
+
+/// Checked replacement for a narrowing `static_cast`: converts `v` to the
+/// (narrower) integral type `To`, throwing CheckFailure when the value does
+/// not round-trip. Use at width boundaries (u64 simulator state feeding u32
+/// report fields) so silent truncation cannot corrupt results.
+template <class To, class From>
+[[nodiscard]] To checked_narrow(From v,
+                                std::source_location loc = std::source_location::current()) {
+  static_assert(std::is_integral_v<To> && std::is_integral_v<From>,
+                "checked_narrow is for integral conversions");
+  if (!std::in_range<To>(v)) {
+    detail::throw_check_failure("narrowing conversion lost value", detail::display(+v), loc);
+  }
+  return static_cast<To>(v);
 }
 
 }  // namespace srbsg

@@ -21,12 +21,12 @@ std::vector<u64> gf2_invert(std::vector<u64> rows, u32 width_bits) {
   for (std::size_t col = 0; col < n; ++col) {
     // Find pivot with bit `col` set at or below row `col`.
     std::size_t pivot = col;
-    while (pivot < n && !bit_of(rows[pivot], static_cast<u32>(col))) ++pivot;
+    while (pivot < n && !bit_of(rows[pivot], checked_narrow<u32>(col))) ++pivot;
     if (pivot == n) return {};  // singular
     std::swap(rows[col], rows[pivot]);
     std::swap(inv[col], inv[pivot]);
     for (std::size_t r = 0; r < n; ++r) {
-      if (r != col && bit_of(rows[r], static_cast<u32>(col))) {
+      if (r != col && bit_of(rows[r], checked_narrow<u32>(col))) {
         rows[r] ^= rows[col];
         inv[r] ^= inv[col];
       }

@@ -24,7 +24,7 @@ QualityReport measure_quality(const AddressMapper& mapper, std::size_t samples,
     const u64 x = rng.next_below(domain);
     const u64 y = mapper.map(x);
     if (x == y) ++fixed;
-    const u32 bit = static_cast<u32>(rng.next_below(width));
+    const u32 bit = checked_narrow<u32>(rng.next_below(width));
     const u64 x2 = x ^ (u64{1} << bit);
     if (x2 < domain) {
       const u64 y2 = mapper.map(x2);

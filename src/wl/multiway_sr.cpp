@@ -47,7 +47,7 @@ WriteOutcome MultiWaySecurityRefresh::write(La la, const pcm::LineData& data,
     counter_[q] = 0;
     u64 moved = 0;
     out.stall = do_step(q, bank, &moved);
-    out.movements = static_cast<u32>(moved);
+    out.movements = checked_narrow<u32>(moved);
     out.total += out.stall;
   }
   return out;

@@ -13,6 +13,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/check.hpp"
 #include "mapping/mapper.hpp"
 #include "wl/start_gap_region.hpp"
 #include "wl/wear_leveler.hpp"
@@ -62,7 +63,10 @@ class RegionStartGap final : public WearLeveler {
   /// randomizer).
   [[nodiscard]] static RbsgConfig plain_start_gap(u64 lines, u64 interval);
 
-  void set_rate_boost(u32 log2_divisor) override { boost_ = log2_divisor; }
+  void set_rate_boost(u32 log2_divisor) override {
+    check_lt(log2_divisor, u32{64}, "set_rate_boost: boost shifts past the interval width");
+    boost_ = log2_divisor;
+  }
   /// Region register bounds, write-counter bounds, and (for enumerable
   /// widths) bijectivity of the static randomizer.
   void validate_state() const override;

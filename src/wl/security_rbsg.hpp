@@ -16,6 +16,7 @@
 
 #include <vector>
 
+#include "common/check.hpp"
 #include "wl/dfn.hpp"
 #include "wl/start_gap_region.hpp"
 #include "wl/wear_leveler.hpp"
@@ -58,7 +59,10 @@ class SecurityRbsg final : public WearLeveler {
   /// register bounds, and the inner/outer write-counter bounds.
   void validate_state() const override;
 
-  void set_rate_boost(u32 log2_divisor) override { boost_ = log2_divisor; }
+  void set_rate_boost(u32 log2_divisor) override {
+    check_lt(log2_divisor, u32{64}, "set_rate_boost: boost shifts past the interval width");
+    boost_ = log2_divisor;
+  }
   [[nodiscard]] u64 effective_inner_interval() const {
     const u64 iv = cfg_.inner_interval >> boost_;
     return iv == 0 ? 1 : iv;

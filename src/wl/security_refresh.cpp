@@ -34,7 +34,7 @@ WriteOutcome SecurityRefresh::write(La la, const pcm::LineData& data, pcm::PcmBa
     counter_ = 0;
     u64 moved = 0;
     out.stall = do_step(bank, &moved);
-    out.movements = static_cast<u32>(moved);
+    out.movements = checked_narrow<u32>(moved);
     out.total += out.stall;
   }
   return out;

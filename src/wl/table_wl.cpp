@@ -63,7 +63,7 @@ WriteOutcome TableWearLeveling::write(La la, const pcm::LineData& data, pcm::Pcm
     counter_ = 0;
     u64 moved = 0;
     out.stall = do_swap(bank, &moved);
-    out.movements = static_cast<u32>(moved);
+    out.movements = checked_narrow<u32>(moved);
     out.total += out.stall;
   }
   return out;

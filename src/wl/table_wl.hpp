@@ -16,6 +16,7 @@
 
 #include <vector>
 
+#include "common/check.hpp"
 #include "wl/wear_leveler.hpp"
 
 namespace srbsg::wl {
@@ -45,7 +46,10 @@ class TableWearLeveling final : public WearLeveler {
   /// Table WL movements are hot/cold swaps: two line writes each.
   [[nodiscard]] u32 writes_per_movement() const override { return 2; }
 
-  void set_rate_boost(u32 log2_divisor) override { boost_ = log2_divisor; }
+  void set_rate_boost(u32 log2_divisor) override {
+    check_lt(log2_divisor, u32{64}, "set_rate_boost: boost shifts past the interval width");
+    boost_ = log2_divisor;
+  }
   [[nodiscard]] u64 effective_interval() const {
     const u64 iv = cfg_.interval >> boost_;
     return iv == 0 ? 1 : iv;

@@ -70,7 +70,7 @@ WriteOutcome TwoLevelSecurityRefresh::write(La la, const pcm::LineData& data,
     stall += do_outer_step(bank, &moved);
   }
   out.stall = stall;
-  out.movements = static_cast<u32>(moved);
+  out.movements = checked_narrow<u32>(moved);
   out.total += stall;
   return out;
 }

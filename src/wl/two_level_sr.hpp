@@ -7,6 +7,7 @@
 
 #include <vector>
 
+#include "common/check.hpp"
 #include "wl/security_refresh_region.hpp"
 #include "wl/wear_leveler.hpp"
 
@@ -49,7 +50,10 @@ class TwoLevelSecurityRefresh final : public WearLeveler {
   /// SR movements are swaps: two line writes each.
   [[nodiscard]] u32 writes_per_movement() const override { return 2; }
 
-  void set_rate_boost(u32 log2_divisor) override { boost_ = log2_divisor; }
+  void set_rate_boost(u32 log2_divisor) override {
+    check_lt(log2_divisor, u32{64}, "set_rate_boost: boost shifts past the interval width");
+    boost_ = log2_divisor;
+  }
   [[nodiscard]] u64 effective_inner_interval() const {
     const u64 iv = cfg_.inner_interval >> boost_;
     return iv == 0 ? 1 : iv;

@@ -1,0 +1,35 @@
+// srbsg-analyze fixture: seeded a1-width violations (clean twin:
+// a1_width_clean.cpp). Every line carrying a violation ends with an
+// `EXPECT:` annotation; the selftest asserts the analyzer reports
+// exactly those (file, line, check) triples and nothing else.
+#include <cstdint>
+
+namespace fixture {
+
+using u32 = std::uint32_t;
+using u64 = std::uint64_t;
+
+void sink32(u32 v);
+
+u32 narrow_return(u64 line) {
+  return static_cast<u32>(line);  // EXPECT: a1-width
+}
+
+u64 narrow_local(u64 wear_count) {
+  u32 truncated = wear_count;  // EXPECT: a1-width
+  return truncated;
+}
+
+void narrow_argument(u64 addr) {
+  sink32(addr);  // EXPECT: a1-width
+}
+
+u32 narrow_c_cast(u64 physical_line) {
+  return (u32)physical_line;  // EXPECT: a1-width
+}
+
+u32 suppressed_narrow(u64 line) {
+  return static_cast<u32>(line & 0xffu);  // srbsg-analyze: suppress(a1-width) masked to 8 bits  EXPECT-SUPPRESSED: a1-width
+}
+
+}  // namespace fixture

@@ -1,0 +1,44 @@
+// srbsg-analyze fixture: clean twin of a1_width_bad.cpp. Same shapes,
+// zero findings expected: arithmetic stays in 64 bits, provably-fitting
+// literals are exempt, and the checked_narrow helper is the sanctioned
+// narrowing sink wherever it is defined.
+#include <cstdint>
+
+namespace fixture {
+
+using u32 = std::uint32_t;
+using u64 = std::uint64_t;
+
+template <class To, class From>
+To checked_narrow(From v) {
+  To t = static_cast<To>(v);
+  return t;
+}
+
+void sink64(u64 v);
+
+u64 wide_return(u64 line) {
+  return line;
+}
+
+u64 wide_local(u64 wear_count) {
+  u64 kept = wear_count;
+  return kept;
+}
+
+void wide_argument(u64 addr) {
+  sink64(addr);
+}
+
+u32 literal_fits() {
+  u64 five = 5;
+  (void)five;
+  u32 small = 7ul;  // 64-bit literal that provably fits: exempt
+  return small;
+}
+
+u32 sanctioned_narrow(u64 line) {
+  return checked_narrow<u32>(line & 0xffu);
+}
+
+}  // namespace fixture

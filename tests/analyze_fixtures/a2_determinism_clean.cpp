@@ -1,0 +1,37 @@
+// srbsg-analyze fixture: clean twin of a2_determinism_bad.cpp. The same
+// jobs done deterministically: explicit seeds, value hashing, ordered
+// iteration. Zero findings expected.
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <random>
+
+namespace fixture {
+
+std::uint64_t seeded_randomness(std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  return rng() & 0x7f;
+}
+
+long simulated_clock(long now_ns, long step_ns) {
+  return now_ns + step_ns;
+}
+
+unsigned explicit_seed(unsigned seed) {
+  return seed * 2654435761u;
+}
+
+std::size_t value_hash(long v) {
+  std::hash<long> hasher;
+  return hasher(v);
+}
+
+long ordered_iteration(const std::map<long, long>& histogram) {
+  long checksum = 0;
+  for (const auto& kv : histogram) {
+    checksum = checksum * 31 + kv.second;
+  }
+  return checksum;
+}
+
+}  // namespace fixture

@@ -1,0 +1,46 @@
+// srbsg-analyze fixture: seeded a3-race violations (clean twin:
+// a3_race_clean.cpp). A miniature ThreadPool mirrors the interface of
+// common/thread_pool.hpp; the seeded lambdas mutate captured state with
+// no synchronization. Findings anchor to the submitting call.
+#include <cstddef>
+#include <utility>
+
+namespace fixture {
+
+struct ThreadPool {
+  template <class F>
+  void submit(F&& fn) {
+    std::forward<F>(fn)();
+  }
+};
+
+template <class F>
+void parallel_for(ThreadPool& pool, std::size_t n, F&& fn) {
+  for (std::size_t i = 0; i < n; ++i) {
+    fn(i);
+  }
+}
+
+long racy_counter(ThreadPool& pool) {
+  long total = 0;
+  pool.submit([&total] { ++total; });  // EXPECT: a3-race
+  return total;
+}
+
+void racy_shared_slot(ThreadPool& pool, long* out) {
+  pool.submit([&out] { out[0] = 1; });  // EXPECT: a3-race
+}
+
+long racy_accumulate(ThreadPool& pool, std::size_t n, long* out) {
+  long sum = 0;
+  parallel_for(pool, n, [&sum, out](std::size_t i) { sum += out[i]; });  // EXPECT: a3-race
+  return sum;
+}
+
+long suppressed_race(ThreadPool& pool) {
+  long total = 0;
+  pool.submit([&total] { ++total; });  // srbsg-analyze: suppress(a3-race) fixture-only  EXPECT-SUPPRESSED: a3-race
+  return total;
+}
+
+}  // namespace fixture

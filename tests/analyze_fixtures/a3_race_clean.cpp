@@ -1,0 +1,61 @@
+// srbsg-analyze fixture: clean twin of a3_race_bad.cpp. The same work
+// shapes, correctly synchronized: disjoint slices indexed by the task
+// parameter, lock-guarded bodies, atomic counters, read-only captures,
+// and mutation in lambdas that are never pool-submitted.
+#include <atomic>
+#include <cstddef>
+#include <mutex>
+#include <utility>
+
+namespace fixture {
+
+struct ThreadPool {
+  template <class F>
+  void submit(F&& fn) {
+    std::forward<F>(fn)();
+  }
+};
+
+template <class F>
+void parallel_for(ThreadPool& pool, std::size_t n, F&& fn) {
+  for (std::size_t i = 0; i < n; ++i) {
+    fn(i);
+  }
+}
+
+void disjoint_slices(ThreadPool& pool, std::size_t n, long* out) {
+  parallel_for(pool, n, [out](std::size_t i) { out[i] += 1; });
+}
+
+long guarded_counter(ThreadPool& pool, std::mutex& m) {
+  long total = 0;
+  pool.submit([&total, &m] {
+    std::lock_guard<std::mutex> guard(m);
+    ++total;
+  });
+  return total;
+}
+
+long atomic_counter(ThreadPool& pool, std::atomic<long>& total) {
+  pool.submit([&total] { total.fetch_add(1); });
+  return total.load();
+}
+
+long read_only_capture(ThreadPool& pool, long seed) {
+  pool.submit([seed] {
+    long copy = seed;
+    (void)copy;
+  });
+  return seed;
+}
+
+long unsubmitted_lambda(long n) {
+  long total = 0;
+  auto bump = [&total] { ++total; };
+  for (long i = 0; i < n; ++i) {
+    bump();
+  }
+  return total;
+}
+
+}  // namespace fixture

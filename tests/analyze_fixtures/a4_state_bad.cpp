@@ -1,0 +1,29 @@
+// srbsg-analyze fixture: seeded a4-state violations (clean twin:
+// a4_state_clean.cpp). Mutable state outside the scheme object: a
+// namespace-scope counter, a static local, and a static data member —
+// each silently couples scheme instances across parallel sweeps.
+#include <cstdint>
+
+namespace fixture {
+
+std::uint64_t g_total_writes = 0;  // EXPECT: a4-state
+
+long remap_counter() {
+  static long calls = 0;  // EXPECT: a4-state
+  ++calls;
+  return calls;
+}
+
+struct SchemeStats {
+  static long instances;  // EXPECT: a4-state
+  long local_count = 0;
+};
+
+std::uint64_t g_debug_epoch = 0;  // srbsg-analyze: suppress(a4-state) fixture-only  EXPECT-SUPPRESSED: a4-state
+
+std::uint64_t bump() {
+  g_total_writes += 1;
+  return g_total_writes;
+}
+
+}  // namespace fixture

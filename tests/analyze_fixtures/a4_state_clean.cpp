@@ -1,0 +1,29 @@
+// srbsg-analyze fixture: clean twin of a4_state_bad.cpp. The same
+// shapes, made legitimate: immutable constants (constexpr/const), a
+// const static-local table, and per-instance fields on the scheme
+// object. Zero findings expected.
+#include <cstdint>
+
+namespace fixture {
+
+constexpr std::uint64_t kLineCount = 64;
+const std::uint64_t kStepSeed = 3;
+
+std::uint64_t table_lookup(std::uint64_t i) {
+  static const std::uint64_t kTable[4] = {1, 3, 5, 7};
+  return kTable[i & 3u];
+}
+
+struct SchemeStats {
+  std::uint64_t instance_writes = 0;
+  std::uint64_t local_count = 0;
+};
+
+std::uint64_t bump(SchemeStats& stats) {
+  std::uint64_t scratch = stats.instance_writes;
+  scratch += kStepSeed;
+  stats.instance_writes = scratch;
+  return scratch + kLineCount;
+}
+
+}  // namespace fixture

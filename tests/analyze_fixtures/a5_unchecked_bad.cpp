@@ -1,0 +1,36 @@
+// srbsg-analyze fixture: seeded a5-unchecked violations (clean twin:
+// a5_unchecked_clean.cpp). A WearLeveler-derived scheme whose public
+// entry points use address/width parameters without ever reaching the
+// check family — including through a non-checking local helper, which
+// the whole-program closure must see through.
+#include <cstdint>
+
+namespace fixture {
+
+using u32 = std::uint32_t;
+using u64 = std::uint64_t;
+
+struct WearLeveler {
+  virtual ~WearLeveler() = default;
+  virtual u64 translate(u64 la) = 0;
+  virtual void set_rate_boost(u32 log2_divisor) {}
+};
+
+struct BadScheme : WearLeveler {
+  explicit BadScheme(u64 lines) { lines_ = lines; }  // EXPECT: a5-unchecked
+
+  u64 translate(u64 la) override { return mix(la); }  // EXPECT: a5-unchecked
+
+  void set_rate_boost(u32 log2_divisor) override {  // EXPECT: a5-unchecked
+    boost_ = log2_divisor;
+  }
+
+  u64 read(u64 la) { return la + lines_; }  // srbsg-analyze: suppress(a5-unchecked) fixture-only  EXPECT-SUPPRESSED: a5-unchecked
+
+  u64 mix(u64 la) { return la ^ (lines_ >> 1); }
+
+  u64 lines_ = 0;
+  u32 boost_ = 0;
+};
+
+}  // namespace fixture

@@ -1,0 +1,51 @@
+// srbsg-analyze fixture: clean twin of a5_unchecked_bad.cpp. Every
+// entry point reaches the check family: directly, through a checking
+// local helper (the closure must credit it), or through an external
+// callee whose body is unseen (trusted). Unused parameters are voided
+// and non-WearLeveler classes are out of scope.
+#include <cstdint>
+
+namespace fixture {
+
+using u32 = std::uint32_t;
+using u64 = std::uint64_t;
+
+void check_lt(u64 value, u64 limit);
+u64 mix64(u64 v);
+
+struct WearLeveler {
+  virtual ~WearLeveler() = default;
+  virtual u64 translate(u64 la) = 0;
+  virtual void set_rate_boost(u32 log2_divisor) {}
+};
+
+struct GoodScheme : WearLeveler {
+  explicit GoodScheme(u64 lines) {
+    check_lt(lines, u64{1} << 22);
+    lines_ = lines;
+  }
+
+  u64 translate(u64 la) override {
+    check_lt(la, lines_);
+    return la ^ (lines_ >> 1);
+  }
+
+  u64 write(u64 la) { return validated(la) + 1; }
+
+  u64 read(u64 la) { return mix64(la); }
+
+  void set_rate_boost(u32 log2_divisor) override { (void)log2_divisor; }
+
+  u64 validated(u64 la) {
+    check_lt(la, lines_);
+    return la;
+  }
+
+  u64 lines_ = 0;
+};
+
+struct NotAScheme {
+  u64 translate(u64 la) { return la + 1; }
+};
+
+}  // namespace fixture

@@ -1,0 +1,207 @@
+#!/usr/bin/env python3
+"""srbsg-analyze: AST-accurate domain static analysis for the simulator.
+
+The third leg of the correctness stack (lint -> runtime audit -> static
+analysis).  Drives plain `clang -Xclang -ast-dump=json` over the
+CMake-exported compile database and runs domain-specific checks:
+
+  a1-width          64-bit address/wear values narrowed below 64 bits
+  a2-determinism    randomness / wall clock / pointer hashing /
+                    unordered-container iteration (includes the regex
+                    pre-pass folded in from tools/lint.py R1)
+  a3-race           unsynchronized shared-state writes in pool lambdas
+  a4-state          mutable static state inside wear-leveling schemes
+  a5-unchecked      WearLeveler entry points with unvalidated parameters
+
+Usage:
+  python3 tools/analyze                         # src/ against the baseline
+  python3 tools/analyze --paths src/wl          # restrict to a subtree
+  python3 tools/analyze --sources f.cpp -- -I.  # standalone sources
+  python3 tools/analyze --ast-json dump.json    # pre-dumped AST (testing)
+  python3 tools/analyze --write-baseline        # accept current findings
+
+Exit status: 0 clean (or AST layer skipped: no clang), 1 new findings,
+2 usage/internal error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+import baseline as baseline_mod
+import driver
+import prepass
+import report
+from checks import ALL_CHECKS, CHECKS_BY_ID
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.dirname(
+    os.path.abspath(__file__))))
+DEFAULT_BASELINE = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                                "baseline.json")
+
+
+def parse_args(argv: list[str]) -> argparse.Namespace:
+    extra_args: list[str] = []
+    if "--" in argv:
+        split = argv.index("--")
+        extra_args = argv[split + 1:]
+        argv = argv[:split]
+    parser = argparse.ArgumentParser(prog="srbsg-analyze",
+                                     description=__doc__.splitlines()[0])
+    parser.add_argument("--compile-db", default=None,
+                        help="compile_commands.json (default: repo root "
+                             "symlink, then build/)")
+    parser.add_argument("--paths", nargs="*", default=None,
+                        help="restrict analysis to these repo-relative paths")
+    parser.add_argument("--sources", nargs="*", default=None,
+                        help="analyze standalone sources (flags after --)")
+    parser.add_argument("--ast-json", action="append", default=None,
+                        help="analyze a pre-dumped clang JSON AST (testing)")
+    parser.add_argument("--checks", default=None,
+                        help="comma-separated check ids (default: all)")
+    parser.add_argument("--list-checks", action="store_true")
+    parser.add_argument("--baseline", default=DEFAULT_BASELINE)
+    parser.add_argument("--no-baseline", action="store_true",
+                        help="ignore the baseline file")
+    parser.add_argument("--write-baseline", action="store_true",
+                        help="accept current new findings into the baseline")
+    parser.add_argument("--clang", default=None, help="clang driver to use")
+    parser.add_argument("--no-pre-pass", action="store_true",
+                        help="skip the regex R1 pre-pass")
+    parser.add_argument("--jobs", type=int, default=0)
+    parser.add_argument("--json", action="store_true", dest="json_output")
+    parser.add_argument("--repo-root", default=REPO_ROOT,
+                        help=argparse.SUPPRESS)
+    args = parser.parse_args(argv)
+    args.extra_args = extra_args
+    return args
+
+
+def resolve_checks(spec: str | None) -> list[str]:
+    if not spec:
+        return [c.id for c in ALL_CHECKS]
+    ids = [part.strip() for part in spec.split(",") if part.strip()]
+    for check_id in ids:
+        if check_id not in CHECKS_BY_ID:
+            raise SystemExit(f"srbsg-analyze: unknown check '{check_id}' "
+                             f"(known: {', '.join(CHECKS_BY_ID)})")
+    return ids
+
+
+def find_compile_db(args: argparse.Namespace) -> str | None:
+    candidates = [args.compile_db] if args.compile_db else [
+        os.path.join(args.repo_root, "compile_commands.json"),
+        os.path.join(args.repo_root, "build", "compile_commands.json"),
+    ]
+    for candidate in candidates:
+        if candidate and os.path.isfile(candidate):
+            return candidate
+    return None
+
+
+def main(argv: list[str]) -> int:
+    args = parse_args(argv)
+    if args.list_checks:
+        for cls in ALL_CHECKS:
+            scope = ", ".join(cls.scope_dirs) if cls.scope_dirs else "src/"
+            print(f"{cls.id:16} [{scope}] {cls.description}")
+        return 0
+
+    check_ids = resolve_checks(args.checks)
+    repo_root = os.path.abspath(args.repo_root)
+    src_root = os.path.join(repo_root, "src")
+    findings: list[dict] = []
+    errors: list[str] = []
+    merged_functions: dict = {}
+    merged_entries: list[dict] = []
+    skipped_notice = ""
+    tus: list[dict] = []
+
+    if args.ast_json:
+        # Testing mode: run the checks over pre-dumped ASTs, no clang.
+        for path in args.ast_json:
+            try:
+                with open(path, encoding="utf-8") as fh:
+                    root = json.load(fh)
+            except (OSError, json.JSONDecodeError) as err:
+                print(f"srbsg-analyze: cannot load {path}: {err}",
+                      file=sys.stderr)
+                return 2
+            ctx = driver.analyze_ast(root, repo_root, src_root,
+                                     [CHECKS_BY_ID[c] for c in check_ids])
+            findings.extend(ctx.findings)
+            for key, rec in ctx.a5_functions.items():
+                merged = merged_functions.setdefault(
+                    key, {"name": rec["name"], "sig": rec["sig"],
+                          "checks": False, "calls": set()})
+                merged["checks"] = merged["checks"] or rec["checks"]
+                merged["calls"].update(rec["calls"])
+            merged_entries.extend(ctx.a5_entries)
+    else:
+        clang = driver.find_clang(args.clang)
+        if args.sources:
+            tus = [{"file": os.path.abspath(s),
+                    "rel": os.path.relpath(os.path.abspath(s), repo_root),
+                    "flags": list(args.extra_args)} for s in args.sources]
+        else:
+            db_path = find_compile_db(args)
+            if db_path is None:
+                print("srbsg-analyze: no compile_commands.json found — "
+                      "configure the build first (cmake -B build -S .)",
+                      file=sys.stderr)
+                return 2
+            tus = driver.select_tus(driver.load_compile_db(db_path),
+                                    repo_root, args.paths)
+        if clang is None:
+            skipped_notice = ("srbsg-analyze: clang not found — AST checks "
+                              "skipped (regex pre-pass only); install clang "
+                              "to run the full analysis")
+        else:
+            findings, merged_functions, merged_entries, errors = \
+                driver.run_tus(clang, tus, repo_root, src_root, check_ids,
+                               args.jobs)
+
+    if "a5-unchecked" in check_ids and (merged_functions or merged_entries):
+        from checks import UncheckedCheck
+        findings.extend(UncheckedCheck.finalize(
+            merged_functions, merged_entries, UncheckedCheck.suggestion))
+
+    if not args.no_pre_pass and "a2-determinism" in check_ids \
+            and not args.ast_json:
+        scan = prepass.prepass_files(
+            repo_root, tus,
+            [os.path.relpath(os.path.abspath(s), repo_root)
+             for s in (args.sources or [])])
+        findings = prepass.merge_prepass(
+            findings, prepass.run_prepass(repo_root, scan))
+
+    base = {} if (args.no_baseline or args.write_baseline) else \
+        baseline_mod.load_baseline(args.baseline)
+    suppressions = baseline_mod.SuppressionIndex(repo_root)
+    new, baselined, suppressed = baseline_mod.filter_findings(
+        findings, base, suppressions)
+
+    if args.write_baseline:
+        previous = baseline_mod.load_baseline(args.baseline)
+        baseline_mod.write_baseline(args.baseline, new, previous)
+        print(f"srbsg-analyze: baseline written to {args.baseline} "
+              f"({len(new)} entrie(s))")
+        return 0
+
+    if args.json_output:
+        report.print_json(new, baselined, suppressed, errors,
+                          bool(skipped_notice))
+        if skipped_notice:
+            print(skipped_notice, file=sys.stderr)
+    else:
+        report.print_text(new, baselined, suppressed, errors, skipped_notice)
+    return 1 if new else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

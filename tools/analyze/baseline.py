@@ -1,0 +1,140 @@
+"""Baseline and suppression handling for srbsg-analyze.
+
+Two ways to accept a finding:
+
+* an inline suppression comment on the finding's line or the line above:
+      // srbsg-analyze: suppress(a1-width) <one-line justification>
+  (multiple ids: suppress(a1-width,a2-determinism));
+
+* a committed baseline entry (tools/analyze/baseline.json), keyed by
+  (check, file, context, message) — deliberately *not* by line number,
+  so unrelated edits shifting code do not invalidate the baseline.
+
+`--write-baseline` regenerates the file from the current findings,
+preserving justifications of entries whose keys survive.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+from typing import Optional
+
+SUPPRESS_RE = re.compile(r"srbsg-analyze:\s*suppress\(([a-z0-9,\s-]+)\)")
+
+
+class SuppressionIndex:
+    """Lazy per-file index of suppression comments."""
+
+    def __init__(self, repo_root: str):
+        self.repo_root = repo_root
+        self._cache: dict[str, dict[int, set]] = {}
+
+    def _load(self, rel: str) -> dict[int, set]:
+        cached = self._cache.get(rel)
+        if cached is not None:
+            return cached
+        index: dict[int, set] = {}
+        path = os.path.join(self.repo_root, rel)
+        if os.path.isfile(path):
+            try:
+                with open(path, encoding="utf-8", errors="replace") as fh:
+                    for lineno, line in enumerate(fh, start=1):
+                        match = SUPPRESS_RE.search(line)
+                        if match:
+                            ids = {part.strip() for part in
+                                   match.group(1).split(",") if part.strip()}
+                            index[lineno] = ids
+            except OSError:
+                pass
+        self._cache[rel] = index
+        return index
+
+    def is_suppressed(self, finding: dict) -> bool:
+        index = self._load(finding["file"])
+        if not index:
+            return False
+        line = finding.get("line", 0)
+        for candidate in (line, line - 1):
+            ids = index.get(candidate)
+            if ids and finding["check"] in ids:
+                return True
+        return False
+
+
+def _key(finding: dict) -> tuple:
+    return (finding["check"], finding["file"], finding.get("context", ""),
+            finding["message"])
+
+
+def load_baseline(path: str) -> dict:
+    """Maps baseline key -> entry dict; empty when the file is absent."""
+    if not os.path.isfile(path):
+        return {}
+    with open(path, encoding="utf-8") as fh:
+        data = json.load(fh)
+    entries = {}
+    for entry in data.get("findings", []):
+        key = (entry.get("check", ""), entry.get("file", ""),
+               entry.get("context", ""), entry.get("message", ""))
+        entries[key] = entry
+    return entries
+
+
+def write_baseline(path: str, findings: list[dict],
+                   previous: Optional[dict] = None) -> None:
+    previous = previous or {}
+    entries = []
+    seen = set()
+    for finding in findings:
+        key = _key(finding)
+        if key in seen:
+            continue
+        seen.add(key)
+        old = previous.get(key, {})
+        entries.append({
+            "check": finding["check"],
+            "file": finding["file"],
+            "context": finding.get("context", ""),
+            "message": finding["message"],
+            "justification": old.get("justification",
+                                     "TODO: justify or fix"),
+        })
+    entries.sort(key=lambda e: (e["file"], e["check"], e["message"]))
+    payload = {
+        "comment": ("srbsg-analyze baseline: accepted findings with a "
+                    "one-line justification each. Regenerate with "
+                    "--write-baseline (justifications of surviving entries "
+                    "are preserved)."),
+        "version": 1,
+        "findings": entries,
+    }
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2)
+        fh.write("\n")
+
+
+def filter_findings(findings: list[dict], baseline: dict,
+                    suppressions: SuppressionIndex) -> tuple:
+    """(new, baselined, suppressed) partition, deduplicated and sorted."""
+    new: list[dict] = []
+    baselined: list[dict] = []
+    suppressed: list[dict] = []
+    seen = set()
+    ordered = sorted(findings,
+                     key=lambda f: (f["file"], f.get("line", 0), f["check"],
+                                    f["message"]))
+    for finding in ordered:
+        dedup = (finding["check"], finding["file"], finding.get("line", 0),
+                 finding["message"])
+        if dedup in seen:
+            continue
+        seen.add(dedup)
+        if suppressions.is_suppressed(finding):
+            suppressed.append(finding)
+        elif _key(finding) in baseline:
+            baselined.append(finding)
+        else:
+            new.append(finding)
+    return new, baselined, suppressed

@@ -1,0 +1,573 @@
+"""Check registry for srbsg-analyze.
+
+Each check consumes clang JSON-AST cursors (see engine.py) and reports
+findings as plain dicts: {check, file, line, message, suggestion,
+context}.  Checks are written to under-report rather than crash when a
+clang release changes a dump detail: every field access is optional.
+
+Scoping: a check's `scope_dirs` lists the src/ subtrees it patrols.
+Files inside the repository but outside src/ (the analyzer's own fixture
+tree) are in scope for every check, so seeded-violation fixtures
+exercise each check without living in src/.
+
+The conservatism direction is fixed and intentional: calls whose bodies
+the analyzer has not seen are *trusted* (assumed to validate), lambda
+writes indexed by the task parameter are *allowed*, literal narrowings
+that provably fit are *ignored*.  False positives erode the baseline
+discipline faster than false negatives erode coverage — the runtime
+auditor (src/audit) backstops what static analysis lets through.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Optional
+
+from engine import (Cursor, JsonNode, callee_of, children, desugared_type,
+                    first_expr_child, integer_literal_value, iter_subtree,
+                    qual_type, type_width)
+
+CHECK_FAMILY = {
+    "check", "check_eq", "check_ne", "check_lt", "check_le", "check_gt",
+    "check_ge", "checked_narrow",
+}
+
+_ADDR_TYPE = re.compile(r"\b(La|Ia|Pa|Addr<|Ns)\b")
+
+
+def _is_const_qual(qual: str) -> bool:
+    return qual.startswith("const ") or qual.endswith(" const")
+
+
+class TuContext:
+    """Per-translation-unit state shared by the checks."""
+
+    def __init__(self, repo_root: str, src_root: str):
+        self.repo_root = repo_root.rstrip("/") + "/"
+        self.src_root = src_root.rstrip("/") + "/"
+        self.findings: list[dict] = []
+        self.a5_functions: dict[str, dict] = {}
+        self.a5_entries: list[dict] = []
+        # Class name -> derives-from-*WearLeveler, and decl id -> class name
+        # (for parentDeclContextId resolution of out-of-line definitions).
+        self.a5_class_wl: dict[str, bool] = {}
+        self.a5_class_ids: dict[str, str] = {}
+        self._rel_cache: dict[str, Optional[str]] = {}
+
+    def rel(self, file: Optional[str]) -> Optional[str]:
+        """Repo-relative path, or None for files outside the repository."""
+        if not file:
+            return None
+        cached = self._rel_cache.get(file, "?")
+        if cached != "?":
+            return cached
+        rel: Optional[str] = None
+        if file.startswith(self.repo_root):
+            rel = file[len(self.repo_root):]
+        elif not file.startswith("/"):
+            rel = file
+        self._rel_cache[file] = rel
+        return rel
+
+    def in_scope(self, file: Optional[str], scope_dirs: tuple) -> bool:
+        rel = self.rel(file)
+        if rel is None:
+            return False
+        if not rel.startswith("src/"):
+            return True  # fixture / tool sources: every check applies
+        if not scope_dirs:
+            return True
+        return any(rel.startswith(d) for d in scope_dirs)
+
+    def add(self, check: "Check", cursor: Cursor, message: str,
+            context: str = "") -> None:
+        rel = self.rel(cursor.file)
+        if rel is None:
+            return
+        if not context:
+            fn = cursor.enclosing_function()
+            if fn is not None:
+                context = fn.get("name", "") or ""
+        self.findings.append({
+            "check": check.id,
+            "file": rel,
+            "line": cursor.line or 0,
+            "message": message,
+            "suggestion": check.suggestion,
+            "context": context,
+        })
+
+
+class Check:
+    id = ""
+    description = ""
+    suggestion = ""
+    scope_dirs: tuple = ()
+
+    def visit(self, cursor: Cursor, ctx: TuContext) -> None:  # pragma: no cover
+        raise NotImplementedError
+
+
+class WidthCheck(Check):
+    """A1: address/wear values funneled through a sub-64-bit type.
+
+    The Table-I grid runs N = 2^22 lines x 1e8-write endurance; cumulative
+    write counts and flat physical offsets overflow 32 bits by
+    construction, so *any* 64->sub-64 integral conversion in the address
+    paths is suspect.  Literal sources that provably fit are ignored;
+    conversions inside a `checked_narrow` helper are the sanctioned sink.
+    """
+
+    id = "a1-width"
+    description = ("64-bit address/wear value narrowed to a sub-64-bit type "
+                   "in the mapping/simulation paths")
+    suggestion = ("keep line/address/wear arithmetic in u64, or prove the "
+                  "range and convert via srbsg::checked_narrow<T>() "
+                  "(common/check.hpp)")
+    scope_dirs = ("src/wl", "src/mapping", "src/sim")
+
+    _CAST_KINDS = {"ImplicitCastExpr", "CStyleCastExpr", "CXXStaticCastExpr",
+                   "CXXFunctionalCastExpr"}
+
+    def visit(self, cursor: Cursor, ctx: TuContext) -> None:
+        node = cursor.node
+        if cursor.kind not in self._CAST_KINDS:
+            return
+        if node.get("castKind") != "IntegralCast":
+            return
+        if not ctx.in_scope(cursor.file, self.scope_dirs):
+            return
+        fn = cursor.enclosing_function()
+        if fn is not None and fn.get("name") == "checked_narrow":
+            return  # the checked-narrow helper is the sanctioned sink
+        dst_width = type_width(node.get("type"))
+        src_node = first_expr_child(node)
+        src_width = type_width(src_node.get("type")) if src_node else None
+        if dst_width is None or src_width is None:
+            return
+        if not (src_width >= 64 > dst_width):
+            return
+        if src_node is not None:
+            literal = integer_literal_value(src_node)
+            if literal is not None and self._fits(literal, node, dst_width):
+                return
+        explicit = "" if cursor.kind == "ImplicitCastExpr" else "explicit "
+        ctx.add(self, cursor,
+                f"{explicit}narrowing conversion of a {src_width}-bit value to "
+                f"'{qual_type(node)}' ({dst_width} bits)")
+
+    @staticmethod
+    def _fits(value: int, cast_node: JsonNode, dst_width: int) -> bool:
+        qual = desugared_type(cast_node)
+        if qual.startswith("unsigned") or qual in ("bool", "char"):
+            return 0 <= value < (1 << dst_width)
+        return -(1 << (dst_width - 1)) <= value < (1 << (dst_width - 1))
+
+
+class DeterminismCheck(Check):
+    """A2: nondeterminism sources the regex linter can only approximate.
+
+    AST-accurate versions of lint R1 (randomness / wall clock) plus the
+    classes regexes cannot see: pointer hashing (heap addresses vary run
+    to run under ASLR) and unordered-container iteration feeding results.
+    """
+
+    id = "a2-determinism"
+    description = ("nondeterminism source: randomness, wall clock, pointer "
+                   "hashing, or unordered-container iteration order")
+    suggestion = ("thread an explicitly seeded srbsg::Rng through the call "
+                  "path; iterate ordered containers (or sort keys first) "
+                  "wherever iteration order can reach results")
+
+    _BANNED_CALLS = {
+        "rand": "rand() is seed-hidden global state",
+        "srand": "srand() reseeds hidden global state",
+        "random": "random() is seed-hidden global state",
+        "drand48": "drand48() is seed-hidden global state",
+        "lrand48": "lrand48() is seed-hidden global state",
+        "time": "time() reads the wall clock",
+        "clock": "clock() reads the process clock",
+        "gettimeofday": "gettimeofday() reads the wall clock",
+        "clock_gettime": "clock_gettime() reads the wall clock",
+        "timespec_get": "timespec_get() reads the wall clock",
+    }
+    _HASH_PTR = re.compile(r"\bstd::hash<[^<>]*\*\s*>")
+    _UNORDERED = re.compile(r"\bunordered_(?:multi)?(?:map|set)\b")
+
+    def visit(self, cursor: Cursor, ctx: TuContext) -> None:
+        if not ctx.in_scope(cursor.file, self.scope_dirs):
+            return
+        kind = cursor.kind
+        node = cursor.node
+        if kind in ("CallExpr", "CXXMemberCallExpr"):
+            name, sig = callee_of(node)
+            reason = self._BANNED_CALLS.get(name)
+            if reason is not None:
+                ctx.add(self, cursor, f"call to '{name}': {reason}")
+            elif name == "now" and ("clock" in sig or "time_point" in sig):
+                ctx.add(self, cursor,
+                        "call to a chrono clock's now(): wall/monotonic time "
+                        "must not reach simulation state")
+        elif kind in ("VarDecl", "CXXConstructExpr", "CXXTemporaryObjectExpr"):
+            qual = desugared_type(node)
+            if "random_device" in qual:
+                ctx.add(self, cursor,
+                        "std::random_device: seeds must be explicit and "
+                        "reproducible")
+            elif self._HASH_PTR.search(qual):
+                ctx.add(self, cursor,
+                        "std::hash over a pointer type: heap addresses vary "
+                        "across runs (ASLR), so the hash is nondeterministic")
+        elif kind == "CXXForRangeStmt":
+            self._visit_range_for(cursor, ctx)
+
+    def _visit_range_for(self, cursor: Cursor, ctx: TuContext) -> None:
+        # The synthesized __range/__begin/__end DeclStmts are direct
+        # children; the loop body is the last child and must not be
+        # scanned (it may declare unordered containers legitimately).
+        kids = children(cursor.node)
+        for child in kids[:-1] if kids else []:
+            for sub in iter_subtree(child):
+                if sub.get("kind") == "VarDecl" and \
+                        self._UNORDERED.search(desugared_type(sub)):
+                    ctx.add(self, cursor,
+                            "range-for over an unordered container: iteration "
+                            "order is hash-seed dependent and must not feed "
+                            "results")
+                    return
+
+
+class RaceCheck(Check):
+    """A3: unsynchronized shared-state writes in pool-submitted lambdas.
+
+    Fires on lambdas handed to `submit`/`parallel_for`/`enqueue` that
+    mutate state captured from outside the lambda.  The disjoint-slice
+    idiom (writing through a subscript indexed by the task's own
+    parameter, as run_sweep does) is allowed; so are atomics and bodies
+    that take a lock.
+    """
+
+    id = "a3-race"
+    description = ("pool-submitted lambda mutates shared state captured from "
+                   "the enclosing scope without synchronization")
+    suggestion = ("give each task its own output slot indexed by the task "
+                  "parameter, or guard the shared state with a mutex/atomic")
+
+    _SUBMITTERS = {"submit", "parallel_for", "enqueue"}
+    _LOCKS = re.compile(r"\b(lock_guard|unique_lock|scoped_lock|shared_lock)\b")
+
+    def visit(self, cursor: Cursor, ctx: TuContext) -> None:
+        if cursor.kind not in ("CallExpr", "CXXMemberCallExpr"):
+            return
+        if not ctx.in_scope(cursor.file, self.scope_dirs):
+            return
+        name, _ = callee_of(cursor.node)
+        if name not in self._SUBMITTERS:
+            return
+        for sub in iter_subtree(cursor.node):
+            if sub.get("kind") == "LambdaExpr":
+                self._visit_lambda(sub, cursor, ctx)
+
+    def _visit_lambda(self, lam: JsonNode, cursor: Cursor, ctx: TuContext) -> None:
+        declared: set = set()
+        params: set = set()
+        for sub in iter_subtree(lam):
+            kind = sub.get("kind", "")
+            sub_id = sub.get("id")
+            if kind == "ParmVarDecl":
+                params.add(sub_id)
+                declared.add(sub_id)
+            elif kind.endswith("VarDecl"):
+                declared.add(sub_id)
+                if self._LOCKS.search(desugared_type(sub)):
+                    return  # body takes a lock: treated as synchronized
+        reported: set = set()
+        for sub in iter_subtree(lam):
+            kind = sub.get("kind")
+            target: Optional[JsonNode] = None
+            if kind == "BinaryOperator" and sub.get("opcode") == "=":
+                target = first_expr_child(sub)
+            elif kind == "CompoundAssignOperator":
+                target = first_expr_child(sub)
+            elif kind == "UnaryOperator" and sub.get("opcode") in ("++", "--"):
+                target = first_expr_child(sub)
+            if target is None:
+                continue
+            victim = self._external_write_target(target, declared, params)
+            if victim and victim not in reported:
+                reported.add(victim)
+                ctx.add(self, cursor,
+                        f"lambda submitted to '{callee_of(cursor.node)[0]}' "
+                        f"mutates captured '{victim}' without synchronization")
+
+    @staticmethod
+    def _external_write_target(lhs: JsonNode, declared: set,
+                               params: set) -> Optional[str]:
+        external: Optional[str] = None
+        for sub in iter_subtree(lhs):
+            kind = sub.get("kind")
+            if kind == "DeclRefExpr":
+                ref = sub.get("referencedDecl")
+                if not isinstance(ref, dict):
+                    continue
+                if ref.get("id") in params:
+                    return None  # indexed by the task parameter: disjoint slice
+                if ref.get("id") not in declared and \
+                        ref.get("kind", "").endswith("VarDecl"):
+                    if "atomic" in (ref.get("type") or {}).get("qualType", ""):
+                        return None
+                    external = external or ref.get("name") or "<captured>"
+            elif kind == "CXXThisExpr":
+                external = external or "this->"
+        return external
+
+
+class StateCheck(Check):
+    """A4: mutable namespace-scope / static-local state in src/wl.
+
+    Wear-leveling schemes are instantiated per thread inside sweeps; any
+    mutable static state silently couples those instances and breaks
+    determinism of parallel runs.
+    """
+
+    id = "a4-state"
+    description = ("mutable namespace-scope or static-local state inside a "
+                   "wear-leveling scheme")
+    suggestion = ("move the state into the scheme object (per-instance), or "
+                  "make it constexpr/const if it is genuinely immutable")
+    scope_dirs = ("src/wl",)
+
+    def visit(self, cursor: Cursor, ctx: TuContext) -> None:
+        if cursor.kind != "VarDecl":
+            return
+        if not ctx.in_scope(cursor.file, self.scope_dirs):
+            return
+        node = cursor.node
+        if node.get("constexpr") is True:
+            return
+        if _is_const_qual(desugared_type(node)) or \
+                _is_const_qual(qual_type(node)):
+            return
+        in_function = cursor.enclosing_function() is not None
+        if in_function:
+            if node.get("storageClass") == "static":
+                ctx.add(self, cursor,
+                        f"static local '{node.get('name', '?')}' is mutable "
+                        "state shared across scheme instances")
+        else:
+            # Namespace/class scope. Class-scope VarDecls are static data
+            # members; FieldDecls (per-instance) are a different kind and
+            # are never flagged.
+            ctx.add(self, cursor,
+                    f"namespace-scope variable '{node.get('name', '?')}' is "
+                    "mutable state shared across scheme instances")
+
+
+class UncheckedCheck(Check):
+    """A5: public WearLeveler entry points with unvalidated parameters.
+
+    Whole-program pass: a function "reaches a check" when its body calls
+    the check family directly or (transitively, across all analyzed TUs)
+    calls a function that does.  Callees whose bodies were never seen are
+    trusted.  Entry points are the WearLeveler interface surface on
+    classes deriving from (or named) *WearLeveler, restricted to methods
+    that actually *use* an arithmetic/address parameter.
+    """
+
+    id = "a5-unchecked"
+    description = ("public WearLeveler entry point uses a parameter whose "
+                   "domain is never validated by an SRBSG_CHECK/check_* call")
+    suggestion = ("validate the parameter domain on entry with SRBSG_CHECK "
+                  "or the check_* family (common/check.hpp)")
+    scope_dirs = ("src/wl",)
+
+    _SURFACE = {"translate", "write", "write_repeated", "read",
+                "set_rate_boost"}
+    _FUNC_KINDS = {"FunctionDecl", "CXXMethodDecl", "CXXConstructorDecl"}
+
+    def visit(self, cursor: Cursor, ctx: TuContext) -> None:
+        kind = cursor.kind
+        node = cursor.node
+        if ctx.rel(cursor.file) is None:
+            return  # system headers: callees there resolve as trusted
+        if kind == "CXXRecordDecl":
+            self._note_class(node, ctx)
+            return
+        if kind not in self._FUNC_KINDS:
+            return
+        body = self._body_of(node)
+        if body is None:
+            return
+        name = node.get("name", "") or ""
+        sig = qual_type(node)
+        cls = self._enclosing_class(cursor, ctx)
+        key = f"{cls}::{name}|{sig}"
+        record = ctx.a5_functions.setdefault(
+            key, {"name": name, "sig": sig, "checks": False, "calls": set()})
+        for sub in iter_subtree(body):
+            if sub.get("kind") in ("CallExpr", "CXXMemberCallExpr",
+                                   "CXXOperatorCallExpr"):
+                callee, callee_sig = callee_of(sub)
+                if callee in CHECK_FAMILY:
+                    record["checks"] = True
+                elif callee:
+                    record["calls"].add((callee, callee_sig))
+        self._note_entry(cursor, ctx, node, body, name, sig, cls, key)
+
+    # -- class bookkeeping -------------------------------------------------
+
+    def _note_class(self, node: JsonNode, ctx: TuContext) -> None:
+        name = node.get("name", "") or ""
+        if not name:
+            return
+        node_id = node.get("id")
+        if isinstance(node_id, str):
+            ctx.a5_class_ids[node_id] = name
+        if not node.get("completeDefinition"):
+            return
+        is_wl = name.endswith("WearLeveler")
+        for base in node.get("bases") or []:
+            base_qual = (base.get("type") or {}).get("qualType", "")
+            if "WearLeveler" in base_qual:
+                is_wl = True
+            elif ctx.a5_class_wl.get(base_qual.split("::")[-1].split("<")[0]):
+                is_wl = True  # one level of transitivity through seen bases
+        ctx.a5_class_wl[name] = is_wl or ctx.a5_class_wl.get(name, False)
+
+    def _class_is_wl(self, ctx: TuContext, cls: str) -> bool:
+        return bool(ctx.a5_class_wl.get(cls))
+
+    def _enclosing_class(self, cursor: Cursor, ctx: TuContext) -> str:
+        record = cursor.nearest("CXXRecordDecl")
+        if record is not None:
+            return record.get("name", "") or ""
+        # Out-of-line definition: clang emits parentDeclContextId when the
+        # lexical and semantic decl contexts differ.
+        parent_id = cursor.node.get("parentDeclContextId")
+        if isinstance(parent_id, str):
+            return ctx.a5_class_ids.get(parent_id, "")
+        return ""
+
+    # -- entry-point bookkeeping -------------------------------------------
+
+    def _note_entry(self, cursor: Cursor, ctx: TuContext, node: JsonNode,
+                    body: JsonNode, name: str, sig: str, cls: str,
+                    key: str) -> None:
+        if not ctx.in_scope(cursor.file, self.scope_dirs):
+            return
+        is_ctor = cursor.kind == "CXXConstructorDecl"
+        if not is_ctor and name not in self._SURFACE:
+            return
+        if is_ctor:
+            cls = cls or name
+        if not cls or not self._class_is_wl(ctx, cls):
+            return
+        param = self._used_arith_param(node, body)
+        if param is None:
+            return
+        rel = ctx.rel(cursor.file)
+        if rel is None:
+            return
+        ctx.a5_entries.append({
+            "key": key,
+            "file": rel,
+            "line": cursor.line or 0,
+            "context": name,
+            "message": (f"entry point '{cls}::{name}' uses parameter "
+                        f"'{param}' without reaching an "
+                        "SRBSG_CHECK/check_* validation"),
+        })
+
+    @staticmethod
+    def _body_of(node: JsonNode) -> Optional[JsonNode]:
+        for child in children(node):
+            if child.get("kind") == "CompoundStmt":
+                return child
+        return None
+
+    def _used_arith_param(self, node: JsonNode,
+                          body: JsonNode) -> Optional[str]:
+        """Name of the first arithmetic/address parameter the body actually
+        uses (cast-to-void 'uses' excluded), else None."""
+        param_ids: dict = {}
+        for child in children(node):
+            if child.get("kind") != "ParmVarDecl":
+                continue
+            qual = desugared_type(child)
+            if type_width(child.get("type")) is not None or \
+                    _ADDR_TYPE.search(qual_type(child)) or _ADDR_TYPE.search(qual):
+                param_ids[child.get("id")] = child.get("name", "") or "<param>"
+        if not param_ids:
+            return None
+        voided: set = set()
+        for sub in iter_subtree(body):
+            if sub.get("kind") == "CStyleCastExpr" and \
+                    qual_type(sub) == "void":
+                for inner in iter_subtree(sub):
+                    if inner.get("kind") == "DeclRefExpr":
+                        ref = inner.get("referencedDecl") or {}
+                        voided.add(ref.get("id"))
+        for sub in iter_subtree(body):
+            if sub.get("kind") == "DeclRefExpr":
+                ref = sub.get("referencedDecl") or {}
+                ref_id = ref.get("id")
+                if ref_id in param_ids and ref_id not in voided:
+                    return param_ids[ref_id]
+        return None
+
+    # -- whole-program closure ---------------------------------------------
+
+    @staticmethod
+    def finalize(merged_functions: dict, merged_entries: list,
+                 suggestion: str) -> list[dict]:
+        """Fixed-point 'reaches a check' closure, then entry-point findings."""
+        functions = merged_functions
+        by_name_sig: dict = {}
+        by_name: dict = {}
+        for key, rec in functions.items():
+            by_name_sig.setdefault((rec["name"], rec["sig"]), []).append(key)
+            by_name.setdefault(rec["name"], []).append(key)
+        checking = {k for k, rec in functions.items() if rec["checks"]}
+
+        def callee_checks(callee: tuple) -> bool:
+            name, sig = callee
+            keys = by_name_sig.get((name, sig)) if sig else None
+            if not keys:
+                keys = by_name.get(name)
+            if not keys:
+                return True  # body never seen: trusted
+            return any(k in checking for k in keys)
+
+        changed = True
+        while changed:
+            changed = False
+            for key, rec in functions.items():
+                if key in checking:
+                    continue
+                if any(callee_checks(c) for c in rec["calls"]):
+                    checking.add(key)
+                    changed = True
+
+        findings = []
+        seen: set = set()
+        for entry in merged_entries:
+            if entry["key"] in checking:
+                continue
+            dedup = (entry["file"], entry["line"], entry["message"])
+            if dedup in seen:
+                continue
+            seen.add(dedup)
+            findings.append({
+                "check": UncheckedCheck.id,
+                "file": entry["file"],
+                "line": entry["line"],
+                "message": entry["message"],
+                "suggestion": suggestion,
+                "context": entry["context"],
+            })
+        return findings
+
+
+ALL_CHECKS = [WidthCheck, DeterminismCheck, RaceCheck, StateCheck,
+              UncheckedCheck]
+CHECKS_BY_ID = {c.id: c for c in ALL_CHECKS}

@@ -1,0 +1,163 @@
+"""TU selection and clang invocation for srbsg-analyze.
+
+Drives a plain `clang` driver (no libclang) over the CMake-exported
+compile database.  Only the flags that affect parsing are forwarded
+(-I/-isystem/-D/-U/-std/-include); optimizer and warning flags from the
+gcc command lines are dropped so any installed clang can parse the tree.
+
+When no clang is found the AST layer degrades to a skipped-with-notice
+result (exit 0), mirroring the `tidy` target — the regex pre-pass still
+runs, so lint R1 coverage never regresses on clang-less boxes.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shlex
+import shutil
+import subprocess
+from concurrent.futures import ProcessPoolExecutor
+from typing import Optional
+
+from checks import TuContext
+from engine import walk
+
+CLANG_CANDIDATES = ("clang", "clang-20", "clang-19", "clang-18", "clang-17",
+                    "clang-16", "clang-15", "clang-14", "clang++")
+
+# Flags forwarded from the compile database to the parsing clang.
+_KEEP_PREFIXES = ("-I", "-isystem", "-D", "-U", "-std=")
+
+
+def find_clang(explicit: Optional[str] = None) -> Optional[str]:
+    if explicit:
+        return explicit if shutil.which(explicit) else None
+    for name in CLANG_CANDIDATES:
+        path = shutil.which(name)
+        if path:
+            return path
+    return None
+
+
+def load_compile_db(path: str) -> list[dict]:
+    with open(path, encoding="utf-8") as fh:
+        return json.load(fh)
+
+
+def parse_flags(entry: dict) -> list[str]:
+    """Parse-relevant flags from one compile-db entry."""
+    if "arguments" in entry:
+        argv = list(entry["arguments"])
+    else:
+        argv = shlex.split(entry.get("command", ""))
+    kept: list[str] = []
+    i = 1  # skip the compiler
+    while i < len(argv):
+        arg = argv[i]
+        if arg in ("-I", "-isystem", "-D", "-U", "-include"):
+            if i + 1 < len(argv):
+                kept.extend([arg, argv[i + 1]])
+            i += 2
+            continue
+        if arg.startswith(_KEEP_PREFIXES):
+            kept.append(arg)
+        i += 1
+    return kept
+
+
+def select_tus(db: list[dict], repo_root: str,
+               paths: Optional[list[str]]) -> list[dict]:
+    """Compile-db entries under src/ (default) or under explicit paths."""
+    selected = []
+    for entry in db:
+        file = entry.get("file", "")
+        if not os.path.isabs(file):
+            file = os.path.join(entry.get("directory", ""), file)
+        rel = os.path.relpath(file, repo_root)
+        if rel.startswith(".."):
+            continue
+        if paths:
+            if not any(rel == p or rel.startswith(p.rstrip("/") + "/")
+                       for p in paths):
+                continue
+        elif not rel.startswith("src/"):
+            continue
+        selected.append({"file": file, "rel": rel, "flags": parse_flags(entry)})
+    return selected
+
+
+def dump_ast(clang: str, file: str, flags: list[str]) -> Optional[dict]:
+    """Runs clang and parses the JSON AST; None when clang fails hard."""
+    cmd = [clang, "-x", "c++", "-fsyntax-only", "-w",
+           "-Xclang", "-ast-dump=json", *flags, file]
+    proc = subprocess.run(cmd, capture_output=True, text=True)
+    # clang still emits a usable AST for TUs with recoverable errors;
+    # require output, not a zero exit.
+    if not proc.stdout.strip():
+        return None
+    try:
+        return json.loads(proc.stdout)
+    except json.JSONDecodeError:
+        return None
+
+
+def analyze_ast(root: dict, repo_root: str, src_root: str,
+                check_classes: list) -> TuContext:
+    """Runs the check visitors over one parsed AST."""
+    ctx = TuContext(repo_root, src_root)
+    instances = [cls() for cls in check_classes]
+
+    def visit(cursor):
+        for check in instances:
+            check.visit(cursor, ctx)
+
+    walk(root, visit)
+    return ctx
+
+
+def _tu_worker(args: tuple) -> tuple:
+    """(findings, a5_functions, a5_entries, error) for one TU."""
+    clang, file, flags, repo_root, src_root, check_ids = args
+    from checks import CHECKS_BY_ID  # re-import inside worker processes
+    root = dump_ast(clang, file, flags)
+    if root is None:
+        return [], {}, [], f"clang failed to parse {file}"
+    ctx = analyze_ast(root, repo_root, src_root,
+                      [CHECKS_BY_ID[c] for c in check_ids])
+    functions = {k: {"name": v["name"], "sig": v["sig"],
+                     "checks": v["checks"], "calls": sorted(v["calls"])}
+                 for k, v in ctx.a5_functions.items()}
+    return ctx.findings, functions, ctx.a5_entries, None
+
+
+def run_tus(clang: str, tus: list[dict], repo_root: str, src_root: str,
+            check_ids: list[str], jobs: int = 0) -> tuple:
+    """Analyzes every TU; returns (findings, merged_a5_functions,
+    merged_a5_entries, errors)."""
+    jobs = jobs or min(4, os.cpu_count() or 1)
+    tasks = [(clang, tu["file"], tu["flags"], repo_root, src_root, check_ids)
+             for tu in tus]
+    results = []
+    if jobs > 1 and len(tasks) > 1:
+        with ProcessPoolExecutor(max_workers=jobs) as pool:
+            results = list(pool.map(_tu_worker, tasks))
+    else:
+        results = [_tu_worker(t) for t in tasks]
+
+    findings: list[dict] = []
+    merged_functions: dict = {}
+    merged_entries: list[dict] = []
+    errors: list[str] = []
+    for tu_findings, functions, entries, error in results:
+        findings.extend(tu_findings)
+        for key, rec in functions.items():
+            merged = merged_functions.setdefault(
+                key, {"name": rec["name"], "sig": rec["sig"],
+                      "checks": False, "calls": set()})
+            merged["checks"] = merged["checks"] or rec["checks"]
+            merged["calls"].update(tuple(c) for c in rec["calls"])
+        merged_entries.extend(entries)
+        if error:
+            errors.append(error)
+    return findings, merged_functions, merged_entries, errors

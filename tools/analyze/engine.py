@@ -1,0 +1,268 @@
+"""Clang JSON-AST model for srbsg-analyze.
+
+The analyzer consumes the output of `clang -Xclang -ast-dump=json
+-fsyntax-only` — plain JSON, no libclang bindings — so the only
+toolchain requirement is a clang *driver*.  This module owns the two
+subtle parts of that format:
+
+* **Location carry-forward.**  The serializer omits `file` (and `line`)
+  from a location when unchanged since the previously *printed*
+  location, in pre-order emission order.  The walker therefore visits
+  every node — including system-header subtrees we otherwise ignore —
+  updating a running (file, line) state, and exposes the resolved
+  location per node.  Skipping subtrees would silently corrupt the file
+  attribution of every node after them.
+
+* **Defensive field access.**  Dump layouts drift between clang
+  releases.  Every accessor tolerates missing fields and returns None
+  rather than raising; checks are expected to skip nodes they cannot
+  interpret (under-reporting beats crashing on a new clang).
+
+The walk is iterative (explicit stack): expression trees in standard
+headers routinely exceed Python's recursion limit.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Callable, Iterator, Optional
+
+JsonNode = dict
+
+# Widths (bits) of the integer types the simulator traffics in, on LP64.
+# Types not listed (int128, wchar_t, dependent types, ...) resolve to
+# None and are skipped by width-sensitive checks.
+_INT_WIDTHS = {
+    "bool": 1,
+    "char": 8, "signed char": 8, "unsigned char": 8,
+    "short": 16, "unsigned short": 16, "short int": 16, "unsigned short int": 16,
+    "int": 32, "unsigned int": 32, "unsigned": 32,
+    "long": 64, "unsigned long": 64, "long int": 64, "unsigned long int": 64,
+    "long long": 64, "unsigned long long": 64,
+    "long long int": 64, "unsigned long long int": 64,
+}
+
+_CV_REF = re.compile(r"\b(const|volatile)\b|[&]+$")
+
+
+def _strip_cvref(qual: str) -> str:
+    return _CV_REF.sub("", qual).strip()
+
+
+def type_width(type_obj: Optional[dict]) -> Optional[int]:
+    """Bit width of an integer type object, or None when unknown."""
+    if not isinstance(type_obj, dict):
+        return None
+    for key in ("desugaredQualType", "qualType"):
+        qual = type_obj.get(key)
+        if isinstance(qual, str):
+            width = _INT_WIDTHS.get(_strip_cvref(qual))
+            if width is not None:
+                return width
+    return None
+
+
+def qual_type(node: Optional[JsonNode]) -> str:
+    """The node's printed type, or '' when absent."""
+    if not isinstance(node, dict):
+        return ""
+    t = node.get("type")
+    if isinstance(t, dict):
+        q = t.get("qualType")
+        if isinstance(q, str):
+            return q
+    return ""
+
+
+def desugared_type(node: Optional[JsonNode]) -> str:
+    if not isinstance(node, dict):
+        return ""
+    t = node.get("type")
+    if isinstance(t, dict):
+        for key in ("desugaredQualType", "qualType"):
+            q = t.get(key)
+            if isinstance(q, str):
+                return q
+    return ""
+
+
+def children(node: JsonNode) -> list:
+    inner = node.get("inner")
+    return inner if isinstance(inner, list) else []
+
+
+def first_expr_child(node: JsonNode) -> Optional[JsonNode]:
+    """First child that is an expression-ish node (skips comments)."""
+    for child in children(node):
+        kind = child.get("kind", "")
+        if kind and not kind.endswith("Comment"):
+            return child
+    return None
+
+
+def iter_subtree(node: JsonNode) -> Iterator[JsonNode]:
+    """Pre-order iteration over `node` and everything below it."""
+    stack = [node]
+    while stack:
+        cur = stack.pop()
+        if not isinstance(cur, dict):
+            continue
+        yield cur
+        stack.extend(reversed(children(cur)))
+
+
+class LocationTracker:
+    """Replays clang's location serialization to resolve omitted fields."""
+
+    def __init__(self) -> None:
+        self.file: Optional[str] = None
+        self.line: Optional[int] = None
+
+    def _consume_plain(self, loc: dict) -> tuple[Optional[str], Optional[int]]:
+        # An empty dict is an invalid location and must not touch state.
+        if not loc:
+            return self.file, self.line
+        if "offset" not in loc and "line" not in loc and "file" not in loc \
+                and "col" not in loc:
+            return self.file, self.line
+        if isinstance(loc.get("file"), str):
+            self.file = loc["file"]
+        if isinstance(loc.get("line"), int):
+            self.line = loc["line"]
+        return self.file, self.line
+
+    def consume(self, loc: Optional[dict]) -> tuple[Optional[str], Optional[int]]:
+        """Update state from one location object; returns the location the
+        node should report (expansion site for macro locations)."""
+        if not isinstance(loc, dict):
+            return self.file, self.line
+        if "spellingLoc" in loc or "expansionLoc" in loc:
+            # Macro location: the serializer prints spelling then expansion.
+            spelling = loc.get("spellingLoc")
+            if isinstance(spelling, dict):
+                self._consume_plain(spelling)
+            expansion = loc.get("expansionLoc")
+            if isinstance(expansion, dict):
+                return self._consume_plain(expansion)
+            return self.file, self.line
+        return self._consume_plain(loc)
+
+    def consume_node(self, node: JsonNode) -> tuple[Optional[str], Optional[int]]:
+        """Process a node's loc/range in serialization order; returns the
+        node's effective (file, line)."""
+        eff_file, eff_line = None, None
+        if "loc" in node:
+            eff_file, eff_line = self.consume(node.get("loc"))
+        rng = node.get("range")
+        if isinstance(rng, dict):
+            begin_file, begin_line = self.consume(rng.get("begin"))
+            if eff_file is None:
+                eff_file, eff_line = begin_file, begin_line
+            self.consume(rng.get("end"))
+        if eff_file is None:
+            eff_file, eff_line = self.file, self.line
+        return eff_file, eff_line
+
+
+class Cursor:
+    """A visited node plus its resolved location and ancestry."""
+
+    __slots__ = ("node", "file", "line", "parents")
+
+    def __init__(self, node: JsonNode, file: Optional[str], line: Optional[int],
+                 parents: tuple):
+        self.node = node
+        self.file = file
+        self.line = line
+        self.parents = parents  # tuple of ancestor JsonNodes, outermost first
+
+    @property
+    def kind(self) -> str:
+        return self.node.get("kind", "")
+
+    def nearest(self, *kinds: str) -> Optional[JsonNode]:
+        for parent in reversed(self.parents):
+            if parent.get("kind") in kinds:
+                return parent
+        return None
+
+    def enclosing_function(self) -> Optional[JsonNode]:
+        return self.nearest("FunctionDecl", "CXXMethodDecl", "CXXConstructorDecl",
+                            "CXXDestructorDecl", "CXXConversionDecl")
+
+
+def walk(root: JsonNode, visit: Callable[[Cursor], None]) -> None:
+    """Full pre-order walk with location tracking and parent chains.
+
+    `visit` is called for every node (any file); visitors apply their own
+    file scoping using cursor.file.
+    """
+    tracker = LocationTracker()
+    # Stack holds (node, parents) frames; children pushed reversed so the
+    # walk order matches clang's serialization order — required for the
+    # location carry-forward to resolve correctly.
+    stack: list[tuple[JsonNode, tuple]] = [(root, ())]
+    while stack:
+        node, parents = stack.pop()
+        if not isinstance(node, dict):
+            continue
+        file, line = tracker.consume_node(node)
+        visit(Cursor(node, file, line, parents))
+        kids = children(node)
+        if kids:
+            child_parents = parents + (node,)
+            for child in reversed(kids):
+                stack.append((child, child_parents))
+
+
+def index_decls(root: JsonNode) -> dict:
+    """Maps decl id -> node for reference resolution (referencedMemberDecl)."""
+    index: dict = {}
+    for node in iter_subtree(root):
+        node_id = node.get("id")
+        if isinstance(node_id, str) and node.get("kind", "").endswith("Decl"):
+            index[node_id] = node
+    return index
+
+
+def callee_of(call: JsonNode) -> tuple[str, str]:
+    """(name, signature) of a call's target, best effort.
+
+    CallExpr: first child chain holds a DeclRefExpr for the callee.
+    CXXMemberCallExpr / CXXOperatorCallExpr: a MemberExpr / DeclRefExpr.
+    Returns ('', '') when unresolvable.
+    """
+    head = first_expr_child(call)
+    if head is None:
+        return "", ""
+    for node in iter_subtree(head):
+        kind = node.get("kind")
+        if kind == "DeclRefExpr":
+            ref = node.get("referencedDecl")
+            if isinstance(ref, dict):
+                name = ref.get("name", "") or ""
+                sig = ""
+                t = ref.get("type")
+                if isinstance(t, dict):
+                    sig = t.get("qualType", "") or ""
+                return name, sig
+        elif kind == "MemberExpr":
+            name = node.get("name", "") or ""
+            return name, ""
+    return "", ""
+
+
+def integer_literal_value(node: JsonNode) -> Optional[int]:
+    """Value of an IntegerLiteral subtree (possibly behind implicit casts)."""
+    for sub in iter_subtree(node):
+        if sub.get("kind") == "IntegerLiteral":
+            value = sub.get("value")
+            if isinstance(value, str):
+                try:
+                    return int(value, 0)
+                except ValueError:
+                    return None
+        elif sub.get("kind") not in ("ImplicitCastExpr", "ConstantExpr",
+                                     "ParenExpr"):
+            return None
+    return None

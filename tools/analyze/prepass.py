@@ -1,0 +1,89 @@
+"""Regex pre-pass: lint.py's R1 rule, owned by srbsg-analyze.
+
+The randomness/wall-clock rule moved here from tools/lint.py (which now
+runs R2-R4 by default) so a violation is reported exactly once, by one
+tool, under one check id.  The pre-pass reuses lint.py's patterns and
+comment-stripping verbatim, runs in milliseconds, and works without
+clang — it is the determinism check's floor, not a second reporter:
+findings are merged with the AST pass by (file, line) before reporting.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import os
+import sys
+
+_TOOLS_DIR = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+PREPASS_CHECK_ID = "a2-determinism"
+
+
+def _load_lint():
+    spec = importlib.util.spec_from_file_location(
+        "srbsg_lint", os.path.join(_TOOLS_DIR, "lint.py"))
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def run_prepass(repo_root: str, files: list[str]) -> list[dict]:
+    """R1 findings (as a2-determinism) over repo-relative `files`."""
+    lint = _load_lint()
+    findings: list[dict] = []
+    for rel in files:
+        path = os.path.join(repo_root, rel)
+        if not os.path.isfile(path):
+            continue
+        try:
+            lines = lint.strip_comments(
+                open(path, encoding="utf-8", errors="replace").read())
+        except OSError as err:
+            print(f"srbsg-analyze: pre-pass cannot read {rel}: {err}",
+                  file=sys.stderr)
+            continue
+        for lineno, line in enumerate(lines, start=1):
+            for rule, pattern, message in lint.BANNED_PATTERNS:
+                if rule != "R1":
+                    continue
+                if pattern.search(line):
+                    findings.append({
+                        "check": PREPASS_CHECK_ID,
+                        "file": rel,
+                        "line": lineno,
+                        "message": f"{message} [pre-pass]",
+                        "suggestion": ("thread an explicitly seeded "
+                                       "srbsg::Rng through the call path"),
+                        "context": "",
+                    })
+    return findings
+
+
+def merge_prepass(ast_findings: list[dict],
+                  prepass_findings: list[dict]) -> list[dict]:
+    """Drops pre-pass findings the AST pass already reported at the same
+    (file, line) — one violation, one report."""
+    covered = {(f["file"], f.get("line", 0)) for f in ast_findings
+               if f["check"] == PREPASS_CHECK_ID}
+    merged = list(ast_findings)
+    for finding in prepass_findings:
+        if (finding["file"], finding.get("line", 0)) not in covered:
+            merged.append(finding)
+    return merged
+
+
+def prepass_files(repo_root: str, tus: list[dict],
+                  extra_sources: list[str]) -> list[str]:
+    """Files the pre-pass scans: every selected TU plus src/ headers
+    (headers are not TUs but lint R1 always covered them)."""
+    files = {tu["rel"] for tu in tus}
+    files.update(extra_sources)
+    src_root = os.path.join(repo_root, "src")
+    if any(f.startswith("src/") for f in files) and os.path.isdir(src_root):
+        for dirpath, _dirnames, filenames in os.walk(src_root):
+            for name in filenames:
+                if name.endswith(".hpp"):
+                    rel = os.path.relpath(os.path.join(dirpath, name),
+                                          repo_root)
+                    files.add(rel)
+    return sorted(files)

@@ -4,7 +4,11 @@
 Rules (enforced over src/ only; tests and benches are exempt):
   R1  no libc/std randomness or wall-clock sources — every stochastic
       component must take an explicit seed (rand/srand, std::random_device,
-      time(...), <ctime>/<cstdlib> randomness are all banned);
+      time(...), <ctime>/<cstdlib> randomness are all banned).  R1 is
+      owned by tools/analyze (check a2-determinism) and is OFF by
+      default here; the analyzer reuses these patterns as its regex
+      pre-pass, so each violation is reported exactly once.  Select it
+      explicitly with --rules R1,... to run standalone.
   R2  no bare assert() — invariants use srbsg::check / SRBSG_CHECK /
       check_eq & friends, which stay armed in release builds and throw a
       diagnosable CheckFailure instead of aborting;
@@ -19,6 +23,7 @@ Exit status 0 when clean, 1 when any finding is reported.
 
 from __future__ import annotations
 
+import argparse
 import re
 import sys
 from pathlib import Path
@@ -52,6 +57,10 @@ BANNED_PATTERNS = [
 QUOTED_INCLUDE = re.compile(r"#\s*include\s*\"([^\"]+)\"")
 LINE_COMMENT = re.compile(r"//.*$")
 
+ALL_RULES = frozenset({"R1", "R2", "R3", "R4"})
+# R1 is reported by tools/analyze (a2-determinism pre-pass + AST check).
+DEFAULT_RULES = frozenset({"R2", "R3", "R4"})
+
 
 def strip_comments(text: str) -> list[str]:
     """Returns the file's lines with comment text blanked (newlines kept so
@@ -71,35 +80,51 @@ def first_code_line(lines: list[str]) -> str:
     return ""
 
 
-def lint_file(path: Path) -> list[str]:
+def lint_file(path: Path, rules: frozenset[str] = DEFAULT_RULES) -> list[str]:
     findings = []
     rel = path.relative_to(REPO_ROOT)
     lines = strip_comments(path.read_text(encoding="utf-8"))
 
-    if path.suffix == ".hpp" and first_code_line(lines) != "#pragma once":
+    if "R3" in rules and path.suffix == ".hpp" \
+            and first_code_line(lines) != "#pragma once":
         findings.append(f"{rel}:1: R3: header must open with #pragma once")
 
     for lineno, line in enumerate(lines, start=1):
         for rule, pattern, message in BANNED_PATTERNS:
-            if pattern.search(line):
+            if rule in rules and pattern.search(line):
                 findings.append(f"{rel}:{lineno}: {rule}: {message}")
-        for match in QUOTED_INCLUDE.finditer(line):
-            target = match.group(1)
-            if not (SRC_ROOT / target).is_file():
-                findings.append(
-                    f"{rel}:{lineno}: R3: quoted include \"{target}\" does not "
-                    "resolve src/-relative (system headers use <...>)")
+        if "R3" in rules:
+            for match in QUOTED_INCLUDE.finditer(line):
+                target = match.group(1)
+                if not (SRC_ROOT / target).is_file():
+                    findings.append(
+                        f"{rel}:{lineno}: R3: quoted include \"{target}\" does "
+                        "not resolve src/-relative (system headers use <...>)")
     return findings
 
 
 def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--rules", default=",".join(sorted(DEFAULT_RULES)),
+        help="comma-separated rules to enforce (default: %(default)s; "
+             "R1 lives in tools/analyze as check a2-determinism)")
+    args = parser.parse_args()
+    rules = frozenset(r.strip().upper() for r in args.rules.split(",")
+                      if r.strip())
+    unknown = rules - ALL_RULES
+    if unknown:
+        print(f"lint.py: unknown rule(s): {', '.join(sorted(unknown))}",
+              file=sys.stderr)
+        return 2
+
     files = sorted(p for p in SRC_ROOT.rglob("*") if p.suffix in (".hpp", ".cpp"))
     if not files:
         print("lint.py: no sources found under src/", file=sys.stderr)
         return 1
     findings = []
     for path in files:
-        findings.extend(lint_file(path))
+        findings.extend(lint_file(path, rules))
     for finding in findings:
         print(finding)
     if findings:
