@@ -14,14 +14,16 @@
 #include "bench_util.hpp"
 #include "wl/factory.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace srbsg;
   using namespace srbsg::bench;
+
+  const BenchOptions opts = parse_bench_options(argc, argv, kFlagScale);
 
   print_header("Ablation: online attack detector vs RAA / BPA / RTA",
                "§III: rate boosting helps vs RAA/BPA; RTA exploits remaps themselves");
 
-  const u64 lines = 1u << 12;
+  const u64 lines = opts.lines_or(1u << 12);
   const u64 endurance = 1u << 15;
   const u64 interval = 128;  // deliberately slow when calm (low overhead)
   const auto pcm_cfg = pcm::PcmConfig::scaled(lines, endurance);

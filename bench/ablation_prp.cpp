@@ -16,18 +16,20 @@
 #include "common/bitops.hpp"
 #include "wl/security_rbsg.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace srbsg;
   using namespace srbsg::bench;
+
+  const BenchOptions opts = parse_bench_options(argc, argv, kFlagSeeds | kFlagScale);
 
   print_header("Ablation: DFN round function (cubing Feistel vs ideal PRP)",
                "quantifies the Fig. 14 ceiling caused by the cubing T-function");
 
-  const u64 lines = full_mode() ? (1u << 12) : (1u << 11);
+  const u64 lines = opts.lines_or(full_mode() ? (1u << 12) : (1u << 11));
   const u64 endurance = 65536;
   const auto pcm_cfg = pcm::PcmConfig::scaled(lines, endurance);
   const double ideal = analytic::ideal_lifetime_ns(pcm_cfg);
-  const u64 seeds = full_mode() ? 5 : 3;
+  const u64 seeds = opts.seeds_or(full_mode() ? 5 : 3);
 
   Table t({"outer PRP", "stages", "RAA fraction of ideal (avg)", "vs table PRP"});
   double table_frac = 0.0;

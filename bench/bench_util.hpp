@@ -7,10 +7,19 @@
 //   3. an exact to-failure simulation at a SCALED bank (see DESIGN.md §3)
 // so the trend can be checked at both scales. Set SRBSG_FULL=1 for larger
 // scaled banks (slower, tighter curves).
+//
+// All binaries share one flag parser (parse_bench_options):
+//   --threads N   worker threads for the sweep pool (0 = hardware)
+//   --seeds N     seeded replicas per configuration
+//   --scale B     log2 of the scaled bank's line count
+//   --json PATH   write machine-readable results to PATH
+// Each bench declares which flags it honors; setting an unsupported flag
+// prints a notice instead of silently doing nothing.
 
 #include <cstdlib>
 #include <iostream>
 #include <string>
+#include <string_view>
 
 #include "common/table.hpp"
 #include "common/thread_pool.hpp"
@@ -32,5 +41,99 @@ inline void print_header(const std::string& title, const std::string& paper_ref)
 
 /// Days, hours or seconds with unit, from ns.
 inline std::string dur(double ns) { return fmt_duration_ns(ns); }
+
+/// Which of the standard flags a bench honors (bitmask for
+/// parse_bench_options).
+enum BenchFlag : unsigned {
+  kFlagThreads = 1u << 0,
+  kFlagSeeds = 1u << 1,
+  kFlagScale = 1u << 2,
+  kFlagJson = 1u << 3,
+  kFlagAll = kFlagThreads | kFlagSeeds | kFlagScale | kFlagJson,
+};
+
+struct BenchOptions {
+  std::size_t threads{0};  ///< 0 = hardware concurrency
+  u64 seeds{0};            ///< 0 = bench default (quick/FULL dependent)
+  u64 scale{0};            ///< 0 = bench default; else log2(scaled bank lines)
+  std::string json;        ///< empty = no JSON output
+
+  /// Bench-default plumbing: flag value when given, `fallback` otherwise.
+  [[nodiscard]] u64 seeds_or(u64 fallback) const { return seeds > 0 ? seeds : fallback; }
+  [[nodiscard]] u64 lines_or(u64 fallback) const {
+    return scale > 0 ? (u64{1} << scale) : fallback;
+  }
+};
+
+inline void print_bench_usage(std::string_view prog, unsigned supported) {
+  std::cout << "usage: " << prog << " [flags]\n";
+  if (supported & kFlagThreads) {
+    std::cout << "  --threads N   sweep pool threads (0 = hardware)\n";
+  }
+  if (supported & kFlagSeeds) {
+    std::cout << "  --seeds N     seeded replicas per configuration\n";
+  }
+  if (supported & kFlagScale) {
+    std::cout << "  --scale B     log2 of the scaled bank line count\n";
+  }
+  if (supported & kFlagJson) std::cout << "  --json PATH   write machine-readable results\n";
+  std::cout << "  --help        this text\n"
+            << "env: SRBSG_FULL=1 enlarges the default grids\n";
+}
+
+/// One parser for every bench binary. Exits 0 on --help, 2 on malformed
+/// input; flags outside `supported` are accepted with a stderr notice so
+/// scripted grids can pass a uniform flag set.
+inline BenchOptions parse_bench_options(int argc, char** argv, unsigned supported = kFlagAll) {
+  BenchOptions o;
+  const std::string_view prog = argc > 0 ? argv[0] : "bench";
+  auto need_value = [&](int& i, std::string_view flag) -> const char* {
+    if (i + 1 >= argc) {
+      std::cerr << prog << ": missing value for " << flag << "\n";
+      std::exit(2);
+    }
+    return argv[++i];
+  };
+  auto parse_u64 = [&](const char* text, std::string_view flag) -> u64 {
+    char* end = nullptr;
+    const u64 v = std::strtoull(text, &end, 10);
+    if (end == text || *end != '\0') {
+      std::cerr << prog << ": bad value '" << text << "' for " << flag << "\n";
+      std::exit(2);
+    }
+    return v;
+  };
+  auto note_unsupported = [&](std::string_view flag, bool is_supported) {
+    if (!is_supported) std::cerr << prog << ": note: " << flag << " has no effect here\n";
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view a = argv[i];
+    if (a == "--threads") {
+      o.threads = static_cast<std::size_t>(parse_u64(need_value(i, a), a));
+      note_unsupported(a, (supported & kFlagThreads) != 0);
+    } else if (a == "--seeds") {
+      o.seeds = parse_u64(need_value(i, a), a);
+      note_unsupported(a, (supported & kFlagSeeds) != 0);
+    } else if (a == "--scale") {
+      o.scale = parse_u64(need_value(i, a), a);
+      if (o.scale > 30) {
+        std::cerr << prog << ": --scale " << o.scale << " is a log2, not a line count\n";
+        std::exit(2);
+      }
+      note_unsupported(a, (supported & kFlagScale) != 0);
+    } else if (a == "--json") {
+      o.json = need_value(i, a);
+      note_unsupported(a, (supported & kFlagJson) != 0);
+    } else if (a == "--help" || a == "-h") {
+      print_bench_usage(prog, supported);
+      std::exit(0);
+    } else {
+      std::cerr << prog << ": unknown flag '" << a << "'\n";
+      print_bench_usage(prog, supported);
+      std::exit(2);
+    }
+  }
+  return o;
+}
 
 }  // namespace srbsg::bench

@@ -6,27 +6,27 @@
 #include "analytic/lifetime_models.hpp"
 #include "bench_util.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace srbsg;
   using namespace srbsg::bench;
+
+  const BenchOptions opts = parse_bench_options(argc, argv, kFlagThreads | kFlagScale);
 
   print_header("Fig. 11: RBSG under RTA and RAA",
                "RTA 478 s @ (R=32, psi=100); RAA 27435x slower");
 
   const auto paper = pcm::PcmConfig::paper_bank();
-  const u64 scaled_lines = full_mode() ? (1u << 15) : (1u << 13);
+  const u64 scaled_lines = opts.lines_or(full_mode() ? (1u << 15) : (1u << 13));
   const u64 scaled_endurance = 51'200;  // >= 2 rotations for every config
 
   Table t({"R", "psi", "model RTA (paper scale)", "model RAA (paper scale)", "RTA/RAA",
            "sim RTA (scaled)", "sim RAA (scaled)"});
 
-  ThreadPool pool;
+  // The grid runs as one sweep (RTA and RAA interleaved per shape) so the
+  // pool keeps every core busy and the arena recycles one bank per worker.
+  std::vector<sim::LifetimeConfig> configs;
   for (u64 regions : {32u, 64u, 128u}) {
     for (u64 interval : {16u, 32u, 64u, 100u}) {
-      const analytic::RbsgShape shape{regions, interval};
-      const double model_rta = analytic::rta_rbsg_ns(paper, shape).total_ns;
-      const double model_raa = analytic::raa_rbsg_ns(paper, shape);
-
       sim::LifetimeConfig c;
       c.pcm = pcm::PcmConfig::scaled(scaled_lines, scaled_endurance);
       c.scheme.kind = wl::SchemeKind::kRbsg;
@@ -36,18 +36,29 @@ int main() {
       c.scheme.seed = 5;
       c.attack = sim::AttackKind::kRta;
       c.write_budget = u64{1} << 36;
-      const auto rta = run_lifetime(c);
+      configs.push_back(c);
       c.attack = sim::AttackKind::kRaa;
-      const auto raa = run_lifetime(c);
+      configs.push_back(c);
+    }
+  }
+  ThreadPool pool(opts.threads);
+  const auto entries = sim::run_sweep(configs, pool);
 
+  auto cell = [](const sim::SweepEntry& e) {
+    return e.outcome.result.succeeded
+               ? fmt_duration_ns(static_cast<double>(e.outcome.result.lifetime.value()))
+               : std::string("budget");
+  };
+  std::size_t idx = 0;
+  for (u64 regions : {32u, 64u, 128u}) {
+    for (u64 interval : {16u, 32u, 64u, 100u}) {
+      const analytic::RbsgShape shape{regions, interval};
+      const double model_rta = analytic::rta_rbsg_ns(paper, shape).total_ns;
+      const double model_raa = analytic::raa_rbsg_ns(paper, shape);
+      const auto& rta = entries[idx++];
+      const auto& raa = entries[idx++];
       t.add_row({std::to_string(regions), std::to_string(interval), dur(model_rta),
-                 dur(model_raa), fmt_double(model_raa / model_rta, 4),
-                 rta.result.succeeded
-                     ? dur(static_cast<double>(rta.result.lifetime.value()))
-                     : "budget",
-                 raa.result.succeeded
-                     ? dur(static_cast<double>(raa.result.lifetime.value()))
-                     : "budget"});
+                 dur(model_raa), fmt_double(model_raa / model_rta, 4), cell(rta), cell(raa)});
     }
   }
   t.print(std::cout);

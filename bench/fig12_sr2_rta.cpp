@@ -7,12 +7,15 @@
 #include "analytic/lifetime_models.hpp"
 #include <algorithm>
 
-#include "common/bitops.hpp"
 #include "bench_util.hpp"
+#include "common/bitops.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace srbsg;
   using namespace srbsg::bench;
+
+  const BenchOptions opts =
+      parse_bench_options(argc, argv, kFlagThreads | kFlagSeeds | kFlagScale);
 
   print_header("Fig. 12: two-level SR under RTA (avg of keys)",
                "178.8 h @ (512 sub-regions, psi_in=64, psi_out=128)");
@@ -22,12 +25,13 @@ int main() {
   // The scaled bank shrinks every sub-region by the same power of two,
   // so the grid's relative ordering (more sub-regions = smaller regions)
   // is preserved: M_scaled = M_paper >> shift.
-  const u64 scaled_lines = full_mode() ? (1u << 14) : (1u << 13);
+  const u64 scaled_lines = opts.lines_or(full_mode() ? (1u << 14) : (1u << 13));
   const u64 scaled_endurance = 2048;
-  const u64 seeds = full_mode() ? 5 : 2;
+  const u64 seeds = opts.seeds_or(full_mode() ? 5 : 2);
   const u64 scale_shift = paper.address_bits() - log2_floor(scaled_lines);
 
-  ThreadPool pool;
+  ThreadPool pool(opts.threads);
+  sim::WorkerArena arena;  // recycle banks across the whole grid
   Table t({"sub-regions", "psi_in", "psi_out", "model RTA (paper scale)",
            "sim RTA avg (scaled)", "sim rounds"});
 
@@ -48,18 +52,17 @@ int main() {
         c.scheme.outer_interval = outer;
         c.attack = sim::AttackKind::kRta;
         c.write_budget = u64{1} << 36;
-        double avg = 0.0;
-        try {
-          avg = sim::average_lifetime_ns(c, seeds, pool);
-        } catch (const CheckFailure&) {
-          avg = 0.0;  // no run finished within budget
+        const sim::AverageLifetime avg = sim::average_lifetime(c, seeds, pool, arena);
+        std::string cell = avg.counted > 0 ? dur(avg.mean_ns) : std::string("budget");
+        if (avg.counted > 0 && !avg.complete()) {
+          // Partial convergence: the mean covers counted/seeds replicas.
+          cell += " (" + std::to_string(avg.counted) + "/" + std::to_string(avg.seeds) + ")";
         }
 
         const auto breakdown =
             analytic::rta_sr2_ns(paper, analytic::Sr2Shape{sub_regions, inner, outer});
         t.add_row({std::to_string(sub_regions), std::to_string(inner),
-                   std::to_string(outer), dur(model),
-                   avg > 0 ? dur(avg) : "budget",
+                   std::to_string(outer), dur(model), cell,
                    fmt_double(breakdown.rounds, 4)});
       }
     }

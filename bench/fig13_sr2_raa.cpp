@@ -16,9 +16,11 @@
 #include "bench_util.hpp"
 #include "common/bitops.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace srbsg;
   using namespace srbsg::bench;
+
+  const BenchOptions opts = parse_bench_options(argc, argv, kFlagThreads | kFlagScale);
 
   print_header("Fig. 13: two-level SR under RAA",
                "~105 months at the suggested config; ideal = 4854 days");
@@ -26,7 +28,7 @@ int main() {
   const auto paper = pcm::PcmConfig::paper_bank();
   const double ideal = analytic::ideal_lifetime_ns(paper);
 
-  const u64 scaled_lines = full_mode() ? (1u << 12) : (1u << 11);
+  const u64 scaled_lines = opts.lines_or(full_mode() ? (1u << 12) : (1u << 11));
   const u64 interval_shift = 3;  // ψ/8
   const u64 region_shift = 4;    // R/16
   const u64 scaled_endurance = full_mode() ? (1u << 17) : (1u << 16);
@@ -40,6 +42,7 @@ int main() {
       full_mode() ? std::vector<u64>{16, 32, 64, 128} : std::vector<u64>{32, 64, 128};
   const std::vector<u64> outers = full_mode() ? std::vector<u64>{16, 32, 64, 128, 256}
                                               : std::vector<u64>{16, 64, 256};
+  std::vector<sim::LifetimeConfig> configs;
   for (u64 sub_regions : {256u, 512u, 1024u}) {
     for (u64 inner : inners) {
       for (u64 outer : outers) {
@@ -53,7 +56,18 @@ int main() {
         c.scheme.seed = 5;
         c.attack = sim::AttackKind::kRaa;
         c.write_budget = u64{1} << 40;
-        const auto out = run_lifetime(c);
+        configs.push_back(c);
+      }
+    }
+  }
+  ThreadPool pool(opts.threads);
+  const auto entries = sim::run_sweep(configs, pool);
+
+  std::size_t idx = 0;
+  for (u64 sub_regions : {256u, 512u, 1024u}) {
+    for (u64 inner : inners) {
+      for (u64 outer : outers) {
+        const auto& out = entries[idx++].outcome;
         const double measured =
             out.result.succeeded ? static_cast<double>(out.result.lifetime.value()) : 0.0;
         const double fraction = measured / scaled_ideal;

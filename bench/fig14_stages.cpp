@@ -7,14 +7,17 @@
 #include "analytic/lifetime_models.hpp"
 #include "bench_util.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace srbsg;
   using namespace srbsg::bench;
+
+  const BenchOptions opts =
+      parse_bench_options(argc, argv, kFlagThreads | kFlagSeeds | kFlagScale);
 
   print_header("Fig. 14: Security RBSG lifetime vs DFN stages",
                "7 stages: 67.2% ideal (RAA), 66.4% (BPA); 3 stages ~20% (RAA)");
 
-  const u64 lines = full_mode() ? (1u << 12) : (1u << 11);
+  const u64 lines = opts.lines_or(full_mode() ? (1u << 12) : (1u << 11));
   // Regime: the fraction-of-ideal is governed by E / visit wear, where a
   // visit deposits (M+1)·ψ_in = 520 writes on one slot. The paper's ratio
   // is E/visit ≈ 190; E = 65536 gives ≈ 126 here, close enough for the
@@ -49,13 +52,18 @@ int main() {
           : 0.0;
 
   // Average over seeds: at small scale a single run's fraction is noisy
-  // (the failure is an extreme-value event).
-  ThreadPool pool;
-  const u64 seeds = full_mode() ? 5 : 3;
+  // (the failure is an extreme-value event). Non-converged replicas count
+  // as zero lifetime here so a too-small budget depresses the fraction
+  // visibly instead of silently shrinking the sample.
+  ThreadPool pool(opts.threads);
+  sim::WorkerArena arena;
+  const u64 seeds = opts.seeds_or(full_mode() ? 5 : 3);
   auto avg_fraction = [&](u32 stages, sim::AttackKind attack) {
     auto cfg = base(stages);
     cfg.attack = attack;
-    return sim::average_lifetime_ns(cfg, seeds, pool) / ideal;
+    const sim::AverageLifetime avg = sim::average_lifetime(cfg, seeds, pool, arena);
+    const double counted_sum = avg.mean_ns * static_cast<double>(avg.counted);
+    return counted_sum / static_cast<double>(avg.seeds) / ideal;
   };
 
   Table t({"stages", "RAA fraction of ideal", "BPA fraction of ideal",

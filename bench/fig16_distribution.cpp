@@ -6,14 +6,16 @@
 #include "bench_util.hpp"
 #include "sim/write_distribution.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace srbsg;
   using namespace srbsg::bench;
+
+  const BenchOptions opts = parse_bench_options(argc, argv, kFlagScale);
 
   print_header("Fig. 16: RAA write distribution over the space",
                "curves for 1e10..1e13 writes approach the diagonal");
 
-  const u64 lines = full_mode() ? (1u << 16) : (1u << 14);
+  const u64 lines = opts.lines_or(full_mode() ? (1u << 16) : (1u << 14));
   wl::SchemeSpec spec;
   spec.kind = wl::SchemeKind::kSecurityRbsg;
   spec.lines = lines;

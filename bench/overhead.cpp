@@ -6,9 +6,12 @@
 #include "analytic/overhead.hpp"
 #include "bench_util.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace srbsg;
   using namespace srbsg::bench;
+
+  // Analytic only: every standard flag is accepted but has no effect.
+  (void)parse_bench_options(argc, argv, 0);
 
   print_header("Hardware overhead (Security RBSG)",
                "~2 KB registers, 0.5 MB SRAM, (3/8)SB^2 gates @ (512,64,128,S=7)");

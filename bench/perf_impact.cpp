@@ -7,14 +7,16 @@
 #include "bench_util.hpp"
 #include "perf/ipc_experiment.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace srbsg;
   using namespace srbsg::bench;
+
+  const BenchOptions opts = parse_bench_options(argc, argv, kFlagScale);
 
   print_header("Perf impact: IPC degradation vs no wear leveling",
                "PARSEC avg 1.73/1.02/0.68 % @ psi_in 32/64/128; SPEC < 0.5 %");
 
-  const u64 lines = 1u << 14;
+  const u64 lines = opts.lines_or(1u << 14);
   const u64 instructions = full_mode() ? 8'000'000 : 2'000'000;
   const auto cfg = pcm::PcmConfig::scaled(lines, u64{1} << 40);
   const perf::CoreParams core;  // 1 GHz, 32-entry queue (paper platform)

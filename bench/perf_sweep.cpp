@@ -1,0 +1,271 @@
+// BENCH harness for the sweep engine: v2 (arena bank reuse + chunked
+// parallel_for) against an inline replication of the v1 engine (one
+// submitted future per entry, a freshly constructed PcmBank per run — the
+// engine as it was before the arena existed). Both run the same reference
+// grid, a Table-I subset (SR2 and Security RBSG shapes) with endurance
+// variation enabled so v1 pays the per-line truncated-Gaussian draw on
+// every run while v2 reuses each worker bank's table.
+//
+// Counters per engine: wall-clock ms, simulated writes, writes/sec, heap
+// allocation calls/bytes (via the replaced global operator new below),
+// peak RSS, and — for v2 — arena build/reuse stats. Every outcome field
+// is compared across engines; `identical` must be true, and the process
+// exits nonzero when it is not, so CI can gate on determinism while
+// treating the timing numbers as informational.
+//
+// The v2 engine runs FIRST (cold caches, cold allocator); v1 runs second
+// and still loses, which keeps the reported speedup conservative.
+
+#include <sys/resource.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
+#include <future>
+#include <new>
+#include <sstream>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/bitops.hpp"
+
+// --- allocation counting -------------------------------------------------
+// Replaceable global allocation functions, counted with relaxed atomics.
+// Binary-local: only this executable pays for (or sees) the counters.
+// The aligned overloads are not replaced; over-aligned allocations fall
+// back to the default implementation and go uncounted, which only makes
+// the reported v1/v2 allocation gap smaller.
+
+namespace {
+std::atomic<srbsg::u64> g_alloc_calls{0};
+std::atomic<srbsg::u64> g_alloc_bytes{0};
+
+void* counted_alloc(std::size_t n) {
+  g_alloc_calls.fetch_add(1, std::memory_order_relaxed);
+  g_alloc_bytes.fetch_add(n, std::memory_order_relaxed);
+  if (void* p = std::malloc(n > 0 ? n : 1)) return p;
+  throw std::bad_alloc{};
+}
+}  // namespace
+
+void* operator new(std::size_t n) { return counted_alloc(n); }
+void* operator new[](std::size_t n) { return counted_alloc(n); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace {
+
+using namespace srbsg;
+using namespace srbsg::bench;
+
+u64 peak_rss_kb() {
+  rusage ru{};
+  getrusage(RUSAGE_SELF, &ru);
+  return ru.ru_maxrss > 0 ? static_cast<u64>(ru.ru_maxrss) : 0;
+}
+
+struct EngineRun {
+  std::string name;
+  double wall_ms{0.0};
+  u64 writes{0};
+  double writes_per_sec{0.0};
+  u64 alloc_calls{0};
+  u64 alloc_bytes{0};
+  u64 peak_rss_kb{0};
+  u64 bank_builds{0};
+  u64 bank_reuses{0};
+  std::vector<sim::LifetimeOutcome> outcomes;
+};
+
+template <class Body>
+EngineRun measure(std::string name, std::size_t entries, Body&& body) {
+  EngineRun r;
+  r.name = std::move(name);
+  r.outcomes.reserve(entries);
+  const u64 calls0 = g_alloc_calls.load(std::memory_order_relaxed);
+  const u64 bytes0 = g_alloc_bytes.load(std::memory_order_relaxed);
+  const auto t0 = std::chrono::steady_clock::now();
+  body(r.outcomes);
+  const auto t1 = std::chrono::steady_clock::now();
+  r.wall_ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
+  r.alloc_calls = g_alloc_calls.load(std::memory_order_relaxed) - calls0;
+  r.alloc_bytes = g_alloc_bytes.load(std::memory_order_relaxed) - bytes0;
+  r.peak_rss_kb = peak_rss_kb();
+  for (const auto& o : r.outcomes) r.writes += o.result.writes;
+  r.writes_per_sec =
+      r.wall_ms > 0.0 ? static_cast<double>(r.writes) / (r.wall_ms / 1000.0) : 0.0;
+  return r;
+}
+
+/// The sweep engine as it existed before the arena: one pool.submit per
+/// entry (a heap-allocated packaged_task + future each) and a freshly
+/// constructed bank — including a fresh endurance-table draw — per run.
+void run_v1(std::span<const sim::LifetimeConfig> configs, ThreadPool& pool,
+            std::vector<sim::LifetimeOutcome>& out) {
+  out.resize(configs.size());
+  std::vector<std::future<void>> futs;
+  futs.reserve(configs.size());
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    futs.push_back(pool.submit([&configs, &out, i] { out[i] = run_lifetime(configs[i]); }));
+  }
+  for (auto& f : futs) f.get();
+}
+
+bool outcomes_identical(const sim::LifetimeOutcome& a, const sim::LifetimeOutcome& b) {
+  return a.result.succeeded == b.result.succeeded && a.result.lifetime == b.result.lifetime &&
+         a.result.writes == b.result.writes && a.result.elapsed == b.result.elapsed &&
+         a.wear.mean == b.wear.mean &&
+         a.wear.coefficient_of_variation == b.wear.coefficient_of_variation &&
+         a.wear.gini == b.wear.gini && a.wear.max_over_mean == b.wear.max_over_mean &&
+         a.wear.max == b.wear.max && a.wear.min == b.wear.min;
+}
+
+std::string json_number(double v) {
+  std::ostringstream os;
+  os.precision(6);
+  os << std::fixed << v;
+  return os.str();
+}
+
+void engine_json(std::ostream& os, const EngineRun& r, bool with_arena_stats) {
+  os << "    {\n"
+     << "      \"name\": \"" << r.name << "\",\n"
+     << "      \"wall_ms\": " << json_number(r.wall_ms) << ",\n"
+     << "      \"writes\": " << r.writes << ",\n"
+     << "      \"writes_per_sec\": " << json_number(r.writes_per_sec) << ",\n"
+     << "      \"alloc_calls\": " << r.alloc_calls << ",\n"
+     << "      \"alloc_bytes\": " << r.alloc_bytes << ",\n"
+     << "      \"peak_rss_kb\": " << r.peak_rss_kb;
+  if (with_arena_stats) {
+    os << ",\n      \"bank_builds\": " << r.bank_builds
+       << ",\n      \"bank_reuses\": " << r.bank_reuses;
+  }
+  os << "\n    }";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const BenchOptions opts = parse_bench_options(argc, argv, kFlagAll);
+
+  print_header("perf_sweep: sweep engine v2 (arena + chunked) vs v1 (fresh banks)",
+               "engineering bench, no paper figure; see DESIGN.md §10");
+
+  // Reference grid: a Table-I subset. SR2 and Security RBSG at three
+  // sub-region counts and two inner intervals under RAA (the paper's
+  // canonical uniform attacker; its hammering goes through the bulk
+  // event-driven write path, so per-run simulation cost tracks the write
+  // count, not the bank size), several seeds each, with endurance
+  // variation ON so per-run bank construction includes the truncated-
+  // Gaussian table draw that the arena amortizes away.
+  const u64 lines = opts.lines_or(full_mode() ? (u64{1} << 17) : (u64{1} << 15));
+  const u64 endurance = 2048;
+  // 5 seeded replicas per configuration — the paper's Fig. 12 protocol
+  // (each configuration averaged over 5 random keys).
+  const u64 seeds = opts.seeds_or(5);
+  auto pcm_cfg = pcm::PcmConfig::scaled(lines, endurance);
+  pcm_cfg.endurance_variation = 0.1;
+  pcm_cfg.variation_seed = 0xbadcafe;
+
+  // Same sub-region scaling recipe as fig12: the paper bank's region size
+  // M = 2^22 / sub_regions, shrunk by the bank's scale factor.
+  const u64 scale_shift = 22 > log2_floor(lines) ? 22 - log2_floor(lines) : 0;
+  std::vector<sim::LifetimeConfig> configs;
+  for (const wl::SchemeKind kind : {wl::SchemeKind::kSr2, wl::SchemeKind::kSecurityRbsg}) {
+    for (const u64 sub_regions : {256u, 512u, 1024u}) {
+      for (const u64 inner : {32u, 64u}) {
+        for (u64 seed = 1; seed <= seeds; ++seed) {
+          sim::LifetimeConfig c;
+          c.pcm = pcm_cfg;
+          c.scheme.kind = kind;
+          c.scheme.lines = lines;
+          const u64 paper_m = (u64{1} << 22) / sub_regions;
+          c.scheme.regions = lines / std::max<u64>(4, paper_m >> scale_shift);
+          c.scheme.inner_interval = inner;
+          c.scheme.outer_interval = 2 * inner;
+          c.scheme.stages = 7;
+          c.scheme.seed = seed;
+          c.seed = seed;
+          c.attack = sim::AttackKind::kRaa;
+          c.write_budget = u64{1} << 32;
+          configs.push_back(c);
+        }
+      }
+    }
+  }
+
+  ThreadPool pool(opts.threads);
+  std::cout << "grid: " << configs.size() << " entries, " << lines << " lines, endurance "
+            << endurance << " +/-10%, " << seeds << " seeds, " << pool.size()
+            << " threads\n\n";
+
+  // v2 first (cold), v1 second (warm allocator): conservative speedup.
+  sim::WorkerArena arena;
+  EngineRun v2 = measure("v2_arena_chunked", configs.size(),
+                         [&](std::vector<sim::LifetimeOutcome>& out) {
+                           auto entries = sim::run_sweep(configs, pool, arena);
+                           for (auto& e : entries) out.push_back(e.outcome);
+                         });
+  v2.bank_builds = arena.stats().bank_builds;
+  v2.bank_reuses = arena.stats().bank_reuses;
+  arena.clear();
+
+  EngineRun v1 = measure("v1_per_entry_fresh_banks", configs.size(),
+                               [&](std::vector<sim::LifetimeOutcome>& out) {
+                                 run_v1(configs, pool, out);
+                               });
+
+  bool identical = v1.outcomes.size() == v2.outcomes.size();
+  for (std::size_t i = 0; identical && i < v1.outcomes.size(); ++i) {
+    identical = outcomes_identical(v1.outcomes[i], v2.outcomes[i]);
+  }
+  const double speedup = v2.wall_ms > 0.0 ? v1.wall_ms / v2.wall_ms : 0.0;
+
+  Table t({"engine", "wall ms", "writes/sec", "alloc calls", "alloc MB", "peak RSS MB",
+           "bank builds/reuses"});
+  for (const EngineRun* r : {&v1, &v2}) {
+    t.add_row({r->name, json_number(r->wall_ms), json_number(r->writes_per_sec),
+               std::to_string(r->alloc_calls),
+               fmt_double(static_cast<double>(r->alloc_bytes) / 1048576.0, 2),
+               fmt_double(static_cast<double>(r->peak_rss_kb) / 1024.0, 2),
+               r == &v2 ? std::to_string(r->bank_builds) + "/" + std::to_string(r->bank_reuses)
+                        : "-"});
+  }
+  t.print(std::cout);
+  std::cout << "\nspeedup (v1 wall / v2 wall): " << fmt_double(speedup, 2) << "x\n"
+            << "outcomes bit-identical across engines: " << (identical ? "yes" : "NO") << "\n";
+
+  if (!opts.json.empty()) {
+    std::ofstream os(opts.json);
+    if (!os) {
+      std::cerr << "perf_sweep: cannot open " << opts.json << " for writing\n";
+      return 3;
+    }
+    os << "{\n"
+       << "  \"schema_version\": 1,\n"
+       << "  \"bench\": \"perf_sweep\",\n"
+       << "  \"grid\": {\n"
+       << "    \"entries\": " << configs.size() << ",\n"
+       << "    \"lines\": " << lines << ",\n"
+       << "    \"endurance\": " << endurance << ",\n"
+       << "    \"endurance_variation\": " << json_number(pcm_cfg.endurance_variation) << ",\n"
+       << "    \"seeds\": " << seeds << ",\n"
+       << "    \"threads\": " << pool.size() << "\n"
+       << "  },\n"
+       << "  \"engines\": [\n";
+    engine_json(os, v1, false);
+    os << ",\n";
+    engine_json(os, v2, true);
+    os << "\n  ],\n"
+       << "  \"speedup\": " << json_number(speedup) << ",\n"
+       << "  \"identical\": " << (identical ? "true" : "false") << "\n"
+       << "}\n";
+    std::cout << "wrote " << opts.json << "\n";
+  }
+
+  return identical ? 0 : 1;
+}

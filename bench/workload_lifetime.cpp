@@ -10,14 +10,16 @@
 #include "trace/generators.hpp"
 #include "wl/factory.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace srbsg;
   using namespace srbsg::bench;
+
+  const BenchOptions opts = parse_bench_options(argc, argv, kFlagScale);
 
   print_header("Workload lifetime: non-uniform traffic vs wear leveling",
                "§I-II motivation: hot lines fail early without leveling");
 
-  const u64 lines = full_mode() ? (1u << 12) : (1u << 11);
+  const u64 lines = opts.lines_or(full_mode() ? (1u << 12) : (1u << 11));
   const u64 endurance = 1u << 14;
   const auto cfg = pcm::PcmConfig::scaled(lines, endurance);
   const double ideal = analytic::ideal_lifetime_ns(cfg);

@@ -9,6 +9,16 @@
 //   * SRBSG_CHECK(expr)       — carries the failing expression text itself;
 //   * check_eq/check_lt/...   — carry both operand values, so an auditor
 //     failure reports *what* diverged, not just that something did.
+//
+// Two tiers of cost:
+//   * check()/SRBSG_CHECK and the comparison family are armed in every
+//     build — simulation correctness depends on them;
+//   * SRBSG_DCHECK(expr, msg) is the hot-path tier: a full check()
+//     wherever bugs are hunted (Debug builds and every sanitizer preset,
+//     where SRBSG_DCHECK_ENABLED is defined), and an optimizer assumption
+//     in optimized builds. Use it only for invariants that upstream
+//     layers already establish (e.g. bank bounds behind a validated
+//     translation); a violated assumption in a release build is UB.
 
 #include <source_location>
 #include <sstream>
@@ -127,8 +137,39 @@ template <class To, class From>
   return static_cast<To>(v);
 }
 
+/// True when SRBSG_DCHECK compiles to a full check() in this build.
+/// Tests use this to skip death/throw expectations that only hold in
+/// checked builds.
+inline constexpr bool kDchecksArmed =
+#if defined(SRBSG_DCHECK_ENABLED)
+    true;
+#else
+    false;
+#endif
+
 }  // namespace srbsg
 
 /// check() variant that carries the failing expression text; use when no
 /// better invariant name exists than the condition itself.
 #define SRBSG_CHECK(expr) ::srbsg::check((expr), "check failed: " #expr)
+
+// Tells the optimizer `expr` holds without generating a branch-and-throw.
+// The expression must be side-effect free; it may be evaluated.
+#if defined(__clang__)
+#define SRBSG_DETAIL_ASSUME(expr) __builtin_assume(expr)
+#elif defined(__GNUC__)
+#define SRBSG_DETAIL_ASSUME(expr) \
+  do {                            \
+    if (!(expr)) __builtin_unreachable(); \
+  } while (false)
+#else
+#define SRBSG_DETAIL_ASSUME(expr) ((void)0)
+#endif
+
+/// Hot-path tier: full check() when SRBSG_DCHECK_ENABLED (Debug builds,
+/// sanitizer presets, SRBSG_DCHECKS=ON), optimizer assumption otherwise.
+#if defined(SRBSG_DCHECK_ENABLED)
+#define SRBSG_DCHECK(expr, msg) ::srbsg::check((expr), (msg))
+#else
+#define SRBSG_DCHECK(expr, msg) SRBSG_DETAIL_ASSUME(expr)
+#endif

@@ -67,32 +67,64 @@ double Histogram::quantile(double p) const {
 WearMetrics compute_wear_metrics(std::span<const u64> writes) {
   WearMetrics m;
   if (writes.empty()) return m;
-  RunningStats rs;
   u64 mx = 0;
   u64 mn = std::numeric_limits<u64>::max();
   for (u64 w : writes) {
-    rs.add(static_cast<double>(w));
     mx = std::max(mx, w);
     mn = std::min(mn, w);
   }
-  m.mean = rs.mean();
   m.max = mx;
   m.min = mn;
-  if (m.mean > 0.0) {
-    m.coefficient_of_variation = rs.stddev() / m.mean;
-    m.max_over_mean = static_cast<double>(mx) / m.mean;
+
+  // Every metric below (mean, CoV, Gini) is computed over value groups
+  // rather than lines: wear vectors are heavily quantized — leveling
+  // deals writes out in interval-sized quanta — so the number of distinct
+  // values is tiny compared to the line count, and grouping turns an
+  // O(n log n) sort plus per-line division into one counting pass. A
+  // dense histogram covers the common case (max wear comparable to n);
+  // wide value ranges fall back to sorting and run-length grouping. For
+  // the Gini rank formula G = 2*sum(i*x_i)/(n*sum(x)) - (n+1)/n, a group
+  // of `count` equal values following `rank` smaller ones occupies ranks
+  // (rank, rank+count] whose sum is count*rank + count*(count+1)/2.
+  std::vector<std::pair<u64, u64>> groups;  // (value, count), ascending
+  if (mx <= 4 * writes.size() + 1024) {
+    std::vector<u64> counts(mx + 1, 0);
+    for (u64 w : writes) ++counts[w];
+    for (u64 v = mn; v <= mx; ++v) {
+      if (counts[v] > 0) groups.emplace_back(v, counts[v]);
+    }
+  } else {
+    std::vector<u64> sorted(writes.begin(), writes.end());
+    std::sort(sorted.begin(), sorted.end());
+    for (std::size_t i = 0; i < sorted.size();) {
+      std::size_t j = i + 1;
+      while (j < sorted.size() && sorted[j] == sorted[i]) ++j;
+      groups.emplace_back(sorted[i], j - i);
+      i = j;
+    }
   }
-  // Gini via the sorted-rank formula: G = (2*sum(i*x_i)/(n*sum(x)) - (n+1)/n).
-  std::vector<u64> sorted(writes.begin(), writes.end());
-  std::sort(sorted.begin(), sorted.end());
-  const auto n = static_cast<double>(sorted.size());
-  double weighted = 0.0;
+
+  const auto n = static_cast<double>(writes.size());
   double total = 0.0;
-  for (std::size_t i = 0; i < sorted.size(); ++i) {
-    weighted += static_cast<double>(i + 1) * static_cast<double>(sorted[i]);
-    total += static_cast<double>(sorted[i]);
+  double weighted = 0.0;
+  u64 rank = 0;
+  for (const auto& [value, count] : groups) {
+    const double v = static_cast<double>(value);
+    const double c = static_cast<double>(count);
+    total += c * v;
+    weighted += (c * static_cast<double>(rank) + c * (c + 1.0) / 2.0) * v;
+    rank += count;
   }
-  if (total > 0.0) {
+  m.mean = total / n;
+  if (m.mean > 0.0) {
+    double m2 = 0.0;
+    for (const auto& [value, count] : groups) {
+      const double d = static_cast<double>(value) - m.mean;
+      m2 += static_cast<double>(count) * d * d;
+    }
+    const double variance = writes.size() > 1 ? m2 / (n - 1.0) : 0.0;
+    m.coefficient_of_variation = std::sqrt(variance) / m.mean;
+    m.max_over_mean = static_cast<double>(mx) / m.mean;
     m.gini = (2.0 * weighted) / (n * total) - (n + 1.0) / n;
   }
   return m;

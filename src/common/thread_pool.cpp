@@ -1,6 +1,7 @@
 #include "common/thread_pool.hpp"
 
 #include <algorithm>
+#include <atomic>
 
 namespace srbsg {
 
@@ -39,15 +40,49 @@ void ThreadPool::worker_loop() {
   }
 }
 
-void parallel_for(ThreadPool& pool, std::size_t n, const std::function<void(std::size_t)>& fn) {
+void parallel_for(ThreadPool& pool, std::size_t n, const std::function<void(std::size_t)>& fn,
+                  std::size_t grain) {
+  if (n == 0) return;
+  if (grain == 0) grain = 1;
+  std::atomic<std::size_t> next{0};
+  std::atomic<bool> abort{false};
+  std::mutex err_mu;
+  std::exception_ptr first_error;
+  // One block-runner per worker; all claims go through `next`. The runner
+  // never lets an exception escape into the pool — it is recorded under
+  // the mutex and rethrown on the calling thread after every runner
+  // drains, matching the old per-item-future semantics.
+  auto runner = [&] {
+    while (!abort.load(std::memory_order_relaxed)) {
+      const std::size_t begin = next.fetch_add(grain, std::memory_order_relaxed);
+      if (begin >= n) return;
+      const std::size_t end = std::min(begin + grain, n);
+      try {
+        for (std::size_t i = begin; i < end; ++i) fn(i);
+      } catch (...) {
+        {
+          std::lock_guard lock(err_mu);
+          if (!first_error) first_error = std::current_exception();
+        }
+        abort.store(true, std::memory_order_relaxed);
+        return;
+      }
+    }
+  };
+  const std::size_t blocks = (n + grain - 1) / grain;
+  // The caller runs one runner itself; extra pool tasks only for the
+  // blocks it cannot cover alone.
+  const std::size_t helpers = std::min(pool.size(), blocks - 1);
   std::vector<std::future<void>> futs;
-  futs.reserve(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    futs.push_back(pool.submit([&fn, i] { fn(i); }));
+  futs.reserve(helpers);
+  for (std::size_t t = 0; t < helpers; ++t) {
+    futs.push_back(pool.submit(runner));
   }
+  runner();
   for (auto& f : futs) {
-    f.get();  // propagate exceptions
+    f.get();
   }
+  if (first_error) std::rethrow_exception(first_error);
 }
 
 }  // namespace srbsg

@@ -52,6 +52,17 @@ class ThreadPool {
 };
 
 /// Run fn(i) for i in [0, n) across the pool; rethrows the first exception.
-void parallel_for(ThreadPool& pool, std::size_t n, const std::function<void(std::size_t)>& fn);
+///
+/// Scheduling is chunked: workers claim blocks of `grain` items off a
+/// shared atomic index, so the pool receives one task per worker instead
+/// of one heap-allocated future per item, and load balancing stays
+/// dynamic. The calling thread participates, so the pool being busy (or
+/// empty) never deadlocks the loop. `grain` defaults to 1 — right for
+/// coarse items like to-failure simulations; raise it for large grids of
+/// tiny items so neighbours share one claim. After an exception no new
+/// blocks are claimed; already-claimed blocks finish, then the first
+/// exception is rethrown.
+void parallel_for(ThreadPool& pool, std::size_t n, const std::function<void(std::size_t)>& fn,
+                  std::size_t grain = 1);
 
 }  // namespace srbsg

@@ -12,6 +12,17 @@ MemoryController::MemoryController(const pcm::PcmConfig& cfg,
         "MemoryController: scheme sized for a different bank");
 }
 
+MemoryController::MemoryController(pcm::PcmBank&& bank, std::unique_ptr<wl::WearLeveler> scheme)
+    : bank_(std::move(bank)), scheme_(std::move(scheme)) {
+  check(scheme_ != nullptr, "MemoryController: null scheme");
+  check(bank_.config().line_count == scheme_->logical_lines(),
+        "MemoryController: scheme sized for a different bank");
+  check(bank_.total_lines() == scheme_->physical_lines(),
+        "MemoryController: adopted bank has the wrong physical size");
+  check(!bank_.has_failure() && bank_.total_writes() == 0,
+        "MemoryController: adopted bank is not freshly reset");
+}
+
 void MemoryController::maybe_record_failure(Ns per_write_latency) {
   if (failure_ || !bank_.has_failure()) return;
   const u64 overshoot = bank_.failure_overshoot();

@@ -24,6 +24,16 @@ class MemoryController {
  public:
   MemoryController(const pcm::PcmConfig& cfg, std::unique_ptr<wl::WearLeveler> scheme);
 
+  /// Arena path: adopt an already-sized, freshly reset bank (see
+  /// sim::WorkerArena) instead of constructing one. The bank must match
+  /// the scheme's logical/physical line counts.
+  MemoryController(pcm::PcmBank&& bank, std::unique_ptr<wl::WearLeveler> scheme);
+
+  /// Move the bank back out for recycling. The controller is unusable
+  /// afterwards; call only once the run is over and its wear state has
+  /// been harvested.
+  [[nodiscard]] pcm::PcmBank release_bank() { return std::move(bank_); }
+
   /// One write; returns the latency the requester observes (data write +
   /// any remap stall) — this is the timing oracle.
   wl::WriteOutcome write(La la, const pcm::LineData& data);

@@ -9,38 +9,93 @@
 namespace srbsg::pcm {
 
 PcmBank::PcmBank(const PcmConfig& cfg, u64 total_lines) : cfg_(cfg) {
-  cfg_.validate();
+  reconfigure(cfg, total_lines);
+}
+
+PcmBank::PcmBank(PcmBank&& other) noexcept
+    : cfg_(other.cfg_),
+      data_(std::move(other.data_)),
+      wear_(std::move(other.wear_)),
+      endurance_(std::move(other.endurance_)),
+      endurance_lut_(endurance_.empty() ? nullptr : endurance_.data()),
+      uniform_endurance_(other.uniform_endurance_),
+      endurance_rebuilds_(other.endurance_rebuilds_),
+      total_writes_(other.total_writes_),
+      first_failure_(other.first_failure_),
+      failure_overshoot_(other.failure_overshoot_) {
+  other.endurance_lut_ = nullptr;
+}
+
+PcmBank& PcmBank::operator=(PcmBank&& other) noexcept {
+  if (this == &other) return *this;
+  cfg_ = other.cfg_;
+  data_ = std::move(other.data_);
+  wear_ = std::move(other.wear_);
+  endurance_ = std::move(other.endurance_);
+  endurance_lut_ = endurance_.empty() ? nullptr : endurance_.data();
+  uniform_endurance_ = other.uniform_endurance_;
+  endurance_rebuilds_ = other.endurance_rebuilds_;
+  total_writes_ = other.total_writes_;
+  first_failure_ = other.first_failure_;
+  failure_overshoot_ = other.failure_overshoot_;
+  other.endurance_lut_ = nullptr;
+  return *this;
+}
+
+void PcmBank::regenerate_endurance(u64 total_lines) {
+  // Truncated-Gaussian per-line limits (sum of 12 uniforms ≈ N(0,1)),
+  // clamped to ±3σ so no line is pathological in either direction.
+  Rng rng(cfg_.variation_seed);
+  endurance_.resize(total_lines);
+  const double mu = static_cast<double>(cfg_.endurance);
+  const double sigma = cfg_.endurance_variation * mu;
+  for (auto& e : endurance_) {
+    double z = -6.0;
+    for (int i = 0; i < 12; ++i) z += rng.next_double();
+    z = std::clamp(z, -3.0, 3.0);
+    e = static_cast<u64>(std::max(1.0, mu + sigma * z));
+  }
+  ++endurance_rebuilds_;
+}
+
+void PcmBank::reconfigure(const PcmConfig& cfg, u64 total_lines) {
+  cfg.validate();
   check(total_lines >= cfg.line_count, "PcmBank: fewer physical than logical lines");
+  const bool variation_on = cfg.endurance_variation > 0.0;
+  // The table depends only on (size, mean, coefficient, seed); when all
+  // four match the previous configuration, the draw would be bit-identical
+  // and the table is reused instead of re-sampled (12 RNG draws per line).
+  const bool table_reusable = variation_on && endurance_.size() == total_lines &&
+                              cfg_.endurance == cfg.endurance &&
+                              cfg_.endurance_variation == cfg.endurance_variation &&
+                              cfg_.variation_seed == cfg.variation_seed;
+  cfg_ = cfg;
   data_.assign(total_lines, LineData::all_zero());
   wear_.assign(total_lines, 0);
-  if (cfg_.endurance_variation > 0.0) {
-    // Truncated-Gaussian per-line limits (sum of 12 uniforms ≈ N(0,1)),
-    // clamped to ±3σ so no line is pathological in either direction.
-    Rng rng(cfg_.variation_seed);
-    endurance_.resize(total_lines);
-    const double mu = static_cast<double>(cfg_.endurance);
-    const double sigma = cfg_.endurance_variation * mu;
-    for (auto& e : endurance_) {
-      double z = -6.0;
-      for (int i = 0; i < 12; ++i) z += rng.next_double();
-      z = std::clamp(z, -3.0, 3.0);
-      e = static_cast<u64>(std::max(1.0, mu + sigma * z));
-    }
+  uniform_endurance_ = cfg_.endurance;
+  if (!variation_on) {
+    endurance_.clear();
+  } else if (!table_reusable) {
+    regenerate_endurance(total_lines);
   }
+  endurance_lut_ = endurance_.empty() ? nullptr : endurance_.data();
+  total_writes_ = 0;
+  first_failure_.reset();
+  failure_overshoot_ = 0;
 }
 
 u64 PcmBank::line_endurance(Pa pa) const {
   check(pa.value() < wear_.size(), "PcmBank: physical address out of range");
-  return endurance_.empty() ? cfg_.endurance : endurance_[pa.value()];
+  return endurance_lut_ ? endurance_lut_[pa.value()] : uniform_endurance_;
 }
 
 void PcmBank::record_wear(Pa pa, u64 count) {
-  check(pa.value() < wear_.size(), "PcmBank: physical address out of range");
+  SRBSG_DCHECK(pa.value() < wear_.size(), "PcmBank: physical address out of range");
   u64& w = wear_[pa.value()];
   w += count;
   total_writes_ += count;
-  const u64 limit = endurance_.empty() ? cfg_.endurance : endurance_[pa.value()];
-  if (!first_failure_ && w >= limit) {
+  const u64 limit = endurance_lut_ ? endurance_lut_[pa.value()] : uniform_endurance_;
+  if (!first_failure_ && w >= limit) [[unlikely]] {
     first_failure_ = pa;
     // Writes applied after the one that hit the endurance limit.
     failure_overshoot_ = w - limit;
@@ -61,13 +116,13 @@ Ns PcmBank::bulk_write(Pa pa, const LineData& data, u64 count) {
 }
 
 std::pair<LineData, Ns> PcmBank::read(Pa pa) const {
-  check(pa.value() < data_.size(), "PcmBank: physical address out of range");
+  SRBSG_DCHECK(pa.value() < data_.size(), "PcmBank: physical address out of range");
   return {data_[pa.value()], read_latency(cfg_)};
 }
 
 Ns PcmBank::move_line(Pa from, Pa to) {
-  check(from.value() < data_.size() && to.value() < data_.size(),
-        "PcmBank: physical address out of range");
+  SRBSG_DCHECK(from.value() < data_.size() && to.value() < data_.size(),
+               "PcmBank: physical address out of range");
   const LineData moved = data_[from.value()];
   record_wear(to, 1);
   data_[to.value()] = moved;
@@ -75,8 +130,8 @@ Ns PcmBank::move_line(Pa from, Pa to) {
 }
 
 Ns PcmBank::swap_lines(Pa a, Pa b) {
-  check(a.value() < data_.size() && b.value() < data_.size(),
-        "PcmBank: physical address out of range");
+  SRBSG_DCHECK(a.value() < data_.size() && b.value() < data_.size(),
+               "PcmBank: physical address out of range");
   const LineData da = data_[a.value()];
   const LineData db = data_[b.value()];
   record_wear(a, 1);
@@ -102,5 +157,7 @@ void PcmBank::reset() {
   first_failure_.reset();
   failure_overshoot_ = 0;
 }
+
+void PcmBank::reset(const PcmConfig& cfg, u64 total_lines) { reconfigure(cfg, total_lines); }
 
 }  // namespace srbsg::pcm

@@ -18,9 +18,20 @@ namespace srbsg::pcm {
 /// past the endurance limit are recorded (first failed line + the wear
 /// overshoot) rather than thrown, so the harness can pinpoint the exact
 /// failure instant inside a bulk write.
+///
+/// Banks are heavy (paper scale is ~100 MB of vectors) and recyclable:
+/// reset(cfg, total_lines) re-targets an existing bank at a new
+/// configuration without reallocating, which is what sim::WorkerArena
+/// builds on. Copying is disabled — a silent 100 MB copy is never what a
+/// caller wants; moves are cheap and re-sync the endurance lookup.
 class PcmBank {
  public:
   PcmBank(const PcmConfig& cfg, u64 total_lines);
+
+  PcmBank(const PcmBank&) = delete;
+  PcmBank& operator=(const PcmBank&) = delete;
+  PcmBank(PcmBank&& other) noexcept;
+  PcmBank& operator=(PcmBank&& other) noexcept;
 
   [[nodiscard]] const PcmConfig& config() const { return cfg_; }
   [[nodiscard]] u64 total_lines() const { return data_.size(); }
@@ -64,13 +75,33 @@ class PcmBank {
   /// Reset wear, data and failure state (config unchanged).
   void reset();
 
+  /// Re-target the bank at (cfg, total_lines) in place. Buffers are
+  /// reused — no reallocation when the existing capacity suffices — and
+  /// the per-line endurance-variation table is kept when the draw would
+  /// be identical (same endurance mean, variation coefficient, variation
+  /// seed and line count). The result is indistinguishable from a
+  /// freshly constructed PcmBank(cfg, total_lines).
+  void reset(const PcmConfig& cfg, u64 total_lines);
+
+  /// Times the endurance-variation table has been (re)generated over this
+  /// bank's lifetime — lets the sweep arena assert table reuse.
+  [[nodiscard]] u64 endurance_rebuilds() const { return endurance_rebuilds_; }
+
  private:
+  void reconfigure(const PcmConfig& cfg, u64 total_lines);
+  void regenerate_endurance(u64 total_lines);
   void record_wear(Pa pa, u64 count);
 
   PcmConfig cfg_;
   std::vector<LineData> data_;
   std::vector<u64> wear_;
   std::vector<u64> endurance_;  ///< per-line limits; empty when uniform
+  /// Hot-path endurance lookup: null means every line shares
+  /// `uniform_endurance_`, otherwise points at endurance_.data(). Kept
+  /// out of the vector so record_wear() issues one predictable load.
+  const u64* endurance_lut_{nullptr};
+  u64 uniform_endurance_{0};
+  u64 endurance_rebuilds_{0};
   u64 total_writes_{0};
   std::optional<Pa> first_failure_;
   u64 failure_overshoot_{0};

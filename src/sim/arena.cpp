@@ -1,0 +1,74 @@
+#include "sim/arena.hpp"
+
+#include <optional>
+#include <utility>
+
+namespace srbsg::sim {
+
+pcm::PcmBank WorkerArena::acquire(const pcm::PcmConfig& cfg, u64 total_lines) {
+  std::optional<pcm::PcmBank> cached;
+  {
+    std::lock_guard lock(mu_);
+    ++stats_.acquires;
+    if (!free_.empty()) {
+      // Default to the most recently released bank (warmest pages). With
+      // endurance variation enabled, prefer one whose table would be
+      // regenerated identically — reset() then keeps it. When no cached
+      // table matches, resetting would destroy a table a later acquire
+      // (same grid, different entry size) could still reuse, so build
+      // fresh instead while the cache has room.
+      std::size_t pick = free_.size();
+      if (cfg.endurance_variation > 0.0) {
+        for (std::size_t i = free_.size(); i-- > 0;) {
+          const pcm::PcmConfig& c = free_[i].config();
+          if (free_[i].total_lines() == total_lines && c.endurance == cfg.endurance &&
+              c.endurance_variation == cfg.endurance_variation &&
+              c.variation_seed == cfg.variation_seed) {
+            pick = i;
+            break;
+          }
+        }
+        if (pick == free_.size() && free_.size() >= kMaxCached) pick = 0;  // evict oldest
+      } else {
+        pick = free_.size() - 1;
+      }
+      if (pick < free_.size()) {
+        cached.emplace(std::move(free_[pick]));
+        free_.erase(free_.begin() + static_cast<std::ptrdiff_t>(pick));
+        ++stats_.bank_reuses;
+      } else {
+        ++stats_.bank_builds;
+      }
+    } else {
+      ++stats_.bank_builds;
+    }
+  }
+  // Reset/construction runs outside the lock: it is the O(lines) part.
+  if (cached) {
+    cached->reset(cfg, total_lines);
+    return std::move(*cached);
+  }
+  return pcm::PcmBank(cfg, total_lines);
+}
+
+void WorkerArena::release(pcm::PcmBank&& bank) {
+  std::lock_guard lock(mu_);
+  free_.push_back(std::move(bank));
+}
+
+WorkerArena::Stats WorkerArena::stats() const {
+  std::lock_guard lock(mu_);
+  return stats_;
+}
+
+std::size_t WorkerArena::cached() const {
+  std::lock_guard lock(mu_);
+  return free_.size();
+}
+
+void WorkerArena::clear() {
+  std::lock_guard lock(mu_);
+  free_.clear();
+}
+
+}  // namespace srbsg::sim

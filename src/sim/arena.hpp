@@ -1,0 +1,68 @@
+#pragma once
+// Bank recycling for sweep workloads.
+//
+// Every to-failure run needs a PcmBank, and at paper scale a bank is
+// ~100 MB of vectors (data + wear + optional endurance table). A naive
+// sweep constructs and faults one per entry; the arena instead keeps a
+// pool of retired banks and re-targets them in place via
+// PcmBank::reset(cfg, total_lines), so a sweep performs O(concurrent
+// workers) large allocations rather than O(entries).
+
+#include <mutex>
+#include <vector>
+
+#include "pcm/bank.hpp"
+
+namespace srbsg::sim {
+
+/// Thread-safe pool of recyclable PcmBanks. acquire() hands a bank out by
+/// move (reset in place when a cached one is available, freshly built
+/// otherwise); release() returns it after the run. When endurance
+/// variation is enabled, acquire() prefers a cached bank whose variation
+/// draw parameters match so the per-line endurance table is reused
+/// instead of re-sampled. The lock covers list surgery only — the
+/// O(lines) reset work runs outside it, so workers do not serialize on
+/// their memsets.
+class WorkerArena {
+ public:
+  struct Stats {
+    u64 acquires{0};
+    u64 bank_builds{0};  ///< cache misses: full construction
+    u64 bank_reuses{0};  ///< cache hits: in-place reset
+  };
+
+  WorkerArena() = default;
+  WorkerArena(const WorkerArena&) = delete;
+  WorkerArena& operator=(const WorkerArena&) = delete;
+
+  /// A bank configured exactly like PcmBank(cfg, total_lines) — reset
+  /// state, identical endurance draw — but usually without the
+  /// allocation.
+  [[nodiscard]] pcm::PcmBank acquire(const pcm::PcmConfig& cfg, u64 total_lines);
+
+  /// Return a bank for future reuse. Dirty state is fine; the next
+  /// acquire() resets it.
+  void release(pcm::PcmBank&& bank);
+
+  [[nodiscard]] Stats stats() const;
+
+  /// Number of banks currently cached (idle).
+  [[nodiscard]] std::size_t cached() const;
+
+  /// Drop every cached bank (frees the memory).
+  void clear();
+
+ private:
+  /// Cap on idle cached banks. Only reachable with endurance variation
+  /// enabled on a grid of many distinct bank sizes: a variation-enabled
+  /// acquire that matches no cached table builds fresh (so a cached table
+  /// a later entry needs is not destroyed) until the cache holds this
+  /// many banks, after which the oldest is recycled.
+  static constexpr std::size_t kMaxCached = 16;
+
+  mutable std::mutex mu_;
+  std::vector<pcm::PcmBank> free_;
+  Stats stats_;
+};
+
+}  // namespace srbsg::sim

@@ -11,6 +11,7 @@
 #include "attack/rta_sr2.hpp"
 #include "common/check.hpp"
 #include "common/rng.hpp"
+#include "sim/arena.hpp"
 
 namespace srbsg::sim {
 
@@ -149,6 +150,19 @@ LifetimeOutcome run_lifetime(const LifetimeConfig& cfg) {
   LifetimeOutcome out;
   out.result = attack::run_attack(mc, *attacker, cfg.write_budget);
   out.wear = compute_wear_metrics(mc.bank().wear_counts());
+  return out;
+}
+
+LifetimeOutcome run_lifetime(const LifetimeConfig& cfg, WorkerArena& arena) {
+  check(cfg.pcm.line_count == cfg.scheme.lines, "run_lifetime: scheme/pcm size mismatch");
+  auto scheme = wl::make_scheme(cfg.scheme);
+  const u64 physical = scheme->physical_lines();
+  ctl::MemoryController mc(arena.acquire(cfg.pcm, physical), std::move(scheme));
+  const auto attacker = make_attacker(cfg);
+  LifetimeOutcome out;
+  out.result = attack::run_attack(mc, *attacker, cfg.write_budget);
+  out.wear = compute_wear_metrics(mc.bank().wear_counts());
+  arena.release(mc.release_bank());
   return out;
 }
 

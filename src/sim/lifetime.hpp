@@ -11,6 +11,8 @@
 
 namespace srbsg::sim {
 
+class WorkerArena;  // sim/arena.hpp
+
 enum class AttackKind : u8 {
   kRaa,
   kBpa,
@@ -37,5 +39,11 @@ struct LifetimeOutcome {
 [[nodiscard]] std::unique_ptr<attack::Attacker> make_attacker(const LifetimeConfig& cfg);
 
 [[nodiscard]] LifetimeOutcome run_lifetime(const LifetimeConfig& cfg);
+
+/// Arena path: identical results to run_lifetime(cfg), but the bank is
+/// borrowed from (and returned to) `arena` instead of being constructed
+/// per call — the per-run cost drops from O(bank size) allocation +
+/// endurance-table sampling to an in-place reset.
+[[nodiscard]] LifetimeOutcome run_lifetime(const LifetimeConfig& cfg, WorkerArena& arena);
 
 }  // namespace srbsg::sim

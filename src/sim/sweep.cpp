@@ -5,33 +5,64 @@
 namespace srbsg::sim {
 
 std::vector<SweepEntry> run_sweep(std::span<const LifetimeConfig> configs, ThreadPool& pool) {
+  WorkerArena arena;
+  return run_sweep(configs, pool, arena);
+}
+
+std::vector<SweepEntry> run_sweep(std::span<const LifetimeConfig> configs, ThreadPool& pool,
+                                  WorkerArena& arena) {
   std::vector<SweepEntry> entries(configs.size());
   for (std::size_t i = 0; i < configs.size(); ++i) {
     entries[i].config = configs[i];
   }
-  parallel_for(pool, configs.size(),
-               [&entries](std::size_t i) { entries[i].outcome = run_lifetime(entries[i].config); });
+  parallel_for(pool, configs.size(), [&entries, &arena](std::size_t i) {
+    entries[i].outcome = run_lifetime(entries[i].config, arena);
+  });
   return entries;
 }
 
-double average_lifetime_ns(const LifetimeConfig& base, u64 seeds, ThreadPool& pool) {
-  check(seeds >= 1, "average_lifetime_ns: need at least one seed");
+namespace {
+
+AverageLifetime average_over(const std::vector<SweepEntry>& entries) {
+  AverageLifetime avg;
+  avg.seeds = entries.size();
+  double sum = 0.0;
+  for (const auto& e : entries) {
+    if (e.outcome.result.succeeded) {
+      sum += static_cast<double>(e.outcome.result.lifetime.value());
+      ++avg.counted;
+    }
+  }
+  if (avg.counted > 0) avg.mean_ns = sum / static_cast<double>(avg.counted);
+  return avg;
+}
+
+std::vector<LifetimeConfig> seeded_replicas(const LifetimeConfig& base, u64 seeds) {
+  check(seeds >= 1, "average_lifetime: need at least one seed");
   std::vector<LifetimeConfig> configs(seeds, base);
   for (u64 s = 0; s < seeds; ++s) {
     configs[s].seed = base.seed + s;
     configs[s].scheme.seed = base.scheme.seed + s;
   }
-  const auto entries = run_sweep(configs, pool);
-  double sum = 0.0;
-  u64 counted = 0;
-  for (const auto& e : entries) {
-    if (e.outcome.result.succeeded) {
-      sum += static_cast<double>(e.outcome.result.lifetime.value());
-      ++counted;
-    }
-  }
-  check(counted > 0, "average_lifetime_ns: no run reached failure within budget");
-  return sum / static_cast<double>(counted);
+  return configs;
+}
+
+}  // namespace
+
+AverageLifetime average_lifetime(const LifetimeConfig& base, u64 seeds, ThreadPool& pool) {
+  WorkerArena arena;
+  return average_lifetime(base, seeds, pool, arena);
+}
+
+AverageLifetime average_lifetime(const LifetimeConfig& base, u64 seeds, ThreadPool& pool,
+                                 WorkerArena& arena) {
+  return average_over(run_sweep(seeded_replicas(base, seeds), pool, arena));
+}
+
+double average_lifetime_ns(const LifetimeConfig& base, u64 seeds, ThreadPool& pool) {
+  const AverageLifetime avg = average_lifetime(base, seeds, pool);
+  check(avg.counted > 0, "average_lifetime_ns: no run reached failure within budget");
+  return avg.mean_ns;
 }
 
 }  // namespace srbsg::sim

@@ -1,0 +1,179 @@
+// Bank-reuse correctness: a run through the WorkerArena must be
+// bit-identical to a run with a freshly constructed bank — same
+// LifetimeOutcome, same per-line wear vectors — for every scheme,
+// including the endurance-variation table-reuse path.
+
+#include "sim/arena.hpp"
+
+#include <gtest/gtest.h>
+
+#include <utility>
+#include <vector>
+
+#include "attack/harness.hpp"
+#include "controller/memory_controller.hpp"
+#include "sim/sweep.hpp"
+#include "wl/factory.hpp"
+
+namespace srbsg::sim {
+namespace {
+
+constexpr wl::SchemeKind kAllSchemes[] = {
+    wl::SchemeKind::kNone,       wl::SchemeKind::kStartGap, wl::SchemeKind::kRbsg,
+    wl::SchemeKind::kSr1,        wl::SchemeKind::kSr2,      wl::SchemeKind::kMultiWaySr,
+    wl::SchemeKind::kSecurityRbsg, wl::SchemeKind::kTable,
+};
+
+LifetimeConfig cfg_for(wl::SchemeKind kind, AttackKind attack = AttackKind::kRaa) {
+  LifetimeConfig c;
+  c.pcm = pcm::PcmConfig::scaled(512, 2048);
+  c.scheme.kind = kind;
+  c.scheme.lines = 512;
+  c.scheme.regions = 8;
+  c.scheme.inner_interval = 8;
+  c.scheme.outer_interval = 16;
+  c.scheme.stages = 7;
+  c.scheme.seed = 3;
+  c.attack = attack;
+  c.write_budget = u64{1} << 34;
+  return c;
+}
+
+void expect_outcomes_identical(const LifetimeOutcome& a, const LifetimeOutcome& b) {
+  EXPECT_EQ(a.result.succeeded, b.result.succeeded);
+  EXPECT_EQ(a.result.lifetime, b.result.lifetime);
+  EXPECT_EQ(a.result.writes, b.result.writes);
+  EXPECT_EQ(a.result.elapsed, b.result.elapsed);
+  EXPECT_EQ(a.result.scheme, b.result.scheme);
+  EXPECT_EQ(a.result.attacker, b.result.attacker);
+  // Wear metrics are doubles computed from the same integer vectors; the
+  // arithmetic is identical, so exact equality is required.
+  EXPECT_EQ(a.wear.mean, b.wear.mean);
+  EXPECT_EQ(a.wear.coefficient_of_variation, b.wear.coefficient_of_variation);
+  EXPECT_EQ(a.wear.gini, b.wear.gini);
+  EXPECT_EQ(a.wear.max_over_mean, b.wear.max_over_mean);
+  EXPECT_EQ(a.wear.max, b.wear.max);
+  EXPECT_EQ(a.wear.min, b.wear.min);
+}
+
+TEST(WorkerArena, FreshVsArenaIdenticalAcrossAllSchemes) {
+  WorkerArena arena;
+  // Dirty the arena's cache first so every scheme below reuses a stale
+  // bank (different size, wear, failure state) rather than a pristine one.
+  (void)run_lifetime(cfg_for(wl::SchemeKind::kRbsg), arena);
+  for (wl::SchemeKind kind : kAllSchemes) {
+    SCOPED_TRACE(wl::to_string(kind));
+    const auto fresh = run_lifetime(cfg_for(kind));
+    const auto reused = run_lifetime(cfg_for(kind), arena);
+    expect_outcomes_identical(fresh, reused);
+  }
+  const auto stats = arena.stats();
+  EXPECT_EQ(stats.acquires, 1u + std::size(kAllSchemes));
+  EXPECT_EQ(stats.bank_builds, 1u);  // only the first run built a bank
+  EXPECT_EQ(stats.bank_reuses, std::size(kAllSchemes));
+}
+
+TEST(WorkerArena, WearVectorsIdenticalAfterReuse) {
+  for (wl::SchemeKind kind : kAllSchemes) {
+    SCOPED_TRACE(wl::to_string(kind));
+    const LifetimeConfig cfg = cfg_for(kind);
+
+    auto fresh_scheme = wl::make_scheme(cfg.scheme);
+    ctl::MemoryController fresh(cfg.pcm, std::move(fresh_scheme));
+    auto fresh_attacker = make_attacker(cfg);
+    (void)attack::run_attack(fresh, *fresh_attacker, cfg.write_budget);
+
+    WorkerArena arena;
+    // Pre-dirty the bank the arena will hand out.
+    (void)run_lifetime(cfg_for(wl::SchemeKind::kSr1), arena);
+    auto scheme = wl::make_scheme(cfg.scheme);
+    const u64 physical = scheme->physical_lines();
+    ctl::MemoryController reused(arena.acquire(cfg.pcm, physical), std::move(scheme));
+    auto attacker = make_attacker(cfg);
+    (void)attack::run_attack(reused, *attacker, cfg.write_budget);
+
+    const auto a = fresh.bank().wear_counts();
+    const auto b = reused.bank().wear_counts();
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      ASSERT_EQ(a[i], b[i]) << "wear diverged at line " << i;
+    }
+  }
+}
+
+TEST(WorkerArena, EnduranceVariationTableReusePathIdentical) {
+  LifetimeConfig cfg = cfg_for(wl::SchemeKind::kSecurityRbsg);
+  cfg.pcm.endurance_variation = 0.1;
+  cfg.pcm.variation_seed = 99;
+
+  WorkerArena arena;
+  std::vector<LifetimeOutcome> arena_runs;
+  for (u64 seed = 1; seed <= 3; ++seed) {
+    LifetimeConfig c = cfg;
+    c.seed = seed;
+    c.scheme.seed = seed;
+    arena_runs.push_back(run_lifetime(c, arena));
+  }
+  for (u64 seed = 1; seed <= 3; ++seed) {
+    LifetimeConfig c = cfg;
+    c.seed = seed;
+    c.scheme.seed = seed;
+    SCOPED_TRACE(seed);
+    expect_outcomes_identical(run_lifetime(c), arena_runs[seed - 1]);
+  }
+  // The variation draw parameters never changed, so the table was sampled
+  // exactly once even though the bank served three runs.
+  const u64 physical = wl::make_scheme(cfg.scheme)->physical_lines();
+  pcm::PcmBank bank = arena.acquire(cfg.pcm, physical);
+  EXPECT_EQ(bank.endurance_rebuilds(), 1u);
+}
+
+TEST(WorkerArena, SweepIdenticalAcrossPoolSizeAndSharedArena) {
+  std::vector<LifetimeConfig> configs;
+  for (wl::SchemeKind kind :
+       {wl::SchemeKind::kRbsg, wl::SchemeKind::kSr2, wl::SchemeKind::kSecurityRbsg}) {
+    for (u64 seed = 1; seed <= 2; ++seed) {
+      LifetimeConfig c = cfg_for(kind);
+      c.seed = seed;
+      c.scheme.seed = seed;
+      configs.push_back(c);
+    }
+  }
+  ThreadPool serial(1);
+  ThreadPool wide(4);
+  WorkerArena shared;
+  const auto a = run_sweep(configs, serial);
+  const auto b = run_sweep(configs, wide);
+  const auto c = run_sweep(configs, wide, shared);
+  const auto d = run_sweep(configs, wide, shared);  // arena already warm
+  ASSERT_EQ(a.size(), configs.size());
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    SCOPED_TRACE(i);
+    expect_outcomes_identical(a[i].outcome, b[i].outcome);
+    expect_outcomes_identical(a[i].outcome, c[i].outcome);
+    expect_outcomes_identical(a[i].outcome, d[i].outcome);
+  }
+  const auto stats = shared.stats();
+  EXPECT_EQ(stats.acquires, 2 * configs.size());
+  EXPECT_LE(stats.bank_builds, wide.size() + 1);  // O(workers), not O(entries)
+}
+
+TEST(WorkerArena, StatsAndClear) {
+  WorkerArena arena;
+  const auto cfg = pcm::PcmConfig::scaled(64, 100);
+  auto bank = arena.acquire(cfg, 64);
+  EXPECT_EQ(arena.cached(), 0u);
+  arena.release(std::move(bank));
+  EXPECT_EQ(arena.cached(), 1u);
+  auto again = arena.acquire(cfg, 64);
+  const auto stats = arena.stats();
+  EXPECT_EQ(stats.acquires, 2u);
+  EXPECT_EQ(stats.bank_builds, 1u);
+  EXPECT_EQ(stats.bank_reuses, 1u);
+  arena.release(std::move(again));
+  arena.clear();
+  EXPECT_EQ(arena.cached(), 0u);
+}
+
+}  // namespace
+}  // namespace srbsg::sim

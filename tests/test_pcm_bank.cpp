@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <utility>
+
 #include "common/check.hpp"
 
 namespace srbsg::pcm {
@@ -116,9 +118,21 @@ TEST(PcmBank, ResetClearsEverything) {
 }
 
 TEST(PcmBank, OutOfRangeThrows) {
+  // Bounds on the write/read hot path are SRBSG_DCHECK-tier: armed in
+  // Debug and sanitizer builds, compiled to assumptions in optimized
+  // builds (where executing them would be UB, so skip entirely).
+  if constexpr (!kDchecksArmed) {
+    GTEST_SKIP() << "SRBSG_DCHECK unarmed in this build";
+  } else {
+    PcmBank bank(small_cfg(), 16);
+    EXPECT_THROW(bank.write(Pa{16}, LineData::all_zero()), CheckFailure);
+    EXPECT_THROW((void)bank.read(Pa{100}), CheckFailure);
+  }
+}
+
+TEST(PcmBank, LineEnduranceOutOfRangeThrows) {
   PcmBank bank(small_cfg(), 16);
-  EXPECT_THROW(bank.write(Pa{16}, LineData::all_zero()), CheckFailure);
-  EXPECT_THROW((void)bank.read(Pa{100}), CheckFailure);
+  EXPECT_THROW((void)bank.line_endurance(Pa{16}), CheckFailure);
 }
 
 TEST(PcmBank, NoFailureQueryThrows) {
@@ -131,6 +145,83 @@ TEST(PcmBank, ExtraPhysicalLinesAllowed) {
   EXPECT_EQ(bank.total_lines(), 20u);
   bank.write(Pa{19}, LineData::all_zero());
   EXPECT_EQ(bank.wear(Pa{19}), 1u);
+}
+
+PcmConfig variation_cfg(u64 lines, u64 endurance, u64 seed) {
+  PcmConfig cfg = PcmConfig::scaled(lines, endurance);
+  cfg.endurance_variation = 0.1;
+  cfg.variation_seed = seed;
+  return cfg;
+}
+
+TEST(PcmBankReset, ReconfigureMatchesFreshConstruction) {
+  PcmBank recycled(small_cfg(16, 3), 16);
+  recycled.bulk_write(Pa{2}, LineData::all_one(9), 10);  // dirty it, incl. failure
+  ASSERT_TRUE(recycled.has_failure());
+
+  const PcmConfig target = variation_cfg(32, 1000, 42);
+  recycled.reset(target, 40);
+  const PcmBank fresh(target, 40);
+
+  EXPECT_EQ(recycled.total_lines(), fresh.total_lines());
+  EXPECT_FALSE(recycled.has_failure());
+  EXPECT_EQ(recycled.total_writes(), 0u);
+  for (u64 i = 0; i < 40; ++i) {
+    EXPECT_EQ(recycled.wear(Pa{i}), 0u);
+    EXPECT_EQ(recycled.data(Pa{i}), LineData::all_zero());
+    EXPECT_EQ(recycled.line_endurance(Pa{i}), fresh.line_endurance(Pa{i}));
+  }
+}
+
+TEST(PcmBankReset, ShrinkingAndGrowingKeepsSizesConsistent) {
+  PcmBank bank(small_cfg(64, 5), 64);
+  bank.reset(small_cfg(16, 5), 16);
+  EXPECT_EQ(bank.total_lines(), 16u);
+  EXPECT_EQ(bank.max_wear(), 0u);
+  bank.reset(small_cfg(128, 5), 130);
+  EXPECT_EQ(bank.total_lines(), 130u);
+  bank.write(Pa{129}, LineData::all_zero());
+  EXPECT_EQ(bank.wear(Pa{129}), 1u);
+}
+
+TEST(PcmBankReset, EnduranceTableReusedWhenDrawUnchanged) {
+  const PcmConfig cfg = variation_cfg(32, 1000, 7);
+  PcmBank bank(cfg, 32);
+  EXPECT_EQ(bank.endurance_rebuilds(), 1u);
+  bank.bulk_write(Pa{1}, LineData::mixed(), 50);
+  bank.reset(cfg, 32);
+  EXPECT_EQ(bank.endurance_rebuilds(), 1u);  // table kept
+  const PcmBank fresh(cfg, 32);
+  for (u64 i = 0; i < 32; ++i) {
+    EXPECT_EQ(bank.line_endurance(Pa{i}), fresh.line_endurance(Pa{i}));
+  }
+}
+
+TEST(PcmBankReset, EnduranceTableRegeneratedWhenDrawChanges) {
+  PcmBank bank(variation_cfg(32, 1000, 7), 32);
+  bank.reset(variation_cfg(32, 1000, 8), 32);  // new seed -> new draw
+  EXPECT_EQ(bank.endurance_rebuilds(), 2u);
+  const PcmBank fresh(variation_cfg(32, 1000, 8), 32);
+  for (u64 i = 0; i < 32; ++i) {
+    EXPECT_EQ(bank.line_endurance(Pa{i}), fresh.line_endurance(Pa{i}));
+  }
+}
+
+TEST(PcmBankReset, VariationDisabledClearsTable) {
+  PcmBank bank(variation_cfg(32, 1000, 7), 32);
+  bank.reset(small_cfg(32, 1000), 32);
+  for (u64 i = 0; i < 32; ++i) {
+    EXPECT_EQ(bank.line_endurance(Pa{i}), 1000u);
+  }
+}
+
+TEST(PcmBankReset, MovedBankKeepsEnduranceLookup) {
+  PcmBank source(variation_cfg(32, 1000, 7), 32);
+  const u64 e0 = source.line_endurance(Pa{0});
+  PcmBank moved(std::move(source));
+  EXPECT_EQ(moved.line_endurance(Pa{0}), e0);
+  moved.bulk_write(Pa{0}, LineData::all_zero(), moved.line_endurance(Pa{0}));
+  EXPECT_TRUE(moved.has_failure());  // limit still per-line, not lost in the move
 }
 
 }  // namespace

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/check.hpp"
 #include "sim/write_distribution.hpp"
 
 namespace srbsg::sim {
@@ -81,6 +82,40 @@ TEST(Sweep, AverageLifetimeOverSeeds) {
   ThreadPool pool(2);
   const double avg = average_lifetime_ns(base_cfg(), 3, pool);
   EXPECT_GT(avg, 0.0);
+}
+
+TEST(Sweep, AverageLifetimeReportsFullConvergence) {
+  ThreadPool pool(2);
+  const AverageLifetime avg = average_lifetime(base_cfg(), 3, pool);
+  EXPECT_EQ(avg.seeds, 3u);
+  EXPECT_EQ(avg.counted, 3u);
+  EXPECT_TRUE(avg.complete());
+  EXPECT_GT(avg.mean_ns, 0.0);
+}
+
+TEST(Sweep, AverageLifetimeSurfacesNonConvergence) {
+  // A write budget far below the endurance requirement: no seed can reach
+  // failure, which must be visible in the return value instead of
+  // silently biasing (or aborting) the average.
+  ThreadPool pool(2);
+  auto c = base_cfg();
+  c.write_budget = 64;
+  const AverageLifetime avg = average_lifetime(c, 3, pool);
+  EXPECT_EQ(avg.seeds, 3u);
+  EXPECT_EQ(avg.counted, 0u);
+  EXPECT_FALSE(avg.complete());
+  EXPECT_EQ(avg.mean_ns, 0.0);
+  // The legacy scalar interface cannot represent this; it throws.
+  EXPECT_THROW((void)average_lifetime_ns(c, 3, pool), CheckFailure);
+}
+
+TEST(Sweep, AverageLifetimeSharedArenaMatches) {
+  ThreadPool pool(2);
+  WorkerArena arena;
+  const AverageLifetime with_arena = average_lifetime(base_cfg(), 3, pool, arena);
+  const AverageLifetime fresh = average_lifetime(base_cfg(), 3, pool);
+  EXPECT_EQ(with_arena.mean_ns, fresh.mean_ns);
+  EXPECT_EQ(with_arena.counted, fresh.counted);
 }
 
 TEST(Distribution, SecurityRbsgSpreadsRaaWrites) {

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdint>
 #include <numeric>
 #include <stdexcept>
 #include <vector>
@@ -52,6 +53,79 @@ TEST(ParallelFor, PropagatesFirstException) {
 TEST(ThreadPool, DefaultSizeIsPositive) {
   ThreadPool pool;
   EXPECT_GE(pool.size(), 1u);
+}
+
+TEST(ParallelFor, EmptyRangeIsNoop) {
+  ThreadPool pool(4);
+  std::atomic<int> calls{0};
+  parallel_for(pool, 0, [&calls](std::size_t) { calls.fetch_add(1); });
+  EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(ParallelFor, FewerItemsThanThreads) {
+  ThreadPool pool(8);
+  std::vector<int> hits(3, 0);
+  parallel_for(pool, hits.size(), [&hits](std::size_t i) { hits[i] += 1; });
+  EXPECT_EQ(std::accumulate(hits.begin(), hits.end(), 0), 3);
+}
+
+TEST(ParallelFor, EveryGrainCoversEachItemExactlyOnce) {
+  ThreadPool pool(4);
+  for (std::size_t grain : {std::size_t{1}, std::size_t{3}, std::size_t{7}, std::size_t{64},
+                            std::size_t{1000}, std::size_t{5000}}) {
+    std::vector<std::atomic<int>> hits(1000);
+    parallel_for(
+        pool, hits.size(), [&hits](std::size_t i) { hits[i].fetch_add(1); }, grain);
+    for (std::size_t i = 0; i < hits.size(); ++i) {
+      ASSERT_EQ(hits[i].load(), 1) << "i=" << i << " grain=" << grain;
+    }
+  }
+}
+
+TEST(ParallelFor, ExceptionFromArbitraryItemPropagates) {
+  ThreadPool pool(4);
+  for (std::size_t bad : {std::size_t{0}, std::size_t{499}, std::size_t{999}}) {
+    EXPECT_THROW(parallel_for(pool, 1000,
+                              [bad](std::size_t i) {
+                                if (i == bad) throw std::runtime_error("x");
+                              }),
+                 std::runtime_error) << "bad=" << bad;
+  }
+}
+
+TEST(ParallelFor, ExceptionWithLargeGrainPropagates) {
+  ThreadPool pool(2);
+  EXPECT_THROW(parallel_for(
+                   pool, 10,
+                   [](std::size_t i) {
+                     if (i == 7) throw std::runtime_error("x");
+                   },
+                   256),
+               std::runtime_error);
+}
+
+TEST(ParallelFor, WorksWithSingleThreadPool) {
+  ThreadPool pool(1);
+  std::vector<int> hits(100, 0);
+  parallel_for(
+      pool, hits.size(), [&hits](std::size_t i) { hits[i] = 1; }, 9);
+  EXPECT_EQ(std::accumulate(hits.begin(), hits.end(), 0), 100);
+}
+
+TEST(ParallelFor, ChunkingDoesNotChangeResults) {
+  // f(i) deterministic; outputs must be identical regardless of grain and
+  // pool size — chunking is a scheduling detail, not a semantic one.
+  auto compute = [](std::size_t threads, std::size_t grain) {
+    ThreadPool pool(threads);
+    std::vector<std::uint64_t> out(512, 0);
+    parallel_for(
+        pool, out.size(), [&out](std::size_t i) { out[i] = i * i + 17; }, grain);
+    return out;
+  };
+  const auto reference = compute(1, 1);
+  EXPECT_EQ(compute(4, 1), reference);
+  EXPECT_EQ(compute(4, 13), reference);
+  EXPECT_EQ(compute(2, 512), reference);
 }
 
 }  // namespace

@@ -1,0 +1,112 @@
+#!/usr/bin/env python3
+"""Validate a BENCH_sweep.json emitted by bench/perf_sweep.
+
+Checks the schema (schema_version 1), field types, and internal
+consistency (per-engine counters present, speedup = v1/v2 wall within
+tolerance, outcomes marked identical). Absolute timing numbers are NOT
+gated — CI machines vary — but a malformed file or a determinism failure
+exits nonzero.
+
+Usage: check_bench_json.py BENCH_sweep.json
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+
+
+def fail(msg: str) -> "NoReturn":  # noqa: F821 - py3.8-compatible annotation
+    print(f"check_bench_json: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def require(cond: bool, msg: str) -> None:
+    if not cond:
+        fail(msg)
+
+
+def require_fields(obj: dict, spec: dict, where: str) -> None:
+    for name, types in spec.items():
+        require(name in obj, f"{where}: missing field '{name}'")
+        value = obj[name]
+        require(
+            not isinstance(value, bool) and isinstance(value, types),
+            f"{where}: field '{name}' has type {type(value).__name__}",
+        )
+
+
+def main() -> int:
+    if len(sys.argv) != 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    try:
+        with open(sys.argv[1], encoding="utf-8") as fh:
+            doc = json.load(fh)
+    except (OSError, json.JSONDecodeError) as exc:
+        fail(f"cannot parse {sys.argv[1]}: {exc}")
+
+    require(isinstance(doc, dict), "top level must be an object")
+    require(doc.get("schema_version") == 1, "schema_version must be 1")
+    require(doc.get("bench") == "perf_sweep", "bench must be 'perf_sweep'")
+
+    grid = doc.get("grid")
+    require(isinstance(grid, dict), "grid must be an object")
+    require_fields(
+        grid,
+        {
+            "entries": int,
+            "lines": int,
+            "endurance": int,
+            "endurance_variation": (int, float),
+            "seeds": int,
+            "threads": int,
+        },
+        "grid",
+    )
+    require(grid["entries"] > 0, "grid.entries must be positive")
+    require(grid["lines"] > 0 and grid["lines"] & (grid["lines"] - 1) == 0,
+            "grid.lines must be a positive power of two")
+
+    engines = doc.get("engines")
+    require(isinstance(engines, list) and len(engines) == 2, "engines must list two engines")
+    names = []
+    for engine in engines:
+        require(isinstance(engine, dict), "engine entries must be objects")
+        require_fields(
+            engine,
+            {
+                "name": str,
+                "wall_ms": (int, float),
+                "writes": int,
+                "writes_per_sec": (int, float),
+                "alloc_calls": int,
+                "alloc_bytes": int,
+                "peak_rss_kb": int,
+            },
+            f"engine '{engine.get('name', '?')}'",
+        )
+        require(engine["wall_ms"] > 0, f"engine '{engine['name']}': wall_ms must be positive")
+        names.append(engine["name"])
+    require(names == ["v1_per_entry_fresh_banks", "v2_arena_chunked"],
+            f"unexpected engine names/order: {names}")
+    v1, v2 = engines
+    require("bank_builds" in v2 and "bank_reuses" in v2,
+            "v2 engine must report bank_builds/bank_reuses")
+    require(v1["writes"] == v2["writes"],
+            f"engines simulated different write counts: {v1['writes']} vs {v2['writes']}")
+
+    require(isinstance(doc.get("speedup"), (int, float)), "speedup must be a number")
+    expected = v1["wall_ms"] / v2["wall_ms"]
+    require(abs(doc["speedup"] - expected) <= 0.01 * expected + 0.01,
+            f"speedup {doc['speedup']} inconsistent with wall times ({expected:.3f})")
+
+    require(doc.get("identical") is True, "outcomes were not bit-identical across engines")
+
+    print(f"check_bench_json: OK: {grid['entries']} entries, "
+          f"speedup {doc['speedup']:.2f}x, identical outcomes")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
