@@ -1,0 +1,296 @@
+// BENCH harness for the batched access-stream layer (PR 4): the per-write
+// reference loop against write_cycle / write_batch, per scheme, on the
+// three stream shapes the attack and lifetime drivers actually issue:
+//
+//   raa_loop  — single-address hammer (RAA / BPA / RTA wear phases),
+//               per-write loop vs write_cycle on a one-element pattern;
+//   rta_loop  — short periodic probe pattern (RTA probe/hammer cycles),
+//               per-write loop vs write_cycle;
+//   fail_stop — single-address hammer at tiny endurance, driven to bank
+//               failure: checks the exact-stop contract end to end
+//               (bit-identical lifetime, failed line, overshoot);
+//   blanket   — uniform random address block (blanket passes, trace
+//               replay), per-write loop vs write_batch. Random streams
+//               have no hammer runs to compress, so this one is
+//               informational: it bounds the batch API's overhead.
+//
+// raa_loop/rta_loop run steady-state (endurance above the write budget)
+// so the timings measure throughput rather than time-to-failure; the
+// headline "min speedup" excludes `table`, whose O(lines) hot/cold scan
+// on every ψ-boundary dominates both paths identically — batching
+// cannot amortize trigger work, only per-write dispatch.
+//
+// Every scenario verifies the batched path is *bit-identical* to the
+// reference loop — wear counts, movements, total simulated time,
+// translation state and failure bookkeeping — and the process exits
+// nonzero when any scenario diverges, so CI can gate on determinism
+// while treating the timing numbers as informational (same contract as
+// perf_sweep).
+
+#include <algorithm>
+#include <chrono>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "pcm/bank.hpp"
+#include "trace/generators.hpp"
+#include "wl/factory.hpp"
+
+namespace {
+
+using namespace srbsg;
+using namespace srbsg::bench;
+
+/// Everything the bit-identity contract covers, folded to a comparable
+/// value set (wear and translation via FNV-1a so the JSON stays small).
+struct PathMetrics {
+  u64 writes{0};
+  u64 movements{0};
+  u64 total_ns{0};
+  u64 bank_writes{0};
+  u64 wear_hash{0};
+  u64 translate_hash{0};
+  bool failed{false};
+  u64 failed_line{0};
+  u64 overshoot{0};
+
+  bool operator==(const PathMetrics&) const = default;
+};
+
+u64 fnv1a(u64 h, u64 v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (8 * i)) & 0xFF;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+PathMetrics harvest(const wl::WearLeveler& s, const pcm::PcmBank& bank,
+                    const wl::BulkOutcome& out) {
+  PathMetrics m;
+  m.writes = out.writes_applied;
+  m.movements = out.movements;
+  m.total_ns = out.total.value();
+  m.bank_writes = bank.total_writes();
+  u64 h = 0xcbf29ce484222325ULL;
+  for (const u64 w : bank.wear_counts()) h = fnv1a(h, w);
+  m.wear_hash = h;
+  h = 0xcbf29ce484222325ULL;
+  for (u64 la = 0; la < s.logical_lines(); ++la) {
+    h = fnv1a(h, s.translate(La{la}).value());
+  }
+  m.translate_hash = h;
+  m.failed = bank.has_failure();
+  if (m.failed) {
+    m.failed_line = bank.first_failed_line().value();
+    m.overshoot = bank.failure_overshoot();
+  }
+  return m;
+}
+
+double ms_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+struct ScenarioResult {
+  std::string scheme;
+  std::string name;
+  double per_write_ms{0.0};
+  double batched_ms{0.0};
+  double speedup{0.0};
+  bool identical{false};
+  PathMetrics metrics;  // the batched path's metrics (== reference when identical)
+};
+
+wl::SchemeSpec spec_for(wl::SchemeKind kind, u64 lines) {
+  wl::SchemeSpec spec;
+  spec.kind = kind;
+  spec.lines = lines;
+  spec.regions = 64;
+  spec.inner_interval = 64;
+  spec.outer_interval = 128;
+  spec.stages = 7;
+  spec.seed = 42;
+  return spec;
+}
+
+/// The contract's reference stream: per-write loop with early stop.
+wl::BulkOutcome reference_loop(wl::WearLeveler& s, std::span<const La> pattern, u64 count,
+                               const pcm::LineData& data, pcm::PcmBank& bank) {
+  wl::BulkOutcome out;
+  const u64 period = pattern.size();
+  for (u64 i = 0; i < count; ++i) {
+    if (bank.has_failure()) break;
+    const wl::WriteOutcome w = s.write(pattern[i % period], data, bank);
+    out.total += w.total;
+    ++out.writes_applied;
+    out.movements += w.movements;
+  }
+  return out;
+}
+
+enum class BatchMode { kCycle, kBatch };
+
+ScenarioResult run_scenario(wl::SchemeKind kind, std::string name, BatchMode mode,
+                            std::span<const La> addrs, u64 count, u64 lines,
+                            u64 endurance) {
+  const auto spec = spec_for(kind, lines);
+  const auto cfg = pcm::PcmConfig::scaled(lines, endurance);
+  const auto data = pcm::LineData::mixed(0xAA);
+
+  auto ref = wl::make_scheme(spec);
+  pcm::PcmBank bank_ref(cfg, ref->physical_lines());
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto out_ref =
+      mode == BatchMode::kCycle
+          ? reference_loop(*ref, addrs, count, data, bank_ref)
+          : reference_loop(*ref, addrs, addrs.size(), data, bank_ref);
+  const double ref_ms = ms_since(t0);
+
+  auto fast = wl::make_scheme(spec);
+  pcm::PcmBank bank_fast(cfg, fast->physical_lines());
+  const auto t1 = std::chrono::steady_clock::now();
+  const auto out_fast = mode == BatchMode::kCycle
+                            ? fast->write_cycle(addrs, data, count, bank_fast)
+                            : fast->write_batch(addrs, data, bank_fast);
+  const double fast_ms = ms_since(t1);
+
+  ScenarioResult r;
+  r.scheme = std::string(wl::to_string(kind));
+  r.name = std::move(name);
+  r.per_write_ms = ref_ms;
+  r.batched_ms = fast_ms;
+  r.speedup = fast_ms > 0.0 ? ref_ms / fast_ms : 0.0;
+  r.metrics = harvest(*fast, bank_fast, out_fast);
+  r.identical = harvest(*ref, bank_ref, out_ref) == r.metrics;
+  return r;
+}
+
+std::string json_number(double v) {
+  std::ostringstream os;
+  os.precision(6);
+  os << std::fixed << v;
+  return os.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const BenchOptions opts = parse_bench_options(argc, argv, kFlagScale | kFlagJson);
+
+  print_header("perf_write_path: per-write loop vs batched write_batch/write_cycle",
+               "engineering bench, no paper figure; see DESIGN.md §11");
+
+  const u64 lines = opts.lines_or(full_mode() ? (u64{1} << 14) : (u64{1} << 12));
+  const u64 count = full_mode() ? (u64{1} << 24) : (u64{1} << 21);
+  // Steady-state: no line can reach this even if every write lands on it.
+  const u64 endurance_steady = 4 * count;
+  // Fail-stop: even a perfectly leveled hammer must kill the bank well
+  // inside the budget (count/lines writes per line >> endurance_fail).
+  const u64 endurance_fail = std::max<u64>(count / lines / 4, 64);
+
+  constexpr wl::SchemeKind kKinds[] = {
+      wl::SchemeKind::kNone,       wl::SchemeKind::kStartGap,
+      wl::SchemeKind::kRbsg,       wl::SchemeKind::kSr1,
+      wl::SchemeKind::kSr2,        wl::SchemeKind::kMultiWaySr,
+      wl::SchemeKind::kSecurityRbsg, wl::SchemeKind::kTable,
+  };
+
+  std::cout << "config: " << lines << " lines, " << count << " writes per scenario, "
+            << "endurance " << endurance_steady << " (steady) / " << endurance_fail
+            << " (fail_stop)\n\n";
+
+  // RTA probe cycle: a handful of spread addresses, far below the
+  // write_cycle fallback guard at ψ = 64.
+  const std::vector<La> rta_pattern = {La{0},         La{lines / 7},     La{lines / 3},
+                                       La{lines / 2}, La{2 * lines / 3}, La{lines - 1}};
+  const std::vector<La> raa_pattern = {La{lines / 2}};
+
+  // Blanket block from the counter-based stream (same addresses for any
+  // chunking of the generation).
+  std::vector<u64> raw(std::min<u64>(count, u64{1} << 20));
+  trace::uniform_address_block(lines, 0xB10C, 0, raw);
+  std::vector<La> blanket;
+  blanket.reserve(raw.size());
+  for (const u64 a : raw) blanket.push_back(La{a});
+
+  std::vector<ScenarioResult> results;
+  for (const wl::SchemeKind kind : kKinds) {
+    results.push_back(run_scenario(kind, "raa_loop", BatchMode::kCycle, raa_pattern, count,
+                                   lines, endurance_steady));
+    results.push_back(run_scenario(kind, "rta_loop", BatchMode::kCycle, rta_pattern, count,
+                                   lines, endurance_steady));
+    results.push_back(run_scenario(kind, "fail_stop", BatchMode::kCycle, raa_pattern, count,
+                                   lines, endurance_fail));
+    results.push_back(
+        run_scenario(kind, "blanket", BatchMode::kBatch, blanket, 0, lines, endurance_steady));
+  }
+
+  bool identical = true;
+  double min_raa = 0.0, min_rta = 0.0;
+  bool first_raa = true, first_rta = true;
+  Table t({"scheme", "scenario", "per-write ms", "batched ms", "speedup", "identical"});
+  for (const auto& r : results) {
+    identical = identical && r.identical;
+    const bool headline = r.scheme != "table";  // see file comment
+    if (headline && r.name == "raa_loop") {
+      min_raa = first_raa ? r.speedup : std::min(min_raa, r.speedup);
+      first_raa = false;
+    } else if (headline && r.name == "rta_loop") {
+      min_rta = first_rta ? r.speedup : std::min(min_rta, r.speedup);
+      first_rta = false;
+    }
+    t.add_row({r.scheme, r.name, json_number(r.per_write_ms), json_number(r.batched_ms),
+               fmt_double(r.speedup, 2) + "x", r.identical ? "yes" : "NO"});
+  }
+  t.print(std::cout);
+  std::cout << "\nmin speedup (excluding table): raa_loop " << fmt_double(min_raa, 2)
+            << "x, rta_loop " << fmt_double(min_rta, 2) << "x  (target: >= 3x)\n"
+            << "all scenarios bit-identical to the per-write loop: "
+            << (identical ? "yes" : "NO") << "\n";
+
+  if (!opts.json.empty()) {
+    std::ofstream os(opts.json);
+    if (!os) {
+      std::cerr << "perf_write_path: cannot open " << opts.json << " for writing\n";
+      return 3;
+    }
+    os << "{\n"
+       << "  \"schema_version\": 1,\n"
+       << "  \"bench\": \"perf_write_path\",\n"
+       << "  \"config\": {\n"
+       << "    \"lines\": " << lines << ",\n"
+       << "    \"endurance_steady\": " << endurance_steady << ",\n"
+       << "    \"endurance_fail\": " << endurance_fail << ",\n"
+       << "    \"writes_per_scenario\": " << count << ",\n"
+       << "    \"blanket_block\": " << blanket.size() << "\n"
+       << "  },\n"
+       << "  \"scenarios\": [\n";
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      const auto& r = results[i];
+      os << "    {\n"
+         << "      \"scheme\": \"" << r.scheme << "\",\n"
+         << "      \"name\": \"" << r.name << "\",\n"
+         << "      \"per_write_ms\": " << json_number(r.per_write_ms) << ",\n"
+         << "      \"batched_ms\": " << json_number(r.batched_ms) << ",\n"
+         << "      \"speedup\": " << json_number(r.speedup) << ",\n"
+         << "      \"writes\": " << r.metrics.writes << ",\n"
+         << "      \"movements\": " << r.metrics.movements << ",\n"
+         << "      \"total_ns\": " << r.metrics.total_ns << ",\n"
+         << "      \"failed\": " << (r.metrics.failed ? "true" : "false") << ",\n"
+         << "      \"identical\": " << (r.identical ? "true" : "false") << "\n"
+         << "    }" << (i + 1 < results.size() ? "," : "") << "\n";
+    }
+    os << "  ],\n"
+       << "  \"min_speedup_raa\": " << json_number(min_raa) << ",\n"
+       << "  \"min_speedup_rta\": " << json_number(min_rta) << ",\n"
+       << "  \"identical\": " << (identical ? "true" : "false") << "\n"
+       << "}\n";
+    std::cout << "wrote " << opts.json << "\n";
+  }
+
+  return identical ? 0 : 1;
+}

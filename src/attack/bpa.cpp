@@ -20,7 +20,8 @@ void BirthdayParadoxAttack::run(ctl::MemoryController& mc, u64 write_budget) {
       // Chunk between observation points; remaps are only detectable at
       // movement boundaries anyway, which arrive every ψ writes at most.
       const u64 n = std::min<u64>({256, write_budget - issued, hammer_cap_ - hammered});
-      const auto out = mc.write_repeated(la, pcm::LineData::all_one(0xBB), n);
+      const La pattern[] = {la};
+      const auto out = mc.write_cycle(pattern, pcm::LineData::all_one(0xBB), n);
       issued += out.writes_applied;
       hammered += out.writes_applied;
       if (out.writes_applied == 0) return;

@@ -3,7 +3,15 @@
 namespace srbsg::attack {
 
 AttackResult run_attack(ctl::MemoryController& mc, Attacker& attacker, u64 write_budget) {
+  return run_attack(mc, attacker, write_budget, HarnessOptions{});
+}
+
+AttackResult run_attack(ctl::MemoryController& mc, Attacker& attacker, u64 write_budget,
+                        const HarnessOptions& opts) {
+  ctl::LatencyStats stats;
+  if (opts.collect_latency) mc.set_latency_sink(&stats);
   attacker.run(mc, write_budget);
+  if (opts.collect_latency) mc.set_latency_sink(nullptr);
   AttackResult res;
   res.succeeded = mc.failed();
   res.writes = mc.total_writes();
@@ -16,6 +24,7 @@ AttackResult run_attack(ctl::MemoryController& mc, Attacker& attacker, u64 write
   res.attacker = std::string(attacker.name());
   res.scheme = std::string(mc.scheme().name());
   res.detail = attacker.detail();
+  if (opts.collect_latency) res.latency = stats;
   return res;
 }
 

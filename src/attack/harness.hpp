@@ -1,6 +1,7 @@
 #pragma once
 // Drives an attacker against a controller and reports the outcome.
 
+#include <optional>
 #include <string>
 
 #include "attack/attacker.hpp"
@@ -15,10 +16,21 @@ struct AttackResult {
   std::string attacker;
   std::string scheme;
   std::string detail;
+  /// Present only when HarnessOptions::collect_latency was set.
+  std::optional<ctl::LatencyStats> latency;
+};
+
+struct HarnessOptions {
+  /// Attach a latency sink for the run. Off by default: most callers
+  /// only read the failure info, and latency accumulation on every
+  /// write is pure overhead for them.
+  bool collect_latency{false};
 };
 
 /// Runs `attacker` until first line failure or `write_budget` writes.
 [[nodiscard]] AttackResult run_attack(ctl::MemoryController& mc, Attacker& attacker,
                                       u64 write_budget);
+[[nodiscard]] AttackResult run_attack(ctl::MemoryController& mc, Attacker& attacker,
+                                      u64 write_budget, const HarnessOptions& opts);
 
 }  // namespace srbsg::attack

@@ -8,10 +8,11 @@ RepeatedAddressAttack::RepeatedAddressAttack(La target) : target_(target) {}
 
 void RepeatedAddressAttack::run(ctl::MemoryController& mc, u64 write_budget) {
   constexpr u64 kChunk = 1u << 20;
+  const La pattern[] = {target_};
   u64 issued = 0;
   while (!mc.failed() && issued < write_budget) {
     const u64 n = std::min(kChunk, write_budget - issued);
-    const auto out = mc.write_repeated(target_, pcm::LineData::mixed(0xAA), n);
+    const auto out = mc.write_cycle(pattern, pcm::LineData::mixed(0xAA), n);
     issued += out.writes_applied;
     if (out.writes_applied == 0) break;  // defensive: no forward progress
   }

@@ -52,8 +52,21 @@ void RtaRbsgAttacker::run(ctl::MemoryController& mc, u64 write_budget) {
   const Ns stall_one = pcm::move_latency(cfg, DataClass::kAllOne);
 
   // ---- Phase 1: blanket ALL-0 (Step 1) --------------------------------
-  for (u64 la = 0; la < n && !exhausted(mc); ++la) {
-    issue(mc, La{la}, LineData::all_zero());
+  // Ascending sweep with constant data: goes through the batched write
+  // path in blocks (no per-write observation is needed here).
+  {
+    constexpr u64 kBlock = u64{1} << 16;
+    std::vector<La> blanket;
+    blanket.reserve(std::min(n, kBlock));
+    for (u64 la = 0; la < n && !exhausted(mc);) {
+      const u64 cnt = std::min({kBlock, n - la, budget_ - issued_});
+      blanket.clear();
+      for (u64 k = 0; k < cnt; ++k) blanket.push_back(La{la + k});
+      const auto out = mc.write_batch(blanket, LineData::all_zero());
+      issued_ += out.writes_applied;
+      la += cnt;
+      if (out.writes_applied < cnt) break;
+    }
   }
   const u64 blanket_writes = issued_;
 
@@ -96,11 +109,29 @@ void RtaRbsgAttacker::run(ctl::MemoryController& mc, u64 write_budget) {
   std::vector<u64> la_bits(n_detect + 1, 0);
   std::vector<bool> seen(n_detect + 1, false);
 
+  std::vector<La> pass_block;
   for (u32 j = 0; j < bits && !exhausted(mc); ++j) {
-    // Pattern pass: bit j of the LA chooses ALL-0 / ALL-1.
-    for (u64 la = 0; la < n && !exhausted(mc); ++la) {
-      issue(mc, La{la},
-            bit_of(la, j) ? LineData::all_one() : LineData::all_zero());
+    // Pattern pass: bit j of the LA chooses ALL-0 / ALL-1. The data is
+    // constant across each aligned run of 2^j addresses, so long runs go
+    // through the batched path; short ones stay per-write.
+    const u64 run = u64{1} << j;
+    if (run >= 8) {
+      pass_block.reserve(run);
+      for (u64 la = 0; la < n && !exhausted(mc);) {
+        const u64 cnt = std::min({run, n - la, budget_ - issued_});
+        pass_block.clear();
+        for (u64 k = 0; k < cnt; ++k) pass_block.push_back(La{la + k});
+        const auto out = mc.write_batch(
+            pass_block, bit_of(la, j) ? LineData::all_one() : LineData::all_zero());
+        issued_ += out.writes_applied;
+        la += cnt;
+        if (out.writes_applied < cnt) break;
+      }
+    } else {
+      for (u64 la = 0; la < n && !exhausted(mc); ++la) {
+        issue(mc, La{la},
+              bit_of(la, j) ? LineData::all_one() : LineData::all_zero());
+      }
     }
     // Exactly M of those writes landed in the target's region; movements
     // fired during the pass are burned (observed but unattributable).
@@ -178,7 +209,8 @@ void RtaRbsgAttacker::run(ctl::MemoryController& mc, u64 write_budget) {
     const u64 until_arrival = (gap_slot_ + slots - pinned) % slots + 1;
     const u64 writes_needed = until_arrival * psi - counter_;
     const u64 chunk = std::min(writes_needed, budget_ - issued_);
-    const auto out = mc.write_repeated(La{la}, LineData::all_zero(), chunk);
+    const La hammer_la[] = {La{la}};
+    const auto out = mc.write_cycle(hammer_la, LineData::all_zero(), chunk);
     issued_ += out.writes_applied;
     if (out.writes_applied == 0) break;
     const u64 tot = counter_ + out.writes_applied;

@@ -47,7 +47,8 @@ void RtaSr1Attacker::bulk_to_step(ctl::MemoryController& mc, u64 target) {
   while (crp_ < target && !exhausted(mc)) {
     const u64 writes_needed = (target - crp_) * p_.interval - counter_;
     const u64 chunk = std::min(writes_needed, budget_ - issued_);
-    const auto out = mc.write_repeated(La{0}, LineData::all_zero(), chunk);
+    const La fill[] = {La{0}};
+    const auto out = mc.write_cycle(fill, LineData::all_zero(), chunk);
     issued_ += out.writes_applied;
     shadow_[0] = 0;
     const u64 tot = counter_ + out.writes_applied;
@@ -124,8 +125,25 @@ void RtaSr1Attacker::run(ctl::MemoryController& mc, u64 write_budget) {
   const Ns s11 = pcm::swap_latency(cfg, DataClass::kAllOne, DataClass::kAllOne);
 
   // ---- Phase 1: blanket + alignment (Steps 1-2) -----------------------
-  for (u64 la = 0; la < n && !exhausted(mc); ++la) {
-    issue(mc, La{la}, LineData::all_zero());
+  // Batched blanket; the shadow and CRP mirrors advance in closed form
+  // (same arithmetic issue() applies per write).
+  {
+    constexpr u64 kBlock = u64{1} << 16;
+    std::vector<La> blanket;
+    blanket.reserve(std::min(n, kBlock));
+    for (u64 la = 0; la < n && !exhausted(mc);) {
+      const u64 cnt = std::min({kBlock, n - la, budget_ - issued_});
+      blanket.clear();
+      for (u64 k = 0; k < cnt; ++k) blanket.push_back(La{la + k});
+      const auto out = mc.write_batch(blanket, LineData::all_zero());
+      issued_ += out.writes_applied;
+      for (u64 k = 0; k < out.writes_applied; ++k) shadow_[la + k] = 0;
+      const u64 tot = counter_ + out.writes_applied;
+      crp_ += tot / p_.interval;
+      counter_ = tot % p_.interval;
+      la += cnt;
+      if (out.writes_applied < cnt) break;
+    }
   }
   bool aligned = false;
   const u64 align_cap = 3 * n * p_.interval;
@@ -176,7 +194,8 @@ void RtaSr1Attacker::run(ctl::MemoryController& mc, u64 write_budget) {
       }
       const u64 writes_needed = (next_event - crp_) * p_.interval - counter_;
       const u64 chunk = std::min(writes_needed, budget_ - issued_);
-      const auto out = mc.write_repeated(La{cur_la}, LineData::all_zero(), chunk);
+      const La hammer[] = {La{cur_la}};
+      const auto out = mc.write_cycle(hammer, LineData::all_zero(), chunk);
       issued_ += out.writes_applied;
       shadow_[cur_la] = 0;
       const u64 tot = counter_ + out.writes_applied;

@@ -83,7 +83,8 @@ bool RtaSr2Attacker::detect_high_key(ctl::MemoryController& mc, u64* key_high_ou
       const u64 gap = p_.outer_interval - counter_ - 1;
       if (gap > 0) {
         const u64 chunk = std::min(gap, budget_ - issued_);
-        const auto bulk = mc.write_repeated(La{0}, LineData::all_zero(), chunk);
+        const La fill[] = {La{0}};
+        const auto bulk = mc.write_cycle(fill, LineData::all_zero(), chunk);
         bulk_account(bulk.writes_applied);
         shadow_[0] = 0;
         if (bulk.writes_applied < chunk) return false;
@@ -101,7 +102,8 @@ bool RtaSr2Attacker::detect_high_key(ctl::MemoryController& mc, u64* key_high_ou
           while (steps_ < target && !exhausted(mc)) {
             const u64 need = (target - steps_) * p_.outer_interval - counter_;
             const u64 chunk = std::min(need, budget_ - issued_);
-            const auto bulk = mc.write_repeated(La{0}, LineData::all_zero(), chunk);
+            const La fill[] = {La{0}};
+            const auto bulk = mc.write_cycle(fill, LineData::all_zero(), chunk);
             bulk_account(bulk.writes_applied);
             shadow_[0] = 0;
             if (bulk.writes_applied < chunk) return false;
@@ -140,9 +142,22 @@ void RtaSr2Attacker::run(ctl::MemoryController& mc, u64 write_budget) {
   const u64 m = n / p_.sub_regions;  // LAs per sub-region
   const u32 region_bits = log2_floor(m);
 
-  // Blanket ALL-0 so every pattern delta and stall value is known.
-  for (u64 la = 0; la < n && !exhausted(mc); ++la) {
-    issue(mc, La{la}, LineData::all_zero());
+  // Blanket ALL-0 so every pattern delta and stall value is known. Runs
+  // through the batched path; the mirrors advance in closed form.
+  {
+    constexpr u64 kBlock = u64{1} << 16;
+    std::vector<La> blanket;
+    blanket.reserve(std::min(n, kBlock));
+    for (u64 la = 0; la < n && !exhausted(mc);) {
+      const u64 cnt = std::min({kBlock, n - la, budget_ - issued_});
+      blanket.clear();
+      for (u64 k = 0; k < cnt; ++k) blanket.push_back(La{la + k});
+      const auto out = mc.write_batch(blanket, LineData::all_zero());
+      bulk_account(out.writes_applied);
+      for (u64 k = 0; k < out.writes_applied; ++k) shadow_[la + k] = 0;
+      la += cnt;
+      if (out.writes_applied < cnt) break;
+    }
   }
 
   u64 detections = 0;
@@ -179,7 +194,8 @@ void RtaSr2Attacker::run(ctl::MemoryController& mc, u64 write_budget) {
       const u64 writes_left_in_round =
           (wrap - steps_) * p_.outer_interval - counter_;
       const u64 this_chunk = std::min({chunk, writes_left_in_round, budget_ - issued_});
-      const auto bulk = mc.write_repeated(La{la}, LineData::all_zero(), this_chunk);
+      const La hammer[] = {La{la}};
+      const auto bulk = mc.write_cycle(hammer, LineData::all_zero(), this_chunk);
       bulk_account(bulk.writes_applied);
       shadow_[la] = 0;
       if (bulk.writes_applied < this_chunk) break;

@@ -40,6 +40,24 @@ wl::BulkOutcome AuditingWearLeveler::write_repeated(La la, const pcm::LineData& 
   return out;
 }
 
+wl::BulkOutcome AuditingWearLeveler::write_batch(std::span<const La> las,
+                                                 const pcm::LineData& data,
+                                                 pcm::PcmBank& bank) {
+  capture_baseline(bank);
+  const wl::BulkOutcome out = inner_->write_batch(las, data, bank);
+  account(out.writes_applied, out.movements, bank);
+  return out;
+}
+
+wl::BulkOutcome AuditingWearLeveler::write_cycle(std::span<const La> pattern,
+                                                 const pcm::LineData& data, u64 count,
+                                                 pcm::PcmBank& bank) {
+  capture_baseline(bank);
+  const wl::BulkOutcome out = inner_->write_cycle(pattern, data, count, bank);
+  account(out.writes_applied, out.movements, bank);
+  return out;
+}
+
 void AuditingWearLeveler::account(u64 writes, u64 movements, pcm::PcmBank& bank) {
   stats_.writes_seen += writes;
   stats_.movements_seen += movements;

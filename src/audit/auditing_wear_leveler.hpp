@@ -64,6 +64,10 @@ class AuditingWearLeveler final : public wl::WearLeveler {
   wl::WriteOutcome write(La la, const pcm::LineData& data, pcm::PcmBank& bank) override;
   wl::BulkOutcome write_repeated(La la, const pcm::LineData& data, u64 count,
                                  pcm::PcmBank& bank) override;
+  wl::BulkOutcome write_batch(std::span<const La> las, const pcm::LineData& data,
+                              pcm::PcmBank& bank) override;
+  wl::BulkOutcome write_cycle(std::span<const La> pattern, const pcm::LineData& data,
+                              u64 count, pcm::PcmBank& bank) override;
 
   void set_rate_boost(u32 log2_divisor) override { inner_->set_rate_boost(log2_divisor); }
   void validate_state() const override { inner_->validate_state(); }

@@ -1,5 +1,7 @@
 #include "controller/memory_controller.hpp"
 
+#include <algorithm>
+
 #include "common/check.hpp"
 
 namespace srbsg::ctl {
@@ -48,12 +50,25 @@ void MemoryController::feed_detector(La la, u64 count) {
   }
 }
 
+void MemoryController::account_bulk(const wl::BulkOutcome& out) {
+  if (!latency_sink_) return;
+  latency_sink_->writes += out.writes_applied;
+  latency_sink_->total += out.total;
+  latency_sink_->movements += out.movements;
+}
+
 wl::WriteOutcome MemoryController::write(La la, const pcm::LineData& data) {
   feed_detector(la, 1);
   const wl::WriteOutcome out = scheme_->write(la, data, bank_);
   now_ += out.total;
   ++writes_issued_;
   maybe_record_failure(pcm::write_latency(bank_.config(), data.cls));
+  if (latency_sink_) {
+    ++latency_sink_->writes;
+    latency_sink_->total += out.total;
+    latency_sink_->movements += out.movements;
+    latency_sink_->max_single = std::max(latency_sink_->max_single, out.total);
+  }
   return out;
 }
 
@@ -65,6 +80,39 @@ wl::BulkOutcome MemoryController::write_repeated(La la, const pcm::LineData& dat
   now_ += out.total;
   writes_issued_ += out.writes_applied;
   maybe_record_failure(pcm::write_latency(bank_.config(), data.cls));
+  account_bulk(out);
+  return out;
+}
+
+wl::BulkOutcome MemoryController::write_batch(std::span<const La> las,
+                                              const pcm::LineData& data) {
+  // Like write_repeated, the detector sees the whole block before any
+  // write lands; the record sequence matches the per-write loop exactly.
+  if (detector_) {
+    for (const La la : las) feed_detector(la, 1);
+  }
+  const wl::BulkOutcome out = scheme_->write_batch(las, data, bank_);
+  now_ += out.total;
+  writes_issued_ += out.writes_applied;
+  maybe_record_failure(pcm::write_latency(bank_.config(), data.cls));
+  account_bulk(out);
+  return out;
+}
+
+wl::BulkOutcome MemoryController::write_cycle(std::span<const La> pattern,
+                                              const pcm::LineData& data, u64 count) {
+  if (detector_ && !pattern.empty()) {
+    const u64 period = pattern.size();
+    for (u64 i = 0; i < period; ++i) {
+      const u64 hits = count / period + (i < count % period ? 1 : 0);
+      if (hits > 0) feed_detector(pattern[i], hits);
+    }
+  }
+  const wl::BulkOutcome out = scheme_->write_cycle(pattern, data, count, bank_);
+  now_ += out.total;
+  writes_issued_ += out.writes_applied;
+  maybe_record_failure(pcm::write_latency(bank_.config(), data.cls));
+  account_bulk(out);
   return out;
 }
 

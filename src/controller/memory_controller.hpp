@@ -6,6 +6,7 @@
 
 #include <memory>
 #include <optional>
+#include <span>
 
 #include "common/types.hpp"
 #include "pcm/bank.hpp"
@@ -18,6 +19,16 @@ struct FailureInfo {
   Ns time{0};         ///< simulated instant of the first line failure
   Pa line{0};         ///< physical line that failed
   u64 total_writes{0};  ///< logical writes issued up to the failure
+};
+
+/// Aggregate observed-latency statistics, accumulated only when a caller
+/// opts in via MemoryController::set_latency_sink — long attack and
+/// lifetime runs that discard per-write latencies pay nothing for it.
+struct LatencyStats {
+  u64 writes{0};     ///< writes contributing to `total`
+  Ns total{0};       ///< observed service time (data writes + remap stalls)
+  u64 movements{0};  ///< remap movements folded into `total`
+  Ns max_single{0};  ///< slowest single write (per-write path only)
 };
 
 class MemoryController {
@@ -41,6 +52,18 @@ class MemoryController {
   /// `count` identical writes to `la` (event-driven fast path).
   wl::BulkOutcome write_repeated(La la, const pcm::LineData& data, u64 count);
 
+  /// Applies `las` in order through the scheme's batched path;
+  /// bit-identical to per-write issue except that an attached detector
+  /// sees the whole block up-front (same convention as write_repeated —
+  /// a boost applies from the start of the block, which only makes the
+  /// defense stronger).
+  wl::BulkOutcome write_batch(std::span<const La> las, const pcm::LineData& data);
+
+  /// `count` writes cycling through `pattern` (event-driven fast path
+  /// for periodic probe/hammer loops).
+  wl::BulkOutcome write_cycle(std::span<const La> pattern, const pcm::LineData& data,
+                              u64 count);
+
   /// Read through the translation.
   std::pair<pcm::LineData, Ns> read(La la);
 
@@ -61,6 +84,11 @@ class MemoryController {
   void enable_detector(const wl::AttackDetectorConfig& cfg);
   [[nodiscard]] const wl::AttackDetector* detector() const { return detector_.get(); }
 
+  /// Opt-in latency accumulation: pass a stats object to start
+  /// accumulating, nullptr to stop. The sink must outlive the controller
+  /// or be detached first.
+  void set_latency_sink(LatencyStats* sink) { latency_sink_ = sink; }
+
  private:
   /// Captures failure info the first time the bank reports one. The bank
   /// records how many writes overshot the endurance limit inside a bulk
@@ -68,6 +96,7 @@ class MemoryController {
   void maybe_record_failure(Ns per_write_latency);
 
   void feed_detector(La la, u64 count);
+  void account_bulk(const wl::BulkOutcome& out);
 
   pcm::PcmBank bank_;
   std::unique_ptr<wl::WearLeveler> scheme_;
@@ -75,6 +104,7 @@ class MemoryController {
   Ns now_{0};
   u64 writes_issued_{0};
   std::optional<FailureInfo> failure_;
+  LatencyStats* latency_sink_{nullptr};
 };
 
 }  // namespace srbsg::ctl

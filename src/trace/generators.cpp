@@ -107,6 +107,25 @@ Trace make_hotspot(const GeneratorOptions& opt, double hot_fraction, double hot_
   return t;
 }
 
+void uniform_address_block(u64 lines, u64 seed, u64 start, std::span<u64> out) {
+  check(lines != 0, "uniform_address_block: lines must be nonzero");
+  // Lemire multiply-shift with rejection (same method as Rng::next_below),
+  // but over a stateless per-element splitmix64 stream.
+  const u64 threshold = (0 - lines) % lines;
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    u64 s = seed + (start + i) * 0x9e3779b97f4a7c15ULL;
+    u64 x = splitmix64(s);
+    __uint128_t m = static_cast<__uint128_t>(x) * lines;
+    auto lo = static_cast<u64>(m);
+    while (lo < threshold) {
+      x = splitmix64(s);
+      m = static_cast<__uint128_t>(x) * lines;
+      lo = static_cast<u64>(m);
+    }
+    out[i] = static_cast<u64>(m >> 64);
+  }
+}
+
 Trace make_single_address(const GeneratorOptions& opt, u64 addr) {
   Rng rng(opt.seed);
   Trace t("single-address");

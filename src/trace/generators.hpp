@@ -1,6 +1,8 @@
 #pragma once
 // Synthetic access-pattern generators.
 
+#include <span>
+
 #include "common/rng.hpp"
 #include "trace/trace.hpp"
 
@@ -34,5 +36,12 @@ struct GeneratorOptions {
 
 /// Adversarial single-address stream (RAA as a trace).
 [[nodiscard]] Trace make_single_address(const GeneratorOptions& opt, u64 addr);
+
+/// Fills `out` with uniform addresses in [0, lines) from a counter-based
+/// splitmix64 stream: element k depends only on (seed, start + k), so any
+/// partition of the stream into blocks produces identical addresses —
+/// blocks feed MemoryController::write_batch without the interleaved
+/// per-record draws of the Trace generators above.
+void uniform_address_block(u64 lines, u64 seed, u64 start, std::span<u64> out);
 
 }  // namespace srbsg::trace

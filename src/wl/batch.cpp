@@ -1,0 +1,125 @@
+#include "wl/batch.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace srbsg::wl::batch {
+
+HitSet::HitSet(std::vector<u64> offsets, u64 period)
+    : offs_(std::move(offsets)), period_(period) {
+  SRBSG_DCHECK(period_ >= 1, "HitSet: empty period");
+  SRBSG_DCHECK(std::is_sorted(offs_.begin(), offs_.end()), "HitSet: offsets not sorted");
+  SRBSG_DCHECK(offs_.empty() || offs_.back() < period_, "HitSet: offset past the period");
+}
+
+u64 HitSet::hits_in(u64 start, u64 writes) const {
+  const u64 m = offs_.size();
+  if (m == 0 || writes == 0) return 0;
+  u64 hits = (writes / period_) * m;
+  const u64 rem = writes % period_;
+  if (rem > 0) {
+    // Circular range [start, start + rem) over the sorted offsets.
+    const u64 end = start + rem;  // start < period, rem < period => end < 2*period
+    const auto lo = std::lower_bound(offs_.begin(), offs_.end(), start);
+    if (end <= period_) {
+      hits += static_cast<u64>(std::lower_bound(lo, offs_.end(), end) - lo);
+    } else {
+      hits += static_cast<u64>(offs_.end() - lo);
+      hits += static_cast<u64>(
+          std::lower_bound(offs_.begin(), offs_.end(), end - period_) - offs_.begin());
+    }
+  }
+  return hits;
+}
+
+u64 HitSet::until_nth(u64 start, u64 n) const {
+  const u64 m = offs_.size();
+  if (m == 0) return kUnbounded;
+  SRBSG_DCHECK(n >= 1, "HitSet: until_nth needs n >= 1");
+  const u64 cycles = (n - 1) / m;
+  const u64 rank = (n - 1) % m;
+  // Offset of the rank-th hit in rotated order (positions >= start first).
+  const auto lo = std::lower_bound(offs_.begin(), offs_.end(), start);
+  const u64 ge = static_cast<u64>(offs_.end() - lo);
+  const u64 off = rank < ge ? lo[static_cast<std::ptrdiff_t>(rank)] - start
+                            : offs_[rank - ge] + period_ - start;
+  if (cycles > (kUnbounded - off - 1) / period_) return kUnbounded;
+  return cycles * period_ + off + 1;
+}
+
+void build_line_scheds(std::span<const Pa> pas, const pcm::PcmBank& bank,
+                       std::vector<LineSched>& out) {
+  out.clear();
+  const u64 period = pas.size();
+  std::vector<std::pair<u64, u64>> keyed;  // (pa, position), lexicographic
+  keyed.reserve(period);
+  for (u64 i = 0; i < period; ++i) keyed.emplace_back(pas[i].value(), i);
+  std::sort(keyed.begin(), keyed.end());
+  for (u64 i = 0; i < period;) {
+    u64 j = i;
+    std::vector<u64> offs;
+    while (j < period && keyed[j].first == keyed[i].first) {
+      offs.push_back(keyed[j].second);
+      ++j;
+    }
+    LineSched ls;
+    ls.pa = Pa{keyed[i].first};
+    ls.hits = HitSet(std::move(offs), period);
+    // Writes this line can absorb until it records the first failure; the
+    // engine only runs while the bank has none, so wear < limit here.
+    const u64 limit = bank.line_endurance(ls.pa);
+    const u64 wear = bank.wear(ls.pa);
+    ls.remaining = limit > wear ? limit - wear : 1;
+    out.push_back(std::move(ls));
+    i = j;
+  }
+}
+
+void build_domain_scheds(std::span<const u64> keys, std::vector<DomainSched>& out) {
+  out.clear();
+  const u64 period = keys.size();
+  std::vector<std::pair<u64, u64>> keyed;  // (domain, position)
+  keyed.reserve(period);
+  for (u64 i = 0; i < period; ++i) {
+    if (keys[i] != kNoDomain) keyed.emplace_back(keys[i], i);
+  }
+  std::sort(keyed.begin(), keyed.end());
+  const u64 n = keyed.size();
+  for (u64 i = 0; i < n;) {
+    u64 j = i;
+    std::vector<u64> offs;
+    while (j < n && keyed[j].first == keyed[i].first) {
+      offs.push_back(keyed[j].second);
+      ++j;
+    }
+    out.push_back(DomainSched{keyed[i].first, HitSet(std::move(offs), period)});
+    i = j;
+  }
+}
+
+u64 cap_chunk_at_failure(std::span<const LineSched> lines, u64 start, u64 chunk) {
+  u64 cap = chunk;
+  for (const auto& ls : lines) {
+    // until_nth(remaining) <= cap exactly when the window holds enough
+    // hits to cross the limit, so the min lands on the failing write.
+    if (ls.hits.hits_in(start, cap) >= ls.remaining) {
+      cap = std::min(cap, ls.hits.until_nth(start, ls.remaining));
+    }
+  }
+  return cap;
+}
+
+Ns apply_chunk(std::span<LineSched> lines, const pcm::LineData& data, u64 start, u64 chunk,
+               pcm::PcmBank& bank) {
+  Ns total{0};
+  for (auto& ls : lines) {
+    const u64 h = ls.hits.hits_in(start, chunk);
+    if (h == 0) continue;
+    total += bank.bulk_write(ls.pa, data, h);
+    ls.remaining = ls.remaining > h ? ls.remaining - h : 0;
+  }
+  return total;
+}
+
+}  // namespace srbsg::wl::batch

@@ -1,0 +1,148 @@
+#pragma once
+// Shared machinery for the batched write paths (write_batch/write_cycle).
+//
+// A periodic pattern of L addresses is described by *hit schedules*: for
+// each distinct physical line (and each remap-counter domain) the sorted
+// pattern offsets it occupies. Closed-form circular-range counting then
+// answers, in O(log L), the two questions the windowed engine needs:
+//   * how many of the next `writes` writes hit this line/domain, and
+//   * after how many writes does the n-th hit land.
+// Windows end at the earliest remap trigger or at the exact write that
+// crosses a line's endurance limit, so the engine applies bulk writes
+// with zero overshoot and fires triggers precisely where the per-write
+// reference loop would — the bit-identity contract of DESIGN.md §11.
+
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "common/types.hpp"
+#include "pcm/bank.hpp"
+#include "wl/wear_leveler.hpp"
+
+namespace srbsg::wl::batch {
+
+/// "No bound" sentinel for until_nth() when the schedule is empty.
+inline constexpr u64 kUnbounded = ~u64{0};
+
+/// Domain key marking a pattern position that advances no remap counter
+/// (e.g. the Security-RBSG outer spare line).
+inline constexpr u64 kNoDomain = ~u64{0};
+
+/// Minimum run of identical addresses for which run_compressed_batch()
+/// delegates to the event-driven write_cycle() fast path.
+inline constexpr u64 kRunThreshold = 16;
+
+/// A pattern whose period exceeds this multiple of the smallest effective
+/// remapping interval gains nothing from windowing (every window would
+/// rescan O(L) schedules); scheme overrides fall back to the generic
+/// per-write loop beyond it.
+inline constexpr u64 kPatternFallbackFactor = 4;
+
+/// Sorted pattern offsets (subset of [0, period)) hit by one line/domain.
+class HitSet {
+ public:
+  HitSet() = default;
+  HitSet(std::vector<u64> offsets, u64 period);
+
+  [[nodiscard]] u64 per_period() const { return offs_.size(); }
+  [[nodiscard]] bool empty() const { return offs_.empty(); }
+
+  /// Hits among the next `writes` writes when the cycle is at `start`.
+  [[nodiscard]] u64 hits_in(u64 start, u64 writes) const;
+
+  /// Writes needed (from phase `start`) so that the n-th hit (n >= 1) has
+  /// just been applied; kUnbounded when the set is empty or the value
+  /// would overflow.
+  [[nodiscard]] u64 until_nth(u64 start, u64 n) const;
+
+ private:
+  std::vector<u64> offs_;  ///< strictly increasing, all < period_
+  u64 period_{1};
+};
+
+/// Per-distinct-physical-line schedule plus the writes this line can
+/// still absorb before it records the bank's first endurance failure.
+struct LineSched {
+  Pa pa{0};
+  HitSet hits;
+  u64 remaining{0};
+};
+
+/// Per-remap-counter-domain schedule (domain = whatever unit owns one
+/// write counter: an RBSG region, an SR sub-region, the global counter).
+struct DomainSched {
+  u64 key{0};
+  HitSet hits;
+};
+
+/// Group pattern positions by physical line and compute `remaining` from
+/// the bank's current wear. Reuses `out`'s capacity across rebuilds.
+void build_line_scheds(std::span<const Pa> pas, const pcm::PcmBank& bank,
+                       std::vector<LineSched>& out);
+
+/// Group pattern positions by domain key; positions keyed kNoDomain are
+/// excluded. Reuses `out`'s capacity across rebuilds.
+void build_domain_scheds(std::span<const u64> keys, std::vector<DomainSched>& out);
+
+/// Movement-triggered rebuild guard. Recompute the pattern's mapping into
+/// `fresh` (sized to the period) and call this; it adopts `fresh` by swap
+/// and returns true when the cached values differ or `cached` is empty
+/// (first build). Most movements relocate lines outside the pattern:
+/// translations are unchanged, and since a movement only writes slots it
+/// remapped (or the previously empty gap/spare slot), unchanged
+/// translations also mean the pattern's physical lines took no wear from
+/// it — every schedule, including the incrementally maintained
+/// `remaining`, stays exact and need not be rebuilt.
+template <typename T>
+[[nodiscard]] bool adopt_if_changed(std::vector<T>& cached, std::vector<T>& fresh) {
+  if (!cached.empty() && cached == fresh) return false;
+  cached.swap(fresh);
+  return true;
+}
+
+/// Largest prefix of `chunk` writes (from phase `start`) that stops
+/// exactly at the first write crossing any line's endurance limit — the
+/// same write the per-write reference loop would stop after.
+[[nodiscard]] u64 cap_chunk_at_failure(std::span<const LineSched> lines, u64 start, u64 chunk);
+
+/// Apply `chunk` writes (from phase `start`) as per-line bulk writes and
+/// decrement each schedule's `remaining`. Returns the summed latency,
+/// which equals the per-write sum because one batch carries one data
+/// value (constant per-write latency).
+[[nodiscard]] Ns apply_chunk(std::span<LineSched> lines, const pcm::LineData& data, u64 start,
+                             u64 chunk, pcm::PcmBank& bank);
+
+/// Shared write_batch skeleton: walk maximal runs of identical addresses,
+/// sending long runs through the scheme's write_cycle() fast path and
+/// short ones through `per_write(la, out)` — the scheme's hoisted
+/// single-write body (translation state, counters and bank resolved
+/// outside the loop). Stops after the write that records a failure,
+/// exactly like the per-write reference loop.
+template <typename Scheme, typename PerWrite>
+BulkOutcome run_compressed_batch(Scheme& self, std::span<const La> las,
+                                 const pcm::LineData& data, pcm::PcmBank& bank,
+                                 PerWrite&& per_write) {
+  BulkOutcome out;
+  const u64 n = las.size();
+  u64 i = 0;
+  while (i < n && !bank.has_failure()) {
+    u64 run = 1;
+    while (i + run < n && las[i + run].value() == las[i].value()) ++run;
+    if (run >= kRunThreshold) {
+      const BulkOutcome b = self.write_cycle(las.subspan(i, 1), data, run, bank);
+      out.total += b.total;
+      out.writes_applied += b.writes_applied;
+      out.movements += b.movements;
+      if (b.writes_applied < run) break;
+    } else {
+      for (u64 k = 0; k < run && !bank.has_failure(); ++k) {
+        per_write(las[i + k], out);
+      }
+    }
+    i += run;
+  }
+  return out;
+}
+
+}  // namespace srbsg::wl::batch

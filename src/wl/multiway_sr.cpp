@@ -1,7 +1,10 @@
 #include "wl/multiway_sr.hpp"
 
+#include <algorithm>
+
 #include "common/bitops.hpp"
 #include "common/check.hpp"
+#include "wl/batch.hpp"
 
 namespace srbsg::wl {
 
@@ -58,6 +61,82 @@ void MultiWaySecurityRefresh::validate_state() const {
     regions_[q].validate();
     check_le(counter_[q], cfg_.interval, "MultiWaySecurityRefresh: write counter overran ψ");
   }
+}
+
+BulkOutcome MultiWaySecurityRefresh::write_batch(std::span<const La> las,
+                                                 const pcm::LineData& data, pcm::PcmBank& bank) {
+  for (const La la : las) {
+    check(la.value() < cfg_.lines, "MultiWaySecurityRefresh: address out of range");
+  }
+  return batch::run_compressed_batch(
+      *this, las, data, bank, [&](La la, BulkOutcome& out) {
+        const u64 q = la.value() >> region_bits_;
+        const u64 off = la.value() & low_mask(region_bits_);
+        out.total += bank.write(Pa{(q << region_bits_) | regions_[q].translate(off)}, data);
+        ++out.writes_applied;
+        if (++counter_[q] >= effective_interval()) {
+          counter_[q] = 0;
+          out.total += do_step(q, bank, &out.movements);
+        }
+      });
+}
+
+BulkOutcome MultiWaySecurityRefresh::write_cycle(std::span<const La> pattern,
+                                                 const pcm::LineData& data, u64 count,
+                                                 pcm::PcmBank& bank) {
+  BulkOutcome out;
+  if (count == 0) return out;
+  check(!pattern.empty(), "write_cycle: empty pattern with writes requested");
+  for (const La la : pattern) {
+    check(la.value() < cfg_.lines, "MultiWaySecurityRefresh: address out of range");
+  }
+  const u64 period = pattern.size();
+  if (period > batch::kPatternFallbackFactor * effective_interval()) {
+    return WearLeveler::write_cycle(pattern, data, count, bank);
+  }
+  // The address-sequence partition is static: region keys never change.
+  std::vector<u64> keys(period);
+  for (u64 i = 0; i < period; ++i) keys[i] = pattern[i].value() >> region_bits_;
+  std::vector<batch::DomainSched> doms;
+  batch::build_domain_scheds(keys, doms);
+  std::vector<Pa> pas;
+  std::vector<Pa> fresh;
+  std::vector<batch::LineSched> lines;
+  bool rebuild = true;
+  u64 phase = 0;
+  while (out.writes_applied < count && !bank.has_failure()) {
+    if (rebuild) {
+      fresh.resize(period);
+      for (u64 i = 0; i < period; ++i) {
+        const u64 off = pattern[i].value() & low_mask(region_bits_);
+        fresh[i] = Pa{(keys[i] << region_bits_) | regions_[keys[i]].translate(off)};
+      }
+      if (batch::adopt_if_changed(pas, fresh)) {
+        batch::build_line_scheds(pas, bank, lines);
+      }
+      rebuild = false;
+    }
+    const u64 iv = effective_interval();
+    u64 chunk = count - out.writes_applied;
+    for (const auto& d : doms) {
+      const u64 deficit = counter_[d.key] >= iv ? 1 : iv - counter_[d.key];
+      chunk = std::min(chunk, d.hits.until_nth(phase, deficit));
+    }
+    chunk = batch::cap_chunk_at_failure(lines, phase, chunk);
+    out.total += batch::apply_chunk(lines, data, phase, chunk, bank);
+    out.writes_applied += chunk;
+    for (const auto& d : doms) counter_[d.key] += d.hits.hits_in(phase, chunk);
+    phase = (phase + chunk) % period;
+    for (const auto& d : doms) {
+      if (counter_[d.key] >= iv) {
+        counter_[d.key] = 0;
+        const u64 before = out.movements;
+        out.total += do_step(d.key, bank, &out.movements);
+        if (out.movements != before) rebuild = true;  // skipped steps move nothing
+      }
+    }
+  }
+  return out;
 }
 
 BulkOutcome MultiWaySecurityRefresh::write_repeated(La la, const pcm::LineData& data, u64 count,

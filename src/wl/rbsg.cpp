@@ -1,8 +1,11 @@
 #include "wl/rbsg.hpp"
 
+#include <algorithm>
+
 #include "common/bitops.hpp"
 #include "common/check.hpp"
 #include "common/rng.hpp"
+#include "wl/batch.hpp"
 #include "mapping/binary_matrix.hpp"
 #include "mapping/feistel.hpp"
 #include "mapping/quality.hpp"
@@ -87,6 +90,92 @@ BulkOutcome RegionStartGap::write_repeated(La la, const pcm::LineData& data, u64
       counter_[q] = 0;
       out.total += do_movement(q, bank);
       ++out.movements;
+    }
+  }
+  return out;
+}
+
+BulkOutcome RegionStartGap::write_batch(std::span<const La> las, const pcm::LineData& data,
+                                        pcm::PcmBank& bank) {
+  for (const La la : las) {
+    check(la.value() < cfg_.lines, "RegionStartGap: address out of range");
+  }
+  const u64 m = cfg_.region_lines();
+  return batch::run_compressed_batch(
+      *this, las, data, bank, [&](La la, BulkOutcome& out) {
+        // write() body with the randomizer drawn once (write() pays a
+        // second draw inside translate()).
+        const u64 ia = randomize(la.value());
+        const u64 q = ia / m;
+        out.total += bank.write(Pa{region_base(q) + sg_[q].translate(ia % m)}, data);
+        ++out.writes_applied;
+        if (++counter_[q] >= effective_interval()) {
+          counter_[q] = 0;
+          out.total += do_movement(q, bank);
+          ++out.movements;
+        }
+      });
+}
+
+BulkOutcome RegionStartGap::write_cycle(std::span<const La> pattern, const pcm::LineData& data,
+                                        u64 count, pcm::PcmBank& bank) {
+  BulkOutcome out;
+  if (count == 0) return out;
+  check(!pattern.empty(), "write_cycle: empty pattern with writes requested");
+  for (const La la : pattern) {
+    check(la.value() < cfg_.lines, "RegionStartGap: address out of range");
+  }
+  const u64 period = pattern.size();
+  if (period > batch::kPatternFallbackFactor * effective_interval()) {
+    return WearLeveler::write_cycle(pattern, data, count, bank);
+  }
+  const u64 m = cfg_.region_lines();
+  // The randomizer is static: IAs and region keys are fixed for the call.
+  std::vector<u64> ias(period);
+  std::vector<u64> keys(period);
+  for (u64 i = 0; i < period; ++i) {
+    ias[i] = randomize(pattern[i].value());
+    keys[i] = ias[i] / m;
+  }
+  std::vector<batch::DomainSched> doms;
+  batch::build_domain_scheds(keys, doms);
+  std::vector<Pa> pas;
+  std::vector<Pa> fresh;
+  std::vector<batch::LineSched> lines;
+  bool rebuild = true;
+  u64 phase = 0;
+  while (out.writes_applied < count && !bank.has_failure()) {
+    if (rebuild) {
+      fresh.resize(period);
+      for (u64 i = 0; i < period; ++i) {
+        fresh[i] = Pa{region_base(keys[i]) + sg_[keys[i]].translate(ias[i] % m)};
+      }
+      if (batch::adopt_if_changed(pas, fresh)) {
+        batch::build_line_scheds(pas, bank, lines);
+      }
+      rebuild = false;
+    }
+    const u64 iv = effective_interval();
+    u64 chunk = count - out.writes_applied;
+    for (const auto& d : doms) {
+      const u64 deficit = counter_[d.key] >= iv ? 1 : iv - counter_[d.key];
+      chunk = std::min(chunk, d.hits.until_nth(phase, deficit));
+    }
+    chunk = batch::cap_chunk_at_failure(lines, phase, chunk);
+    out.total += batch::apply_chunk(lines, data, phase, chunk, bank);
+    out.writes_applied += chunk;
+    for (const auto& d : doms) counter_[d.key] += d.hits.hits_in(phase, chunk);
+    phase = (phase + chunk) % period;
+    // At most one region reaches ψ here — the chunk's last write belongs
+    // to a single region. Fire it even when that write recorded the
+    // failure, exactly as write() would.
+    for (const auto& d : doms) {
+      if (counter_[d.key] >= iv) {
+        counter_[d.key] = 0;
+        out.total += do_movement(d.key, bank);
+        ++out.movements;
+        rebuild = true;
+      }
     }
   }
   return out;

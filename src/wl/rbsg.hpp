@@ -50,6 +50,10 @@ class RegionStartGap final : public WearLeveler {
   WriteOutcome write(La la, const pcm::LineData& data, pcm::PcmBank& bank) override;
   BulkOutcome write_repeated(La la, const pcm::LineData& data, u64 count,
                              pcm::PcmBank& bank) override;
+  BulkOutcome write_batch(std::span<const La> las, const pcm::LineData& data,
+                          pcm::PcmBank& bank) override;
+  BulkOutcome write_cycle(std::span<const La> pattern, const pcm::LineData& data, u64 count,
+                          pcm::PcmBank& bank) override;
 
   [[nodiscard]] const RbsgConfig& config() const { return cfg_; }
   /// Static randomizer (identity when configured with kNone).

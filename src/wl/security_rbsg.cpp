@@ -1,7 +1,10 @@
 #include "wl/security_rbsg.hpp"
 
+#include <algorithm>
+
 #include "common/bitops.hpp"
 #include "common/check.hpp"
+#include "wl/batch.hpp"
 
 namespace srbsg::wl {
 
@@ -80,6 +83,111 @@ void SecurityRbsg::validate_state() const {
     check_le(inner_counter_[q], cfg_.inner_interval,
              "SecurityRbsg: inner write counter overran ψ_in");
   }
+}
+
+BulkOutcome SecurityRbsg::write_batch(std::span<const La> las, const pcm::LineData& data,
+                                      pcm::PcmBank& bank) {
+  for (const La la : las) {
+    check(la.value() < cfg_.lines, "SecurityRbsg: address out of range");
+  }
+  const u64 m = cfg_.region_lines();
+  return batch::run_compressed_batch(
+      *this, las, data, bank, [&](La la, BulkOutcome& out) {
+        const u64 ia = outer_.translate(la.value());
+        out.total += bank.write(ia_to_pa(ia), data);
+        ++out.writes_applied;
+        if (ia != outer_.spare_ia()) {
+          const u64 q = ia / m;
+          if (++inner_counter_[q] >= effective_inner_interval()) {
+            inner_counter_[q] = 0;
+            out.total += do_inner_movement(q, bank);
+            ++out.movements;
+          }
+        }
+        if (++outer_counter_ >= effective_outer_interval()) {
+          outer_counter_ = 0;
+          out.total += do_outer_movement(bank);
+          ++out.movements;
+        }
+      });
+}
+
+BulkOutcome SecurityRbsg::write_cycle(std::span<const La> pattern, const pcm::LineData& data,
+                                      u64 count, pcm::PcmBank& bank) {
+  BulkOutcome out;
+  if (count == 0) return out;
+  check(!pattern.empty(), "write_cycle: empty pattern with writes requested");
+  for (const La la : pattern) {
+    check(la.value() < cfg_.lines, "SecurityRbsg: address out of range");
+  }
+  const u64 period = pattern.size();
+  const u64 min_iv = std::min(effective_inner_interval(), effective_outer_interval());
+  if (period > batch::kPatternFallbackFactor * min_iv) {
+    return WearLeveler::write_cycle(pattern, data, count, bank);
+  }
+  const u64 m = cfg_.region_lines();
+  // DFN movements re-key the outer mapping (and move the spare), so
+  // domain keys and line schedules are revalidated after every movement;
+  // the position currently on the spare advances no inner counter.
+  std::vector<u64> keys;
+  std::vector<u64> keys_fresh;
+  std::vector<Pa> pas;
+  std::vector<Pa> pas_fresh;
+  std::vector<batch::DomainSched> doms;
+  std::vector<batch::LineSched> lines;
+  bool rebuild = true;
+  u64 phase = 0;
+  while (out.writes_applied < count && !bank.has_failure()) {
+    if (rebuild) {
+      keys_fresh.resize(period);
+      pas_fresh.resize(period);
+      for (u64 i = 0; i < period; ++i) {
+        const u64 ia = outer_.translate(pattern[i].value());
+        keys_fresh[i] = ia == outer_.spare_ia() ? batch::kNoDomain : ia / m;
+        pas_fresh[i] = ia_to_pa(ia);
+      }
+      if (batch::adopt_if_changed(keys, keys_fresh)) {
+        batch::build_domain_scheds(keys, doms);
+      }
+      if (batch::adopt_if_changed(pas, pas_fresh)) {
+        batch::build_line_scheds(pas, bank, lines);
+      }
+      rebuild = false;
+    }
+    const u64 iv_in = effective_inner_interval();
+    const u64 iv_out = effective_outer_interval();
+    const u64 until_outer = outer_counter_ >= iv_out ? 1 : iv_out - outer_counter_;
+    u64 chunk = std::min(count - out.writes_applied, until_outer);
+    for (const auto& d : doms) {
+      const u64 deficit =
+          inner_counter_[d.key] >= iv_in ? 1 : iv_in - inner_counter_[d.key];
+      chunk = std::min(chunk, d.hits.until_nth(phase, deficit));
+    }
+    chunk = batch::cap_chunk_at_failure(lines, phase, chunk);
+    out.total += batch::apply_chunk(lines, data, phase, chunk, bank);
+    out.writes_applied += chunk;
+    for (const auto& d : doms) inner_counter_[d.key] += d.hits.hits_in(phase, chunk);
+    outer_counter_ += chunk;
+    phase = (phase + chunk) % period;
+    // Fire in write()'s order: the (single) due inner region, then the
+    // outer movement — even when the chunk's last write recorded the
+    // failure. Both movement kinds always move a line here.
+    for (const auto& d : doms) {
+      if (inner_counter_[d.key] >= iv_in) {
+        inner_counter_[d.key] = 0;
+        out.total += do_inner_movement(d.key, bank);
+        ++out.movements;
+        rebuild = true;
+      }
+    }
+    if (outer_counter_ >= iv_out) {
+      outer_counter_ = 0;
+      out.total += do_outer_movement(bank);
+      ++out.movements;
+      rebuild = true;
+    }
+  }
+  return out;
 }
 
 BulkOutcome SecurityRbsg::write_repeated(La la, const pcm::LineData& data, u64 count,

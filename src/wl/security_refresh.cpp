@@ -1,7 +1,10 @@
 #include "wl/security_refresh.hpp"
 
+#include <algorithm>
+
 #include "common/bitops.hpp"
 #include "common/check.hpp"
+#include "wl/batch.hpp"
 
 namespace srbsg::wl {
 
@@ -43,6 +46,68 @@ WriteOutcome SecurityRefresh::write(La la, const pcm::LineData& data, pcm::PcmBa
 void SecurityRefresh::validate_state() const {
   region_.validate();
   check_le(counter_, cfg_.interval, "SecurityRefresh: write counter overran ψ");
+}
+
+BulkOutcome SecurityRefresh::write_batch(std::span<const La> las, const pcm::LineData& data,
+                                         pcm::PcmBank& bank) {
+  for (const La la : las) {
+    check(la.value() < cfg_.lines, "SecurityRefresh: address out of range");
+  }
+  return batch::run_compressed_batch(
+      *this, las, data, bank, [&](La la, BulkOutcome& out) {
+        out.total += bank.write(Pa{region_.translate(la.value())}, data);
+        ++out.writes_applied;
+        if (++counter_ >= effective_interval()) {
+          counter_ = 0;
+          out.total += do_step(bank, &out.movements);
+        }
+      });
+}
+
+BulkOutcome SecurityRefresh::write_cycle(std::span<const La> pattern, const pcm::LineData& data,
+                                         u64 count, pcm::PcmBank& bank) {
+  BulkOutcome out;
+  if (count == 0) return out;
+  check(!pattern.empty(), "write_cycle: empty pattern with writes requested");
+  for (const La la : pattern) {
+    check(la.value() < cfg_.lines, "SecurityRefresh: address out of range");
+  }
+  const u64 period = pattern.size();
+  if (period > batch::kPatternFallbackFactor * effective_interval()) {
+    return WearLeveler::write_cycle(pattern, data, count, bank);
+  }
+  // The single global counter advances on every write, so windows are
+  // just the deficit; the CRP mapping only changes at real swaps.
+  std::vector<Pa> pas;
+  std::vector<Pa> fresh;
+  std::vector<batch::LineSched> lines;
+  bool rebuild = true;
+  u64 phase = 0;
+  while (out.writes_applied < count && !bank.has_failure()) {
+    if (rebuild) {
+      fresh.resize(period);
+      for (u64 i = 0; i < period; ++i) fresh[i] = Pa{region_.translate(pattern[i].value())};
+      if (batch::adopt_if_changed(pas, fresh)) {
+        batch::build_line_scheds(pas, bank, lines);
+      }
+      rebuild = false;
+    }
+    const u64 iv = effective_interval();
+    const u64 deficit = counter_ >= iv ? 1 : iv - counter_;
+    u64 chunk = std::min(count - out.writes_applied, deficit);
+    chunk = batch::cap_chunk_at_failure(lines, phase, chunk);
+    out.total += batch::apply_chunk(lines, data, phase, chunk, bank);
+    out.writes_applied += chunk;
+    counter_ += chunk;
+    phase = (phase + chunk) % period;
+    if (counter_ >= iv) {
+      counter_ = 0;
+      const u64 before = out.movements;
+      out.total += do_step(bank, &out.movements);
+      if (out.movements != before) rebuild = true;  // skipped steps move nothing
+    }
+  }
+  return out;
 }
 
 BulkOutcome SecurityRefresh::write_repeated(La la, const pcm::LineData& data, u64 count,

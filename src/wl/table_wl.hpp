@@ -39,6 +39,10 @@ class TableWearLeveling final : public WearLeveler {
   WriteOutcome write(La la, const pcm::LineData& data, pcm::PcmBank& bank) override;
   BulkOutcome write_repeated(La la, const pcm::LineData& data, u64 count,
                              pcm::PcmBank& bank) override;
+  BulkOutcome write_batch(std::span<const La> las, const pcm::LineData& data,
+                          pcm::PcmBank& bank) override;
+  BulkOutcome write_cycle(std::span<const La> pattern, const pcm::LineData& data, u64 count,
+                          pcm::PcmBank& bank) override;
 
   /// The LA→PA and PA→LA tables must stay mutually inverse permutations;
   /// per-line residual counters can never exceed lifetime totals.

@@ -1,7 +1,10 @@
 #include "wl/two_level_sr.hpp"
 
+#include <algorithm>
+
 #include "common/bitops.hpp"
 #include "common/check.hpp"
+#include "wl/batch.hpp"
 
 namespace srbsg::wl {
 
@@ -84,6 +87,104 @@ void TwoLevelSecurityRefresh::validate_state() const {
     check_le(inner_counter_[q], cfg_.inner_interval,
              "TwoLevelSecurityRefresh: inner write counter overran ψ_in");
   }
+}
+
+BulkOutcome TwoLevelSecurityRefresh::write_batch(std::span<const La> las,
+                                                 const pcm::LineData& data, pcm::PcmBank& bank) {
+  for (const La la : las) {
+    check(la.value() < cfg_.lines, "TwoLevelSecurityRefresh: address out of range");
+  }
+  return batch::run_compressed_batch(
+      *this, las, data, bank, [&](La la, BulkOutcome& out) {
+        const u64 ia = outer_.translate(la.value());
+        const u64 q = ia >> region_bits_;
+        out.total += bank.write(ia_to_pa(ia), data);
+        ++out.writes_applied;
+        if (++inner_counter_[q] >= effective_inner_interval()) {
+          inner_counter_[q] = 0;
+          out.total += do_inner_step(q, bank, &out.movements);
+        }
+        if (++outer_counter_ >= effective_outer_interval()) {
+          outer_counter_ = 0;
+          out.total += do_outer_step(bank, &out.movements);
+        }
+      });
+}
+
+BulkOutcome TwoLevelSecurityRefresh::write_cycle(std::span<const La> pattern,
+                                                 const pcm::LineData& data, u64 count,
+                                                 pcm::PcmBank& bank) {
+  BulkOutcome out;
+  if (count == 0) return out;
+  check(!pattern.empty(), "write_cycle: empty pattern with writes requested");
+  for (const La la : pattern) {
+    check(la.value() < cfg_.lines, "TwoLevelSecurityRefresh: address out of range");
+  }
+  const u64 period = pattern.size();
+  const u64 min_iv = std::min(effective_inner_interval(), effective_outer_interval());
+  if (period > batch::kPatternFallbackFactor * min_iv) {
+    return WearLeveler::write_cycle(pattern, data, count, bank);
+  }
+  // Outer swaps re-shard the pattern across sub-regions, so domain keys
+  // are revalidated together with the line schedules.
+  std::vector<u64> keys;
+  std::vector<u64> keys_fresh;
+  std::vector<Pa> pas;
+  std::vector<Pa> pas_fresh;
+  std::vector<batch::DomainSched> doms;
+  std::vector<batch::LineSched> lines;
+  bool rebuild = true;
+  u64 phase = 0;
+  while (out.writes_applied < count && !bank.has_failure()) {
+    if (rebuild) {
+      keys_fresh.resize(period);
+      pas_fresh.resize(period);
+      for (u64 i = 0; i < period; ++i) {
+        const u64 ia = outer_.translate(pattern[i].value());
+        keys_fresh[i] = ia >> region_bits_;
+        pas_fresh[i] = ia_to_pa(ia);
+      }
+      if (batch::adopt_if_changed(keys, keys_fresh)) {
+        batch::build_domain_scheds(keys, doms);
+      }
+      if (batch::adopt_if_changed(pas, pas_fresh)) {
+        batch::build_line_scheds(pas, bank, lines);
+      }
+      rebuild = false;
+    }
+    const u64 iv_in = effective_inner_interval();
+    const u64 iv_out = effective_outer_interval();
+    const u64 until_outer = outer_counter_ >= iv_out ? 1 : iv_out - outer_counter_;
+    u64 chunk = std::min(count - out.writes_applied, until_outer);
+    for (const auto& d : doms) {
+      const u64 deficit =
+          inner_counter_[d.key] >= iv_in ? 1 : iv_in - inner_counter_[d.key];
+      chunk = std::min(chunk, d.hits.until_nth(phase, deficit));
+    }
+    chunk = batch::cap_chunk_at_failure(lines, phase, chunk);
+    out.total += batch::apply_chunk(lines, data, phase, chunk, bank);
+    out.writes_applied += chunk;
+    for (const auto& d : doms) inner_counter_[d.key] += d.hits.hits_in(phase, chunk);
+    outer_counter_ += chunk;
+    phase = (phase + chunk) % period;
+    // Fire in write()'s order: the (single) due inner region, then the
+    // outer step — even when the chunk's last write recorded the failure.
+    for (const auto& d : doms) {
+      if (inner_counter_[d.key] >= iv_in) {
+        inner_counter_[d.key] = 0;
+        const u64 before = out.movements;
+        out.total += do_inner_step(d.key, bank, &out.movements);
+        if (out.movements != before) rebuild = true;
+      }
+    }
+    if (outer_counter_ >= iv_out) {
+      outer_counter_ = 0;
+      const u64 before = out.movements;
+      out.total += do_outer_step(bank, &out.movements);
+      if (out.movements != before) rebuild = true;
+    }
+  }
+  return out;
 }
 
 BulkOutcome TwoLevelSecurityRefresh::write_repeated(La la, const pcm::LineData& data, u64 count,

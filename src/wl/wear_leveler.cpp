@@ -1,5 +1,7 @@
 #include "wl/wear_leveler.hpp"
 
+#include "common/check.hpp"
+
 namespace srbsg::wl {
 
 BulkOutcome WearLeveler::write_repeated(La la, const pcm::LineData& data, u64 count,
@@ -9,6 +11,37 @@ BulkOutcome WearLeveler::write_repeated(La la, const pcm::LineData& data, u64 co
   BulkOutcome out;
   for (u64 i = 0; i < count && !bank.has_failure(); ++i) {
     const WriteOutcome w = write(la, data, bank);
+    out.total += w.total;
+    out.movements += w.movements;
+    ++out.writes_applied;
+  }
+  return out;
+}
+
+BulkOutcome WearLeveler::write_batch(std::span<const La> las, const pcm::LineData& data,
+                                     pcm::PcmBank& bank) {
+  // Generic fallback: one write at a time, stopping after the write that
+  // records a failure — the reference semantics scheme overrides must
+  // reproduce bit-identically.
+  BulkOutcome out;
+  for (const La la : las) {
+    if (bank.has_failure()) break;
+    const WriteOutcome w = write(la, data, bank);
+    out.total += w.total;
+    out.movements += w.movements;
+    ++out.writes_applied;
+  }
+  return out;
+}
+
+BulkOutcome WearLeveler::write_cycle(std::span<const La> pattern, const pcm::LineData& data,
+                                     u64 count, pcm::PcmBank& bank) {
+  BulkOutcome out;
+  if (count == 0) return out;
+  check(!pattern.empty(), "write_cycle: empty pattern with writes requested");
+  const u64 period = pattern.size();
+  for (u64 i = 0; i < count && !bank.has_failure(); ++i) {
+    const WriteOutcome w = write(pattern[i % period], data, bank);
     out.total += w.total;
     out.movements += w.movements;
     ++out.writes_applied;

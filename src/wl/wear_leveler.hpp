@@ -7,6 +7,7 @@
 // side channel the Remapping Timing Attack observes: remap movements halt
 // the triggering request (paper §III), so their latency is added to it.
 
+#include <span>
 #include <string_view>
 #include <utility>
 
@@ -60,6 +61,30 @@ class WearLeveler {
   /// early once the bank records a failure.
   virtual BulkOutcome write_repeated(La la, const pcm::LineData& data, u64 count,
                                      pcm::PcmBank& bank);
+
+  /// One write of `data` to each address in `las`, in order. Bit-identical
+  /// to the per-write reference loop
+  ///   `for (la : las) { if (bank.has_failure()) break; write(la, ...); }`
+  /// in wear counts, movements and total latency — including the exact
+  /// stop after the write that records the failure (whose due remap
+  /// movement still fires, as in write()). Scheme overrides hoist
+  /// translation state out of the loop and send runs of >= 16 identical
+  /// addresses through the event-driven write_cycle() path. Addresses
+  /// are validated up-front in the overrides; partial application before
+  /// an out-of-range throw is unspecified.
+  virtual BulkOutcome write_batch(std::span<const La> las, const pcm::LineData& data,
+                                  pcm::PcmBank& bank);
+
+  /// `count` writes of `data` cycling through `pattern`: write #k targets
+  /// pattern[k % pattern.size()], and the final cycle may be partial.
+  /// Same bit-identity contract as write_batch() versus the per-write
+  /// reference loop. Scheme overrides run a windowed engine that applies
+  /// per-line bulk writes between remap triggers, so periodic hammer
+  /// loops cost O(remap events + pattern length) instead of O(count);
+  /// patterns much longer than the remapping interval fall back to the
+  /// generic loop (see batch::kPatternFallbackFactor).
+  virtual BulkOutcome write_cycle(std::span<const La> pattern, const pcm::LineData& data,
+                                  u64 count, pcm::PcmBank& bank);
 
   /// Read through the translation (no wear, no counter advance).
   [[nodiscard]] std::pair<pcm::LineData, Ns> read(La la, const pcm::PcmBank& bank) const;

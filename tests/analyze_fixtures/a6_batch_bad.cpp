@@ -1,0 +1,54 @@
+// srbsg-analyze fixture: seeded a6-batch violations (clean twin:
+// a6_batch_clean.cpp). Raw loops issuing per-write WearLeveler /
+// MemoryController write() calls with the outcome discarded — the
+// batched entry points (write_batch / write_cycle) hoist translation
+// state out of exactly these loops. Methods are declared without
+// bodies so a5-unchecked records no entry points here.
+#include <cstdint>
+
+namespace fixture {
+
+using u64 = std::uint64_t;
+
+struct Outcome {
+  u64 total = 0;
+};
+
+struct WearLeveler {
+  Outcome write(u64 la);
+  Outcome write_batch(const u64* las, u64 n);
+};
+
+struct MemoryController {
+  Outcome write(u64 la);
+};
+
+void hammer(WearLeveler& wl, u64 count) {
+  for (u64 i = 0; i < count; ++i) {
+    wl.write(42);  // EXPECT: a6-batch
+  }
+}
+
+void probe(MemoryController& mc, const u64* las, u64 n) {
+  u64 i = 0;
+  while (i < n) {
+    mc.write(las[i]);  // EXPECT: a6-batch
+    ++i;
+  }
+}
+
+// A (void)-cast still discards the outcome; pointer receivers resolve
+// through the same member-expression base.
+void warmup(WearLeveler* wl, u64 count) {
+  for (u64 i = 0; i < count; ++i) {
+    (void)wl->write(i);  // EXPECT: a6-batch
+  }
+}
+
+void suppressed_hammer(WearLeveler& wl, u64 count) {
+  for (u64 i = 0; i < count; ++i) {
+    wl.write(7);  // srbsg-analyze: suppress(a6-batch) fixture-only  EXPECT-SUPPRESSED: a6-batch
+  }
+}
+
+}  // namespace fixture

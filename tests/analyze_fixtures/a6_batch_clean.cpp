@@ -1,0 +1,53 @@
+// srbsg-analyze fixture: clean twin of a6_batch_bad.cpp. Outcomes
+// consumed every iteration, batched entry points, single writes outside
+// loops, and unrelated write() surfaces are all sanctioned.
+#include <cstdint>
+
+namespace fixture {
+
+using u64 = std::uint64_t;
+
+struct Outcome {
+  u64 total = 0;
+};
+
+struct WearLeveler {
+  Outcome write(u64 la);
+  Outcome write_batch(const u64* las, u64 n);
+  Outcome write_cycle(const u64* pattern, u64 period, u64 count);
+};
+
+struct MemoryController {
+  Outcome write(u64 la);
+};
+
+struct Logger {
+  void write(u64 value);  // unrelated write() surface: not a wear path
+};
+
+// Outcome consumed every iteration: the sanctioned per-write observer.
+u64 observe(MemoryController& mc, const u64* las, u64 n) {
+  u64 total = 0;
+  for (u64 i = 0; i < n; ++i) {
+    const Outcome out = mc.write(las[i]);
+    total += out.total;
+  }
+  return total;
+}
+
+// The batched entry point replaces the loop entirely.
+Outcome blanket(WearLeveler& wl, const u64* las, u64 n) {
+  return wl.write_batch(las, n);
+}
+
+// A single write outside any loop is not a stream.
+Outcome one_shot(WearLeveler& wl) { return wl.write(3); }
+
+// Loops over non-wear write() surfaces are out of scope.
+void log_all(Logger& log, const u64* vals, u64 n) {
+  for (u64 i = 0; i < n; ++i) {
+    log.write(vals[i]);
+  }
+}
+
+}  // namespace fixture

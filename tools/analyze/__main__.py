@@ -12,9 +12,11 @@ CMake-exported compile database and runs domain-specific checks:
   a3-race           unsynchronized shared-state writes in pool lambdas
   a4-state          mutable static state inside wear-leveling schemes
   a5-unchecked      WearLeveler entry points with unvalidated parameters
+  a6-batch          per-write loops in bench//src/attack that should use
+                    the batched write path (write_batch / write_cycle)
 
 Usage:
-  python3 tools/analyze                         # src/ against the baseline
+  python3 tools/analyze                         # src/ + bench/ vs baseline
   python3 tools/analyze --paths src/wl          # restrict to a subtree
   python3 tools/analyze --sources f.cpp -- -I.  # standalone sources
   python3 tools/analyze --ast-json dump.json    # pre-dumped AST (testing)

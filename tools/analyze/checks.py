@@ -5,10 +5,10 @@ findings as plain dicts: {check, file, line, message, suggestion,
 context}.  Checks are written to under-report rather than crash when a
 clang release changes a dump detail: every field access is optional.
 
-Scoping: a check's `scope_dirs` lists the src/ subtrees it patrols.
-Files inside the repository but outside src/ (the analyzer's own fixture
-tree) are in scope for every check, so seeded-violation fixtures
-exercise each check without living in src/.
+Scoping: a check's `scope_dirs` lists the src/ and bench/ subtrees it
+patrols.  Files inside the repository but outside those trees (the
+analyzer's own fixture tree) are in scope for every check, so
+seeded-violation fixtures exercise each check without living in src/.
 
 The conservatism direction is fixed and intentional: calls whose bodies
 the analyzer has not seen are *trusted* (assumed to validate), lambda
@@ -73,7 +73,7 @@ class TuContext:
         rel = self.rel(file)
         if rel is None:
             return False
-        if not rel.startswith("src/"):
+        if not (rel.startswith("src/") or rel.startswith("bench/")):
             return True  # fixture / tool sources: every check applies
         if not scope_dirs:
             return True
@@ -178,6 +178,9 @@ class DeterminismCheck(Check):
     suggestion = ("thread an explicitly seeded srbsg::Rng through the call "
                   "path; iterate ordered containers (or sort keys first) "
                   "wherever iteration order can reach results")
+    # Simulation state lives under src/; bench/ binaries time themselves
+    # with wall clocks by design and are out of scope.
+    scope_dirs = ("src/",)
 
     _BANNED_CALLS = {
         "rand": "rand() is seed-hidden global state",
@@ -252,6 +255,7 @@ class RaceCheck(Check):
                    "the enclosing scope without synchronization")
     suggestion = ("give each task its own output slot indexed by the task "
                   "parameter, or guard the shared state with a mutex/atomic")
+    scope_dirs = ("src/",)
 
     _SUBMITTERS = {"submit", "parallel_for", "enqueue"}
     _LOCKS = re.compile(r"\b(lock_guard|unique_lock|scoped_lock|shared_lock)\b")
@@ -568,6 +572,81 @@ class UncheckedCheck(Check):
         return findings
 
 
+class BatchCheck(Check):
+    """A6: per-write loops on the batched write path.
+
+    write_batch()/write_cycle() hoist translation state, remap-counter
+    arithmetic, and bank pointers out of the per-write dispatch; a raw
+    loop that issues WearLeveler/MemoryController write() calls one at a
+    time and discards each outcome re-pays that cost every iteration.
+    Loops that *use* the outcome (attack probes reading stalls, tests
+    asserting per-write invariants) are the sanctioned per-write
+    consumers and are never flagged.
+    """
+
+    id = "a6-batch"
+    description = ("raw loop issues per-write WearLeveler/MemoryController "
+                   "write() calls with the outcome discarded")
+    suggestion = ("collect the addresses and issue one write_batch() — or "
+                  "write_cycle() for a periodic pattern — so translation "
+                  "state is hoisted out of the loop (src/wl/batch.hpp)")
+    scope_dirs = ("bench/", "src/attack")
+
+    _LOOPS = ("ForStmt", "WhileStmt", "DoStmt", "CXXForRangeStmt")
+    _RECEIVER = re.compile(r"\b(WearLeveler|MemoryController)\b")
+    # Nodes clang interposes between a discarded call and its statement
+    # context; a (void)-cast still discards the outcome.
+    _WRAPPERS = {"ExprWithCleanups", "CXXBindTemporaryExpr", "ConstantExpr",
+                 "ParenExpr", "ImplicitCastExpr", "MaterializeTemporaryExpr"}
+    _STMT_CONTEXTS = {"CompoundStmt", "ForStmt", "WhileStmt", "DoStmt",
+                      "CXXForRangeStmt", "CaseStmt", "DefaultStmt",
+                      "LabelStmt"}
+
+    def visit(self, cursor: Cursor, ctx: TuContext) -> None:
+        if cursor.kind != "CXXMemberCallExpr":
+            return
+        if not ctx.in_scope(cursor.file, self.scope_dirs):
+            return
+        member = self._member_expr(cursor.node)
+        if member is None or member.get("name") != "write":
+            return
+        match = self._RECEIVER.search(self._receiver_type(member))
+        if match is None:
+            return
+        if cursor.nearest(*self._LOOPS) is None:
+            return
+        if not self._discarded(cursor):
+            return
+        ctx.add(self, cursor,
+                f"loop issues '{match.group(1)}::write()' per iteration "
+                "and discards the outcome")
+
+    @staticmethod
+    def _member_expr(call: JsonNode) -> Optional[JsonNode]:
+        head = first_expr_child(call)
+        if head is None:
+            return None
+        for node in iter_subtree(head):
+            if node.get("kind") == "MemberExpr":
+                return node
+        return None
+
+    @staticmethod
+    def _receiver_type(member: JsonNode) -> str:
+        base = first_expr_child(member)
+        return desugared_type(base) or qual_type(base)
+
+    def _discarded(self, cursor: Cursor) -> bool:
+        for parent in reversed(cursor.parents):
+            kind = parent.get("kind", "")
+            if kind in self._WRAPPERS:
+                continue
+            if kind == "CStyleCastExpr" and qual_type(parent) == "void":
+                continue
+            return kind in self._STMT_CONTEXTS
+        return False
+
+
 ALL_CHECKS = [WidthCheck, DeterminismCheck, RaceCheck, StateCheck,
-              UncheckedCheck]
+              UncheckedCheck, BatchCheck]
 CHECKS_BY_ID = {c.id: c for c in ALL_CHECKS}

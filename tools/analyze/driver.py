@@ -68,7 +68,10 @@ def parse_flags(entry: dict) -> list[str]:
 
 def select_tus(db: list[dict], repo_root: str,
                paths: Optional[list[str]]) -> list[dict]:
-    """Compile-db entries under src/ (default) or under explicit paths."""
+    """Compile-db entries under src/ and bench/ (default) or under
+    explicit paths.  bench/ is selected so a6-batch patrols the
+    benchmark write loops; the other checks scope themselves out via
+    `scope_dirs` (see checks.py)."""
     selected = []
     for entry in db:
         file = entry.get("file", "")
@@ -81,7 +84,7 @@ def select_tus(db: list[dict], repo_root: str,
             if not any(rel == p or rel.startswith(p.rstrip("/") + "/")
                        for p in paths):
                 continue
-        elif not rel.startswith("src/"):
+        elif not (rel.startswith("src/") or rel.startswith("bench/")):
             continue
         selected.append({"file": file, "rel": rel, "flags": parse_flags(entry)})
     return selected

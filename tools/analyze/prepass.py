@@ -74,9 +74,12 @@ def merge_prepass(ast_findings: list[dict],
 
 def prepass_files(repo_root: str, tus: list[dict],
                   extra_sources: list[str]) -> list[str]:
-    """Files the pre-pass scans: every selected TU plus src/ headers
-    (headers are not TUs but lint R1 always covered them)."""
-    files = {tu["rel"] for tu in tus}
+    """Files the pre-pass scans: every selected src/ TU plus src/ headers
+    (headers are not TUs but lint R1 always covered them).  bench/ TUs
+    are selected for a6-batch only — bench binaries time themselves with
+    wall clocks by design, so R1 does not patrol them (mirrors the
+    a2-determinism scope in checks.py)."""
+    files = {tu["rel"] for tu in tus if tu["rel"].startswith("src/")}
     files.update(extra_sources)
     src_root = os.path.join(repo_root, "src")
     if any(f.startswith("src/") for f in files) and os.path.isdir(src_root):

@@ -1,13 +1,13 @@
 #!/usr/bin/env python3
-"""Validate a BENCH_sweep.json emitted by bench/perf_sweep.
+"""Validate a machine-readable bench JSON (perf_sweep / perf_write_path).
 
-Checks the schema (schema_version 1), field types, and internal
-consistency (per-engine counters present, speedup = v1/v2 wall within
-tolerance, outcomes marked identical). Absolute timing numbers are NOT
-gated — CI machines vary — but a malformed file or a determinism failure
-exits nonzero.
+Dispatches on the top-level "bench" field. For every bench the schema
+(schema_version 1), field types, and internal consistency are checked
+(speedups consistent with wall times, outcomes marked identical).
+Absolute timing numbers are NOT gated — CI machines vary — but a
+malformed file or a determinism failure exits nonzero.
 
-Usage: check_bench_json.py BENCH_sweep.json
+Usage: check_bench_json.py BENCH_sweep.json|BENCH_write_path.json
 """
 
 from __future__ import annotations
@@ -36,20 +36,7 @@ def require_fields(obj: dict, spec: dict, where: str) -> None:
         )
 
 
-def main() -> int:
-    if len(sys.argv) != 2:
-        print(__doc__, file=sys.stderr)
-        return 2
-    try:
-        with open(sys.argv[1], encoding="utf-8") as fh:
-            doc = json.load(fh)
-    except (OSError, json.JSONDecodeError) as exc:
-        fail(f"cannot parse {sys.argv[1]}: {exc}")
-
-    require(isinstance(doc, dict), "top level must be an object")
-    require(doc.get("schema_version") == 1, "schema_version must be 1")
-    require(doc.get("bench") == "perf_sweep", "bench must be 'perf_sweep'")
-
+def validate_perf_sweep(doc: dict) -> str:
     grid = doc.get("grid")
     require(isinstance(grid, dict), "grid must be an object")
     require_fields(
@@ -103,8 +90,102 @@ def main() -> int:
 
     require(doc.get("identical") is True, "outcomes were not bit-identical across engines")
 
-    print(f"check_bench_json: OK: {grid['entries']} entries, "
-          f"speedup {doc['speedup']:.2f}x, identical outcomes")
+    return (f"{grid['entries']} entries, speedup {doc['speedup']:.2f}x, "
+            f"identical outcomes")
+
+
+SCENARIO_NAMES = ("raa_loop", "rta_loop", "fail_stop", "blanket")
+
+
+def validate_perf_write_path(doc: dict) -> str:
+    config = doc.get("config")
+    require(isinstance(config, dict), "config must be an object")
+    require_fields(
+        config,
+        {
+            "lines": int,
+            "endurance_steady": int,
+            "endurance_fail": int,
+            "writes_per_scenario": int,
+            "blanket_block": int,
+        },
+        "config",
+    )
+    require(config["lines"] > 0 and config["lines"] & (config["lines"] - 1) == 0,
+            "config.lines must be a positive power of two")
+    require(config["endurance_steady"] > config["endurance_fail"],
+            "config: steady endurance must exceed fail_stop endurance")
+
+    scenarios = doc.get("scenarios")
+    require(isinstance(scenarios, list) and scenarios, "scenarios must be a non-empty list")
+    seen = set()
+    for sc in scenarios:
+        require(isinstance(sc, dict), "scenario entries must be objects")
+        require_fields(
+            sc,
+            {
+                "scheme": str,
+                "name": str,
+                "per_write_ms": (int, float),
+                "batched_ms": (int, float),
+                "speedup": (int, float),
+                "writes": int,
+                "movements": int,
+                "total_ns": int,
+            },
+            f"scenario '{sc.get('scheme', '?')}/{sc.get('name', '?')}'",
+        )
+        where = f"scenario '{sc['scheme']}/{sc['name']}'"
+        require(sc["name"] in SCENARIO_NAMES, f"{where}: unknown scenario name")
+        require(isinstance(sc.get("failed"), bool), f"{where}: 'failed' must be a boolean")
+        require(sc.get("identical") is True, f"{where}: not bit-identical to the per-write loop")
+        if sc["batched_ms"] > 0:
+            expected = sc["per_write_ms"] / sc["batched_ms"]
+            require(abs(sc["speedup"] - expected) <= 0.01 * expected + 0.01,
+                    f"{where}: speedup {sc['speedup']} inconsistent with wall times")
+        key = (sc["scheme"], sc["name"])
+        require(key not in seen, f"{where}: duplicate scenario")
+        seen.add(key)
+    schemes = {s for s, _ in seen}
+    for scheme in schemes:
+        for name in SCENARIO_NAMES:
+            require((scheme, name) in seen, f"scheme '{scheme}': missing scenario '{name}'")
+
+    require(isinstance(doc.get("min_speedup_raa"), (int, float)),
+            "min_speedup_raa must be a number")
+    require(isinstance(doc.get("min_speedup_rta"), (int, float)),
+            "min_speedup_rta must be a number")
+    require(doc.get("identical") is True, "outcomes were not bit-identical across paths")
+
+    return (f"{len(schemes)} schemes x {len(SCENARIO_NAMES)} scenarios, "
+            f"min speedup raa {doc['min_speedup_raa']:.2f}x / "
+            f"rta {doc['min_speedup_rta']:.2f}x, identical outcomes")
+
+
+VALIDATORS = {
+    "perf_sweep": validate_perf_sweep,
+    "perf_write_path": validate_perf_write_path,
+}
+
+
+def main() -> int:
+    if len(sys.argv) != 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    try:
+        with open(sys.argv[1], encoding="utf-8") as fh:
+            doc = json.load(fh)
+    except (OSError, json.JSONDecodeError) as exc:
+        fail(f"cannot parse {sys.argv[1]}: {exc}")
+
+    require(isinstance(doc, dict), "top level must be an object")
+    require(doc.get("schema_version") == 1, "schema_version must be 1")
+    bench = doc.get("bench")
+    require(bench in VALIDATORS,
+            f"bench must be one of {sorted(VALIDATORS)}, got {bench!r}")
+
+    summary = VALIDATORS[bench](doc)
+    print(f"check_bench_json: OK: [{bench}] {summary}")
     return 0
 
 
