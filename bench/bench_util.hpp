@@ -9,10 +9,11 @@
 // scaled banks (slower, tighter curves).
 //
 // All binaries share one flag parser (parse_bench_options):
-//   --threads N   worker threads for the sweep pool (0 = hardware)
-//   --seeds N     seeded replicas per configuration
-//   --scale B     log2 of the scaled bank's line count
-//   --json PATH   write machine-readable results to PATH
+//   --threads N     worker threads for the sweep pool (0 = hardware)
+//   --seeds N       seeded replicas per configuration
+//   --scale B       log2 of the scaled bank's line count
+//   --json PATH     write machine-readable results to PATH
+//   --telemetry PATH  write a JSONL event trace (telemetry_schema 1)
 // Each bench declares which flags it honors; setting an unsupported flag
 // prints a notice instead of silently doing nothing.
 
@@ -49,7 +50,8 @@ enum BenchFlag : unsigned {
   kFlagSeeds = 1u << 1,
   kFlagScale = 1u << 2,
   kFlagJson = 1u << 3,
-  kFlagAll = kFlagThreads | kFlagSeeds | kFlagScale | kFlagJson,
+  kFlagTelemetry = 1u << 4,
+  kFlagAll = kFlagThreads | kFlagSeeds | kFlagScale | kFlagJson | kFlagTelemetry,
 };
 
 struct BenchOptions {
@@ -57,6 +59,7 @@ struct BenchOptions {
   u64 seeds{0};            ///< 0 = bench default (quick/FULL dependent)
   u64 scale{0};            ///< 0 = bench default; else log2(scaled bank lines)
   std::string json;        ///< empty = no JSON output
+  std::string telemetry;   ///< empty = telemetry off; else JSONL trace path
 
   /// Bench-default plumbing: flag value when given, `fallback` otherwise.
   [[nodiscard]] u64 seeds_or(u64 fallback) const { return seeds > 0 ? seeds : fallback; }
@@ -77,6 +80,9 @@ inline void print_bench_usage(std::string_view prog, unsigned supported) {
     std::cout << "  --scale B     log2 of the scaled bank line count\n";
   }
   if (supported & kFlagJson) std::cout << "  --json PATH   write machine-readable results\n";
+  if (supported & kFlagTelemetry) {
+    std::cout << "  --telemetry PATH  write a JSONL event trace\n";
+  }
   std::cout << "  --help        this text\n"
             << "env: SRBSG_FULL=1 enlarges the default grids\n";
 }
@@ -124,6 +130,9 @@ inline BenchOptions parse_bench_options(int argc, char** argv, unsigned supporte
     } else if (a == "--json") {
       o.json = need_value(i, a);
       note_unsupported(a, (supported & kFlagJson) != 0);
+    } else if (a == "--telemetry") {
+      o.telemetry = need_value(i, a);
+      note_unsupported(a, (supported & kFlagTelemetry) != 0);
     } else if (a == "--help" || a == "-h") {
       print_bench_usage(prog, supported);
       std::exit(0);

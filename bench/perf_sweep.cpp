@@ -30,6 +30,7 @@
 
 #include "bench_util.hpp"
 #include "common/bitops.hpp"
+#include "telemetry/collector.hpp"
 
 // --- allocation counting -------------------------------------------------
 // Replaceable global allocation functions, counted with relaxed atomics.
@@ -225,6 +226,33 @@ int main(int argc, char** argv) {
   }
   const double speedup = v2.wall_ms > 0.0 ? v1.wall_ms / v2.wall_ms : 0.0;
 
+  // --telemetry: re-run the grid with recorders attached and hold the
+  // traced outcomes to the same bit-identity gate — telemetry must be
+  // observation-only. The traced pass is deliberately outside the timed
+  // sections above, so the headline numbers stay untouched.
+  bool traced_identical = true;
+  if (!opts.telemetry.empty()) {
+    telemetry::TelemetryConfig tcfg;
+    tcfg.ring_capacity = 4096;
+    telemetry::Collector col(tcfg);
+    auto traced_cfgs = configs;
+    for (auto& c : traced_cfgs) c.telemetry = &col;
+    sim::WorkerArena traced_arena;
+    const auto traced = sim::run_sweep(traced_cfgs, pool, traced_arena);
+    traced_identical = traced.size() == v2.outcomes.size();
+    for (std::size_t i = 0; traced_identical && i < traced.size(); ++i) {
+      traced_identical = outcomes_identical(traced[i].outcome, v2.outcomes[i]);
+    }
+    if (!col.write_file(opts.telemetry)) {
+      std::cerr << "perf_sweep: cannot open " << opts.telemetry << " for writing\n";
+      return 3;
+    }
+    std::cout << "wrote " << opts.telemetry << " (" << col.runs() << " runs, "
+              << col.total_events() << " events)\n"
+              << "outcomes bit-identical with telemetry attached: "
+              << (traced_identical ? "yes" : "NO") << "\n";
+  }
+
   Table t({"engine", "wall ms", "writes/sec", "alloc calls", "alloc MB", "peak RSS MB",
            "bank builds/reuses"});
   for (const EngineRun* r : {&v1, &v2}) {
@@ -247,6 +275,7 @@ int main(int argc, char** argv) {
     }
     os << "{\n"
        << "  \"schema_version\": 1,\n"
+       << "  \"telemetry_schema\": " << telemetry::kTelemetrySchemaVersion << ",\n"
        << "  \"bench\": \"perf_sweep\",\n"
        << "  \"grid\": {\n"
        << "    \"entries\": " << configs.size() << ",\n"
@@ -267,5 +296,5 @@ int main(int argc, char** argv) {
     std::cout << "wrote " << opts.json << "\n";
   }
 
-  return identical ? 0 : 1;
+  return identical && traced_identical ? 0 : 1;
 }

@@ -35,6 +35,7 @@
 
 #include "bench_util.hpp"
 #include "pcm/bank.hpp"
+#include "telemetry/collector.hpp"
 #include "trace/generators.hpp"
 #include "wl/factory.hpp"
 
@@ -102,6 +103,7 @@ struct ScenarioResult {
   double batched_ms{0.0};
   double speedup{0.0};
   bool identical{false};
+  bool traced_identical{true};  ///< telemetry pass matches (true when off)
   PathMetrics metrics;  // the batched path's metrics (== reference when identical)
 };
 
@@ -136,7 +138,7 @@ enum class BatchMode { kCycle, kBatch };
 
 ScenarioResult run_scenario(wl::SchemeKind kind, std::string name, BatchMode mode,
                             std::span<const La> addrs, u64 count, u64 lines,
-                            u64 endurance) {
+                            u64 endurance, telemetry::Collector* col, u64 entry) {
   const auto spec = spec_for(kind, lines);
   const auto cfg = pcm::PcmConfig::scaled(lines, endurance);
   const auto data = pcm::LineData::mixed(0xAA);
@@ -166,6 +168,27 @@ ScenarioResult run_scenario(wl::SchemeKind kind, std::string name, BatchMode mod
   r.speedup = fast_ms > 0.0 ? ref_ms / fast_ms : 0.0;
   r.metrics = harvest(*fast, bank_fast, out_fast);
   r.identical = harvest(*ref, bank_ref, out_ref) == r.metrics;
+
+  // --telemetry: third, untimed pass with a recorder attached directly to
+  // the scheme; its metrics must match the untraced batched path exactly
+  // (telemetry is observation-only). No controller here, so events carry
+  // t=0 — the bench traces ordering and counts, not the sim clock.
+  if (col != nullptr) {
+    auto traced = wl::make_scheme(spec);
+    pcm::PcmBank bank_traced(cfg, traced->physical_lines());
+    auto rec = col->acquire();
+    traced->attach_telemetry(rec.get());
+    const auto out_traced = mode == BatchMode::kCycle
+                                ? traced->write_cycle(addrs, data, count, bank_traced)
+                                : traced->write_batch(addrs, data, bank_traced);
+    r.traced_identical = harvest(*traced, bank_traced, out_traced) == r.metrics;
+    telemetry::RunMeta meta;
+    meta.entry = entry;
+    meta.scheme = r.scheme;
+    meta.attack = r.name;
+    meta.seed = spec.seed;
+    col->absorb(meta, std::move(rec));
+  }
   return r;
 }
 
@@ -179,7 +202,8 @@ std::string json_number(double v) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const BenchOptions opts = parse_bench_options(argc, argv, kFlagScale | kFlagJson);
+  const BenchOptions opts =
+      parse_bench_options(argc, argv, kFlagScale | kFlagJson | kFlagTelemetry);
 
   print_header("perf_write_path: per-write loop vs batched write_batch/write_cycle",
                "engineering bench, no paper figure; see DESIGN.md §11");
@@ -217,16 +241,35 @@ int main(int argc, char** argv) {
   blanket.reserve(raw.size());
   for (const u64 a : raw) blanket.push_back(La{a});
 
+  telemetry::TelemetryConfig tcfg;
+  tcfg.ring_capacity = 2048;
+  telemetry::Collector collector(tcfg);
+  telemetry::Collector* col = opts.telemetry.empty() ? nullptr : &collector;
+
   std::vector<ScenarioResult> results;
+  u64 entry = 0;
   for (const wl::SchemeKind kind : kKinds) {
     results.push_back(run_scenario(kind, "raa_loop", BatchMode::kCycle, raa_pattern, count,
-                                   lines, endurance_steady));
+                                   lines, endurance_steady, col, entry++));
     results.push_back(run_scenario(kind, "rta_loop", BatchMode::kCycle, rta_pattern, count,
-                                   lines, endurance_steady));
+                                   lines, endurance_steady, col, entry++));
     results.push_back(run_scenario(kind, "fail_stop", BatchMode::kCycle, raa_pattern, count,
-                                   lines, endurance_fail));
-    results.push_back(
-        run_scenario(kind, "blanket", BatchMode::kBatch, blanket, 0, lines, endurance_steady));
+                                   lines, endurance_fail, col, entry++));
+    results.push_back(run_scenario(kind, "blanket", BatchMode::kBatch, blanket, 0, lines,
+                                   endurance_steady, col, entry++));
+  }
+
+  bool traced_identical = true;
+  for (const auto& r : results) traced_identical = traced_identical && r.traced_identical;
+  if (col != nullptr) {
+    if (!col->write_file(opts.telemetry)) {
+      std::cerr << "perf_write_path: cannot open " << opts.telemetry << " for writing\n";
+      return 3;
+    }
+    std::cout << "wrote " << opts.telemetry << " (" << col->runs() << " runs, "
+              << col->total_events() << " events)\n"
+              << "scenarios bit-identical with telemetry attached: "
+              << (traced_identical ? "yes" : "NO") << "\n\n";
   }
 
   bool identical = true;
@@ -260,6 +303,7 @@ int main(int argc, char** argv) {
     }
     os << "{\n"
        << "  \"schema_version\": 1,\n"
+       << "  \"telemetry_schema\": " << telemetry::kTelemetrySchemaVersion << ",\n"
        << "  \"bench\": \"perf_write_path\",\n"
        << "  \"config\": {\n"
        << "    \"lines\": " << lines << ",\n"
@@ -292,5 +336,5 @@ int main(int argc, char** argv) {
     std::cout << "wrote " << opts.json << "\n";
   }
 
-  return identical ? 0 : 1;
+  return identical && traced_identical ? 0 : 1;
 }

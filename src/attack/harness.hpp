@@ -6,6 +6,10 @@
 
 #include "attack/attacker.hpp"
 
+namespace srbsg::telemetry {
+class Recorder;
+}  // namespace srbsg::telemetry
+
 namespace srbsg::attack {
 
 struct AttackResult {
@@ -21,10 +25,16 @@ struct AttackResult {
 };
 
 struct HarnessOptions {
-  /// Attach a latency sink for the run. Off by default: most callers
-  /// only read the failure info, and latency accumulation on every
-  /// write is pure overhead for them.
+  /// Deprecated alias for telemetry-backed latency aggregation, kept for
+  /// source compatibility. Setting it registers a counters-only telemetry
+  /// recorder for the run (reusing `recorder` when one is given) and
+  /// rebuilds AttackResult::latency from the counter deltas — the same
+  /// numbers the old controller-side sink produced. Off by default.
   bool collect_latency{false};
+  /// Telemetry for the run: attached to the controller (and its scheme)
+  /// for the duration of run_attack, then detached. Not owned; nullptr
+  /// leaves telemetry off unless collect_latency asks for counters.
+  telemetry::Recorder* recorder{nullptr};
 };
 
 /// Runs `attacker` until first line failure or `write_budget` writes.

@@ -4,6 +4,7 @@
 
 #include "common/bitops.hpp"
 #include "common/check.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace srbsg::attack {
 
@@ -49,6 +50,8 @@ void RtaProbeAttacker::run(ctl::MemoryController& mc, u64 write_budget) {
   // are skipped.
   std::vector<u8> stream;
   stream.reserve(p_.probe_movements);
+  telemetry::Recorder* tel = mc.telemetry();
+  const u16 probe_id = tel != nullptr ? tel->intern_scheme(name()) : u16{0};
   while (stream.size() < p_.probe_movements && !exhausted()) {
     issued += 1;
     const bool outer_boundary = issued % p_.outer_interval == 0;
@@ -58,6 +61,12 @@ void RtaProbeAttacker::run(ctl::MemoryController& mc, u64 write_budget) {
         stream.push_back(1);
       } else if (out.stall == mv0) {
         stream.push_back(0);
+      }
+      if (tel != nullptr && (out.stall == mv0 || out.stall == mv1)) {
+        // Forensics hook: each harvested migration bit, with the stall
+        // that classified it, timestamped against the remap timeline.
+        tel->emit(telemetry::EventType::kProbeClassified, probe_id, telemetry::kGlobalDomain,
+                  stream.back(), out.stall.value());
       }
     }
   }

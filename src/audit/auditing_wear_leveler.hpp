@@ -70,6 +70,12 @@ class AuditingWearLeveler final : public wl::WearLeveler {
                               u64 count, pcm::PcmBank& bank) override;
 
   void set_rate_boost(u32 log2_divisor) override { inner_->set_rate_boost(log2_divisor); }
+  /// Telemetry events come from the wrapped scheme's movement helpers, so
+  /// the recorder is forwarded inward; the auditor emits nothing itself.
+  void attach_telemetry(telemetry::Recorder* recorder) override {
+    wl::WearLeveler::attach_telemetry(recorder);
+    inner_->attach_telemetry(recorder);
+  }
   void validate_state() const override { inner_->validate_state(); }
   [[nodiscard]] u32 writes_per_movement() const override {
     return inner_->writes_per_movement();

@@ -51,15 +51,31 @@ double Histogram::bucket_lo(std::size_t i) const {
 
 double Histogram::quantile(double p) const {
   check(p >= 0.0 && p <= 1.0, "quantile: p out of range");
+  // Empty histogram: no sample to point at, so the range's lower bound
+  // for every p — callers get a well-defined value, never a mid-bucket
+  // artifact.
   if (total_ == 0) return lo_;
+  const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  // Exact endpoints bind to the occupied support, not bucket midpoints:
+  // p=0 is the lower edge of the first non-empty bucket (the old code
+  // returned bucket 0's midpoint even when bucket 0 was empty), p=1 the
+  // upper edge of the last non-empty one (the old code stopped at its
+  // midpoint, under-reporting the max).
+  if (p == 0.0) {
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+      if (counts_[i] > 0) return bucket_lo(i);
+    }
+  }
+  if (p == 1.0) {
+    for (std::size_t i = counts_.size(); i-- > 0;) {
+      if (counts_[i] > 0) return bucket_lo(i) + width;
+    }
+  }
   const double target = p * static_cast<double>(total_);
   double cum = 0.0;
   for (std::size_t i = 0; i < counts_.size(); ++i) {
     cum += static_cast<double>(counts_[i]);
-    if (cum >= target) {
-      const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
-      return bucket_lo(i) + width / 2.0;
-    }
+    if (cum >= target) return bucket_lo(i) + width / 2.0;
   }
   return hi_;
 }

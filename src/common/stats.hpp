@@ -46,6 +46,9 @@ class Histogram {
   [[nodiscard]] u64 total() const { return total_; }
 
   /// p in [0,1] -> approximate quantile (bucket midpoint interpolation).
+  /// Well-defined at the edges: an empty histogram returns `lo` for any
+  /// p; p=0 returns the lower edge of the first non-empty bucket and
+  /// p=1 the upper edge of the last non-empty one.
   [[nodiscard]] double quantile(double p) const;
 
  private:

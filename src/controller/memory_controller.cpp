@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/check.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace srbsg::ctl {
 
@@ -38,6 +39,34 @@ void MemoryController::maybe_record_failure(Ns per_write_latency) {
   const u64 rewind = overshoot * per_write_latency.value();
   info.time = Ns{now_.value() > rewind ? now_.value() - rewind : 0};
   failure_ = info;
+  if (tel_ != nullptr) {
+    // Stamped with the rewound failure instant, not the op-entry clock.
+    tel_->emit_at(info.time.value(), telemetry::EventType::kLineFailed, tel_id_,
+                  telemetry::kGlobalDomain, info.line.value(), info.total_writes);
+  }
+}
+
+void MemoryController::set_telemetry(telemetry::Recorder* recorder) {
+  tel_ = recorder;
+  scheme_->attach_telemetry(recorder);
+  if (recorder != nullptr) {
+    tel_id_ = recorder->intern_scheme(scheme_->name());
+    recorder->set_now(now_);
+  } else {
+    tel_id_ = 0;
+  }
+}
+
+void MemoryController::note_writes(u64 writes, Ns total, u64 movements) {
+  if (tel_ == nullptr) return;
+  tel_->set_now(now_);
+  const auto& core = telemetry::CoreCounters::get();
+  tel_->count(core.writes, writes);
+  tel_->count(core.service_ns, total.value());
+  tel_->count(core.movements, movements);
+  if (tel_->snapshot_due(writes_issued_)) {
+    tel_->take_snapshot(writes_issued_, bank_.wear_counts());
+  }
 }
 
 void MemoryController::enable_detector(const wl::AttackDetectorConfig& cfg) {
@@ -47,6 +76,10 @@ void MemoryController::enable_detector(const wl::AttackDetectorConfig& cfg) {
 void MemoryController::feed_detector(La la, u64 count) {
   if (detector_ && detector_->record(la, count)) {
     scheme_->set_rate_boost(detector_->boost());
+    if (tel_ != nullptr) {
+      tel_->emit(telemetry::EventType::kDetectorStateChange, tel_id_, telemetry::kGlobalDomain,
+                 detector_->boost(), detector_->trips());
+    }
   }
 }
 
@@ -58,6 +91,10 @@ void MemoryController::account_bulk(const wl::BulkOutcome& out) {
 }
 
 wl::WriteOutcome MemoryController::write(La la, const pcm::LineData& data) {
+  // The recorder clock is pinned to the op-entry instant; events emitted
+  // inside the scheme all carry this timestamp, which is what makes the
+  // RemapTriggered → GapMoved attribution rule checkable downstream.
+  if (tel_ != nullptr) tel_->set_now(now_);
   feed_detector(la, 1);
   const wl::WriteOutcome out = scheme_->write(la, data, bank_);
   now_ += out.total;
@@ -69,18 +106,24 @@ wl::WriteOutcome MemoryController::write(La la, const pcm::LineData& data) {
     latency_sink_->movements += out.movements;
     latency_sink_->max_single = std::max(latency_sink_->max_single, out.total);
   }
+  note_writes(1, out.total, out.movements);
+  if (tel_ != nullptr) {
+    tel_->gauge_max(telemetry::CoreCounters::get().max_write_ns, out.total.value());
+  }
   return out;
 }
 
 wl::BulkOutcome MemoryController::write_repeated(La la, const pcm::LineData& data, u64 count) {
   // Bulk writes notify the detector up-front; a boost therefore applies
   // from the start of the bulk, which only makes the defense stronger.
+  if (tel_ != nullptr) tel_->set_now(now_);
   feed_detector(la, count);
   const wl::BulkOutcome out = scheme_->write_repeated(la, data, count, bank_);
   now_ += out.total;
   writes_issued_ += out.writes_applied;
   maybe_record_failure(pcm::write_latency(bank_.config(), data.cls));
   account_bulk(out);
+  note_writes(out.writes_applied, out.total, out.movements);
   return out;
 }
 
@@ -88,6 +131,7 @@ wl::BulkOutcome MemoryController::write_batch(std::span<const La> las,
                                               const pcm::LineData& data) {
   // Like write_repeated, the detector sees the whole block before any
   // write lands; the record sequence matches the per-write loop exactly.
+  if (tel_ != nullptr) tel_->set_now(now_);
   if (detector_) {
     for (const La la : las) feed_detector(la, 1);
   }
@@ -96,11 +140,13 @@ wl::BulkOutcome MemoryController::write_batch(std::span<const La> las,
   writes_issued_ += out.writes_applied;
   maybe_record_failure(pcm::write_latency(bank_.config(), data.cls));
   account_bulk(out);
+  note_writes(out.writes_applied, out.total, out.movements);
   return out;
 }
 
 wl::BulkOutcome MemoryController::write_cycle(std::span<const La> pattern,
                                               const pcm::LineData& data, u64 count) {
+  if (tel_ != nullptr) tel_->set_now(now_);
   if (detector_ && !pattern.empty()) {
     const u64 period = pattern.size();
     for (u64 i = 0; i < period; ++i) {
@@ -113,6 +159,7 @@ wl::BulkOutcome MemoryController::write_cycle(std::span<const La> pattern,
   writes_issued_ += out.writes_applied;
   maybe_record_failure(pcm::write_latency(bank_.config(), data.cls));
   account_bulk(out);
+  note_writes(out.writes_applied, out.total, out.movements);
   return out;
 }
 

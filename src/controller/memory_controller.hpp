@@ -13,6 +13,10 @@
 #include "wl/attack_detector.hpp"
 #include "wl/wear_leveler.hpp"
 
+namespace srbsg::telemetry {
+class Recorder;
+}  // namespace srbsg::telemetry
+
 namespace srbsg::ctl {
 
 struct FailureInfo {
@@ -89,6 +93,14 @@ class MemoryController {
   /// or be detached first.
   void set_latency_sink(LatencyStats* sink) { latency_sink_ = sink; }
 
+  /// Opt-in telemetry: attaches the recorder to the controller and the
+  /// scheme (nullptr detaches both). Observation-only — counters and
+  /// events never feed back into scheme or detector decisions, so the
+  /// simulated timeline is bit-identical with or without a recorder.
+  /// The recorder must outlive the controller or be detached first.
+  void set_telemetry(telemetry::Recorder* recorder);
+  [[nodiscard]] telemetry::Recorder* telemetry() const { return tel_; }
+
  private:
   /// Captures failure info the first time the bank reports one. The bank
   /// records how many writes overshot the endurance limit inside a bulk
@@ -98,6 +110,11 @@ class MemoryController {
   void feed_detector(La la, u64 count);
   void account_bulk(const wl::BulkOutcome& out);
 
+  /// Telemetry bookkeeping shared by every write path: advances the
+  /// recorder clock, bumps the core counters, and takes a wear snapshot
+  /// when the configured write cadence is due. No-op without a recorder.
+  void note_writes(u64 writes, Ns total, u64 movements);
+
   pcm::PcmBank bank_;
   std::unique_ptr<wl::WearLeveler> scheme_;
   std::unique_ptr<wl::AttackDetector> detector_;
@@ -105,6 +122,8 @@ class MemoryController {
   u64 writes_issued_{0};
   std::optional<FailureInfo> failure_;
   LatencyStats* latency_sink_{nullptr};
+  telemetry::Recorder* tel_{nullptr};
+  u16 tel_id_{0};
 };
 
 }  // namespace srbsg::ctl

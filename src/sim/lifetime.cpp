@@ -12,6 +12,7 @@
 #include "common/check.hpp"
 #include "common/rng.hpp"
 #include "sim/arena.hpp"
+#include "telemetry/collector.hpp"
 
 namespace srbsg::sim {
 
@@ -60,6 +61,27 @@ u64 bpa_hammer_cap(const wl::SchemeSpec& spec) {
       return 4 * spec.inner_interval;
   }
   return 1u << 20;
+}
+
+/// Runs the attack, routing it through a collector-pooled Recorder when
+/// the config asks for telemetry (the recorder is absorbed back, keyed
+/// by the sweep entry, before the outcome is returned).
+attack::AttackResult run_attack_traced(const LifetimeConfig& cfg, ctl::MemoryController& mc,
+                                       attack::Attacker& attacker) {
+  if (cfg.telemetry == nullptr) {
+    return attack::run_attack(mc, attacker, cfg.write_budget);
+  }
+  auto rec = cfg.telemetry->acquire();
+  attack::HarnessOptions opts;
+  opts.recorder = rec.get();
+  auto result = attack::run_attack(mc, attacker, cfg.write_budget, opts);
+  telemetry::RunMeta meta;
+  meta.entry = cfg.telemetry_entry;
+  meta.scheme = std::string(mc.scheme().name());
+  meta.attack = std::string(to_string(cfg.attack));
+  meta.seed = cfg.seed;
+  cfg.telemetry->absorb(meta, std::move(rec));
+  return result;
 }
 
 }  // namespace
@@ -148,7 +170,7 @@ LifetimeOutcome run_lifetime(const LifetimeConfig& cfg) {
   ctl::MemoryController mc(cfg.pcm, wl::make_scheme(cfg.scheme));
   const auto attacker = make_attacker(cfg);
   LifetimeOutcome out;
-  out.result = attack::run_attack(mc, *attacker, cfg.write_budget);
+  out.result = run_attack_traced(cfg, mc, *attacker);
   out.wear = compute_wear_metrics(mc.bank().wear_counts());
   return out;
 }
@@ -160,7 +182,7 @@ LifetimeOutcome run_lifetime(const LifetimeConfig& cfg, WorkerArena& arena) {
   ctl::MemoryController mc(arena.acquire(cfg.pcm, physical), std::move(scheme));
   const auto attacker = make_attacker(cfg);
   LifetimeOutcome out;
-  out.result = attack::run_attack(mc, *attacker, cfg.write_budget);
+  out.result = run_attack_traced(cfg, mc, *attacker);
   out.wear = compute_wear_metrics(mc.bank().wear_counts());
   arena.release(mc.release_bank());
   return out;

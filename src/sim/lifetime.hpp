@@ -9,6 +9,10 @@
 #include "common/stats.hpp"
 #include "wl/factory.hpp"
 
+namespace srbsg::telemetry {
+class Collector;
+}  // namespace srbsg::telemetry
+
 namespace srbsg::sim {
 
 class WorkerArena;  // sim/arena.hpp
@@ -27,6 +31,13 @@ struct LifetimeConfig {
   AttackKind attack{AttackKind::kRaa};
   u64 write_budget{u64{1} << 40};
   u64 seed{1};
+  /// Optional trace collection: the run borrows a Recorder from the
+  /// collector for the attack and absorbs it back (keyed by
+  /// `telemetry_entry`) once the run finishes. Not owned; nullptr (the
+  /// default) runs without telemetry.
+  telemetry::Collector* telemetry{nullptr};
+  /// Trace key for this run — run_sweep assigns the sweep entry index.
+  u64 telemetry_entry{0};
 };
 
 struct LifetimeOutcome {

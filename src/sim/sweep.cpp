@@ -14,6 +14,9 @@ std::vector<SweepEntry> run_sweep(std::span<const LifetimeConfig> configs, Threa
   std::vector<SweepEntry> entries(configs.size());
   for (std::size_t i = 0; i < configs.size(); ++i) {
     entries[i].config = configs[i];
+    // Trace runs are keyed by sweep position so JSONL output is stable
+    // across worker counts and completion order.
+    entries[i].config.telemetry_entry = i;
   }
   parallel_for(pool, configs.size(), [&entries, &arena](std::size_t i) {
     entries[i].outcome = run_lifetime(entries[i].config, arena);

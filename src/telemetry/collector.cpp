@@ -1,0 +1,223 @@
+#include "telemetry/collector.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <locale>
+#include <ostream>
+#include <sstream>
+#include <tuple>
+
+#include "common/check.hpp"
+
+namespace srbsg::telemetry {
+
+namespace {
+
+void write_escaped(std::ostream& os, std::string_view s) {
+  os << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        os << "\\\"";
+        break;
+      case '\\':
+        os << "\\\\";
+        break;
+      case '\n':
+        os << "\\n";
+        break;
+      case '\t':
+        os << "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          os << "\\u00" << "0123456789abcdef"[(c >> 4) & 0xF] << "0123456789abcdef"[c & 0xF];
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+void write_double(std::ostream& os, double v) {
+  // Round-trippable and locale-independent; JSONL must be deterministic.
+  std::ostringstream tmp;
+  tmp.imbue(std::locale::classic());
+  tmp.precision(17);
+  tmp << v;
+  os << tmp.str();
+}
+
+/// kGlobalDomain serializes as -1: friendlier for the Python tooling
+/// than the 2^32-1 sentinel.
+void write_domain(std::ostream& os, u32 domain) {
+  if (domain == kGlobalDomain) {
+    os << "-1";
+  } else {
+    os << domain;
+  }
+}
+
+/// Non-zero counters of `shard`, sorted by registry name.
+std::vector<std::pair<std::string, u64>> named_counters(const CounterShard& shard) {
+  const auto& reg = CounterRegistry::global();
+  std::vector<std::pair<std::string, u64>> out;
+  for (std::size_t i = 0; i < shard.size(); ++i) {
+    const u64 v = shard.value(static_cast<u32>(i));
+    if (v != 0) out.emplace_back(reg.name(static_cast<u32>(i)), v);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+void write_counter_object(std::ostream& os, const CounterShard& shard) {
+  os << "{";
+  bool first = true;
+  for (const auto& [name, value] : named_counters(shard)) {
+    if (!first) os << ",";
+    first = false;
+    write_escaped(os, name);
+    os << ":" << value;
+  }
+  os << "}";
+}
+
+}  // namespace
+
+Collector::Collector(const TelemetryConfig& cfg) : cfg_(cfg) {}
+
+std::unique_ptr<Recorder> Collector::acquire() {
+  const std::scoped_lock lock(mu_);
+  if (!pool_.empty()) {
+    auto rec = std::move(pool_.back());
+    pool_.pop_back();
+    rec->reset();
+    return rec;
+  }
+  return std::make_unique<Recorder>(cfg_);
+}
+
+void Collector::absorb(const RunMeta& meta, std::unique_ptr<Recorder> rec) {
+  check(rec != nullptr, "Collector::absorb: null recorder");
+  RunRecord run;
+  run.meta = meta;
+  run.schemes = rec->schemes();
+  const EventRing& ring = rec->events();
+  run.events.reserve(ring.size());
+  for (std::size_t i = 0; i < ring.size(); ++i) run.events.push_back(ring.at(i));
+  run.dropped = ring.dropped();
+  run.snapshots = rec->snapshots();
+  run.shard = rec->shard();
+  const std::scoped_lock lock(mu_);
+  merged_.merge(run.shard);
+  runs_.push_back(std::move(run));
+  pool_.push_back(std::move(rec));
+}
+
+std::size_t Collector::runs() const {
+  const std::scoped_lock lock(mu_);
+  return runs_.size();
+}
+
+u64 Collector::total_events() const {
+  const std::scoped_lock lock(mu_);
+  u64 total = 0;
+  for (const auto& run : runs_) total += run.dropped + run.events.size();
+  return total;
+}
+
+u64 Collector::merged(std::string_view name) const {
+  const auto& reg = CounterRegistry::global();
+  const std::scoped_lock lock(mu_);
+  for (std::size_t i = 0; i < merged_.size(); ++i) {
+    if (reg.name(static_cast<u32>(i)) == name) return merged_.value(static_cast<u32>(i));
+  }
+  return 0;
+}
+
+void Collector::write_jsonl(std::ostream& os) const {
+  const std::scoped_lock lock(mu_);
+  // Deterministic order: sort run indices by (entry, scheme, seed) —
+  // absorb order depends on worker scheduling.
+  std::vector<std::size_t> order(runs_.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [this](std::size_t a, std::size_t b) {
+    const RunMeta& ma = runs_[a].meta;
+    const RunMeta& mb = runs_[b].meta;
+    return std::tie(ma.entry, ma.scheme, ma.seed) < std::tie(mb.entry, mb.scheme, mb.seed);
+  });
+
+  u64 total_events = 0;
+  for (const auto& run : runs_) total_events += run.dropped + run.events.size();
+  os << "{\"type\":\"header\",\"telemetry_schema\":" << kTelemetrySchemaVersion
+     << ",\"generator\":\"srbsg\",\"runs\":" << runs_.size() << ",\"events\":" << total_events
+     << "}\n";
+
+  for (const std::size_t idx : order) {
+    const RunRecord& run = runs_[idx];
+    os << "{\"type\":\"run\",\"entry\":" << run.meta.entry << ",\"scheme\":";
+    write_escaped(os, run.meta.scheme);
+    os << ",\"attack\":";
+    write_escaped(os, run.meta.attack);
+    os << ",\"seed\":" << run.meta.seed << ",\"events\":" << run.dropped + run.events.size()
+       << ",\"retained\":" << run.events.size() << ",\"dropped\":" << run.dropped
+       << ",\"snapshots\":" << run.snapshots.size() << "}\n";
+
+    for (std::size_t i = 0; i < run.events.size(); ++i) {
+      const Event& e = run.events[i];
+      // seq is the emission ordinal, so consumers can see a gap where
+      // ring overflow dropped the oldest events.
+      os << "{\"type\":\"event\",\"entry\":" << run.meta.entry << ",\"seq\":" << run.dropped + i
+         << ",\"t\":" << e.time_ns << ",\"ev\":";
+      write_escaped(os, to_string(e.type));
+      os << ",\"scheme\":";
+      const std::size_t sid = e.scheme;
+      write_escaped(os, sid < run.schemes.size() ? std::string_view(run.schemes[sid])
+                                                 : std::string_view("?"));
+      os << ",\"domain\":";
+      write_domain(os, e.domain);
+      os << ",\"a\":" << e.a << ",\"b\":" << e.b << "}\n";
+    }
+
+    for (const WearSnapshot& snap : run.snapshots) {
+      os << "{\"type\":\"wear_snapshot\",\"entry\":" << run.meta.entry << ",\"t\":" << snap.time_ns
+         << ",\"writes\":" << snap.writes << ",\"mean\":";
+      write_double(os, snap.wear.mean);
+      os << ",\"cov\":";
+      write_double(os, snap.wear.coefficient_of_variation);
+      os << ",\"gini\":";
+      write_double(os, snap.wear.gini);
+      os << ",\"max_over_mean\":";
+      write_double(os, snap.wear.max_over_mean);
+      os << ",\"max\":" << snap.wear.max << ",\"min\":" << snap.wear.min << ",\"hist_lo\":";
+      write_double(os, snap.hist_lo);
+      os << ",\"hist_hi\":";
+      write_double(os, snap.hist_hi);
+      os << ",\"hist\":[";
+      for (std::size_t i = 0; i < snap.hist_counts.size(); ++i) {
+        if (i > 0) os << ",";
+        os << snap.hist_counts[i];
+      }
+      os << "]}\n";
+    }
+
+    os << "{\"type\":\"counters\",\"entry\":" << run.meta.entry << ",\"counters\":";
+    write_counter_object(os, run.shard);
+    os << "}\n";
+  }
+
+  os << "{\"type\":\"counters_merged\",\"counters\":";
+  write_counter_object(os, merged_);
+  os << "}\n";
+}
+
+bool Collector::write_file(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return false;
+  write_jsonl(out);
+  out.flush();
+  return static_cast<bool>(out);
+}
+
+}  // namespace srbsg::telemetry

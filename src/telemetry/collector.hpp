@@ -1,0 +1,79 @@
+#pragma once
+// Joins per-run Recorders into one deterministic JSONL trace.
+//
+// Sweep workers each own the Recorder of the run they are executing
+// (handed out by acquire(), pooled like sim::WorkerArena banks); at the
+// join the worker calls absorb(), which folds the shard into the merged
+// counters under a mutex and files the run's events keyed by its sweep
+// entry index. Serialization sorts runs by entry and counters by name,
+// so the JSONL output is byte-identical regardless of worker count or
+// completion order.
+
+#include <iosfwd>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "telemetry/telemetry.hpp"
+
+namespace srbsg::telemetry {
+
+/// Identity of one run inside a trace (the sweep entry index plus the
+/// labels the forensics tooling groups by).
+struct RunMeta {
+  u64 entry{0};
+  std::string scheme;
+  std::string attack;
+  u64 seed{0};
+};
+
+/// Version of the JSONL layout written by Collector::write_jsonl and
+/// embedded in BENCH JSONs; bump when records change incompatibly.
+inline constexpr int kTelemetrySchemaVersion = 1;
+
+class Collector {
+ public:
+  explicit Collector(const TelemetryConfig& cfg = TelemetryConfig{});
+
+  /// Borrow a freshly reset Recorder (recycled from the pool when one
+  /// is available).
+  [[nodiscard]] std::unique_ptr<Recorder> acquire();
+
+  /// Fold a finished run back in: shard into the merged counters, the
+  /// event ring / snapshots into the run table, recorder into the pool.
+  void absorb(const RunMeta& meta, std::unique_ptr<Recorder> rec);
+
+  [[nodiscard]] std::size_t runs() const;
+  [[nodiscard]] u64 total_events() const;
+  /// Merged value of a counter by registry name (0 when never bumped).
+  [[nodiscard]] u64 merged(std::string_view name) const;
+
+  /// Serializes header, per-run records, events, snapshots and counters
+  /// as JSON Lines (telemetry_schema 1).
+  void write_jsonl(std::ostream& os) const;
+
+  /// write_jsonl to `path`; returns false (without throwing) when the
+  /// file cannot be opened, so bench binaries can report and exit.
+  [[nodiscard]] bool write_file(const std::string& path) const;
+
+  [[nodiscard]] const TelemetryConfig& config() const { return cfg_; }
+
+ private:
+  struct RunRecord {
+    RunMeta meta;
+    std::vector<std::string> schemes;
+    std::vector<Event> events;  ///< oldest-to-newest retained events
+    u64 dropped{0};
+    std::vector<WearSnapshot> snapshots;
+    CounterShard shard;
+  };
+
+  mutable std::mutex mu_;
+  TelemetryConfig cfg_;
+  std::vector<std::unique_ptr<Recorder>> pool_;
+  std::vector<RunRecord> runs_;
+  CounterShard merged_;
+};
+
+}  // namespace srbsg::telemetry

@@ -1,0 +1,91 @@
+#include "telemetry/counters.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace srbsg::telemetry {
+
+CounterRegistry& CounterRegistry::global() {
+  static CounterRegistry registry;
+  return registry;
+}
+
+u32 CounterRegistry::register_slot(std::string_view name, CounterKind kind) {
+  check(!name.empty(), "CounterRegistry: empty counter name");
+  const std::scoped_lock lock(mu_);
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    if (entries_[i].name == name) {
+      check(entries_[i].kind == kind,
+            "CounterRegistry: name re-registered under a different kind");
+      return static_cast<u32>(i);
+    }
+  }
+  entries_.push_back(Entry{std::string(name), kind});
+  return static_cast<u32>(entries_.size() - 1);
+}
+
+std::size_t CounterRegistry::size() const {
+  const std::scoped_lock lock(mu_);
+  return entries_.size();
+}
+
+const CounterRegistry::Entry& CounterRegistry::entry(u32 slot) const {
+  check_lt(static_cast<std::size_t>(slot), entries_.size(), "CounterRegistry: slot out of range");
+  return entries_[slot];
+}
+
+std::string CounterRegistry::name(u32 slot) const {
+  const std::scoped_lock lock(mu_);
+  return entry(slot).name;
+}
+
+CounterKind CounterRegistry::kind(u32 slot) const {
+  const std::scoped_lock lock(mu_);
+  return entry(slot).kind;
+}
+
+const CoreCounters& CoreCounters::get() {
+  // One registration burst under the Meyers-singleton lock, so the core
+  // slots occupy a stable, deterministic prefix of the registry.
+  static const CoreCounters core = [] {
+    auto& reg = CounterRegistry::global();
+    CoreCounters c;
+    c.writes = reg.register_slot("ctl.writes", CounterKind::kCounter);
+    c.service_ns = reg.register_slot("ctl.service_ns", CounterKind::kCounter);
+    c.movements = reg.register_slot("ctl.movements", CounterKind::kCounter);
+    c.max_write_ns = reg.register_slot("ctl.max_write_ns", CounterKind::kGauge);
+    c.remap_triggers = reg.register_slot("wl.remap_triggers", CounterKind::kCounter);
+    c.gap_moves = reg.register_slot("wl.gap_moves", CounterKind::kCounter);
+    c.rekeys = reg.register_slot("wl.rekeys", CounterKind::kCounter);
+    c.detector_trips = reg.register_slot("ctl.detector_trips", CounterKind::kCounter);
+    c.line_failures = reg.register_slot("ctl.line_failures", CounterKind::kCounter);
+    c.batch_chunks = reg.register_slot("wl.batch_chunks", CounterKind::kCounter);
+    c.probes = reg.register_slot("attack.probes", CounterKind::kCounter);
+    c.wear_snapshots = reg.register_slot("tel.wear_snapshots", CounterKind::kCounter);
+    return c;
+  }();
+  return core;
+}
+
+void CounterShard::grow(u32 slot) {
+  const std::size_t registered = CounterRegistry::global().size();
+  const std::size_t need = std::max<std::size_t>(slot + 1, registered);
+  values_.resize(need, 0);
+}
+
+void CounterShard::merge(const CounterShard& other) {
+  if (other.values_.empty()) return;
+  if (values_.size() < other.values_.size()) values_.resize(other.values_.size(), 0);
+  const auto& reg = CounterRegistry::global();
+  for (std::size_t i = 0; i < other.values_.size(); ++i) {
+    if (other.values_[i] == 0) continue;
+    if (reg.kind(static_cast<u32>(i)) == CounterKind::kGauge) {
+      values_[i] = std::max(values_[i], other.values_[i]);
+    } else {
+      values_[i] += other.values_[i];
+    }
+  }
+}
+
+}  // namespace srbsg::telemetry

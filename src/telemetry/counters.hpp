@@ -1,0 +1,107 @@
+#pragma once
+// Named counter registry with near-zero-cost hot-path increments.
+//
+// Counters are registered once (by name) against the process-wide
+// registry and resolved to dense `u32` slot handles; the hot path is a
+// plain `u64` add into a per-recorder shard indexed by handle — no map
+// lookup, no atomics, no lock. Shards live one-per-worker (each sweep
+// worker owns the Recorder of the run it is executing) and are merged
+// at sweep joins under the Collector's mutex, mirroring how
+// sim::WorkerArena scopes bank ownership.
+//
+// Two kinds: monotonic counters merge by sum; gauges merge by max
+// (used for high-water marks such as the slowest single write).
+
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace srbsg::telemetry {
+
+enum class CounterKind : u8 {
+  kCounter,  ///< monotonic; shards merge by sum
+  kGauge,    ///< high-water mark; shards merge by max
+};
+
+/// Process-wide name→slot table. Registration is idempotent: the same
+/// name always resolves to the same slot (the kind must match). Slot
+/// numbering is registration-order dependent, so serialization sorts by
+/// name — output never depends on which thread registered first.
+class CounterRegistry {
+ public:
+  [[nodiscard]] static CounterRegistry& global();
+
+  /// Returns the slot for `name`, registering it on first use. Throws
+  /// CheckFailure when re-registering under a different kind.
+  [[nodiscard]] u32 register_slot(std::string_view name, CounterKind kind);
+
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] std::string name(u32 slot) const;
+  [[nodiscard]] CounterKind kind(u32 slot) const;
+
+ private:
+  struct Entry {
+    std::string name;
+    CounterKind kind{CounterKind::kCounter};
+  };
+
+  [[nodiscard]] const Entry& entry(u32 slot) const;
+
+  mutable std::mutex mu_;
+  std::vector<Entry> entries_;  // slot-indexed, append-only
+};
+
+/// The built-in slots every Recorder increments. Resolved once, in one
+/// deterministic registration burst, on first use.
+struct CoreCounters {
+  u32 writes;           ///< logical writes applied through the controller
+  u32 service_ns;       ///< observed service time (data writes + stalls)
+  u32 movements;        ///< remap movements folded into service_ns
+  u32 max_write_ns;     ///< gauge: slowest single write (per-write path)
+  u32 remap_triggers;   ///< RemapTriggered events emitted
+  u32 gap_moves;        ///< GapMoved events emitted
+  u32 rekeys;           ///< KeyRerandomized events emitted
+  u32 detector_trips;   ///< DetectorStateChange events emitted
+  u32 line_failures;    ///< LineFailed events emitted
+  u32 batch_chunks;     ///< BatchChunkApplied events emitted
+  u32 probes;           ///< ProbeClassified events emitted
+  u32 wear_snapshots;   ///< WearSnapshot records taken
+
+  [[nodiscard]] static const CoreCounters& get();
+};
+
+/// Per-worker slot array. Sized lazily against the registry, so slots
+/// registered after the shard was created still land correctly.
+class CounterShard {
+ public:
+  void add(u32 slot, u64 n) {
+    if (slot >= values_.size()) grow(slot);
+    values_[slot] += n;
+  }
+
+  void gauge_max(u32 slot, u64 v) {
+    if (slot >= values_.size()) grow(slot);
+    if (v > values_[slot]) values_[slot] = v;
+  }
+
+  [[nodiscard]] u64 value(u32 slot) const {
+    return slot < values_.size() ? values_[slot] : 0;
+  }
+
+  [[nodiscard]] std::size_t size() const { return values_.size(); }
+
+  void clear() { values_.assign(values_.size(), 0); }
+
+  /// Folds `other` into this shard, respecting each slot's kind.
+  void merge(const CounterShard& other);
+
+ private:
+  void grow(u32 slot);
+
+  std::vector<u64> values_;
+};
+
+}  // namespace srbsg::telemetry

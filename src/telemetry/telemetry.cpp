@@ -1,0 +1,111 @@
+#include "telemetry/telemetry.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace srbsg::telemetry {
+
+std::string_view to_string(EventType type) {
+  switch (type) {
+    case EventType::kRemapTriggered:
+      return "RemapTriggered";
+    case EventType::kGapMoved:
+      return "GapMoved";
+    case EventType::kKeyRerandomized:
+      return "KeyRerandomized";
+    case EventType::kDetectorStateChange:
+      return "DetectorStateChange";
+    case EventType::kLineFailed:
+      return "LineFailed";
+    case EventType::kBatchChunkApplied:
+      return "BatchChunkApplied";
+    case EventType::kProbeClassified:
+      return "ProbeClassified";
+  }
+  return "?";
+}
+
+Recorder::Recorder(const TelemetryConfig& cfg)
+    : cfg_(cfg), ring_(cfg.ring_capacity), next_snapshot_(cfg.snapshot_interval) {
+  check(cfg_.snapshot_buckets > 0, "Recorder: snapshot_buckets must be positive");
+}
+
+u16 Recorder::intern_scheme(std::string_view name) {
+  for (std::size_t i = 0; i < schemes_.size(); ++i) {
+    if (schemes_[i] == name) return static_cast<u16>(i);
+  }
+  check_lt(schemes_.size(), std::size_t{0xFFFF}, "Recorder: scheme intern table full");
+  schemes_.emplace_back(name);
+  return static_cast<u16>(schemes_.size() - 1);
+}
+
+void Recorder::emit_at(u64 time_ns, EventType type, u16 scheme, u32 domain, u64 a, u64 b) {
+  Event e;
+  e.time_ns = time_ns;
+  e.a = a;
+  e.b = b;
+  e.type = type;
+  e.scheme = scheme;
+  e.domain = domain;
+  ring_.push(e);
+  const CoreCounters& core = CoreCounters::get();
+  switch (type) {
+    case EventType::kRemapTriggered:
+      shard_.add(core.remap_triggers, 1);
+      break;
+    case EventType::kGapMoved:
+      shard_.add(core.gap_moves, 1);
+      break;
+    case EventType::kKeyRerandomized:
+      shard_.add(core.rekeys, 1);
+      break;
+    case EventType::kDetectorStateChange:
+      shard_.add(core.detector_trips, 1);
+      break;
+    case EventType::kLineFailed:
+      shard_.add(core.line_failures, 1);
+      break;
+    case EventType::kBatchChunkApplied:
+      shard_.add(core.batch_chunks, 1);
+      break;
+    case EventType::kProbeClassified:
+      shard_.add(core.probes, 1);
+      break;
+  }
+}
+
+void Recorder::take_snapshot(u64 total_writes, std::span<const u64> wear) {
+  WearSnapshot snap;
+  snap.time_ns = now_;
+  snap.writes = total_writes;
+  snap.wear = compute_wear_metrics(wear);
+  // Downsample the per-line counts into a fixed-width histogram over the
+  // observed value range; a degenerate range (all lines equal) still
+  // needs a non-empty span for Histogram's hi > lo invariant.
+  const auto lo = static_cast<double>(snap.wear.min);
+  const double hi = std::max(static_cast<double>(snap.wear.max) + 1.0, lo + 1.0);
+  Histogram hist(lo, hi, cfg_.snapshot_buckets);
+  for (const u64 w : wear) hist.add(static_cast<double>(w));
+  snap.hist_lo = lo;
+  snap.hist_hi = hi;
+  snap.hist_counts.resize(hist.buckets());
+  for (std::size_t i = 0; i < hist.buckets(); ++i) snap.hist_counts[i] = hist.bucket_count(i);
+  snapshots_.push_back(std::move(snap));
+  shard_.add(CoreCounters::get().wear_snapshots, 1);
+  // Next boundary strictly after the writes we just sampled, so a bulk
+  // op that crossed several intervals yields one snapshot, not a burst.
+  const u64 interval = cfg_.snapshot_interval;
+  next_snapshot_ = (total_writes / interval + 1) * interval;
+}
+
+void Recorder::reset() {
+  now_ = 0;
+  ring_.clear();
+  shard_.clear();
+  schemes_.clear();
+  snapshots_.clear();
+  next_snapshot_ = cfg_.snapshot_interval;
+}
+
+}  // namespace srbsg::telemetry

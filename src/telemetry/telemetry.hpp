@@ -1,0 +1,184 @@
+#pragma once
+// Structured event tracing for wear-leveling runs.
+//
+// The paper's claims are about internal dynamics — gap movement, DFN key
+// re-randomization, remap triggers, the RTA probe's latency
+// classification — so every run can record them as typed, fixed-layout
+// events in a bounded ring buffer (drop-oldest, with a drop counter) and
+// spill them to JSONL at the end. Telemetry is off by default: schemes
+// and the controller hold a plain `Recorder*` that is null unless a
+// caller attaches one, so the disabled cost is a single predictable
+// branch per remap event — nothing on the per-write fast path.
+
+#include <span>
+#include <string>
+#include <string_view>
+#include <type_traits>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "common/types.hpp"
+#include "telemetry/counters.hpp"
+
+namespace srbsg::telemetry {
+
+enum class EventType : u16 {
+  kRemapTriggered = 1,     ///< a remap counter crossed its interval
+  kGapMoved = 2,           ///< a line actually moved/swapped (a=from PA, b=to PA)
+  kKeyRerandomized = 3,    ///< a mapping key was re-drawn (a=round/key ordinal)
+  kDetectorStateChange = 4,  ///< attack detector changed boost (a=log2 boost, b=trips)
+  kLineFailed = 5,         ///< first line failure (a=failed PA, b=writes at failure)
+  kBatchChunkApplied = 6,  ///< batch engine applied a window (a=start, b=writes)
+  kProbeClassified = 7,    ///< RTA probe classified a latency sample (a=bit, b=stall ns)
+};
+
+[[nodiscard]] std::string_view to_string(EventType type);
+
+/// Domain id used for events that concern the whole bank rather than one
+/// region/sub-region.
+inline constexpr u32 kGlobalDomain = 0xFFFFFFFFu;
+
+/// Remap level carried in RemapTriggered's `a` field.
+inline constexpr u64 kLevelInner = 0;
+inline constexpr u64 kLevelOuter = 1;
+
+/// Fixed 32-byte event record. `time_ns` is the simulated clock at the
+/// start of the controller operation that produced the event (the clock
+/// does not advance inside a bulk operation); `scheme` is a Recorder
+/// intern id; `domain` is the region/sub-region index or kGlobalDomain.
+struct Event {
+  u64 time_ns{0};
+  u64 a{0};
+  u64 b{0};
+  EventType type{EventType::kRemapTriggered};
+  u16 scheme{0};
+  u32 domain{0};
+};
+static_assert(sizeof(Event) == 32, "Event must stay a fixed 32-byte record");
+static_assert(std::is_trivially_copyable_v<Event>, "Event must be trivially copyable");
+
+/// Bounded drop-oldest ring. Capacity 0 means "counters only": every
+/// push is dropped (but still counted), which is what the latency-only
+/// harness path uses.
+class EventRing {
+ public:
+  explicit EventRing(std::size_t capacity) : slots_(capacity) {}
+
+  void push(const Event& e) {
+    if (slots_.empty()) {
+      ++dropped_;
+      return;
+    }
+    if (size_ < slots_.size()) {
+      slots_[index(size_)] = e;
+      ++size_;
+    } else {
+      slots_[start_] = e;
+      start_ = index(1);
+      ++dropped_;
+    }
+  }
+
+  [[nodiscard]] std::size_t capacity() const { return slots_.size(); }
+  [[nodiscard]] std::size_t size() const { return size_; }
+  /// Events pushed but no longer retained (overwritten or capacity 0).
+  [[nodiscard]] u64 dropped() const { return dropped_; }
+  /// Total events ever pushed.
+  [[nodiscard]] u64 pushed() const { return dropped_ + size_; }
+
+  /// i-th oldest retained event, 0 <= i < size().
+  [[nodiscard]] const Event& at(std::size_t i) const { return slots_[index(i)]; }
+
+  void clear() {
+    start_ = 0;
+    size_ = 0;
+    dropped_ = 0;
+  }
+
+ private:
+  [[nodiscard]] std::size_t index(std::size_t i) const { return (start_ + i) % slots_.size(); }
+
+  std::vector<Event> slots_;
+  std::size_t start_{0};
+  std::size_t size_{0};
+  u64 dropped_{0};
+};
+
+/// Periodic wear-distribution sample: the downsampled per-line
+/// write-count histogram plus the Gini/CoV metrics from common/stats.
+struct WearSnapshot {
+  u64 time_ns{0};
+  u64 writes{0};  ///< logical writes issued when the snapshot was taken
+  WearMetrics wear;
+  double hist_lo{0.0};
+  double hist_hi{0.0};
+  std::vector<u64> hist_counts;
+};
+
+struct TelemetryConfig {
+  /// Retained events per run; older events are dropped (and counted).
+  std::size_t ring_capacity{std::size_t{1} << 16};
+  /// Logical writes between WearSnapshots; 0 disables snapshots.
+  u64 snapshot_interval{0};
+  /// Buckets in the downsampled wear histogram.
+  std::size_t snapshot_buckets{32};
+};
+
+/// Per-run recording surface. Single-threaded by design: one Recorder is
+/// owned by the worker executing one run (the sweep engine hands each
+/// run its own), and shards are merged at the join — the hot path takes
+/// no locks. All emission is observation-only; attaching a Recorder
+/// never changes scheme behavior, timing, or RNG consumption.
+class Recorder {
+ public:
+  explicit Recorder(const TelemetryConfig& cfg = TelemetryConfig{});
+
+  /// Advance the event clock; called by the controller at operation
+  /// entry (events inside a bulk op share its start time).
+  void set_now(Ns now) { now_ = now.value(); }
+  [[nodiscard]] Ns now() const { return Ns{now_}; }
+
+  /// Stable per-recorder id for a scheme name (linear search; the set is
+  /// tiny and interning happens once per attach, not per event).
+  [[nodiscard]] u16 intern_scheme(std::string_view name);
+  [[nodiscard]] const std::vector<std::string>& schemes() const { return schemes_; }
+
+  /// Records one event at the current sim time and bumps the matching
+  /// core counter.
+  void emit(EventType type, u16 scheme, u32 domain, u64 a, u64 b) {
+    emit_at(now_, type, scheme, domain, a, b);
+  }
+  void emit_at(u64 time_ns, EventType type, u16 scheme, u32 domain, u64 a, u64 b);
+
+  /// Hot-path counter increments (plain array adds).
+  void count(u32 slot, u64 n = 1) { shard_.add(slot, n); }
+  void gauge_max(u32 slot, u64 v) { shard_.gauge_max(slot, v); }
+  [[nodiscard]] u64 counter(u32 slot) const { return shard_.value(slot); }
+  [[nodiscard]] const CounterShard& shard() const { return shard_; }
+
+  /// Wear-snapshot cadence: due once `total_writes` crosses the next
+  /// interval boundary. take_snapshot is O(lines) and therefore runs
+  /// only on the configured cadence, never per write.
+  [[nodiscard]] bool snapshot_due(u64 total_writes) const {
+    return cfg_.snapshot_interval > 0 && total_writes >= next_snapshot_;
+  }
+  void take_snapshot(u64 total_writes, std::span<const u64> wear);
+
+  [[nodiscard]] const EventRing& events() const { return ring_; }
+  [[nodiscard]] const std::vector<WearSnapshot>& snapshots() const { return snapshots_; }
+  [[nodiscard]] const TelemetryConfig& config() const { return cfg_; }
+
+  /// Returns the recorder to its freshly constructed state (pooling).
+  void reset();
+
+ private:
+  TelemetryConfig cfg_;
+  u64 now_{0};
+  EventRing ring_;
+  CounterShard shard_;
+  std::vector<std::string> schemes_;
+  std::vector<WearSnapshot> snapshots_;
+  u64 next_snapshot_{0};
+};
+
+}  // namespace srbsg::telemetry

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/check.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace srbsg::wl::batch {
 
@@ -112,6 +113,15 @@ u64 cap_chunk_at_failure(std::span<const LineSched> lines, u64 start, u64 chunk)
 
 Ns apply_chunk(std::span<LineSched> lines, const pcm::LineData& data, u64 start, u64 chunk,
                pcm::PcmBank& bank) {
+  return apply_chunk(lines, data, start, chunk, bank, nullptr, 0);
+}
+
+Ns apply_chunk(std::span<LineSched> lines, const pcm::LineData& data, u64 start, u64 chunk,
+               pcm::PcmBank& bank, telemetry::Recorder* tel, u16 scheme) {
+  if (tel != nullptr && chunk > 0) {
+    tel->emit(telemetry::EventType::kBatchChunkApplied, scheme, telemetry::kGlobalDomain, start,
+              chunk);
+  }
   Ns total{0};
   for (auto& ls : lines) {
     const u64 h = ls.hits.hits_in(start, chunk);

@@ -113,6 +113,13 @@ template <typename T>
 [[nodiscard]] Ns apply_chunk(std::span<LineSched> lines, const pcm::LineData& data, u64 start,
                              u64 chunk, pcm::PcmBank& bank);
 
+/// Telemetry-aware variant: records a BatchChunkApplied event (a=phase,
+/// b=writes in the window) when `tel` is non-null before applying. The
+/// plain overload forwards here with a null recorder.
+[[nodiscard]] Ns apply_chunk(std::span<LineSched> lines, const pcm::LineData& data, u64 start,
+                             u64 chunk, pcm::PcmBank& bank, telemetry::Recorder* tel,
+                             u16 scheme);
+
 /// Shared write_batch skeleton: walk maximal runs of identical addresses,
 /// sending long runs through the scheme's write_cycle() fast path and
 /// short ones through `per_write(la, out)` — the scheme's hoisted

@@ -4,6 +4,7 @@
 
 #include "common/bitops.hpp"
 #include "common/check.hpp"
+#include "telemetry/telemetry.hpp"
 #include "wl/batch.hpp"
 
 namespace srbsg::wl {
@@ -34,11 +35,25 @@ Pa MultiWaySecurityRefresh::translate(La la) const {
 }
 
 Ns MultiWaySecurityRefresh::do_step(u64 q, pcm::PcmBank& bank, u64* movements) {
+  if (tel_ != nullptr) {
+    tel_->emit(telemetry::EventType::kRemapTriggered, tel_id_, checked_narrow<u32>(q),
+               telemetry::kLevelInner, 0);
+  }
+  const u64 key_before = regions_[q].key_c();
   const auto swap = regions_[q].advance();
+  if (tel_ != nullptr && regions_[q].key_c() != key_before) {
+    tel_->emit(telemetry::EventType::kKeyRerandomized, tel_id_, checked_narrow<u32>(q), 0, 0);
+  }
   if (!swap) return Ns{0};
   if (movements) ++*movements;
   const u64 base = q << region_bits_;
-  return bank.swap_lines(Pa{base | swap->a}, Pa{base | swap->b});
+  const Pa pa{base | swap->a};
+  const Pa pb{base | swap->b};
+  if (tel_ != nullptr) {
+    tel_->emit(telemetry::EventType::kGapMoved, tel_id_, checked_narrow<u32>(q), pa.value(),
+               pb.value());
+  }
+  return bank.swap_lines(pa, pb);
 }
 
 WriteOutcome MultiWaySecurityRefresh::write(La la, const pcm::LineData& data,
@@ -123,7 +138,7 @@ BulkOutcome MultiWaySecurityRefresh::write_cycle(std::span<const La> pattern,
       chunk = std::min(chunk, d.hits.until_nth(phase, deficit));
     }
     chunk = batch::cap_chunk_at_failure(lines, phase, chunk);
-    out.total += batch::apply_chunk(lines, data, phase, chunk, bank);
+    out.total += batch::apply_chunk(lines, data, phase, chunk, bank, tel_, tel_id_);
     out.writes_applied += chunk;
     for (const auto& d : doms) counter_[d.key] += d.hits.hits_in(phase, chunk);
     phase = (phase + chunk) % period;

@@ -5,6 +5,7 @@
 #include "common/bitops.hpp"
 #include "common/check.hpp"
 #include "common/rng.hpp"
+#include "telemetry/telemetry.hpp"
 #include "wl/batch.hpp"
 #include "mapping/binary_matrix.hpp"
 #include "mapping/feistel.hpp"
@@ -53,8 +54,18 @@ Pa RegionStartGap::translate(La la) const {
 }
 
 Ns RegionStartGap::do_movement(u64 q, pcm::PcmBank& bank) {
+  if (tel_ != nullptr) {
+    tel_->emit(telemetry::EventType::kRemapTriggered, tel_id_, checked_narrow<u32>(q),
+               telemetry::kLevelInner, 0);
+  }
   const auto mv = sg_[q].advance();
-  return bank.move_line(Pa{region_base(q) + mv.from}, Pa{region_base(q) + mv.to});
+  const Pa from{region_base(q) + mv.from};
+  const Pa to{region_base(q) + mv.to};
+  if (tel_ != nullptr) {
+    tel_->emit(telemetry::EventType::kGapMoved, tel_id_, checked_narrow<u32>(q), from.value(),
+               to.value());
+  }
+  return bank.move_line(from, to);
 }
 
 WriteOutcome RegionStartGap::write(La la, const pcm::LineData& data, pcm::PcmBank& bank) {
@@ -162,7 +173,7 @@ BulkOutcome RegionStartGap::write_cycle(std::span<const La> pattern, const pcm::
       chunk = std::min(chunk, d.hits.until_nth(phase, deficit));
     }
     chunk = batch::cap_chunk_at_failure(lines, phase, chunk);
-    out.total += batch::apply_chunk(lines, data, phase, chunk, bank);
+    out.total += batch::apply_chunk(lines, data, phase, chunk, bank, tel_, tel_id_);
     out.writes_applied += chunk;
     for (const auto& d : doms) counter_[d.key] += d.hits.hits_in(phase, chunk);
     phase = (phase + chunk) % period;

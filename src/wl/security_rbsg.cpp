@@ -4,6 +4,7 @@
 
 #include "common/bitops.hpp"
 #include "common/check.hpp"
+#include "telemetry/telemetry.hpp"
 #include "wl/batch.hpp"
 
 namespace srbsg::wl {
@@ -37,16 +38,43 @@ Pa SecurityRbsg::translate(La la) const {
 }
 
 Ns SecurityRbsg::do_inner_movement(u64 q, pcm::PcmBank& bank) {
+  if (tel_ != nullptr) {
+    tel_->emit(telemetry::EventType::kRemapTriggered, tel_id_, checked_narrow<u32>(q),
+               telemetry::kLevelInner, 0);
+  }
   const auto mv = inner_[q].advance();
   const u64 base = q * (cfg_.region_lines() + 1);
-  return bank.move_line(Pa{base + mv.from}, Pa{base + mv.to});
+  const Pa from{base + mv.from};
+  const Pa to{base + mv.to};
+  if (tel_ != nullptr) {
+    tel_->emit(telemetry::EventType::kGapMoved, tel_id_, checked_narrow<u32>(q), from.value(),
+               to.value());
+  }
+  return bank.move_line(from, to);
 }
 
 Ns SecurityRbsg::do_outer_movement(pcm::PcmBank& bank) {
+  if (tel_ != nullptr) {
+    tel_->emit(telemetry::EventType::kRemapTriggered, tel_id_, telemetry::kGlobalDomain,
+               telemetry::kLevelOuter, 0);
+  }
+  // An advance from the idle phase starts a round, which re-draws the
+  // DFN key pair — the paper's security lever.
+  const bool rekey = outer_.round_idle();
   // The outer movement copies one intermediate line; both endpoints are
   // located through the inner mappings at this instant.
   const auto mv = outer_.advance();
-  return bank.move_line(ia_to_pa(mv.from), ia_to_pa(mv.to));
+  const Pa from = ia_to_pa(mv.from);
+  const Pa to = ia_to_pa(mv.to);
+  if (tel_ != nullptr) {
+    if (rekey) {
+      tel_->emit(telemetry::EventType::kKeyRerandomized, tel_id_, telemetry::kGlobalDomain,
+                 outer_.rounds_completed() + 1, 0);
+    }
+    tel_->emit(telemetry::EventType::kGapMoved, tel_id_, telemetry::kGlobalDomain, from.value(),
+               to.value());
+  }
+  return bank.move_line(from, to);
 }
 
 WriteOutcome SecurityRbsg::write(La la, const pcm::LineData& data, pcm::PcmBank& bank) {
@@ -164,7 +192,7 @@ BulkOutcome SecurityRbsg::write_cycle(std::span<const La> pattern, const pcm::Li
       chunk = std::min(chunk, d.hits.until_nth(phase, deficit));
     }
     chunk = batch::cap_chunk_at_failure(lines, phase, chunk);
-    out.total += batch::apply_chunk(lines, data, phase, chunk, bank);
+    out.total += batch::apply_chunk(lines, data, phase, chunk, bank, tel_, tel_id_);
     out.writes_applied += chunk;
     for (const auto& d : doms) inner_counter_[d.key] += d.hits.hits_in(phase, chunk);
     outer_counter_ += chunk;

@@ -4,6 +4,7 @@
 
 #include "common/bitops.hpp"
 #include "common/check.hpp"
+#include "telemetry/telemetry.hpp"
 #include "wl/batch.hpp"
 
 namespace srbsg::wl {
@@ -24,9 +25,25 @@ Pa SecurityRefresh::translate(La la) const {
 }
 
 Ns SecurityRefresh::do_step(pcm::PcmBank& bank, u64* movements) {
+  if (tel_ != nullptr) {
+    tel_->emit(telemetry::EventType::kRemapTriggered, tel_id_, telemetry::kGlobalDomain,
+               telemetry::kLevelInner, 0);
+  }
+  // A CRP wrap inside advance() re-draws key_c; the key value itself
+  // stays out of the trace (it is the secret the attacks chase).
+  const u64 key_before = region_.key_c();
   const auto swap = region_.advance();
+  if (tel_ != nullptr && region_.key_c() != key_before) {
+    tel_->emit(telemetry::EventType::kKeyRerandomized, tel_id_, telemetry::kGlobalDomain, 0, 0);
+  }
+  // A skipped step (candidate already refreshed this round) triggers a
+  // remap but moves nothing: RemapTriggered without GapMoved.
   if (!swap) return Ns{0};
   if (movements) ++*movements;
+  if (tel_ != nullptr) {
+    tel_->emit(telemetry::EventType::kGapMoved, tel_id_, telemetry::kGlobalDomain, swap->a,
+               swap->b);
+  }
   return bank.swap_lines(Pa{swap->a}, Pa{swap->b});
 }
 
@@ -96,7 +113,7 @@ BulkOutcome SecurityRefresh::write_cycle(std::span<const La> pattern, const pcm:
     const u64 deficit = counter_ >= iv ? 1 : iv - counter_;
     u64 chunk = std::min(count - out.writes_applied, deficit);
     chunk = batch::cap_chunk_at_failure(lines, phase, chunk);
-    out.total += batch::apply_chunk(lines, data, phase, chunk, bank);
+    out.total += batch::apply_chunk(lines, data, phase, chunk, bank, tel_, tel_id_);
     out.writes_applied += chunk;
     counter_ += chunk;
     phase = (phase + chunk) % period;

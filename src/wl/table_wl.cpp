@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/check.hpp"
+#include "telemetry/telemetry.hpp"
 #include "wl/batch.hpp"
 
 namespace srbsg::wl {
@@ -39,8 +40,16 @@ TableWearLeveling::SwapPrediction TableWearLeveling::predict_next_swap() const {
 }
 
 Ns TableWearLeveling::do_swap(pcm::PcmBank& bank, u64* movements) {
+  if (tel_ != nullptr) {
+    tel_->emit(telemetry::EventType::kRemapTriggered, tel_id_, telemetry::kGlobalDomain,
+               telemetry::kLevelInner, 0);
+  }
   const auto pred = predict_next_swap();
   if (pred.hot_pa == pred.cold_pa) return Ns{0};
+  if (tel_ != nullptr) {
+    tel_->emit(telemetry::EventType::kGapMoved, tel_id_, telemetry::kGlobalDomain, pred.hot_pa,
+               pred.cold_pa);
+  }
   const u64 la_hot = pa_to_la_[pred.hot_pa];
   const u64 la_cold = pa_to_la_[pred.cold_pa];
   const Ns lat = bank.swap_lines(Pa{pred.hot_pa}, Pa{pred.cold_pa});
@@ -134,6 +143,10 @@ BulkOutcome TableWearLeveling::write_cycle(std::span<const La> pattern, const pc
     chunk = batch::cap_chunk_at_failure(lines, phase, chunk);
     // Applied inline (not batch::apply_chunk) because the scheme's own
     // wear book-keeping advances with the data writes.
+    if (tel_ != nullptr && chunk > 0) {
+      tel_->emit(telemetry::EventType::kBatchChunkApplied, tel_id_, telemetry::kGlobalDomain,
+                 phase, chunk);
+    }
     for (auto& ls : lines) {
       const u64 h = ls.hits.hits_in(phase, chunk);
       if (h == 0) continue;

@@ -4,6 +4,7 @@
 
 #include "common/bitops.hpp"
 #include "common/check.hpp"
+#include "telemetry/telemetry.hpp"
 #include "wl/batch.hpp"
 
 namespace srbsg::wl {
@@ -40,20 +41,48 @@ Pa TwoLevelSecurityRefresh::translate(La la) const {
 }
 
 Ns TwoLevelSecurityRefresh::do_inner_step(u64 q, pcm::PcmBank& bank, u64* movements) {
+  if (tel_ != nullptr) {
+    tel_->emit(telemetry::EventType::kRemapTriggered, tel_id_, checked_narrow<u32>(q),
+               telemetry::kLevelInner, 0);
+  }
+  const u64 key_before = inner_[q].key_c();
   const auto swap = inner_[q].advance();
+  if (tel_ != nullptr && inner_[q].key_c() != key_before) {
+    tel_->emit(telemetry::EventType::kKeyRerandomized, tel_id_, checked_narrow<u32>(q), 0, 0);
+  }
   if (!swap) return Ns{0};
   if (movements) ++*movements;
   const u64 base = q << region_bits_;
-  return bank.swap_lines(Pa{base | swap->a}, Pa{base | swap->b});
+  const Pa pa{base | swap->a};
+  const Pa pb{base | swap->b};
+  if (tel_ != nullptr) {
+    tel_->emit(telemetry::EventType::kGapMoved, tel_id_, checked_narrow<u32>(q), pa.value(),
+               pb.value());
+  }
+  return bank.swap_lines(pa, pb);
 }
 
 Ns TwoLevelSecurityRefresh::do_outer_step(pcm::PcmBank& bank, u64* movements) {
+  if (tel_ != nullptr) {
+    tel_->emit(telemetry::EventType::kRemapTriggered, tel_id_, telemetry::kGlobalDomain,
+               telemetry::kLevelOuter, 0);
+  }
+  const u64 key_before = outer_.key_c();
   // The outer level swaps two *intermediate* lines; where they physically
   // live right now is decided by the inner mappings of their sub-regions.
   const auto swap = outer_.advance();
+  if (tel_ != nullptr && outer_.key_c() != key_before) {
+    tel_->emit(telemetry::EventType::kKeyRerandomized, tel_id_, telemetry::kGlobalDomain, 0, 0);
+  }
   if (!swap) return Ns{0};
   if (movements) ++*movements;
-  return bank.swap_lines(ia_to_pa(swap->a), ia_to_pa(swap->b));
+  const Pa pa = ia_to_pa(swap->a);
+  const Pa pb = ia_to_pa(swap->b);
+  if (tel_ != nullptr) {
+    tel_->emit(telemetry::EventType::kGapMoved, tel_id_, telemetry::kGlobalDomain, pa.value(),
+               pb.value());
+  }
+  return bank.swap_lines(pa, pb);
 }
 
 WriteOutcome TwoLevelSecurityRefresh::write(La la, const pcm::LineData& data,
@@ -162,7 +191,7 @@ BulkOutcome TwoLevelSecurityRefresh::write_cycle(std::span<const La> pattern,
       chunk = std::min(chunk, d.hits.until_nth(phase, deficit));
     }
     chunk = batch::cap_chunk_at_failure(lines, phase, chunk);
-    out.total += batch::apply_chunk(lines, data, phase, chunk, bank);
+    out.total += batch::apply_chunk(lines, data, phase, chunk, bank, tel_, tel_id_);
     out.writes_applied += chunk;
     for (const auto& d : doms) inner_counter_[d.key] += d.hits.hits_in(phase, chunk);
     outer_counter_ += chunk;

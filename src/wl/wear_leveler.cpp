@@ -1,8 +1,14 @@
 #include "wl/wear_leveler.hpp"
 
 #include "common/check.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace srbsg::wl {
+
+void WearLeveler::attach_telemetry(telemetry::Recorder* recorder) {
+  tel_ = recorder;
+  tel_id_ = recorder ? recorder->intern_scheme(name()) : u16{0};
+}
 
 BulkOutcome WearLeveler::write_repeated(La la, const pcm::LineData& data, u64 count,
                                         pcm::PcmBank& bank) {

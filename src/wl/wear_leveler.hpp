@@ -15,6 +15,10 @@
 #include "pcm/bank.hpp"
 #include "pcm/timing.hpp"
 
+namespace srbsg::telemetry {
+class Recorder;
+}
+
 namespace srbsg::wl {
 
 struct WriteOutcome {
@@ -107,6 +111,19 @@ class WearLeveler {
   /// wear-conservation identity
   ///   bank writes == data writes issued + movements * writes_per_movement.
   [[nodiscard]] virtual u32 writes_per_movement() const { return 1; }
+
+  /// Attach (or detach, with nullptr) a telemetry recorder. Recording is
+  /// observation-only: it never changes translations, counters, timing
+  /// or RNG consumption, and the disabled cost is one null check per
+  /// remap event. Virtual so wrappers (audit) can forward to the scheme
+  /// they decorate.
+  virtual void attach_telemetry(telemetry::Recorder* recorder);
+
+ protected:
+  /// Null when telemetry is off; schemes guard every emission on it.
+  telemetry::Recorder* tel_{nullptr};
+  /// Recorder intern id of name(), valid while `tel_` is non-null.
+  u16 tel_id_{0};
 };
 
 }  // namespace srbsg::wl

@@ -1,0 +1,29 @@
+// srbsg-analyze fixture: seeded a7-telemetry violations (clean twin:
+// a7_telemetry_clean.cpp). Library-style code printing progress straight
+// to stdout/stderr: std::cout/std::cerr references and printf-family
+// calls, each bypassing the telemetry subsystem.
+#include <cstdint>
+#include <cstdio>
+#include <iostream>
+
+namespace fixture {
+
+std::uint64_t remap_and_report(std::uint64_t moved) {
+  std::cout << "moved " << moved << " lines\n";  // EXPECT: a7-telemetry
+  if (moved == 0) {
+    std::cerr << "nothing to do\n";  // EXPECT: a7-telemetry
+  }
+  std::printf("progress: %llu\n",  // EXPECT: a7-telemetry
+              static_cast<unsigned long long>(moved));
+  std::fprintf(stderr, "done\n");  // EXPECT: a7-telemetry
+  std::puts("remap complete");     // EXPECT: a7-telemetry
+  return moved;
+}
+
+std::uint64_t traced_report(std::uint64_t n) {
+  // srbsg-analyze: suppress(a7-telemetry) fixture-only
+  std::cout << n << "\n";  // EXPECT-SUPPRESSED: a7-telemetry
+  return n;
+}
+
+}  // namespace fixture

@@ -1,0 +1,26 @@
+// srbsg-analyze fixture: a7-telemetry clean twin (bad twin:
+// a7_telemetry_bad.cpp). The sanctioned shapes: reporting through a
+// caller-supplied std::ostream& (how common/table.hpp prints) and plain
+// counter accumulation a telemetry shard would absorb — no direct
+// stdout/stderr reference, no printf family.
+#include <cstdint>
+#include <ostream>
+
+namespace fixture {
+
+struct ProgressCounters {
+  std::uint64_t moves{0};
+  std::uint64_t rekeys{0};
+};
+
+std::uint64_t remap_quietly(ProgressCounters& counters, std::uint64_t moved) {
+  counters.moves += moved;
+  if (moved > 0) counters.rekeys += 1;
+  return counters.moves;
+}
+
+void render_report(std::ostream& os, const ProgressCounters& counters) {
+  os << "moves=" << counters.moves << " rekeys=" << counters.rekeys << "\n";
+}
+
+}  // namespace fixture

@@ -33,6 +33,33 @@ TEST(Histogram, CountsAndQuantiles) {
   EXPECT_NEAR(h.quantile(0.5), 45.0, 10.0);
 }
 
+TEST(Histogram, QuantileEdgesAreWellDefined) {
+  // Empty: the range's lower bound for every p, including the endpoints.
+  Histogram empty(5.0, 25.0, 4);
+  EXPECT_DOUBLE_EQ(empty.quantile(0.0), 5.0);
+  EXPECT_DOUBLE_EQ(empty.quantile(0.5), 5.0);
+  EXPECT_DOUBLE_EQ(empty.quantile(1.0), 5.0);
+
+  // Data confined to buckets [20,30) and [70,80): p=0 / p=1 bind to the
+  // occupied support's edges, not to bucket-0 / last-bucket midpoints.
+  Histogram h(0.0, 100.0, 10);
+  h.add(25.0, 3);
+  h.add(75.0, 3);
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 20.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 80.0);
+  // Interior quantiles keep the midpoint interpolation.
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 25.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.9), 75.0);
+}
+
+TEST(Histogram, QuantileSingleBucketOccupied) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(4.5, 7);  // bucket [4,6) only
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 4.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 5.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 6.0);
+}
+
 TEST(Histogram, ClampsOutOfRange) {
   Histogram h(0.0, 10.0, 5);
   h.add(-100.0);

@@ -647,6 +647,53 @@ class BatchCheck(Check):
         return False
 
 
+class TelemetryCheck(Check):
+    """A7: ad-hoc progress prints inside library code.
+
+    The telemetry subsystem (src/telemetry) is the sanctioned
+    observability channel for library code: counters and events that
+    serialize deterministically and cost one null-pointer branch when
+    disabled.  A library function writing progress straight to
+    std::cout/std::cerr (or through the printf family) bypasses it —
+    the output interleaves nondeterministically under the sweep pool,
+    cannot be disabled for benchmarking, and never reaches the JSONL
+    trace.  bench/ and tools binaries print by design and are out of
+    scope.
+    """
+
+    id = "a7-telemetry"
+    description = ("library code prints progress directly to stdout/stderr "
+                   "instead of going through the telemetry subsystem")
+    suggestion = ("emit a telemetry counter/event (src/telemetry) or take an "
+                  "std::ostream& parameter; direct std::cout/printf output "
+                  "belongs in bench/ and tools binaries only")
+    scope_dirs = ("src/",)
+
+    _STREAMS = {"cout", "cerr", "clog"}
+    _PRINTF_FAMILY = {"printf", "fprintf", "vprintf", "vfprintf", "puts",
+                      "fputs", "putchar", "fputc", "putc"}
+
+    def visit(self, cursor: Cursor, ctx: TuContext) -> None:
+        if not ctx.in_scope(cursor.file, self.scope_dirs):
+            return
+        node = cursor.node
+        if cursor.kind == "DeclRefExpr":
+            ref = node.get("referencedDecl")
+            if not isinstance(ref, dict):
+                return
+            name = ref.get("name")
+            if name in self._STREAMS and \
+                    "ostream" in (ref.get("type") or {}).get("qualType", ""):
+                ctx.add(self, cursor,
+                        f"direct use of 'std::{name}' inside library code")
+        elif cursor.kind == "CallExpr":
+            name, _ = callee_of(node)
+            if name in self._PRINTF_FAMILY:
+                ctx.add(self, cursor,
+                        f"call to '{name}': stdio progress printing inside "
+                        "library code")
+
+
 ALL_CHECKS = [WidthCheck, DeterminismCheck, RaceCheck, StateCheck,
-              UncheckedCheck, BatchCheck]
+              UncheckedCheck, BatchCheck, TelemetryCheck]
 CHECKS_BY_ID = {c.id: c for c in ALL_CHECKS}

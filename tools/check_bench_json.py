@@ -180,6 +180,8 @@ def main() -> int:
 
     require(isinstance(doc, dict), "top level must be an object")
     require(doc.get("schema_version") == 1, "schema_version must be 1")
+    require(doc.get("telemetry_schema") == 1,
+            "telemetry_schema must be 1 (the JSONL trace layout the binary links)")
     bench = doc.get("bench")
     require(bench in VALIDATORS,
             f"bench must be one of {sorted(VALIDATORS)}, got {bench!r}")

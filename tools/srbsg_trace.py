@@ -1,0 +1,271 @@
+#!/usr/bin/env python3
+"""Inspect and validate srbsg telemetry JSONL traces (telemetry_schema 1).
+
+Subcommands (a leading ``--`` is accepted, so ``srbsg-trace --validate``
+and ``srbsg-trace validate`` are the same):
+
+  validate FILE [--expect EV[,EV...]]
+      Structural checks: header first with telemetry_schema 1, known
+      record/event types, per-run seq monotonicity, run bookkeeping
+      (retained/dropped vs emitted event lines), and the attribution
+      invariant — every GapMoved / KeyRerandomized must follow a
+      RemapTriggered from the same run and scheme at the same sim
+      instant. Events at the ring's truncation boundary (oldest retained
+      timestamp of a run that dropped events) are exempt: their trigger
+      may have been dropped. --expect additionally requires at least one
+      event of each listed type somewhere in the trace.
+
+  timeline FILE [--entry N] [--limit N]
+      Human-readable event listing (default: all entries, first 40
+      events each).
+
+  cadence FILE
+      Remap-cadence statistics per run: distinct remap instants, mean /
+      min / max gap between them, rekey and gap-move counts.
+
+  forensics FILE
+      Attack-forensics view: correlates the RTA probe's classified-bit
+      stream with the defender's remap / re-key / detector timeline in
+      the window the probe was active.
+
+Exit status: 0 on success, 1 on validation failure, 2 on usage errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+EVENT_TYPES = (
+    "RemapTriggered",
+    "GapMoved",
+    "KeyRerandomized",
+    "DetectorStateChange",
+    "LineFailed",
+    "BatchChunkApplied",
+    "ProbeClassified",
+)
+
+RECORD_TYPES = ("header", "run", "event", "wear_snapshot", "counters", "counters_merged")
+
+ATTRIBUTED = ("GapMoved", "KeyRerandomized")
+
+
+class TraceError(Exception):
+    """A malformed or invariant-violating trace."""
+
+
+def load(path: str) -> list[dict]:
+    records = []
+    try:
+        with open(path, encoding="utf-8") as fh:
+            for lineno, line in enumerate(fh, 1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    rec = json.loads(line)
+                except json.JSONDecodeError as exc:
+                    raise TraceError(f"line {lineno}: not JSON: {exc}") from exc
+                if not isinstance(rec, dict) or "type" not in rec:
+                    raise TraceError(f"line {lineno}: record without a 'type'")
+                rec["_line"] = lineno
+                records.append(rec)
+    except OSError as exc:
+        raise TraceError(f"cannot read {path}: {exc}") from exc
+    if not records:
+        raise TraceError("empty trace")
+    return records
+
+
+def events_of(records: list[dict]) -> list[dict]:
+    return [r for r in records if r["type"] == "event"]
+
+
+def runs_of(records: list[dict]) -> dict[int, dict]:
+    return {r["entry"]: r for r in records if r["type"] == "run"}
+
+
+def validate(records: list[dict], expect: list[str]) -> str:
+    header = records[0]
+    if header["type"] != "header":
+        raise TraceError("first record must be the header")
+    if header.get("telemetry_schema") != 1:
+        raise TraceError(f"telemetry_schema must be 1, got {header.get('telemetry_schema')!r}")
+    for rec in records:
+        if rec["type"] not in RECORD_TYPES:
+            raise TraceError(f"line {rec['_line']}: unknown record type {rec['type']!r}")
+
+    runs = runs_of(records)
+    events = events_of(records)
+    if header.get("runs") != len(runs):
+        raise TraceError(f"header claims {header.get('runs')} runs, trace has {len(runs)}")
+    total_pushed = sum(r["events"] for r in runs.values())
+    if header.get("events") != total_pushed:
+        raise TraceError(
+            f"header claims {header.get('events')} events, runs sum to {total_pushed}")
+
+    # Per-run: seq strictly increasing, counts consistent with the run
+    # record, attribution of moves/rekeys to a same-instant trigger.
+    by_entry: dict[int, list[dict]] = {}
+    for ev in events:
+        if ev["ev"] not in EVENT_TYPES:
+            raise TraceError(f"line {ev['_line']}: unknown event type {ev['ev']!r}")
+        if ev["entry"] not in runs:
+            raise TraceError(f"line {ev['_line']}: event for entry {ev['entry']} with no run")
+        by_entry.setdefault(ev["entry"], []).append(ev)
+
+    for entry, evs in sorted(by_entry.items()):
+        run = runs[entry]
+        if len(evs) != run["retained"]:
+            raise TraceError(
+                f"entry {entry}: {len(evs)} event lines but run.retained={run['retained']}")
+        if run["retained"] + run["dropped"] != run["events"]:
+            raise TraceError(
+                f"entry {entry}: retained+dropped != events in the run record")
+        prev_seq = None
+        prev_t = None
+        # Oldest retained instant: attribution is unprovable there when
+        # the ring dropped events (the trigger may be among them).
+        boundary_t = evs[0]["t"] if run["dropped"] > 0 else None
+        last_trigger: dict[str, int] = {}
+        for ev in evs:
+            if prev_seq is not None and ev["seq"] <= prev_seq:
+                raise TraceError(
+                    f"line {ev['_line']}: seq not strictly increasing in entry {entry}")
+            if prev_t is not None and ev["t"] < prev_t:
+                raise TraceError(
+                    f"line {ev['_line']}: timestamps regress in entry {entry}")
+            prev_seq, prev_t = ev["seq"], ev["t"]
+            if ev["ev"] == "RemapTriggered":
+                last_trigger[ev["scheme"]] = ev["t"]
+            elif ev["ev"] in ATTRIBUTED:
+                if ev["t"] == boundary_t:
+                    continue
+                if last_trigger.get(ev["scheme"]) != ev["t"]:
+                    raise TraceError(
+                        f"line {ev['_line']}: {ev['ev']} at t={ev['t']} (entry {entry}, "
+                        f"scheme {ev['scheme']}) has no RemapTriggered at the same instant")
+
+    for want in expect:
+        if want not in EVENT_TYPES:
+            raise TraceError(f"--expect {want}: not an event type (known: {EVENT_TYPES})")
+        if not any(ev["ev"] == want for ev in events):
+            raise TraceError(f"--expect {want}: no such event in the trace")
+
+    attributed = sum(1 for ev in events if ev["ev"] in ATTRIBUTED)
+    return (f"{len(runs)} runs, {len(events)} retained events "
+            f"({attributed} moves/rekeys attributed), schema 1")
+
+
+def timeline(records: list[dict], entry: int | None, limit: int) -> None:
+    runs = runs_of(records)
+    for ent in sorted(runs):
+        if entry is not None and ent != entry:
+            continue
+        run = runs[ent]
+        print(f"== entry {ent}: scheme={run['scheme']} attack={run['attack']} "
+              f"seed={run['seed']} events={run['events']} dropped={run['dropped']}")
+        shown = 0
+        for ev in events_of(records):
+            if ev["entry"] != ent:
+                continue
+            if shown >= limit:
+                print(f"   ... ({run['retained'] - shown} more)")
+                break
+            dom = "global" if ev["domain"] == -1 else str(ev["domain"])
+            print(f"   t={ev['t']:>14} seq={ev['seq']:>8} {ev['ev']:<20} "
+                  f"dom={dom:<7} a={ev['a']} b={ev['b']}")
+            shown += 1
+
+
+def cadence(records: list[dict]) -> None:
+    runs = runs_of(records)
+    for ent in sorted(runs):
+        run = runs[ent]
+        instants = sorted({ev["t"] for ev in events_of(records)
+                           if ev["entry"] == ent and ev["ev"] == "RemapTriggered"})
+        moves = sum(1 for ev in events_of(records)
+                    if ev["entry"] == ent and ev["ev"] == "GapMoved")
+        rekeys = sum(1 for ev in events_of(records)
+                     if ev["entry"] == ent and ev["ev"] == "KeyRerandomized")
+        gaps = [b - a for a, b in zip(instants, instants[1:])]
+        mean = sum(gaps) / len(gaps) if gaps else 0.0
+        print(f"entry {ent} ({run['scheme']} vs {run['attack']}): "
+              f"{len(instants)} remap instants, {moves} moves, {rekeys} rekeys")
+        if gaps:
+            print(f"   gap between remap instants: mean {mean:.0f} ns, "
+                  f"min {min(gaps)} ns, max {max(gaps)} ns")
+
+
+def forensics(records: list[dict]) -> None:
+    runs = runs_of(records)
+    for ent in sorted(runs):
+        run = runs[ent]
+        evs = [ev for ev in events_of(records) if ev["entry"] == ent]
+        probes = [ev for ev in evs if ev["ev"] == "ProbeClassified"]
+        print(f"== entry {ent}: {run['scheme']} vs {run['attack']} (seed {run['seed']})")
+        if not probes:
+            print("   no ProbeClassified events (probe phase not retained or not run)")
+            continue
+        t0, t1 = probes[0]["t"], probes[-1]["t"]
+        ones = sum(ev["a"] for ev in probes)
+        bias = ones / len(probes)
+        in_window = [ev for ev in evs if t0 <= ev["t"] <= t1]
+        rekeys = sum(1 for ev in in_window if ev["ev"] == "KeyRerandomized")
+        remaps = sum(1 for ev in in_window if ev["ev"] == "RemapTriggered")
+        boosts = [ev for ev in in_window if ev["ev"] == "DetectorStateChange"]
+        print(f"   probe window: t=[{t0}, {t1}] ns, {len(probes)} classified bits, "
+              f"bias {bias:.3f}")
+        print(f"   defender in window: {remaps} remap triggers, {rekeys} re-keys, "
+              f"{len(boosts)} detector changes")
+        if rekeys:
+            per = len(probes) / rekeys
+            print(f"   -> {per:.1f} harvested bits per re-key; each re-key voids the "
+                  f"bits before it (paper §IV.B)")
+        for ev in evs:
+            if ev["ev"] == "LineFailed":
+                print(f"   line failed: PA {ev['a']} at t={ev['t']} ns "
+                      f"after {ev['b']} writes")
+
+
+def main(argv: list[str]) -> int:
+    if argv and argv[0].startswith("--") and argv[0] != "--help":
+        argv = [argv[0].lstrip("-")] + argv[1:]
+    parser = argparse.ArgumentParser(prog="srbsg-trace", description=__doc__,
+                                     formatter_class=argparse.RawDescriptionHelpFormatter)
+    sub = parser.add_subparsers(dest="cmd", required=True)
+    p_val = sub.add_parser("validate", help="structural + attribution checks")
+    p_val.add_argument("file")
+    p_val.add_argument("--expect", default="",
+                       help="comma-separated event types that must be present")
+    p_tl = sub.add_parser("timeline", help="human-readable event listing")
+    p_tl.add_argument("file")
+    p_tl.add_argument("--entry", type=int, default=None)
+    p_tl.add_argument("--limit", type=int, default=40)
+    p_cad = sub.add_parser("cadence", help="remap-cadence statistics")
+    p_cad.add_argument("file")
+    p_for = sub.add_parser("forensics", help="probe-vs-remap correlation view")
+    p_for.add_argument("file")
+    args = parser.parse_args(argv)
+
+    try:
+        records = load(args.file)
+        if args.cmd == "validate":
+            expect = [e for e in args.expect.split(",") if e]
+            print(f"srbsg-trace: OK: {validate(records, expect)}")
+        elif args.cmd == "timeline":
+            timeline(records, args.entry, args.limit)
+        elif args.cmd == "cadence":
+            cadence(records)
+        elif args.cmd == "forensics":
+            forensics(records)
+    except TraceError as exc:
+        print(f"srbsg-trace: FAIL: {exc}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""ctest driver: telemetry JSONL round-trip through the forensics bench.
+
+Runs the rta_forensics bench at reduced scale with --telemetry, then
+feeds the resulting JSONL to `srbsg-trace validate`, which checks the
+trace structure and the attribution invariant (every GapMoved /
+KeyRerandomized follows a same-instant RemapTriggered) and requires the
+event types the bench is guaranteed to produce.
+
+Exits 77 (the ctest SKIP code) when the bench binary has not been built
+in this tree.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import subprocess
+import sys
+import tempfile
+
+# Event types a seeded RTA-probe-vs-SecurityRBSG run always produces:
+# inner/outer remaps with their moves and DFN re-keys, the probe's
+# latency classifications, the detector reacting to the hammer phase,
+# and the final line failure (budget 2^30 far exceeds the reduced-scale
+# lifetime, so the run ends in a failure, never in budget exhaustion).
+EXPECT = ",".join(
+    [
+        "RemapTriggered",
+        "GapMoved",
+        "KeyRerandomized",
+        "DetectorStateChange",
+        "ProbeClassified",
+        "LineFailed",
+    ]
+)
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--bench", required=True, help="path to the rta_forensics binary")
+    ap.add_argument("--trace-tool", required=True, help="path to tools/srbsg-trace")
+    ap.add_argument("--seeds", default="1", help="seeded replicas to run (default 1)")
+    args = ap.parse_args()
+
+    bench = pathlib.Path(args.bench)
+    if not bench.exists():
+        print(f"skip: bench binary not built: {bench}", file=sys.stderr)
+        return 77
+
+    with tempfile.TemporaryDirectory(prefix="srbsg-trace-") as tmp:
+        trace = pathlib.Path(tmp) / "forensics.jsonl"
+        run = subprocess.run(
+            [str(bench), "--seeds", args.seeds, "--telemetry", str(trace)],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+        )
+        sys.stdout.write(run.stdout)
+        if run.returncode != 0:
+            print(f"FAIL: rta_forensics exited {run.returncode}", file=sys.stderr)
+            return 1
+        if not trace.is_file():
+            print("FAIL: bench did not write the trace file", file=sys.stderr)
+            return 1
+
+        val = subprocess.run(
+            [sys.executable, args.trace_tool, "validate", str(trace), "--expect", EXPECT],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+        )
+        sys.stdout.write(val.stdout)
+        if val.returncode != 0:
+            print(f"FAIL: srbsg-trace validate exited {val.returncode}", file=sys.stderr)
+            return 1
+
+    print("trace round-trip OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
