@@ -73,6 +73,7 @@ class AuditingWearLeveler final : public wl::WearLeveler {
   /// Telemetry events come from the wrapped scheme's movement helpers, so
   /// the recorder is forwarded inward; the auditor emits nothing itself.
   void attach_telemetry(telemetry::Recorder* recorder) override {
+    // srbsg-analyze: suppress(a10-lifetime) recorder outlives wrapper and inner scheme
     wl::WearLeveler::attach_telemetry(recorder);
     inner_->attach_telemetry(recorder);
   }

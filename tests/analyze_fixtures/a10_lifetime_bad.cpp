@@ -1,0 +1,39 @@
+// srbsg-analyze fixture: seeded a10-lifetime violations (clean twin:
+// a10_lifetime_clean.cpp). View parameters — a Recorder* and a
+// std::span — are stored into members that outlive the call, directly
+// and through a forwarding callee. The suppressed case mirrors the
+// attached-observer contract src/ uses.
+#include <span>
+
+namespace fixture {
+namespace telemetry {
+
+struct Recorder {
+  unsigned long last_ = 0;
+};
+
+}  // namespace telemetry
+
+struct Hub {
+  void attach(telemetry::Recorder* rec) {
+    tel_ = rec;  // EXPECT: a10-lifetime
+  }
+  void wire(telemetry::Recorder* rec) {
+    attach(rec);  // EXPECT: a10-lifetime
+  }
+  void adopt_window(std::span<const unsigned long> window) {
+    window_ = window;  // EXPECT: a10-lifetime
+  }
+  telemetry::Recorder* tel_ = nullptr;
+  std::span<const unsigned long> window_;
+};
+
+struct ObserverHub {
+  void attach(telemetry::Recorder* rec) {
+    // srbsg-analyze: suppress(a10-lifetime) the recorder outlives every hub by contract
+    tel_ = rec;  // EXPECT-SUPPRESSED: a10-lifetime
+  }
+  telemetry::Recorder* tel_ = nullptr;
+};
+
+}  // namespace fixture

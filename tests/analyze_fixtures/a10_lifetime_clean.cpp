@@ -1,0 +1,31 @@
+// srbsg-analyze fixture: clean twin of a10_lifetime_bad.cpp. The same
+// view-parameter signatures, but the bodies copy the viewed *data*
+// instead of the view: summed span contents and a dereferenced value.
+// Nothing borrowed outlives the call, so a10-lifetime must stay
+// silent.
+#include <span>
+
+namespace fixture {
+namespace telemetry {
+
+struct Recorder {
+  unsigned long last_ = 0;
+};
+
+}  // namespace telemetry
+
+struct Hub {
+  void adopt_window(std::span<const unsigned long> window) {
+    total_ = 0;
+    for (unsigned long v : window) {
+      total_ += v;
+    }
+  }
+  void observe(telemetry::Recorder* rec) {
+    last_seen_ = rec ? rec->last_ : 0;  // copies the value, not the view
+  }
+  unsigned long total_ = 0;
+  unsigned long last_seen_ = 0;
+};
+
+}  // namespace fixture

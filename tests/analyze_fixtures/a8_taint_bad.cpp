@@ -1,0 +1,35 @@
+// srbsg-analyze fixture: seeded a8-taint violations (clean twin:
+// a8_taint_clean.cpp). A miniature write_jsonl mirrors the telemetry
+// collector's sink; the seeded flows carry rand() into it through a
+// return value, an out-parameter, and a stored field. The rand() call
+// sites themselves also trip a2-determinism.
+#include <cstdlib>
+
+namespace fixture {
+
+// Mini serialization sink: the name matches the analyzer's sink family.
+void write_jsonl(unsigned long v) { (void)v; }
+
+unsigned long seed_value() {
+  unsigned long s = static_cast<unsigned long>(std::rand());  // EXPECT: a2-determinism
+  return s;
+}
+
+void fill_seed(unsigned long* out) {
+  *out = static_cast<unsigned long>(std::rand());  // EXPECT: a2-determinism
+}
+
+struct Meta {
+  void stamp() { run_id_ = seed_value(); }
+  unsigned long run_id_ = 0;
+};
+
+void emit_run_header(Meta& meta) {
+  unsigned long v = 0;
+  fill_seed(&v);
+  write_jsonl(seed_value());  // EXPECT: a8-taint
+  write_jsonl(v);             // EXPECT: a8-taint
+  write_jsonl(meta.run_id_);  // EXPECT: a8-taint
+}
+
+}  // namespace fixture

@@ -1,0 +1,22 @@
+// srbsg-analyze fixture: clean twin of a8_taint_bad.cpp. Every value
+// reaching the write_jsonl sink derives from simulated time held in
+// deterministic state — no randomness, no wall clock — so a8-taint
+// must stay silent.
+namespace fixture {
+
+void write_jsonl(unsigned long v) { (void)v; }
+
+// Simulated time is deterministic program state, not a wall clock.
+struct Sim {
+  unsigned long now_cycles() const { return cycles_; }
+  unsigned long cycles_ = 0;
+};
+
+unsigned long row_count(const Sim& sim) { return sim.now_cycles(); }
+
+void emit_run_header(const Sim& sim) {
+  write_jsonl(sim.now_cycles());
+  write_jsonl(row_count(sim));
+}
+
+}  // namespace fixture

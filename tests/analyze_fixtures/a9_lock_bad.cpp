@@ -1,0 +1,44 @@
+// srbsg-analyze fixture: seeded a9-lock violations (clean twin:
+// a9_lock_clean.cpp). The submitted lambdas never write anything
+// directly — a3 stays silent — but every call they make reaches an
+// unguarded field write: through a method on the captured object,
+// through a free function taking it by reference, and through a
+// two-hop forwarding chain.
+#include <cstddef>
+#include <utility>
+
+namespace fixture {
+
+struct ThreadPool {
+  template <class F>
+  void submit(F&& fn) {
+    std::forward<F>(fn)();
+  }
+};
+
+struct Stats {
+  void bump() { hits_ += 1; }
+  unsigned long hits_ = 0;
+};
+
+void tick(Stats& st) { st.hits_ += 1; }
+
+void tick_twice(Stats& st) {
+  tick(st);
+  tick(st);
+}
+
+unsigned long run_method_write(ThreadPool& pool, Stats& st) {
+  pool.submit([&st] { st.bump(); });  // EXPECT: a9-lock
+  return st.hits_;
+}
+
+void run_free_write(ThreadPool& pool, Stats& st) {
+  pool.submit([&st] { tick(st); });  // EXPECT: a9-lock
+}
+
+void run_forwarded_write(ThreadPool& pool, Stats& st) {
+  pool.submit([&st] { tick_twice(st); });  // EXPECT: a9-lock
+}
+
+}  // namespace fixture

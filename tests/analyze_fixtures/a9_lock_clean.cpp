@@ -1,0 +1,48 @@
+// srbsg-analyze fixture: clean twin of a9_lock_bad.cpp. The same
+// submit-then-call shapes, but every reachable write is synchronized:
+// a lock-guarded method, an atomic counter, and a free function that
+// takes the object's mutex before writing. a9-lock must trust all of
+// them and stay silent.
+#include <atomic>
+#include <cstddef>
+#include <mutex>
+#include <utility>
+
+namespace fixture {
+
+struct ThreadPool {
+  template <class F>
+  void submit(F&& fn) {
+    std::forward<F>(fn)();
+  }
+};
+
+struct Stats {
+  void bump_locked() {
+    std::lock_guard<std::mutex> g(m_);
+    hits_ += 1;
+  }
+  void bump_atomic() { slots_.fetch_add(1); }
+  std::mutex m_;
+  unsigned long hits_ = 0;
+  std::atomic<unsigned long> slots_{0};
+};
+
+void tick_guarded(Stats& st) {
+  std::lock_guard<std::mutex> g(st.m_);
+  st.hits_ += 1;
+}
+
+void run_locked(ThreadPool& pool, Stats& st) {
+  pool.submit([&st] { st.bump_locked(); });
+}
+
+void run_atomic(ThreadPool& pool, Stats& st) {
+  pool.submit([&st] { st.bump_atomic(); });
+}
+
+void run_guarded_free(ThreadPool& pool, Stats& st) {
+  pool.submit([&st] { tick_guarded(st); });
+}
+
+}  // namespace fixture

@@ -3,7 +3,9 @@
 
 The third leg of the correctness stack (lint -> runtime audit -> static
 analysis).  Drives plain `clang -Xclang -ast-dump=json` over the
-CMake-exported compile database and runs domain-specific checks:
+CMake-exported compile database, runs per-TU checks, then merges the
+per-TU summaries into a whole-program symbol graph (graph.py) for the
+interprocedural checks:
 
   a1-width          64-bit address/wear values narrowed below 64 bits
   a2-determinism    randomness / wall clock / pointer hashing /
@@ -12,12 +14,32 @@ CMake-exported compile database and runs domain-specific checks:
   a3-race           unsynchronized shared-state writes in pool lambdas
   a4-state          mutable static state inside wear-leveling schemes
   a5-unchecked      WearLeveler entry points with unvalidated parameters
+                    (cross-TU: callees checking on the caller's behalf
+                    are resolved through the call graph)
   a6-batch          per-write loops in bench//src/attack that should use
                     the batched write path (write_batch / write_cycle)
+  a7-telemetry      telemetry emitted outside the Recorder/counter API
+  a8-taint          nondeterministic values (rand, wall clock, pointer
+                    hashes) flowing -- through returns, out-params and
+                    stored fields, across TUs -- into serialization
+                    sinks (telemetry JSONL, bench JSON writers)
+  a9-lock           fields written, via any call chain entered from a
+                    parallel_for / pool-submitted lambda, without a lock
+                    or atomic (interprocedural a3)
+  a10-lifetime      std::span / Recorder* parameters escaping into
+                    members that outlive the call (direct stores and
+                    forwards through callees)
+
+Whole-program summaries round-trip through the incremental cache
+(cache.py): warm runs skip clang for unchanged TUs but still re-solve
+every cross-TU fixed point, so an edit in one TU updates findings
+everywhere.
 
 Usage:
   python3 tools/analyze                         # src/ + bench/ vs baseline
   python3 tools/analyze --paths src/wl          # restrict to a subtree
+  python3 tools/analyze --cache                 # incremental (build/ cache)
+  python3 tools/analyze --sarif out.sarif       # also emit SARIF 2.1.0
   python3 tools/analyze --sources f.cpp -- -I.  # standalone sources
   python3 tools/analyze --ast-json dump.json    # pre-dumped AST (testing)
   python3 tools/analyze --write-baseline        # accept current findings
@@ -36,15 +58,18 @@ import sys
 sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
 
 import baseline as baseline_mod
+import cache as cache_mod
 import driver
 import prepass
 import report
+import sarif
 from checks import ALL_CHECKS, CHECKS_BY_ID
 
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.dirname(
     os.path.abspath(__file__))))
 DEFAULT_BASELINE = os.path.join(os.path.dirname(os.path.abspath(__file__)),
                                 "baseline.json")
+_CACHE_DEFAULT = "<default>"
 
 
 def parse_args(argv: list[str]) -> argparse.Namespace:
@@ -63,7 +88,9 @@ def parse_args(argv: list[str]) -> argparse.Namespace:
     parser.add_argument("--sources", nargs="*", default=None,
                         help="analyze standalone sources (flags after --)")
     parser.add_argument("--ast-json", action="append", default=None,
-                        help="analyze a pre-dumped clang JSON AST (testing)")
+                        help="analyze a pre-dumped clang JSON AST (testing); "
+                             "a {\"tus\": [...]} wrapper analyzes several "
+                             "TUs as one program")
     parser.add_argument("--checks", default=None,
                         help="comma-separated check ids (default: all)")
     parser.add_argument("--list-checks", action="store_true")
@@ -75,6 +102,15 @@ def parse_args(argv: list[str]) -> argparse.Namespace:
     parser.add_argument("--clang", default=None, help="clang driver to use")
     parser.add_argument("--no-pre-pass", action="store_true",
                         help="skip the regex R1 pre-pass")
+    parser.add_argument("--cache", nargs="?", const=_CACHE_DEFAULT,
+                        default=None, metavar="PATH",
+                        help="reuse analysis results for unchanged TUs "
+                             "(bare --cache stores the cache at "
+                             "build/srbsg-analyze-cache.json)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="ignore any --cache flag (force cold analysis)")
+    parser.add_argument("--sarif", default=None, metavar="PATH",
+                        help="also write a SARIF 2.1.0 report to PATH")
     parser.add_argument("--jobs", type=int, default=0)
     parser.add_argument("--json", action="store_true", dest="json_output")
     parser.add_argument("--repo-root", default=REPO_ROOT,
@@ -106,6 +142,16 @@ def find_compile_db(args: argparse.Namespace) -> str | None:
     return None
 
 
+def _ast_json_roots(path: str) -> list[dict]:
+    """The TU roots in one --ast-json file: either a plain clang dump or
+    a {"tus": [dump, ...]} wrapper (multi-TU interprocedural fixture)."""
+    with open(path, encoding="utf-8") as fh:
+        root = json.load(fh)
+    if isinstance(root, dict) and isinstance(root.get("tus"), list):
+        return root["tus"]
+    return [root]
+
+
 def main(argv: list[str]) -> int:
     args = parse_args(argv)
     if args.list_checks:
@@ -115,12 +161,12 @@ def main(argv: list[str]) -> int:
         return 0
 
     check_ids = resolve_checks(args.checks)
+    check_classes = [CHECKS_BY_ID[c] for c in check_ids]
     repo_root = os.path.abspath(args.repo_root)
     src_root = os.path.join(repo_root, "src")
     findings: list[dict] = []
     errors: list[str] = []
-    merged_functions: dict = {}
-    merged_entries: list[dict] = []
+    tu_summaries: list[tuple] = []
     skipped_notice = ""
     tus: list[dict] = []
 
@@ -128,22 +174,16 @@ def main(argv: list[str]) -> int:
         # Testing mode: run the checks over pre-dumped ASTs, no clang.
         for path in args.ast_json:
             try:
-                with open(path, encoding="utf-8") as fh:
-                    root = json.load(fh)
+                roots = _ast_json_roots(path)
             except (OSError, json.JSONDecodeError) as err:
                 print(f"srbsg-analyze: cannot load {path}: {err}",
                       file=sys.stderr)
                 return 2
-            ctx = driver.analyze_ast(root, repo_root, src_root,
-                                     [CHECKS_BY_ID[c] for c in check_ids])
-            findings.extend(ctx.findings)
-            for key, rec in ctx.a5_functions.items():
-                merged = merged_functions.setdefault(
-                    key, {"name": rec["name"], "sig": rec["sig"],
-                          "checks": False, "calls": set()})
-                merged["checks"] = merged["checks"] or rec["checks"]
-                merged["calls"].update(rec["calls"])
-            merged_entries.extend(ctx.a5_entries)
+            for index, root in enumerate(roots):
+                ctx, summaries = driver.analyze_ast(root, repo_root, src_root,
+                                                    check_classes)
+                findings.extend(ctx.findings)
+                tu_summaries.append((f"{path}#{index}", summaries))
     else:
         clang = driver.find_clang(args.clang)
         if args.sources:
@@ -164,21 +204,39 @@ def main(argv: list[str]) -> int:
                               "skipped (regex pre-pass only); install clang "
                               "to run the full analysis")
         else:
-            findings, merged_functions, merged_entries, errors = \
+            analysis_cache = None
+            if args.cache and not args.no_cache:
+                cache_path = args.cache if args.cache != _CACHE_DEFAULT else \
+                    os.path.join(repo_root, "build",
+                                 "srbsg-analyze-cache.json")
+                analysis_cache = cache_mod.AnalysisCache(
+                    cache_path, driver.clang_version(clang), check_ids)
+            findings, tu_summaries, errors, stats = \
                 driver.run_tus(clang, tus, repo_root, src_root, check_ids,
-                               args.jobs)
+                               args.jobs, analysis_cache)
+            if analysis_cache is not None:
+                if not args.paths and not args.sources:
+                    # Full-tree run: drop entries for deleted/renamed TUs.
+                    analysis_cache.prune([tu["rel"] for tu in tus])
+                analysis_cache.save()
+                print(f"srbsg-analyze: cache: {stats['hits']} TU(s) reused, "
+                      f"{stats['analyzed']} analyzed", file=sys.stderr)
 
-    if "a5-unchecked" in check_ids and (merged_functions or merged_entries):
-        from checks import UncheckedCheck
-        findings.extend(UncheckedCheck.finalize(
-            merged_functions, merged_entries, UncheckedCheck.suggestion))
+    # Whole-program phase: merge per-TU summaries, solve the cross-TU
+    # fixed points (a5 check closure, a8 taint, a9 writes, a10 escapes).
+    for cls in check_classes:
+        per_tu = [(rel, summaries[cls.id]) for rel, summaries in tu_summaries
+                  if cls.id in summaries]
+        if per_tu:
+            findings.extend(cls.finalize_program(per_tu))
 
     if not args.no_pre_pass and "a2-determinism" in check_ids \
             and not args.ast_json:
         scan = prepass.prepass_files(
             repo_root, tus,
             [os.path.relpath(os.path.abspath(s), repo_root)
-             for s in (args.sources or [])])
+             for s in (args.sources or [])],
+            args.paths)
         findings = prepass.merge_prepass(
             findings, prepass.run_prepass(repo_root, scan))
 
@@ -194,6 +252,20 @@ def main(argv: list[str]) -> int:
         print(f"srbsg-analyze: baseline written to {args.baseline} "
               f"({len(new)} entrie(s))")
         return 0
+
+    if args.sarif:
+        doc = sarif.build(new, baselined, suppressed, check_classes,
+                          repo_root)
+        problems = sarif.validate(doc)
+        if problems:
+            print("srbsg-analyze: internal error: emitted SARIF is invalid:",
+                  file=sys.stderr)
+            for problem in problems:
+                print(f"  {problem}", file=sys.stderr)
+            return 2
+        sarif.write(args.sarif, doc)
+        print(f"srbsg-analyze: SARIF report written to {args.sarif}",
+              file=sys.stderr)
 
     if args.json_output:
         report.print_json(new, baselined, suppressed, errors,

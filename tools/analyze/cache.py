@@ -1,0 +1,143 @@
+"""Incremental analysis cache for srbsg-analyze.
+
+One JSON file maps each TU's repo-relative path to its last analysis
+result: the findings it produced and the per-check whole-program
+summaries (see graph.py).  Because summaries round-trip losslessly, a
+warm run never invokes clang for unchanged TUs yet still re-solves the
+interprocedural fixed points over the full program — edits to one TU
+update every cross-TU finding.
+
+Invalidation is deliberately coarse and content-based:
+
+* cache-wide: the clang version string or the enabled check set
+  changing discards the whole file (summaries are check-shaped, and a
+  new clang can change every dump detail);
+* per entry: the TU's content hash, its forwarded compile flags, or the
+  content hash of any header it pulled in (the TU's dep list, recorded
+  from the paths the checks resolved) changing re-analyzes that TU and
+  evicts its stale findings.
+
+Writes are atomic (tmp + rename) so a crashed run cannot leave a
+truncated cache; a corrupt/unreadable file degrades to an empty cache.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from typing import Optional
+
+CACHE_VERSION = 1
+
+
+def _sha256(path: str) -> Optional[str]:
+    try:
+        with open(path, "rb") as fh:
+            return hashlib.sha256(fh.read()).hexdigest()
+    except OSError:
+        return None
+
+
+def _flags_hash(flags: list) -> str:
+    return hashlib.sha256("\x1f".join(flags).encode()).hexdigest()[:16]
+
+
+class AnalysisCache:
+    def __init__(self, path: str, clang: str, check_ids: list):
+        self.path = path
+        self.meta = {"version": CACHE_VERSION, "clang": clang,
+                     "checks": sorted(check_ids)}
+        self.entries: dict = {}
+        self._sha_cache: dict = {}  # per-run file-content hash memo
+        self._dirty = False
+        self._load()
+
+    def _load(self) -> None:
+        try:
+            with open(self.path, encoding="utf-8") as fh:
+                data = json.load(fh)
+        except (OSError, json.JSONDecodeError, ValueError):
+            return
+        if not isinstance(data, dict) or data.get("meta") != self.meta:
+            # Version / clang / check-set mismatch: start cold.
+            self._dirty = True
+            return
+        entries = data.get("entries")
+        if isinstance(entries, dict):
+            self.entries = entries
+
+    def _hash(self, abspath: str) -> Optional[str]:
+        cached = self._sha_cache.get(abspath, "?")
+        if cached != "?":
+            return cached
+        digest = _sha256(abspath)
+        self._sha_cache[abspath] = digest
+        return digest
+
+    def _repo_root_of(self, tu: dict) -> str:
+        """Absolute repo root derived from the TU's abs path + rel path."""
+        file, rel = tu["file"], tu["rel"]
+        if file.endswith(rel):
+            return file[:len(file) - len(rel)].rstrip("/")
+        return os.path.dirname(file)
+
+    def lookup(self, tu: dict) -> Optional[dict]:
+        """Valid cache entry for this TU, or None (cold / stale)."""
+        entry = self.entries.get(tu["rel"])
+        if not isinstance(entry, dict):
+            return None
+        if entry.get("sha") != self._hash(tu["file"]):
+            return None
+        if entry.get("flags") != _flags_hash(tu.get("flags") or []):
+            return None
+        root = self._repo_root_of(tu)
+        deps = entry.get("deps")
+        if not isinstance(deps, dict):
+            return None
+        for dep_rel, dep_sha in deps.items():
+            if dep_rel == tu["rel"]:
+                continue  # the TU itself is covered by entry["sha"]
+            if self._hash(os.path.join(root, dep_rel)) != dep_sha:
+                return None
+        return entry
+
+    def store(self, tu: dict, findings: list, summaries: dict,
+              deps: list) -> None:
+        root = self._repo_root_of(tu)
+        dep_hashes = {}
+        for dep_rel in deps:
+            digest = self._hash(os.path.join(root, dep_rel))
+            if digest is not None:
+                dep_hashes[dep_rel] = digest
+        self.entries[tu["rel"]] = {
+            "sha": self._hash(tu["file"]),
+            "flags": _flags_hash(tu.get("flags") or []),
+            "deps": dep_hashes,
+            "findings": findings,
+            "summaries": summaries,
+        }
+        self._dirty = True
+
+    def prune(self, keep_rels: list) -> None:
+        """Drops entries for TUs no longer selected (deleted/renamed)."""
+        keep = set(keep_rels)
+        stale = [rel for rel in self.entries if rel not in keep]
+        for rel in stale:
+            del self.entries[rel]
+            self._dirty = True
+
+    def save(self) -> None:
+        if not self._dirty:
+            return
+        payload = {"meta": self.meta, "entries": self.entries}
+        directory = os.path.dirname(self.path) or "."
+        try:
+            os.makedirs(directory, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(prefix=".srbsg-cache-", dir=directory)
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                json.dump(payload, fh)
+            os.replace(tmp, self.path)
+        except OSError:
+            pass  # a cache that cannot be written is just a cold cache

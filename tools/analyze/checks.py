@@ -21,8 +21,9 @@ auditor (src/audit) backstops what static analysis lets through.
 from __future__ import annotations
 
 import re
-from typing import Optional
+from typing import Iterator, Optional
 
+import graph
 from engine import (Cursor, JsonNode, callee_of, children, desugared_type,
                     first_expr_child, integer_literal_value, iter_subtree,
                     qual_type, type_width)
@@ -34,9 +35,116 @@ CHECK_FAMILY = {
 
 _ADDR_TYPE = re.compile(r"\b(La|Ia|Pa|Addr<|Ns)\b")
 
+# Function-declaration kinds the interprocedural checks summarize.
+_FUNC_KINDS = ("FunctionDecl", "CXXMethodDecl")
+
+# Kinds that open a new function-ish scope: iter_own_stmts yields them
+# but does not descend, so a function's facts never absorb statements
+# that belong to a nested lambda / local class / nested function.
+_NEST_BARRIERS = {"LambdaExpr", "FunctionDecl", "CXXMethodDecl",
+                  "CXXConstructorDecl", "CXXDestructorDecl",
+                  "CXXConversionDecl", "CXXRecordDecl", "ClassTemplateDecl",
+                  "FunctionTemplateDecl"}
+
+# Value-preserving wrapper nodes clang interposes between an expression
+# and the DeclRefExpr/MemberExpr the checks care about.  Only peeled when
+# they have exactly one expression child, so multi-arg constructors and
+# conditional operators are never mistaken for a plain reference.
+_EXPR_WRAPPERS = {"ImplicitCastExpr", "ParenExpr", "ExprWithCleanups",
+                  "ConstantExpr", "MaterializeTemporaryExpr",
+                  "CXXBindTemporaryExpr", "CXXConstructExpr",
+                  "CXXFunctionalCastExpr", "CXXStaticCastExpr"}
+
+_TYPE_NOISE = re.compile(r"\b(const|volatile|struct|class|enum)\b")
+
 
 def _is_const_qual(qual: str) -> bool:
     return qual.startswith("const ") or qual.endswith(" const")
+
+
+def iter_own_stmts(node: JsonNode) -> Iterator[JsonNode]:
+    """Pre-order over `node`'s subtree, not descending into nested
+    function-ish scopes (see _NEST_BARRIERS).  The root is always
+    yielded and descended into, whatever its kind."""
+    stack: list[tuple[JsonNode, bool]] = [(node, True)]
+    while stack:
+        cur, is_root = stack.pop()
+        if not isinstance(cur, dict):
+            continue
+        yield cur
+        if not is_root and cur.get("kind", "") in _NEST_BARRIERS:
+            continue
+        for child in reversed(children(cur)):
+            stack.append((child, False))
+
+
+def strip_expr(node: Optional[JsonNode]) -> Optional[JsonNode]:
+    """Peels single-child wrapper nodes; returns the innermost node."""
+    while isinstance(node, dict):
+        if node.get("kind") in _EXPR_WRAPPERS:
+            kids = [c for c in children(node)
+                    if c.get("kind", "") and
+                    not c.get("kind", "").endswith("Comment")]
+            if len(kids) == 1:
+                node = kids[0]
+                continue
+        return node
+    return None
+
+
+def _expr_children(node: JsonNode) -> list:
+    return [c for c in children(node)
+            if c.get("kind", "") and not c.get("kind", "").endswith("Comment")]
+
+
+def _body_of(node: JsonNode) -> Optional[JsonNode]:
+    for child in children(node):
+        if child.get("kind") == "CompoundStmt":
+            return child
+    return None
+
+
+def _member_of(call: JsonNode) -> Optional[JsonNode]:
+    """The MemberExpr naming a member call's target, or None."""
+    head = first_expr_child(call)
+    if head is None:
+        return None
+    for node in iter_subtree(head):
+        if node.get("kind") == "MemberExpr":
+            return node
+    return None
+
+
+def _class_of_type(qual: str) -> str:
+    """Bare class name of a (possibly qualified/templated) type string."""
+    qual = _TYPE_NOISE.sub("", qual or "")
+    qual = qual.replace("*", " ").replace("&", " ").strip()
+    base = qual.split("<")[0].strip()
+    if not base:
+        return ""
+    return base.split("::")[-1].strip()
+
+
+def _field_key(member: JsonNode, encl_cls: str) -> str:
+    """`Cls::field` key for a MemberExpr, best effort."""
+    name = member.get("name", "") or ""
+    base = strip_expr(first_expr_child(member))
+    cls_name = ""
+    if base is not None:
+        if base.get("kind") == "CXXThisExpr":
+            cls_name = encl_cls
+        else:
+            cls_name = _class_of_type(desugared_type(base) or qual_type(base))
+    return f"{cls_name}::{name}" if cls_name else name
+
+
+def _unwrap_reason(reason) -> str:
+    """Field name at the end of a solve_param_escapes via-chain."""
+    while isinstance(reason, (list, tuple)) and reason and reason[0] == "via":
+        reason = reason[2]
+    if isinstance(reason, (list, tuple)) and len(reason) >= 2:
+        return str(reason[1])
+    return "?"
 
 
 class TuContext:
@@ -46,13 +154,58 @@ class TuContext:
         self.repo_root = repo_root.rstrip("/") + "/"
         self.src_root = src_root.rstrip("/") + "/"
         self.findings: list[dict] = []
-        self.a5_functions: dict[str, dict] = {}
-        self.a5_entries: list[dict] = []
         # Class name -> derives-from-*WearLeveler, and decl id -> class name
         # (for parentDeclContextId resolution of out-of-line definitions).
-        self.a5_class_wl: dict[str, bool] = {}
-        self.a5_class_ids: dict[str, str] = {}
+        # Maintained by note_node() for every check that needs class info.
+        self.class_wl: dict[str, bool] = {}
+        self.class_ids: dict[str, str] = {}
         self._rel_cache: dict[str, Optional[str]] = {}
+
+    def note_node(self, cursor: Cursor) -> None:
+        """Shared per-node bookkeeping, run once before the check visitors
+        (class hierarchy facts used by a5's entry points and by the
+        interprocedural checks' `Cls::name` keys)."""
+        if cursor.kind != "CXXRecordDecl":
+            return
+        if self.rel(cursor.file) is None:
+            return  # system headers: classes there resolve as trusted
+        node = cursor.node
+        name = node.get("name", "") or ""
+        if not name:
+            return
+        node_id = node.get("id")
+        if isinstance(node_id, str):
+            self.class_ids[node_id] = name
+        if not node.get("completeDefinition"):
+            return
+        is_wl = name.endswith("WearLeveler")
+        for base in node.get("bases") or []:
+            base_qual = (base.get("type") or {}).get("qualType", "")
+            if "WearLeveler" in base_qual:
+                is_wl = True
+            elif self.class_wl.get(base_qual.split("::")[-1].split("<")[0]):
+                is_wl = True  # one level of transitivity through seen bases
+        self.class_wl[name] = is_wl or self.class_wl.get(name, False)
+
+    def enclosing_class(self, cursor: Cursor) -> str:
+        """Class owning the nearest function-ish scope (or the node itself
+        for out-of-line method declarations)."""
+        record = cursor.nearest("CXXRecordDecl")
+        if record is not None:
+            return record.get("name", "") or ""
+        # Out-of-line definition: clang emits parentDeclContextId when the
+        # lexical and semantic decl contexts differ.
+        fn = cursor.enclosing_function()
+        node = fn if fn is not None else cursor.node
+        parent_id = node.get("parentDeclContextId")
+        if isinstance(parent_id, str):
+            return self.class_ids.get(parent_id, "")
+        return ""
+
+    def deps(self) -> list[str]:
+        """Repo-relative paths this TU's findings/summaries were derived
+        from (cache invalidation inputs)."""
+        return sorted({r for r in self._rel_cache.values() if r})
 
     def rel(self, file: Optional[str]) -> Optional[str]:
         """Repo-relative path, or None for files outside the repository."""
@@ -99,13 +252,32 @@ class TuContext:
 
 
 class Check:
+    """Base class.  One instance is created per TU; per-TU state lives on
+    the instance.  Checks that reason across TUs implement summarize()
+    (JSON-able per-TU facts, round-tripped through the incremental
+    cache) and the classmethod finalize_program() (whole-program solve
+    over every TU's summary, see graph.py)."""
+
     id = ""
     description = ""
     suggestion = ""
     scope_dirs: tuple = ()
 
+    def begin_tu(self, ctx: TuContext) -> None:
+        """Hook before the walk of one TU starts."""
+
     def visit(self, cursor: Cursor, ctx: TuContext) -> None:  # pragma: no cover
         raise NotImplementedError
+
+    def summarize(self, ctx: TuContext) -> Optional[dict]:
+        """JSON-serializable whole-program facts for this TU, or None."""
+        return None
+
+    @classmethod
+    def finalize_program(cls, tus: list) -> list[dict]:
+        """Findings from the merged summaries; `tus` is [(rel, summary)]
+        for every TU whose summarize() returned facts for this check."""
+        return []
 
 
 class WidthCheck(Check):
@@ -387,26 +559,27 @@ class UncheckedCheck(Check):
 
     _SURFACE = {"translate", "write", "write_repeated", "read",
                 "set_rate_boost"}
-    _FUNC_KINDS = {"FunctionDecl", "CXXMethodDecl", "CXXConstructorDecl"}
+    _VISIT_KINDS = {"FunctionDecl", "CXXMethodDecl", "CXXConstructorDecl"}
+
+    def __init__(self) -> None:
+        self._functions: dict[str, dict] = {}
+        self._entries: list[dict] = []
 
     def visit(self, cursor: Cursor, ctx: TuContext) -> None:
         kind = cursor.kind
         node = cursor.node
         if ctx.rel(cursor.file) is None:
             return  # system headers: callees there resolve as trusted
-        if kind == "CXXRecordDecl":
-            self._note_class(node, ctx)
+        if kind not in self._VISIT_KINDS:
             return
-        if kind not in self._FUNC_KINDS:
-            return
-        body = self._body_of(node)
+        body = _body_of(node)
         if body is None:
             return
         name = node.get("name", "") or ""
         sig = qual_type(node)
-        cls = self._enclosing_class(cursor, ctx)
+        cls = ctx.enclosing_class(cursor)
         key = f"{cls}::{name}|{sig}"
-        record = ctx.a5_functions.setdefault(
+        record = self._functions.setdefault(
             key, {"name": name, "sig": sig, "checks": False, "calls": set()})
         for sub in iter_subtree(body):
             if sub.get("kind") in ("CallExpr", "CXXMemberCallExpr",
@@ -418,39 +591,17 @@ class UncheckedCheck(Check):
                     record["calls"].add((callee, callee_sig))
         self._note_entry(cursor, ctx, node, body, name, sig, cls, key)
 
-    # -- class bookkeeping -------------------------------------------------
-
-    def _note_class(self, node: JsonNode, ctx: TuContext) -> None:
-        name = node.get("name", "") or ""
-        if not name:
-            return
-        node_id = node.get("id")
-        if isinstance(node_id, str):
-            ctx.a5_class_ids[node_id] = name
-        if not node.get("completeDefinition"):
-            return
-        is_wl = name.endswith("WearLeveler")
-        for base in node.get("bases") or []:
-            base_qual = (base.get("type") or {}).get("qualType", "")
-            if "WearLeveler" in base_qual:
-                is_wl = True
-            elif ctx.a5_class_wl.get(base_qual.split("::")[-1].split("<")[0]):
-                is_wl = True  # one level of transitivity through seen bases
-        ctx.a5_class_wl[name] = is_wl or ctx.a5_class_wl.get(name, False)
+    def summarize(self, ctx: TuContext) -> Optional[dict]:
+        if not self._functions and not self._entries:
+            return None
+        functions = {key: {"name": rec["name"], "sig": rec["sig"],
+                           "checks": rec["checks"],
+                           "calls": sorted([list(c) for c in rec["calls"]])}
+                     for key, rec in self._functions.items()}
+        return {"functions": functions, "entries": self._entries}
 
     def _class_is_wl(self, ctx: TuContext, cls: str) -> bool:
-        return bool(ctx.a5_class_wl.get(cls))
-
-    def _enclosing_class(self, cursor: Cursor, ctx: TuContext) -> str:
-        record = cursor.nearest("CXXRecordDecl")
-        if record is not None:
-            return record.get("name", "") or ""
-        # Out-of-line definition: clang emits parentDeclContextId when the
-        # lexical and semantic decl contexts differ.
-        parent_id = cursor.node.get("parentDeclContextId")
-        if isinstance(parent_id, str):
-            return ctx.a5_class_ids.get(parent_id, "")
-        return ""
+        return bool(ctx.class_wl.get(cls))
 
     # -- entry-point bookkeeping -------------------------------------------
 
@@ -472,7 +623,7 @@ class UncheckedCheck(Check):
         rel = ctx.rel(cursor.file)
         if rel is None:
             return
-        ctx.a5_entries.append({
+        self._entries.append({
             "key": key,
             "file": rel,
             "line": cursor.line or 0,
@@ -481,13 +632,6 @@ class UncheckedCheck(Check):
                         f"'{param}' without reaching an "
                         "SRBSG_CHECK/check_* validation"),
         })
-
-    @staticmethod
-    def _body_of(node: JsonNode) -> Optional[JsonNode]:
-        for child in children(node):
-            if child.get("kind") == "CompoundStmt":
-                return child
-        return None
 
     def _used_arith_param(self, node: JsonNode,
                           body: JsonNode) -> Optional[str]:
@@ -521,54 +665,29 @@ class UncheckedCheck(Check):
 
     # -- whole-program closure ---------------------------------------------
 
-    @staticmethod
-    def finalize(merged_functions: dict, merged_entries: list,
-                 suggestion: str) -> list[dict]:
+    @classmethod
+    def finalize_program(cls, tus: list) -> list[dict]:
         """Fixed-point 'reaches a check' closure, then entry-point findings."""
-        functions = merged_functions
-        by_name_sig: dict = {}
-        by_name: dict = {}
-        for key, rec in functions.items():
-            by_name_sig.setdefault((rec["name"], rec["sig"]), []).append(key)
-            by_name.setdefault(rec["name"], []).append(key)
-        checking = {k for k, rec in functions.items() if rec["checks"]}
-
-        def callee_checks(callee: tuple) -> bool:
-            name, sig = callee
-            keys = by_name_sig.get((name, sig)) if sig else None
-            if not keys:
-                keys = by_name.get(name)
-            if not keys:
-                return True  # body never seen: trusted
-            return any(k in checking for k in keys)
-
-        changed = True
-        while changed:
-            changed = False
-            for key, rec in functions.items():
-                if key in checking:
-                    continue
-                if any(callee_checks(c) for c in rec["calls"]):
-                    checking.add(key)
-                    changed = True
-
+        merged = graph.merge_function_maps(tus, "functions")
+        checking = graph.solve_check_closure(graph.CallGraph(merged))
         findings = []
         seen: set = set()
-        for entry in merged_entries:
-            if entry["key"] in checking:
-                continue
-            dedup = (entry["file"], entry["line"], entry["message"])
-            if dedup in seen:
-                continue
-            seen.add(dedup)
-            findings.append({
-                "check": UncheckedCheck.id,
-                "file": entry["file"],
-                "line": entry["line"],
-                "message": entry["message"],
-                "suggestion": suggestion,
-                "context": entry["context"],
-            })
+        for _rel, summary in tus:
+            for entry in summary.get("entries", []):
+                if entry["key"] in checking:
+                    continue
+                dedup = (entry["file"], entry["line"], entry["message"])
+                if dedup in seen:
+                    continue
+                seen.add(dedup)
+                findings.append({
+                    "check": cls.id,
+                    "file": entry["file"],
+                    "line": entry["line"],
+                    "message": entry["message"],
+                    "suggestion": cls.suggestion,
+                    "context": entry["context"],
+                })
         return findings
 
 
@@ -694,6 +813,825 @@ class TelemetryCheck(Check):
                         "library code")
 
 
+def _join(into: list, atoms: list) -> None:
+    for atom in atoms:
+        if atom not in into:
+            into.append(atom)
+
+
+def _resolve_vars(atoms: list, vmap: dict, _seen: Optional[set] = None) -> list:
+    """Replaces local ["var", id] atoms by the atoms of the variable's
+    initializer/assignments; cycle-safe; unresolvable vars drop out
+    (bottom)."""
+    seen = _seen if _seen is not None else set()
+    out: list = []
+    for atom in atoms:
+        if atom[0] == "var":
+            vid = atom[1]
+            if vid in seen:
+                continue
+            seen.add(vid)
+            for sub in _resolve_vars(vmap.get(vid, []), vmap, seen):
+                if sub not in out:
+                    out.append(sub)
+        elif atom not in out:
+            out.append(atom)
+    return out
+
+
+class TaintCheck(Check):
+    """A8: determinism taint reaching serialization sinks, cross-TU.
+
+    Per TU, every function body is compressed into a taint summary:
+    which nondeterminism sources (rand family, wall clocks, pointer
+    hashing, pointer-to-integer casts) flow into its return value, its
+    pointer/reference out-parameters, and the fields it stores.  Local
+    variable flow is resolved within the TU; cross-function flow is the
+    least fixed point solved in graph.solve_taint() over every TU's
+    summary.  A finding fires when a sink call's arguments resolve to a
+    non-empty source-label set.
+
+    Sinks are the JSON/JSONL emitters: `write_jsonl`/`write_file`
+    (src/telemetry/collector.cpp) and anything whose name contains
+    json/serial (the bench_util.hpp writer family).  bench/ binaries
+    time themselves with wall clocks by design, so wall-clock sources
+    are only tainted when read outside bench/; randomness taints
+    everywhere.
+    """
+
+    id = "a8-taint"
+    description = ("nondeterministic value (randomness / wall clock / "
+                   "pointer bits) flows into a serialization sink, possibly "
+                   "across function boundaries")
+    suggestion = ("derive serialized values from simulated time and a seeded "
+                  "srbsg::Rng only; per-run values (wall clocks, heap "
+                  "addresses) must not reach JSON/JSONL emitters")
+    scope_dirs = ()  # sinks live in src/ (telemetry) and bench/ (JSON writers)
+
+    _RAND = {"rand": "rand()", "random": "random()", "drand48": "drand48()",
+             "lrand48": "lrand48()"}
+    _WALL = {"time": "time()", "clock": "clock()",
+             "gettimeofday": "gettimeofday()",
+             "clock_gettime": "clock_gettime()",
+             "timespec_get": "timespec_get()"}
+    _SINK_EXACT = {"write_jsonl", "write_file"}
+    _SINK_RE = re.compile(r"json|serial", re.I)
+    _PTR_CASTS = {"ImplicitCastExpr", "CStyleCastExpr", "CXXStaticCastExpr",
+                  "CXXReinterpretCastExpr", "CXXFunctionalCastExpr"}
+    _HASH_PTR = DeterminismCheck._HASH_PTR
+    _CALL_KINDS = ("CallExpr", "CXXMemberCallExpr", "CXXOperatorCallExpr")
+
+    def __init__(self) -> None:
+        self._functions: dict[str, dict] = {}
+        self._var_atoms: dict[str, dict] = {}  # fn key -> {var id: atoms}
+        self._fn_keys: dict[str, str] = {}     # fn node id -> fn key
+        self._sinks: list[dict] = []
+
+    def visit(self, cursor: Cursor, ctx: TuContext) -> None:
+        kind = cursor.kind
+        if kind in _FUNC_KINDS:
+            self._enter_function(cursor, ctx)
+        elif kind in ("CallExpr", "CXXMemberCallExpr"):
+            name, _ = callee_of(cursor.node)
+            if self._is_sink(name) and \
+                    ctx.in_scope(cursor.file, self.scope_dirs):
+                self._note_sink(cursor, ctx, name)
+
+    def _is_sink(self, name: str) -> bool:
+        if not name:
+            return False
+        return name in self._SINK_EXACT or bool(self._SINK_RE.search(name))
+
+    # -- per-function summary ----------------------------------------------
+
+    def _enter_function(self, cursor: Cursor, ctx: TuContext) -> None:
+        node = cursor.node
+        name = node.get("name", "") or ""
+        if not name or name.startswith("operator"):
+            return
+        rel = ctx.rel(cursor.file)
+        if rel is None:
+            return
+        body = _body_of(node)
+        if body is None:
+            return
+        sig = qual_type(node)
+        cls_name = ctx.enclosing_class(cursor)
+        key = f"{cls_name}::{name}|{sig}"
+        node_id = node.get("id")
+        if isinstance(node_id, str):
+            self._fn_keys[node_id] = key
+        in_bench = rel.startswith("bench/")
+        rec = self._functions.setdefault(
+            key, {"name": name, "sig": sig, "returns": [],
+                  "out_params": {}, "field_stores": {}})
+        var_atoms = self._var_atoms.setdefault(key, {})
+        out_params: dict = {}
+        idx = -1
+        for child in children(node):
+            if child.get("kind") != "ParmVarDecl":
+                continue
+            idx += 1
+            qual = qual_type(child)
+            if "const" in qual:
+                continue
+            if "*" in qual or qual.rstrip().endswith("&"):
+                out_params[child.get("id")] = idx
+        for sub in iter_own_stmts(body):
+            skind = sub.get("kind", "")
+            if skind == "VarDecl":
+                atoms = var_atoms.setdefault(sub.get("id"), [])
+                qual = desugared_type(sub)
+                if "random_device" in qual:
+                    _join(atoms, [["src", "std::random_device"]])
+                elif self._HASH_PTR.search(qual):
+                    _join(atoms, [["src", "pointer hash"]])
+                init = first_expr_child(sub)
+                if init is not None:
+                    collected: list = []
+                    self._collect_atoms(init, cls_name, in_bench, collected)
+                    _join(atoms, collected)
+            elif skind == "ReturnStmt":
+                expr = first_expr_child(sub)
+                if expr is not None:
+                    collected = []
+                    self._collect_atoms(expr, cls_name, in_bench, collected)
+                    _join(rec["returns"], collected)
+            elif skind in ("BinaryOperator", "CompoundAssignOperator"):
+                if skind == "BinaryOperator" and sub.get("opcode") != "=":
+                    continue
+                kids = _expr_children(sub)
+                if len(kids) != 2:
+                    continue
+                collected = []
+                self._collect_atoms(kids[1], cls_name, in_bench, collected)
+                if collected:
+                    self._record_store(kids[0], collected, var_atoms,
+                                       out_params, rec, cls_name)
+            elif skind in self._CALL_KINDS:
+                self._note_out_args(sub, var_atoms)
+
+    def _collect_atoms(self, expr: JsonNode, cls_name: str, in_bench: bool,
+                       out: list) -> None:
+        for sub in iter_own_stmts(expr):
+            skind = sub.get("kind", "")
+            if skind in self._PTR_CASTS:
+                if sub.get("castKind") == "PointerToIntegral":
+                    _join(out, [["src", "pointer-to-integer cast"]])
+            elif skind in ("CXXConstructExpr", "CXXTemporaryObjectExpr"):
+                qual = desugared_type(sub)
+                if "random_device" in qual:
+                    _join(out, [["src", "std::random_device"]])
+                elif self._HASH_PTR.search(qual):
+                    _join(out, [["src", "pointer hash"]])
+            elif skind in self._CALL_KINDS:
+                cname, csig = callee_of(sub)
+                if not cname or cname.startswith("operator"):
+                    continue
+                if cname in self._RAND:
+                    _join(out, [["src", self._RAND[cname]]])
+                elif cname in self._WALL:
+                    if not in_bench:
+                        _join(out, [["src", self._WALL[cname]]])
+                elif cname == "now" and ("clock" in csig or
+                                         "time_point" in csig):
+                    if not in_bench:
+                        _join(out, [["src", "wall-clock now()"]])
+                elif cname not in CHECK_FAMILY:
+                    _join(out, [["call", cname]])
+            elif skind == "DeclRefExpr":
+                ref = sub.get("referencedDecl") or {}
+                if ref.get("kind", "").endswith("VarDecl") and ref.get("id"):
+                    _join(out, [["var", ref.get("id")]])
+            elif skind == "MemberExpr":
+                if "bound member function" not in qual_type(sub):
+                    _join(out, [["field", _field_key(sub, cls_name)]])
+
+    def _record_store(self, lhs: JsonNode, atoms: list, var_atoms: dict,
+                      out_params: dict, rec: dict, cls_name: str) -> None:
+        target = strip_expr(lhs)
+        if target is None:
+            return
+        tkind = target.get("kind")
+        if tkind == "UnaryOperator" and target.get("opcode") == "*":
+            inner = strip_expr(first_expr_child(target))
+            if inner is not None and inner.get("kind") == "DeclRefExpr":
+                ref = inner.get("referencedDecl") or {}
+                if ref.get("id") in out_params:
+                    _join(rec["out_params"].setdefault(
+                        str(out_params[ref.get("id")]), []), atoms)
+            return
+        if tkind == "DeclRefExpr":
+            ref = target.get("referencedDecl") or {}
+            if ref.get("id") in out_params:
+                _join(rec["out_params"].setdefault(
+                    str(out_params[ref.get("id")]), []), atoms)
+            elif ref.get("kind", "").endswith("VarDecl") and ref.get("id"):
+                _join(var_atoms.setdefault(ref.get("id"), []), atoms)
+            return
+        if tkind == "MemberExpr":
+            base = strip_expr(first_expr_child(target))
+            if base is not None and base.get("kind") == "DeclRefExpr":
+                ref = base.get("referencedDecl") or {}
+                if ref.get("id") in out_params:
+                    _join(rec["out_params"].setdefault(
+                        str(out_params[ref.get("id")]), []), atoms)
+                    return
+            _join(rec["field_stores"].setdefault(
+                _field_key(target, cls_name), []), atoms)
+
+    def _note_out_args(self, call: JsonNode, var_atoms: dict) -> None:
+        """A variable passed (by name or address) to a call may be written
+        through the callee's out-parameter: record an ["out", ...] atom."""
+        cname, _ = callee_of(call)
+        if not cname or cname.startswith("operator") or cname in CHECK_FAMILY:
+            return
+        for k, arg in enumerate(children(call)[1:]):
+            target = strip_expr(arg)
+            if target is not None and target.get("kind") == "UnaryOperator" \
+                    and target.get("opcode") == "&":
+                target = strip_expr(first_expr_child(target))
+            if target is None or target.get("kind") != "DeclRefExpr":
+                continue
+            ref = target.get("referencedDecl") or {}
+            if ref.get("kind", "").endswith("VarDecl") and ref.get("id"):
+                _join(var_atoms.setdefault(ref.get("id"), []),
+                      [["out", cname, k]])
+
+    # -- sinks ---------------------------------------------------------------
+
+    def _note_sink(self, cursor: Cursor, ctx: TuContext, name: str) -> None:
+        rel = ctx.rel(cursor.file)
+        if rel is None:
+            return
+        fn = cursor.enclosing_function()
+        atoms: list = []
+        in_bench = rel.startswith("bench/")
+        cls_name = ctx.enclosing_class(cursor)
+        for arg in children(cursor.node)[1:]:
+            self._collect_atoms(arg, cls_name, in_bench, atoms)
+        if not atoms:
+            return
+        self._sinks.append({
+            "file": rel, "line": cursor.line or 0,
+            "context": (fn.get("name", "") or "") if fn is not None else "",
+            "callee": name,
+            "fn_id": fn.get("id") if fn is not None else None,
+            "atoms": atoms,
+        })
+
+    # -- summary / whole-program solve ---------------------------------------
+
+    def summarize(self, ctx: TuContext) -> Optional[dict]:
+        if not self._functions and not self._sinks:
+            return None
+        functions = {}
+        for key, rec in self._functions.items():
+            vmap = self._var_atoms.get(key, {})
+            functions[key] = {
+                "name": rec["name"], "sig": rec["sig"],
+                "returns": _resolve_vars(rec["returns"], vmap),
+                "out_params": {k: _resolve_vars(v, vmap)
+                               for k, v in rec["out_params"].items()},
+                "field_stores": {k: _resolve_vars(v, vmap)
+                                 for k, v in rec["field_stores"].items()},
+            }
+        sinks = []
+        for sink in self._sinks:
+            key = self._fn_keys.get(sink.pop("fn_id") or "")
+            vmap = self._var_atoms.get(key, {}) if key else {}
+            sink["atoms"] = _resolve_vars(sink["atoms"], vmap)
+            if sink["atoms"]:
+                sinks.append(sink)
+        return {"functions": functions, "sinks": sinks}
+
+    @classmethod
+    def finalize_program(cls, tus: list) -> list[dict]:
+        merged = graph.merge_function_maps(tus, "functions")
+        ret_taint, field_taint, out_taint = graph.solve_taint(merged)
+        findings = []
+        seen: set = set()
+        for _rel, summary in tus:
+            for sink in summary.get("sinks", []):
+                labels = sorted(graph.resolve_atoms(
+                    sink["atoms"], ret_taint, field_taint, out_taint))
+                if not labels:
+                    continue
+                dedup = (sink["file"], sink["line"], sink["callee"])
+                if dedup in seen:
+                    continue
+                seen.add(dedup)
+                findings.append({
+                    "check": cls.id, "file": sink["file"],
+                    "line": sink["line"],
+                    "message": (f"nondeterministic value ("
+                                f"{', '.join(labels)}) reaches serialization "
+                                f"sink '{sink['callee']}()'"),
+                    "suggestion": cls.suggestion,
+                    "context": sink.get("context", ""),
+                })
+        return findings
+
+
+class LockCheck(Check):
+    """A9: lock/atomic discipline across TU boundaries.
+
+    The interprocedural generalization of a3: a3 sees a submitted lambda
+    mutate captured state directly; a9 follows the calls the lambda
+    makes.  Per TU, every function is summarized with the non-atomic
+    fields it writes without declaring a lock, the fields it writes
+    through its pointer/reference parameters, the same-class methods it
+    calls on `this`, and the parameters it forwards verbatim.  Submit
+    sites (`submit`/`parallel_for`/`enqueue` receiving an inline lambda)
+    record the member calls on captured objects and the captured
+    variables passed to free functions.  The whole-program solve
+    (graph.solve_method_writes / solve_param_escapes) then decides, with
+    every TU's summary on the table, whether the callee chain reaches an
+    unguarded field write.  Lock-declaring lambdas/methods and callees
+    never summarized are trusted.
+    """
+
+    id = "a9-lock"
+    description = ("code reachable from a pool-submitted lambda (in any TU) "
+                   "writes a field with no lock or atomic")
+    suggestion = ("guard the field with a mutex or make it std::atomic; "
+                  "methods called from submitted lambdas run under the "
+                  "pool's concurrency whatever TU they live in")
+    scope_dirs = ("src/",)
+
+    _SUBMITTERS = RaceCheck._SUBMITTERS
+    _LOCKS = RaceCheck._LOCKS
+
+    def __init__(self) -> None:
+        self._functions: dict[str, dict] = {}
+        self._sites: list[dict] = []
+
+    def visit(self, cursor: Cursor, ctx: TuContext) -> None:
+        kind = cursor.kind
+        if kind in _FUNC_KINDS:
+            self._enter_function(cursor, ctx)
+        elif kind in ("CallExpr", "CXXMemberCallExpr"):
+            name, _ = callee_of(cursor.node)
+            if name in self._SUBMITTERS and \
+                    ctx.in_scope(cursor.file, self.scope_dirs):
+                self._note_sites(cursor, ctx, name)
+
+    # -- per-function facts --------------------------------------------------
+
+    def _enter_function(self, cursor: Cursor, ctx: TuContext) -> None:
+        node = cursor.node
+        name = node.get("name", "") or ""
+        if not name or name.startswith("operator"):
+            return
+        if ctx.rel(cursor.file) is None:
+            return
+        body = _body_of(node)
+        if body is None:
+            return
+        cls_name = ctx.enclosing_class(cursor)
+        sig = qual_type(node)
+        rec = self._functions.setdefault(
+            f"{cls_name}::{name}|{sig}",
+            {"name": name, "sig": sig, "cls": cls_name, "guarded": False,
+             "field_writes": [], "this_calls": [], "param_writes": {},
+             "param_forwards": []})
+        ref_params: dict = {}
+        idx = -1
+        for child in children(node):
+            if child.get("kind") != "ParmVarDecl":
+                continue
+            idx += 1
+            qual = qual_type(child)
+            if "const" in qual:
+                continue
+            if "*" in qual or qual.rstrip().endswith("&"):
+                ref_params[child.get("id")] = idx
+        for sub in iter_own_stmts(body):
+            skind = sub.get("kind", "")
+            if skind.endswith("VarDecl") and \
+                    self._LOCKS.search(desugared_type(sub)):
+                rec["guarded"] = True
+            elif skind in ("BinaryOperator", "CompoundAssignOperator",
+                           "UnaryOperator"):
+                if skind == "BinaryOperator" and sub.get("opcode") != "=":
+                    continue
+                if skind == "UnaryOperator" and \
+                        sub.get("opcode") not in ("++", "--"):
+                    continue
+                self._note_write(sub, rec, ref_params)
+            elif skind == "CXXMemberCallExpr":
+                member = _member_of(sub)
+                if member is not None:
+                    base = strip_expr(first_expr_child(member))
+                    mname = member.get("name", "") or ""
+                    if base is not None and \
+                            base.get("kind") == "CXXThisExpr" and mname and \
+                            mname not in rec["this_calls"]:
+                        rec["this_calls"].append(mname)
+                self._note_forwards(sub, rec, ref_params)
+            elif skind == "CallExpr":
+                self._note_forwards(sub, rec, ref_params)
+
+    def _note_write(self, stmt: JsonNode, rec: dict,
+                    ref_params: dict) -> None:
+        target = strip_expr(first_expr_child(stmt))
+        if target is None or target.get("kind") != "MemberExpr":
+            return
+        if "atomic" in desugared_type(target):
+            return
+        fname = target.get("name", "") or ""
+        if not fname:
+            return
+        base = strip_expr(first_expr_child(target))
+        if base is None:
+            return
+        if base.get("kind") == "CXXThisExpr":
+            if fname not in rec["field_writes"]:
+                rec["field_writes"].append(fname)
+        elif base.get("kind") == "DeclRefExpr":
+            ref = base.get("referencedDecl") or {}
+            if ref.get("id") in ref_params:
+                rec["param_writes"].setdefault(
+                    str(ref_params[ref.get("id")]), fname)
+
+    def _note_forwards(self, call: JsonNode, rec: dict,
+                       ref_params: dict) -> None:
+        cname, _ = callee_of(call)
+        if not cname or cname.startswith("operator") or \
+                cname in CHECK_FAMILY or cname in self._SUBMITTERS:
+            return
+        for k, arg in enumerate(children(call)[1:]):
+            target = strip_expr(arg)
+            if target is None or target.get("kind") != "DeclRefExpr":
+                continue
+            ref = target.get("referencedDecl") or {}
+            if ref.get("id") in ref_params:
+                edge = [ref_params[ref.get("id")], cname, k]
+                if edge not in rec["param_forwards"]:
+                    rec["param_forwards"].append(edge)
+
+    # -- submit sites --------------------------------------------------------
+
+    def _note_sites(self, cursor: Cursor, ctx: TuContext,
+                    submit_name: str) -> None:
+        rel = ctx.rel(cursor.file)
+        if rel is None:
+            return
+        fn = cursor.enclosing_function()
+        context = (fn.get("name", "") or "") if fn is not None else ""
+        encl_cls = ctx.enclosing_class(cursor)
+        for sub in iter_subtree(cursor.node):
+            if sub.get("kind") == "LambdaExpr":
+                self._scan_lambda(sub, submit_name, rel, cursor.line or 0,
+                                  context, encl_cls)
+
+    def _scan_lambda(self, lam: JsonNode, submit_name: str, rel: str,
+                     line: int, context: str, encl_cls: str) -> None:
+        declared: set = set()
+        for sub in iter_subtree(lam):
+            skind = sub.get("kind", "")
+            if skind.endswith("VarDecl"):
+                declared.add(sub.get("id"))
+                if self._LOCKS.search(desugared_type(sub)):
+                    return  # body takes a lock: treated as synchronized
+        for sub in iter_subtree(lam):
+            skind = sub.get("kind")
+            if skind == "CXXMemberCallExpr":
+                self._scan_member_call(sub, declared, submit_name, rel, line,
+                                       context, encl_cls)
+            elif skind == "CallExpr":
+                self._scan_free_call(sub, declared, submit_name, rel, line,
+                                     context)
+
+    def _scan_member_call(self, call: JsonNode, declared: set,
+                          submit_name: str, rel: str, line: int,
+                          context: str, encl_cls: str) -> None:
+        member = _member_of(call)
+        if member is None:
+            return
+        mname = member.get("name", "") or ""
+        if not mname or mname.startswith("operator"):
+            return
+        base = strip_expr(first_expr_child(member))
+        if base is None:
+            return
+        if base.get("kind") == "CXXThisExpr":
+            self._sites.append({
+                "kind": "method", "cls": encl_cls, "callee": mname,
+                "recv": "this", "submit": submit_name, "file": rel,
+                "line": line, "context": context})
+            return
+        if base.get("kind") != "DeclRefExpr":
+            return
+        ref = base.get("referencedDecl") or {}
+        if ref.get("id") in declared or \
+                not ref.get("kind", "").endswith("VarDecl"):
+            return
+        rtype = desugared_type(base) or qual_type(base) or \
+            ((ref.get("type") or {}).get("qualType", "") or "")
+        if "atomic" in rtype:
+            return
+        self._sites.append({
+            "kind": "method", "cls": _class_of_type(rtype), "callee": mname,
+            "recv": ref.get("name") or "<captured>", "submit": submit_name,
+            "file": rel, "line": line, "context": context})
+
+    def _scan_free_call(self, call: JsonNode, declared: set,
+                        submit_name: str, rel: str, line: int,
+                        context: str) -> None:
+        cname, _ = callee_of(call)
+        if not cname or cname.startswith("operator") or \
+                cname in CHECK_FAMILY or cname in self._SUBMITTERS:
+            return
+        for k, arg in enumerate(children(call)[1:]):
+            target = strip_expr(arg)
+            if target is None or target.get("kind") != "DeclRefExpr":
+                continue
+            ref = target.get("referencedDecl") or {}
+            if ref.get("id") in declared or \
+                    not ref.get("kind", "").endswith("VarDecl"):
+                continue
+            if "atomic" in ((ref.get("type") or {}).get("qualType", "")):
+                continue
+            self._sites.append({
+                "kind": "free", "callee": cname, "argidx": k,
+                "arg": ref.get("name") or "<captured>",
+                "submit": submit_name, "file": rel, "line": line,
+                "context": context})
+
+    # -- summary / whole-program solve ---------------------------------------
+
+    def summarize(self, ctx: TuContext) -> Optional[dict]:
+        if not self._functions and not self._sites:
+            return None
+        return {"functions": self._functions, "sites": self._sites}
+
+    @classmethod
+    def finalize_program(cls, tus: list) -> list[dict]:
+        merged = graph.merge_function_maps(tus, "functions")
+        writes = graph.solve_method_writes(merged)
+        # Guarded functions are trusted end to end: a write through a
+        # parameter (or a forward to an unguarded writer) performed under
+        # a declared lock is synchronized, same as guarded methods in
+        # solve_method_writes.
+        escapes = graph.solve_param_escapes(
+            merged,
+            lambda rec: {} if rec.get("guarded") else
+            {int(k): ["write", v]
+             for k, v in (rec.get("param_writes") or {}).items()},
+            lambda rec: [] if rec.get("guarded") else
+            (rec.get("param_forwards") or []))
+        findings = []
+        seen: set = set()
+        for _rel, summary in tus:
+            for site in summary.get("sites", []):
+                if site["kind"] == "method":
+                    field = writes.get((site.get("cls", ""), site["callee"]))
+                    if field is None:
+                        continue
+                    recv = site.get("recv", "<captured>")
+                    target = "this" if recv == "this" else f"captured '{recv}'"
+                    message = (
+                        f"lambda submitted to '{site['submit']}' calls "
+                        f"'{site.get('cls') or '?'}::{site['callee']}()' on "
+                        f"{target}, which writes field '{field}' with no "
+                        "lock or atomic")
+                else:
+                    reason = escapes.get((site["callee"],
+                                          int(site["argidx"])))
+                    if reason is None:
+                        continue
+                    field = _unwrap_reason(reason)
+                    message = (
+                        f"lambda submitted to '{site['submit']}' passes "
+                        f"captured '{site['arg']}' to '{site['callee']}()', "
+                        f"which writes field '{field}' with no lock or "
+                        "atomic")
+                dedup = (site["file"], site["line"], message)
+                if dedup in seen:
+                    continue
+                seen.add(dedup)
+                findings.append({"check": cls.id, "file": site["file"],
+                                 "line": site["line"], "message": message,
+                                 "suggestion": cls.suggestion,
+                                 "context": site.get("context", "")})
+        return findings
+
+
+class LifetimeCheck(Check):
+    """A10: view parameters (std::span / Recorder*) escaping into members.
+
+    A span or raw Recorder pointer taken as a parameter borrows storage
+    the caller owns; storing it into a member lets the view outlive the
+    call.  Per TU, functions with view parameters are summarized with
+    the `this->member = param` stores they perform and the calls they
+    forward the parameter to verbatim; graph.solve_param_escapes()
+    closes the forward chains over every TU.  Only plain `member =
+    param` stores count (a conditional or computed right-hand side is
+    not a stored view), and constructor member-init lists are exempt —
+    both deliberate under-reporting.
+    """
+
+    id = "a10-lifetime"
+    description = ("std::span / Recorder* view parameter is stored into a "
+                   "member that outlives the call (directly or through a "
+                   "callee in another TU)")
+    suggestion = ("copy the viewed data instead of the view, or document "
+                  "the attached-observer lifetime contract and suppress; a "
+                  "stored view must not outlive the buffer it borrows")
+    scope_dirs = ("src/",)
+
+    _VIEW = re.compile(r"\bspan<|\bRecorder\s*\*")
+
+    def __init__(self) -> None:
+        self._functions: dict[str, dict] = {}
+        self._fn_info: dict[str, tuple] = {}  # fn node id -> (key, {pid: idx})
+
+    def visit(self, cursor: Cursor, ctx: TuContext) -> None:
+        kind = cursor.kind
+        if kind in _FUNC_KINDS:
+            self._enter_function(cursor, ctx)
+        elif kind == "BinaryOperator":
+            if cursor.node.get("opcode") != "=":
+                return
+            info = self._info_for(cursor)
+            if info is None:
+                return
+            kids = _expr_children(cursor.node)
+            if len(kids) == 2:
+                self._note_store(kids[0], kids[1], info, cursor, ctx)
+        elif kind == "CXXOperatorCallExpr":
+            # Class-type assignment (span member = span param) is an
+            # operator= call: children are [callee, lhs, rhs].
+            cname, _ = callee_of(cursor.node)
+            if cname != "operator=":
+                return
+            info = self._info_for(cursor)
+            if info is None:
+                return
+            kids = _expr_children(cursor.node)
+            if len(kids) >= 3:
+                self._note_store(kids[1], kids[2], info, cursor, ctx)
+        elif kind in ("CallExpr", "CXXMemberCallExpr"):
+            info = self._info_for(cursor)
+            if info is not None:
+                self._note_forward(cursor, ctx, info)
+
+    def _info_for(self, cursor: Cursor) -> Optional[tuple]:
+        fn = cursor.enclosing_function()
+        if fn is None:
+            return None
+        return self._fn_info.get(fn.get("id"))
+
+    def _enter_function(self, cursor: Cursor, ctx: TuContext) -> None:
+        node = cursor.node
+        name = node.get("name", "") or ""
+        if not name or name.startswith("operator"):
+            return
+        if ctx.rel(cursor.file) is None:
+            return
+        view_params: dict = {}
+        param_names: dict = {}
+        param_ids: dict = {}
+        idx = -1
+        for child in children(node):
+            if child.get("kind") != "ParmVarDecl":
+                continue
+            idx += 1
+            qual = qual_type(child)
+            if self._VIEW.search(qual) or \
+                    self._VIEW.search(desugared_type(child)):
+                view_params[str(idx)] = qual
+                param_names[str(idx)] = child.get("name", "") or "<param>"
+                param_ids[child.get("id")] = idx
+        if not view_params:
+            return
+        cls_name = ctx.enclosing_class(cursor)
+        key = f"{cls_name}::{name}|{qual_type(node)}"
+        self._functions.setdefault(
+            key, {"name": name, "sig": qual_type(node),
+                  "view_params": view_params, "param_names": param_names,
+                  "stores": [], "forwards": [], "edges": []})
+        node_id = node.get("id")
+        if isinstance(node_id, str):
+            self._fn_info[node_id] = (key, param_ids)
+
+    def _note_store(self, lhs: JsonNode, rhs: JsonNode, info: tuple,
+                    cursor: Cursor, ctx: TuContext) -> None:
+        key, param_ids = info
+        target = strip_expr(lhs)
+        rhs_t = strip_expr(rhs)
+        if target is None or rhs_t is None:
+            return
+        if target.get("kind") != "MemberExpr" or \
+                rhs_t.get("kind") != "DeclRefExpr":
+            return
+        base = strip_expr(first_expr_child(target))
+        if base is None or base.get("kind") != "CXXThisExpr":
+            return  # only members of the object itself outlive the call
+        idx = param_ids.get((rhs_t.get("referencedDecl") or {}).get("id"))
+        if idx is None:
+            return
+        rel = ctx.rel(cursor.file)
+        if rel is None:
+            return
+        fn = cursor.enclosing_function()
+        store = {"idx": idx, "field": target.get("name", "") or "?",
+                 "file": rel, "line": cursor.line or 0,
+                 "context": (fn.get("name", "") or "") if fn else "",
+                 "scoped": ctx.in_scope(cursor.file, self.scope_dirs)}
+        rec = self._functions[key]
+        if store not in rec["stores"]:
+            rec["stores"].append(store)
+
+    def _note_forward(self, cursor: Cursor, ctx: TuContext,
+                      info: tuple) -> None:
+        key, param_ids = info
+        node = cursor.node
+        cname, _ = callee_of(node)
+        if not cname or cname.startswith("operator") or cname in CHECK_FAMILY:
+            return
+        rec = self._functions[key]
+        rel = ctx.rel(cursor.file)
+        scoped = rel is not None and \
+            ctx.in_scope(cursor.file, self.scope_dirs)
+        fn = cursor.enclosing_function()
+        context = (fn.get("name", "") or "") if fn is not None else ""
+        for k, arg in enumerate(children(node)[1:]):
+            target = strip_expr(arg)
+            if target is None or target.get("kind") != "DeclRefExpr":
+                continue
+            idx = param_ids.get((target.get("referencedDecl") or {}).get("id"))
+            if idx is None:
+                continue
+            edge = [idx, cname, k]
+            if edge not in rec["edges"]:
+                rec["edges"].append(edge)
+            if scoped:
+                fwd = {"idx": idx, "callee": cname, "argidx": k,
+                       "file": rel, "line": cursor.line or 0,
+                       "context": context}
+                if fwd not in rec["forwards"]:
+                    rec["forwards"].append(fwd)
+
+    def summarize(self, ctx: TuContext) -> Optional[dict]:
+        if not self._functions:
+            return None
+        return {"functions": self._functions}
+
+    @classmethod
+    def finalize_program(cls, tus: list) -> list[dict]:
+        merged = graph.merge_function_maps(tus, "functions")
+        escapes = graph.solve_param_escapes(
+            merged,
+            lambda rec: {int(s["idx"]): ["store", s["field"]]
+                         for s in (rec.get("stores") or [])},
+            lambda rec: rec.get("edges") or [])
+        findings = []
+        for fn_key in sorted(merged):
+            rec = merged[fn_key]
+            for idx_s in sorted(rec.get("view_params") or {}, key=int):
+                idx = int(idx_s)
+                pname = (rec.get("param_names") or {}).get(idx_s, "<param>")
+                label = rec["view_params"][idx_s]
+                stores = sorted(
+                    (s for s in rec.get("stores") or []
+                     if int(s["idx"]) == idx),
+                    key=lambda s: (s["file"], s["line"]))
+                scoped_stores = [s for s in stores if s.get("scoped", True)]
+                if scoped_stores:
+                    s = scoped_stores[0]
+                    findings.append({
+                        "check": cls.id, "file": s["file"], "line": s["line"],
+                        "message": (f"view parameter '{pname}' ({label}) is "
+                                    f"stored into member '{s['field']}', "
+                                    "which outlives the call"),
+                        "suggestion": cls.suggestion,
+                        "context": s.get("context", "")})
+                if stores:
+                    continue  # direct store reported; skip its forwards
+                for fwd in sorted(rec.get("forwards") or [],
+                                  key=lambda f: (f["file"], f["line"])):
+                    if int(fwd["idx"]) != idx:
+                        continue
+                    reason = escapes.get((fwd["callee"], int(fwd["argidx"])))
+                    if reason is None:
+                        continue
+                    findings.append({
+                        "check": cls.id, "file": fwd["file"],
+                        "line": fwd["line"],
+                        "message": (f"view parameter '{pname}' ({label}) "
+                                    f"escapes through '{fwd['callee']}()' "
+                                    f"into member "
+                                    f"'{_unwrap_reason(reason)}', which "
+                                    "outlives the call"),
+                        "suggestion": cls.suggestion,
+                        "context": fwd.get("context", "")})
+                    break
+        return findings
+
+
 ALL_CHECKS = [WidthCheck, DeterminismCheck, RaceCheck, StateCheck,
-              UncheckedCheck, BatchCheck, TelemetryCheck]
+              UncheckedCheck, BatchCheck, TelemetryCheck, TaintCheck,
+              LockCheck, LifetimeCheck]
 CHECKS_BY_ID = {c.id: c for c in ALL_CHECKS}

@@ -105,62 +105,93 @@ def dump_ast(clang: str, file: str, flags: list[str]) -> Optional[dict]:
         return None
 
 
+def clang_version(clang: str) -> str:
+    """First line of `clang --version` (cache invalidation input)."""
+    try:
+        proc = subprocess.run([clang, "--version"], capture_output=True,
+                              text=True, timeout=60)
+    except (OSError, subprocess.TimeoutExpired):
+        return "unknown"
+    lines = (proc.stdout or proc.stderr or "").strip().splitlines()
+    return lines[0].strip() if lines else "unknown"
+
+
 def analyze_ast(root: dict, repo_root: str, src_root: str,
-                check_classes: list) -> TuContext:
-    """Runs the check visitors over one parsed AST."""
+                check_classes: list) -> tuple[TuContext, dict]:
+    """Runs the check visitors over one parsed AST; returns the TU
+    context (findings, dep tracking) and the per-check summaries
+    ({check id: summary} for checks with whole-program facts)."""
     ctx = TuContext(repo_root, src_root)
     instances = [cls() for cls in check_classes]
+    for check in instances:
+        check.begin_tu(ctx)
 
     def visit(cursor):
+        ctx.note_node(cursor)
         for check in instances:
             check.visit(cursor, ctx)
 
     walk(root, visit)
-    return ctx
+    summaries: dict = {}
+    for check in instances:
+        summary = check.summarize(ctx)
+        if summary is not None:
+            summaries[check.id] = summary
+    return ctx, summaries
 
 
 def _tu_worker(args: tuple) -> tuple:
-    """(findings, a5_functions, a5_entries, error) for one TU."""
+    """(findings, summaries, deps, error) for one TU."""
     clang, file, flags, repo_root, src_root, check_ids = args
     from checks import CHECKS_BY_ID  # re-import inside worker processes
     root = dump_ast(clang, file, flags)
     if root is None:
         return [], {}, [], f"clang failed to parse {file}"
-    ctx = analyze_ast(root, repo_root, src_root,
-                      [CHECKS_BY_ID[c] for c in check_ids])
-    functions = {k: {"name": v["name"], "sig": v["sig"],
-                     "checks": v["checks"], "calls": sorted(v["calls"])}
-                 for k, v in ctx.a5_functions.items()}
-    return ctx.findings, functions, ctx.a5_entries, None
+    ctx, summaries = analyze_ast(root, repo_root, src_root,
+                                 [CHECKS_BY_ID[c] for c in check_ids])
+    return ctx.findings, summaries, ctx.deps(), None
 
 
 def run_tus(clang: str, tus: list[dict], repo_root: str, src_root: str,
-            check_ids: list[str], jobs: int = 0) -> tuple:
-    """Analyzes every TU; returns (findings, merged_a5_functions,
-    merged_a5_entries, errors)."""
+            check_ids: list[str], jobs: int = 0, cache=None) -> tuple:
+    """Analyzes every TU (warm cache entries are reused without invoking
+    clang); returns (findings, tu_summaries, errors, stats) where
+    tu_summaries is [(rel, {check id: summary})] in TU order and stats
+    is {"hits": n, "analyzed": m}."""
     jobs = jobs or min(4, os.cpu_count() or 1)
+    results_by_rel: dict = {}
+    todo: list[dict] = []
+    hits = 0
+    for tu in tus:
+        entry = cache.lookup(tu) if cache is not None else None
+        if entry is not None:
+            results_by_rel[tu["rel"]] = (entry["findings"],
+                                         entry["summaries"], None)
+            hits += 1
+        else:
+            todo.append(tu)
+
     tasks = [(clang, tu["file"], tu["flags"], repo_root, src_root, check_ids)
-             for tu in tus]
-    results = []
+             for tu in todo]
     if jobs > 1 and len(tasks) > 1:
         with ProcessPoolExecutor(max_workers=jobs) as pool:
-            results = list(pool.map(_tu_worker, tasks))
+            worker_results = list(pool.map(_tu_worker, tasks))
     else:
-        results = [_tu_worker(t) for t in tasks]
+        worker_results = [_tu_worker(t) for t in tasks]
+    for tu, (tu_findings, summaries, deps, error) in zip(todo,
+                                                         worker_results):
+        results_by_rel[tu["rel"]] = (tu_findings, summaries, error)
+        if cache is not None and error is None:
+            cache.store(tu, tu_findings, summaries, deps)
 
     findings: list[dict] = []
-    merged_functions: dict = {}
-    merged_entries: list[dict] = []
+    tu_summaries: list[tuple] = []
     errors: list[str] = []
-    for tu_findings, functions, entries, error in results:
+    for tu in tus:
+        tu_findings, summaries, error = results_by_rel[tu["rel"]]
         findings.extend(tu_findings)
-        for key, rec in functions.items():
-            merged = merged_functions.setdefault(
-                key, {"name": rec["name"], "sig": rec["sig"],
-                      "checks": False, "calls": set()})
-            merged["checks"] = merged["checks"] or rec["checks"]
-            merged["calls"].update(tuple(c) for c in rec["calls"])
-        merged_entries.extend(entries)
+        tu_summaries.append((tu["rel"], summaries or {}))
         if error:
             errors.append(error)
-    return findings, merged_functions, merged_entries, errors
+    return findings, tu_summaries, errors, {"hits": hits,
+                                            "analyzed": len(todo)}

@@ -72,21 +72,31 @@ def merge_prepass(ast_findings: list[dict],
     return merged
 
 
-def prepass_files(repo_root: str, tus: list[dict],
-                  extra_sources: list[str]) -> list[str]:
-    """Files the pre-pass scans: every selected src/ TU plus src/ headers
-    (headers are not TUs but lint R1 always covered them).  bench/ TUs
-    are selected for a6-batch only — bench binaries time themselves with
-    wall clocks by design, so R1 does not patrol them (mirrors the
-    a2-determinism scope in checks.py)."""
-    files = {tu["rel"] for tu in tus if tu["rel"].startswith("src/")}
-    files.update(extra_sources)
-    src_root = os.path.join(repo_root, "src")
-    if any(f.startswith("src/") for f in files) and os.path.isdir(src_root):
-        for dirpath, _dirnames, filenames in os.walk(src_root):
+def prepass_files(repo_root: str, tus: list[dict], extra_sources: list[str],
+                  paths: list[str] | None = None) -> list[str]:
+    """Files the pre-pass scans: every selected src/ and bench/ TU plus
+    the headers under both trees (headers are not TUs but lint R1 always
+    covered them).  bench/ is in scope: its binaries time themselves
+    with chrono clocks, which R1's patterns deliberately do not match,
+    but rand()/time(NULL) in a benchmark breaks run-to-run
+    reproducibility exactly like it does in src/.  When the caller
+    restricted analysis with --paths, the same restriction applies here
+    (extra --sources files are explicit requests and always scanned)."""
+    files = {tu["rel"] for tu in tus
+             if tu["rel"].startswith(("src/", "bench/"))}
+    for tree in ("src", "bench"):
+        tree_root = os.path.join(repo_root, tree)
+        if not os.path.isdir(tree_root):
+            continue
+        for dirpath, _dirnames, filenames in os.walk(tree_root):
             for name in filenames:
-                if name.endswith(".hpp"):
+                if name.endswith((".hpp", ".h")):
                     rel = os.path.relpath(os.path.join(dirpath, name),
                                           repo_root)
                     files.add(rel)
+    if paths:
+        prefixes = [p.rstrip("/") for p in paths]
+        files = {f for f in files
+                 if any(f == p or f.startswith(p + "/") for p in prefixes)}
+    files.update(extra_sources)
     return sorted(files)

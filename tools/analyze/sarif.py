@@ -1,0 +1,193 @@
+"""SARIF 2.1.0 emitter for srbsg-analyze.
+
+Emits one run with one rule per registered check and one result per
+finding.  Baselined findings are carried as suppressed results with a
+suppression of kind "external" (the committed baseline.json), inline
+`// srbsg-analyze: suppress(...)` comments as kind "inSource", so SARIF
+consumers (GitHub code scanning, IDE viewers) show exactly the findings
+the repo's own gates treat as new.
+
+validate() is a structural validator covering the subset of the 2.1.0
+schema this emitter uses — required properties, types, and referential
+integrity (ruleIndex agreement, region bounds).  It exists so the
+selftest can gate the emitter without a network fetch of the official
+schema; it intentionally rejects documents this module never produces.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Optional
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = ("https://raw.githubusercontent.com/oasis-tcs/sarif-spec/"
+                "master/Schemata/sarif-schema-2.1.0.json")
+_URI_BASE_ID = "REPOROOT"
+
+
+def _rule(check_cls) -> dict:
+    return {
+        "id": check_cls.id,
+        "name": check_cls.__name__,
+        "shortDescription": {"text": check_cls.description},
+        "help": {"text": check_cls.suggestion},
+        "defaultConfiguration": {"level": "warning"},
+    }
+
+
+def _result(finding: dict, rule_index: dict,
+            suppression: Optional[dict]) -> dict:
+    result = {
+        "ruleId": finding["check"],
+        "ruleIndex": rule_index[finding["check"]],
+        "level": "warning",
+        "message": {"text": finding["message"]},
+        "locations": [{
+            "physicalLocation": {
+                "artifactLocation": {
+                    "uri": finding["file"],
+                    "uriBaseId": _URI_BASE_ID,
+                },
+                "region": {"startLine": max(1, finding.get("line", 1) or 1)},
+            },
+        }],
+    }
+    context = finding.get("context", "")
+    if context:
+        result["partialFingerprints"] = {"srbsgContext/v1": context}
+    if suppression is not None:
+        result["suppressions"] = [suppression]
+    return result
+
+
+def build(new: list, baselined: list, suppressed: list, check_classes: list,
+          repo_root: str) -> dict:
+    """SARIF document for one analyzer run."""
+    rules = [_rule(cls) for cls in check_classes]
+    rule_index = {rule["id"]: i for i, rule in enumerate(rules)}
+    results = []
+    for finding in new:
+        results.append(_result(finding, rule_index, None))
+    for finding in baselined:
+        results.append(_result(finding, rule_index, {
+            "kind": "external",
+            "justification": "accepted in tools/analyze/baseline.json",
+        }))
+    for finding in suppressed:
+        results.append(_result(finding, rule_index, {
+            "kind": "inSource",
+            "justification": "inline srbsg-analyze: suppress(...) comment",
+        }))
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [{
+            "tool": {"driver": {
+                "name": "srbsg-analyze",
+                "informationUri": "tools/analyze",
+                "rules": rules,
+            }},
+            "originalUriBaseIds": {
+                _URI_BASE_ID: {"uri": "file://" + repo_root.rstrip("/") + "/"},
+            },
+            "columnKind": "utf16CodeUnits",
+            "results": results,
+        }],
+    }
+
+
+def write(path: str, doc: dict) -> None:
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh, indent=2)
+        fh.write("\n")
+
+
+# -- structural validation ----------------------------------------------------
+
+def _expect(errors: list, cond: bool, message: str) -> bool:
+    if not cond:
+        errors.append(message)
+    return cond
+
+
+def validate(doc: dict) -> list:
+    """Structural errors in a SARIF document produced by build(); empty
+    when the document is well-formed."""
+    errors: list = []
+    if not _expect(errors, isinstance(doc, dict), "document is not an object"):
+        return errors
+    _expect(errors, doc.get("version") == SARIF_VERSION,
+            f"version must be '{SARIF_VERSION}'")
+    runs = doc.get("runs")
+    if not _expect(errors, isinstance(runs, list) and runs,
+                   "runs must be a non-empty array"):
+        return errors
+    for ri, run in enumerate(runs):
+        where = f"runs[{ri}]"
+        if not _expect(errors, isinstance(run, dict), f"{where} not object"):
+            continue
+        driver = (run.get("tool") or {}).get("driver")
+        if not _expect(errors, isinstance(driver, dict),
+                       f"{where}.tool.driver missing"):
+            continue
+        _expect(errors, bool(driver.get("name")),
+                f"{where}.tool.driver.name missing")
+        rules = driver.get("rules") or []
+        rule_ids = []
+        for qi, rule in enumerate(rules):
+            rwhere = f"{where}.rules[{qi}]"
+            if not _expect(errors, isinstance(rule, dict) and
+                           bool(rule.get("id")), f"{rwhere}.id missing"):
+                continue
+            rule_ids.append(rule["id"])
+            _expect(errors,
+                    isinstance((rule.get("shortDescription") or {})
+                               .get("text"), str),
+                    f"{rwhere}.shortDescription.text missing")
+        for si, result in enumerate(run.get("results") or []):
+            swhere = f"{where}.results[{si}]"
+            if not _expect(errors, isinstance(result, dict),
+                           f"{swhere} not object"):
+                continue
+            _expect(errors,
+                    isinstance((result.get("message") or {}).get("text"),
+                               str),
+                    f"{swhere}.message.text missing")
+            rule_id = result.get("ruleId")
+            if _expect(errors, isinstance(rule_id, str) and rule_id,
+                       f"{swhere}.ruleId missing") and rule_ids:
+                if _expect(errors, rule_id in rule_ids,
+                           f"{swhere}.ruleId '{rule_id}' not in rules"):
+                    index = result.get("ruleIndex")
+                    if index is not None:
+                        _expect(errors,
+                                isinstance(index, int) and
+                                0 <= index < len(rule_ids) and
+                                rule_ids[index] == rule_id,
+                                f"{swhere}.ruleIndex disagrees with ruleId")
+            level = result.get("level")
+            _expect(errors,
+                    level in (None, "none", "note", "warning", "error"),
+                    f"{swhere}.level invalid")
+            for li, loc in enumerate(result.get("locations") or []):
+                lwhere = f"{swhere}.locations[{li}]"
+                phys = (loc or {}).get("physicalLocation")
+                if not _expect(errors, isinstance(phys, dict),
+                               f"{lwhere}.physicalLocation missing"):
+                    continue
+                art = phys.get("artifactLocation")
+                if _expect(errors, isinstance(art, dict),
+                           f"{lwhere}.artifactLocation missing"):
+                    _expect(errors, isinstance(art.get("uri"), str),
+                            f"{lwhere}.artifactLocation.uri missing")
+                region = phys.get("region")
+                if region is not None:
+                    _expect(errors,
+                            isinstance(region.get("startLine"), int) and
+                            region["startLine"] >= 1,
+                            f"{lwhere}.region.startLine must be >= 1")
+            for pi, sup in enumerate(result.get("suppressions") or []):
+                _expect(errors,
+                        (sup or {}).get("kind") in ("inSource", "external"),
+                        f"{swhere}.suppressions[{pi}].kind invalid")
+    return errors

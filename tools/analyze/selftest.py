@@ -9,8 +9,15 @@ Modes (one per ctest test):
             block.  Validates check logic without clang.
   baseline  Baseline write/read round-trip over an AST fixture
             (write-baseline silences, justifications survive rewrites)
-            plus same-line / preceding-line suppression-comment rules.
-            No clang needed.
+            plus same-line / preceding-line suppression-comment rules,
+            SARIF emission/validation, and regex pre-pass scoping
+            (--paths restriction, bench/ coverage).  No clang needed.
+  cache     Incremental-cache correctness against a hermetic stub clang
+            (the "compiler" replays pre-dumped JSON ASTs): cold run
+            analyzes every TU, warm run reuses all of them, editing one
+            TU re-analyzes only it and evicts its stale findings, and a
+            clang version bump invalidates everything.  No clang
+            needed.
   fixtures  Compile every tests/analyze_fixtures/*.cpp with the real
             clang and assert the analyzer reports exactly the seeded
             `// EXPECT: <check>` lines as new findings and exactly the
@@ -43,6 +50,8 @@ sys.path.insert(0, HERE)
 
 import baseline as baseline_mod  # noqa: E402
 import driver  # noqa: E402
+import prepass  # noqa: E402
+import sarif as sarif_mod  # noqa: E402
 
 # `EXPECT:` requires the colon, so it never matches inside
 # `EXPECT-SUPPRESSED:`.
@@ -193,6 +202,195 @@ def mode_baseline() -> int:
                 fail(f"suppression rule mismatch for {finding} "
                      f"(expected {want})")
         print("ok: suppression comment rules")
+
+        # SARIF emission: the report exists, validates structurally, and
+        # carries one result per new finding with a registered rule.
+        sarif_path = os.path.join(tmp, "report.sarif")
+        rc, data, stderr = run_analyzer(
+            ["--ast-json", ast_fixture, "--no-baseline", "--json",
+             "--sarif", sarif_path])
+        if rc != 1 or not os.path.isfile(sarif_path):
+            fail(f"--sarif run: expected rc 1 and a report file, got rc "
+                 f"{rc}: {stderr.strip()}")
+        else:
+            with open(sarif_path, encoding="utf-8") as fh:
+                doc = json.load(fh)
+            problems = sarif_mod.validate(doc)
+            for problem in problems:
+                fail(f"SARIF validation: {problem}")
+            results = doc["runs"][0]["results"]
+            if len(results) != expected:
+                fail(f"SARIF: expected {expected} result(s), got "
+                     f"{len(results)}")
+            rule_ids = {r["id"]
+                        for r in doc["runs"][0]["tool"]["driver"]["rules"]}
+            stray = {r["ruleId"] for r in results} - rule_ids
+            if stray:
+                fail(f"SARIF: result ruleId(s) missing from driver rules: "
+                     f"{sorted(stray)}")
+            if not problems and len(results) == expected and not stray:
+                print(f"ok: SARIF emission ({len(results)} result(s))")
+
+        # Pre-pass scoping: bench/ is covered, --paths restricts the
+        # scan, and explicit --sources survive the restriction.
+        everything = prepass.prepass_files(REPO_ROOT, [], [])
+        if not any(f.startswith("bench/") for f in everything):
+            fail("pre-pass file set does not cover bench/")
+        fake_tus = [{"rel": "src/wl/one.cpp"}, {"rel": "bench/two.cpp"}]
+        scoped = prepass.prepass_files(REPO_ROOT, fake_tus, [], ["bench"])
+        if "bench/two.cpp" not in scoped:
+            fail(f"--paths bench dropped a bench TU from the pre-pass: "
+                 f"{scoped}")
+        if any(f.startswith("src/") for f in scoped):
+            fail(f"--paths bench leaked src/ files into the pre-pass: "
+                 f"{[f for f in scoped if f.startswith('src/')]}")
+        kept = prepass.prepass_files(REPO_ROOT, fake_tus,
+                                     ["tests/extra.cpp"], ["src"])
+        if "tests/extra.cpp" not in kept:
+            fail("explicit --sources file dropped by --paths scoping")
+        print("ok: pre-pass scoping (bench/ coverage, --paths, --sources)")
+
+        # Regression: rand() in a bench/ TU is caught end to end.
+        bench_dir = os.path.join(tmp, "bench")
+        os.makedirs(bench_dir, exist_ok=True)
+        with open(os.path.join(bench_dir, "leaky.cpp"), "w",
+                  encoding="utf-8") as fh:
+            fh.write("#include <cstdlib>\n"
+                     "int jitter() { return std::rand(); }\n")
+        scan = prepass.prepass_files(tmp, [{"rel": "bench/leaky.cpp"}], [])
+        hits = prepass.run_prepass(tmp, scan)
+        got = {(f["check"], f["file"], f["line"]) for f in hits}
+        if got != {("a2-determinism", "bench/leaky.cpp", 2)}:
+            fail(f"bench/ pre-pass regression: expected one a2 hit at "
+                 f"bench/leaky.cpp:2, got {sorted(got)}")
+        else:
+            print("ok: pre-pass catches rand() in bench/")
+    return 1 if _failures else 0
+
+
+# -- cache (hermetic stub clang) --------------------------------------------
+
+_STUB_CLANG = """#!/usr/bin/env python3
+# Hermetic stand-in for clang: the "sources" it compiles are pre-dumped
+# JSON ASTs, so -ast-dump=json is just cat.  Each dump is appended to
+# FAKE_CLANG_LOG so the selftest can count real invocations.
+import os
+import sys
+
+if "--version" in sys.argv:
+    print(os.environ.get("FAKE_CLANG_VERSION", "fake clang 1.0"))
+    sys.exit(0)
+path = sys.argv[-1]
+log = os.environ.get("FAKE_CLANG_LOG")
+if log:
+    with open(log, "a", encoding="utf-8") as fh:
+        fh.write(path + "\\n")
+sys.stdout.write(open(path, encoding="utf-8").read())
+"""
+
+
+def _fake_tu(rel: str, var_name: str, mutable: bool) -> str:
+    """A minimal clang-JSON dump: one namespace-scope variable, which
+    trips a4-state at line 3 when mutable."""
+    qual = "unsigned long" if mutable else "const unsigned long"
+    return json.dumps({
+        "id": "0x1", "kind": "TranslationUnitDecl",
+        "inner": [{
+            "id": "0x10", "kind": "NamespaceDecl", "name": "srbsg",
+            "loc": {"file": rel, "line": 2, "col": 11},
+            "range": {"begin": {"line": 2, "col": 1},
+                      "end": {"line": 4, "col": 1}},
+            "inner": [{
+                "id": "0x11", "kind": "VarDecl", "name": var_name,
+                "loc": {"line": 3, "col": 15},
+                "range": {"begin": {"line": 3, "col": 1},
+                          "end": {"line": 3, "col": 27}},
+                "type": {"qualType": qual},
+            }],
+        }],
+    })
+
+
+def mode_cache() -> int:
+    with tempfile.TemporaryDirectory(prefix="srbsg-cache-") as tmp:
+        wl_dir = os.path.join(tmp, "src", "wl")
+        os.makedirs(wl_dir)
+        alpha = os.path.join(wl_dir, "alpha.cpp")
+        beta = os.path.join(wl_dir, "beta.cpp")
+        with open(alpha, "w", encoding="utf-8") as fh:
+            fh.write(_fake_tu("src/wl/alpha.cpp", "g_alpha", True))
+        with open(beta, "w", encoding="utf-8") as fh:
+            fh.write(_fake_tu("src/wl/beta.cpp", "g_beta", True))
+        stub = os.path.join(tmp, "fake-clang")
+        with open(stub, "w", encoding="utf-8") as fh:
+            fh.write(_STUB_CLANG)
+        os.chmod(stub, 0o755)
+        log = os.path.join(tmp, "clang.log")
+        os.environ["FAKE_CLANG_LOG"] = log
+        os.environ["FAKE_CLANG_VERSION"] = "fake clang version 1.0"
+        base_args = ["--repo-root", tmp, "--clang", stub, "--no-pre-pass",
+                     "--no-baseline", "--json",
+                     "--cache", os.path.join(tmp, "cache.json"),
+                     "--sources", alpha, beta]
+
+        def run() -> tuple[int, dict, str, int]:
+            open(log, "w").close()
+            rc, data, stderr = run_analyzer(base_args)
+            with open(log, encoding="utf-8") as fh:
+                invoked = [line.strip() for line in fh if line.strip()]
+            return rc, data, stderr, len(invoked)
+
+        def findings_of(data: dict) -> set:
+            return {(f["check"], f["file"], f["line"])
+                    for f in data.get("new", [])}
+
+        both = {("a4-state", "src/wl/alpha.cpp", 3),
+                ("a4-state", "src/wl/beta.cpp", 3)}
+
+        rc, data, stderr, invoked = run()
+        if rc != 1 or findings_of(data) != both or invoked != 2:
+            fail(f"cold run: expected rc 1, both findings, 2 clang "
+                 f"invocation(s); got rc {rc}, {sorted(findings_of(data))}, "
+                 f"{invoked} invocation(s): {stderr.strip()}")
+        else:
+            print("ok: cold run analyzes both TUs")
+
+        rc, data, stderr, invoked = run()
+        if rc != 1 or findings_of(data) != both or invoked != 0:
+            fail(f"warm run: expected rc 1, both findings, 0 clang "
+                 f"invocation(s); got rc {rc}, {sorted(findings_of(data))}, "
+                 f"{invoked} invocation(s)")
+        elif "2 TU(s) reused, 0 analyzed" not in stderr:
+            fail(f"warm run: cache stats missing from stderr: "
+                 f"{stderr.strip()}")
+        else:
+            print("ok: warm run reuses both TUs without clang")
+
+        # Edit alpha so its violation disappears: only alpha re-analyzes
+        # and its stale finding is evicted.
+        with open(alpha, "w", encoding="utf-8") as fh:
+            fh.write(_fake_tu("src/wl/alpha.cpp", "g_alpha", False))
+        rc, data, stderr, invoked = run()
+        want = {("a4-state", "src/wl/beta.cpp", 3)}
+        if rc != 1 or findings_of(data) != want or invoked != 1:
+            fail(f"edited run: expected rc 1, beta-only finding, 1 clang "
+                 f"invocation(s); got rc {rc}, {sorted(findings_of(data))}, "
+                 f"{invoked} invocation(s)")
+        else:
+            print("ok: editing one TU re-analyzes only it and evicts its "
+                  "stale finding")
+
+        # A clang version bump invalidates every entry.
+        os.environ["FAKE_CLANG_VERSION"] = "fake clang version 2.0"
+        rc, data, stderr, invoked = run()
+        if rc != 1 or findings_of(data) != want or invoked != 2:
+            fail(f"version-bump run: expected rc 1 and 2 clang "
+                 f"invocation(s); got rc {rc}, {invoked} invocation(s)")
+        else:
+            print("ok: clang version bump invalidates the whole cache")
+
+        del os.environ["FAKE_CLANG_LOG"]
+        del os.environ["FAKE_CLANG_VERSION"]
     return 1 if _failures else 0
 
 
@@ -272,7 +470,8 @@ def mode_src(compile_db: str | None) -> int:
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--mode", required=True,
-                        choices=["astjson", "baseline", "fixtures", "src"])
+                        choices=["astjson", "baseline", "cache", "fixtures",
+                                 "src"])
     parser.add_argument("--compile-db", default=None,
                         help="compile_commands.json for --mode src")
     args = parser.parse_args()
@@ -280,6 +479,8 @@ def main() -> int:
         return mode_astjson()
     if args.mode == "baseline":
         return mode_baseline()
+    if args.mode == "cache":
+        return mode_cache()
     if args.mode == "fixtures":
         return mode_fixtures()
     return mode_src(args.compile_db)

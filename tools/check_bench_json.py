@@ -7,11 +7,21 @@ Dispatches on the top-level "bench" field. For every bench the schema
 Absolute timing numbers are NOT gated — CI machines vary — but a
 malformed file or a determinism failure exits nonzero.
 
-Usage: check_bench_json.py BENCH_sweep.json|BENCH_write_path.json
+With --compare REF.json the ratio metrics (engine/scenario speedups,
+which divide out machine speed) are additionally compared against a
+committed reference run of the same bench: any ratio more than
+--threshold (default 10%) below the reference prints a regression
+WARNING on stderr.  Warnings do not change the exit status — absolute
+gating on shared CI hardware would flake — they exist to make a perf
+regression visible in the job log.  Comparing different benches is an
+error; a reference with a different grid/config is noted and skipped.
+
+Usage: check_bench_json.py [--compare REF.json] BENCH_sweep.json
 """
 
 from __future__ import annotations
 
+import argparse
 import json
 import sys
 
@@ -168,26 +178,92 @@ VALIDATORS = {
 }
 
 
-def main() -> int:
-    if len(sys.argv) != 2:
-        print(__doc__, file=sys.stderr)
-        return 2
+def load_and_validate(path: str) -> dict:
     try:
-        with open(sys.argv[1], encoding="utf-8") as fh:
+        with open(path, encoding="utf-8") as fh:
             doc = json.load(fh)
     except (OSError, json.JSONDecodeError) as exc:
-        fail(f"cannot parse {sys.argv[1]}: {exc}")
+        fail(f"cannot parse {path}: {exc}")
 
-    require(isinstance(doc, dict), "top level must be an object")
-    require(doc.get("schema_version") == 1, "schema_version must be 1")
+    require(isinstance(doc, dict), f"{path}: top level must be an object")
+    require(doc.get("schema_version") == 1, f"{path}: schema_version must be 1")
     require(doc.get("telemetry_schema") == 1,
-            "telemetry_schema must be 1 (the JSONL trace layout the binary links)")
+            f"{path}: telemetry_schema must be 1 (the JSONL trace layout the binary links)")
     bench = doc.get("bench")
     require(bench in VALIDATORS,
-            f"bench must be one of {sorted(VALIDATORS)}, got {bench!r}")
-
+            f"{path}: bench must be one of {sorted(VALIDATORS)}, got {bench!r}")
     summary = VALIDATORS[bench](doc)
     print(f"check_bench_json: OK: [{bench}] {summary}")
+    return doc
+
+
+def _shape_of(doc: dict) -> dict:
+    """The workload description; ratio comparisons only make sense when
+    the current run and the reference ran the same workload."""
+    if doc["bench"] == "perf_sweep":
+        return dict(doc["grid"])
+    return dict(doc["config"])
+
+
+def _ratio_metrics(doc: dict) -> dict:
+    """Machine-independent ratio metrics (bigger is better)."""
+    if doc["bench"] == "perf_sweep":
+        return {"speedup": doc["speedup"]}
+    metrics = {
+        "min_speedup_raa": doc["min_speedup_raa"],
+        "min_speedup_rta": doc["min_speedup_rta"],
+    }
+    for sc in doc["scenarios"]:
+        metrics[f"{sc['scheme']}/{sc['name']} speedup"] = sc["speedup"]
+    return metrics
+
+
+def compare(doc: dict, ref: dict, ref_path: str, threshold: float) -> int:
+    """Warns (stderr) for each ratio metric > threshold below the
+    reference; returns the warning count."""
+    require(doc["bench"] == ref["bench"],
+            f"--compare: bench mismatch ({doc['bench']} vs {ref['bench']})")
+    if _shape_of(doc) != _shape_of(ref):
+        print(f"check_bench_json: NOTE: {ref_path} ran a different "
+              "grid/config — ratio comparison skipped", file=sys.stderr)
+        return 0
+    current, reference = _ratio_metrics(doc), _ratio_metrics(ref)
+    warnings = 0
+    for name in sorted(reference):
+        if name not in current or reference[name] <= 0:
+            continue
+        drop = (reference[name] - current[name]) / reference[name]
+        if drop > threshold:
+            print(f"check_bench_json: WARNING: {name} regressed "
+                  f"{drop:.0%} vs {ref_path} "
+                  f"({current[name]:.2f} vs {reference[name]:.2f})",
+                  file=sys.stderr)
+            warnings += 1
+    if warnings:
+        print(f"check_bench_json: WARNING: {warnings} ratio metric(s) more "
+              f"than {threshold:.0%} below the reference", file=sys.stderr)
+    else:
+        print(f"check_bench_json: OK: no ratio metric more than "
+              f"{threshold:.0%} below {ref_path}")
+    return warnings
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(
+        description=__doc__.splitlines()[0])
+    parser.add_argument("bench_json", help="bench JSON to validate")
+    parser.add_argument("--compare", metavar="REF.json", default=None,
+                        help="committed reference run to compare ratio "
+                             "metrics against (warnings only)")
+    parser.add_argument("--threshold", type=float, default=0.10,
+                        help="relative regression that triggers a warning "
+                             "(default: %(default)s)")
+    args = parser.parse_args()
+
+    doc = load_and_validate(args.bench_json)
+    if args.compare:
+        ref = load_and_validate(args.compare)
+        compare(doc, ref, args.compare, args.threshold)
     return 0
 
 

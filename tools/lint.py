@@ -18,6 +18,10 @@ Rules (enforced over src/ only; tests and benches are exempt):
       internals are banned;
   R4  no `using namespace std` at any scope.
 
+Inline `// srbsg-analyze: suppress(<rule|check>, ...)` comments silence a
+finding on the same line or the line below, exactly like the analyzer's
+suppression syntax (`a2-determinism` is accepted as an alias for R1).
+
 Exit status 0 when clean, 1 when any finding is reported.
 """
 
@@ -57,6 +61,14 @@ BANNED_PATTERNS = [
 QUOTED_INCLUDE = re.compile(r"#\s*include\s*\"([^\"]+)\"")
 LINE_COMMENT = re.compile(r"//.*$")
 
+# The analyzer's inline suppression syntax is honored here too, so one
+# comment silences the same violation under both tools.  Tokens are the
+# lint rule ids (r1-r4) or analyzer check ids; `a2-determinism` is the
+# analyzer's name for R1.
+SUPPRESS_RE = re.compile(r"srbsg-analyze:\s*suppress\(([a-z0-9,\s-]+)\)")
+_TOKEN_TO_RULE = {"r1": "R1", "r2": "R2", "r3": "R3", "r4": "R4",
+                  "a2-determinism": "R1"}
+
 ALL_RULES = frozenset({"R1", "R2", "R3", "R4"})
 # R1 is reported by tools/analyze (a2-determinism pre-pass + AST check).
 DEFAULT_RULES = frozenset({"R2", "R3", "R4"})
@@ -73,6 +85,25 @@ def strip_comments(text: str) -> list[str]:
     return [LINE_COMMENT.sub("", line) for line in text.splitlines()]
 
 
+def suppressed_rules(text: str) -> dict[int, set[str]]:
+    """{line number: lint rules silenced there} from inline
+    `srbsg-analyze: suppress(...)` comments.  Parsed over the raw text
+    (the markers live inside comments, which strip_comments blanks); a
+    marker covers its own line and, like the analyzer, the line below
+    it when it stands alone above the violation."""
+    by_line: dict[int, set[str]] = {}
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        for match in SUPPRESS_RE.finditer(line):
+            rules = {_TOKEN_TO_RULE[token.strip()]
+                     for token in match.group(1).split(",")
+                     if token.strip() in _TOKEN_TO_RULE}
+            if not rules:
+                continue
+            by_line.setdefault(lineno, set()).update(rules)
+            by_line.setdefault(lineno + 1, set()).update(rules)
+    return by_line
+
+
 def first_code_line(lines: list[str]) -> str:
     for line in lines:
         if line.strip():
@@ -82,18 +113,28 @@ def first_code_line(lines: list[str]) -> str:
 
 def lint_file(path: Path, rules: frozenset[str] = DEFAULT_RULES) -> list[str]:
     findings = []
-    rel = path.relative_to(REPO_ROOT)
-    lines = strip_comments(path.read_text(encoding="utf-8"))
+    try:
+        rel = path.relative_to(REPO_ROOT)
+    except ValueError:  # outside the repo (tests lint temp files)
+        rel = path
+    text = path.read_text(encoding="utf-8")
+    suppressed = suppressed_rules(text)
+    lines = strip_comments(text)
+
+    def blocked(lineno: int, rule: str) -> bool:
+        return rule in suppressed.get(lineno, ())
 
     if "R3" in rules and path.suffix == ".hpp" \
-            and first_code_line(lines) != "#pragma once":
+            and first_code_line(lines) != "#pragma once" \
+            and not blocked(1, "R3"):
         findings.append(f"{rel}:1: R3: header must open with #pragma once")
 
     for lineno, line in enumerate(lines, start=1):
         for rule, pattern, message in BANNED_PATTERNS:
-            if rule in rules and pattern.search(line):
+            if rule in rules and pattern.search(line) \
+                    and not blocked(lineno, rule):
                 findings.append(f"{rel}:{lineno}: {rule}: {message}")
-        if "R3" in rules:
+        if "R3" in rules and not blocked(lineno, "R3"):
             for match in QUOTED_INCLUDE.finditer(line):
                 target = match.group(1)
                 if not (SRC_ROOT / target).is_file():

@@ -1,0 +1,105 @@
+#!/usr/bin/env python3
+"""Unit tests for tools/lint.py, run under ctest (label: static).
+
+Covers the inline `srbsg-analyze: suppress(...)` comment support (same
+line, preceding line, the a2-determinism alias for R1, non-matching
+tokens) plus the temp-file path fallback and the baseline rule
+behavior the suppressions sit on.  Exit status 0 pass, 1 fail.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import tempfile
+from pathlib import Path
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+import lint  # noqa: E402
+
+_failures: list[str] = []
+
+
+def fail(message: str) -> None:
+    _failures.append(message)
+    print(f"FAIL: {message}")
+
+
+def check(label: str, got: list[str], want_rules: list[str]) -> None:
+    got_rules = [f.split(": ")[1] for f in got]
+    if got_rules != want_rules:
+        fail(f"{label}: expected rules {want_rules}, got {got}")
+    else:
+        print(f"ok: {label} ({len(got)} finding(s))")
+
+
+def lint_text(text: str, rules: frozenset[str],
+              suffix: str = ".cpp") -> list[str]:
+    with tempfile.NamedTemporaryFile("w", suffix=suffix, delete=False,
+                                     encoding="utf-8") as fh:
+        fh.write(text)
+        path = Path(fh.name)
+    try:
+        return lint.lint_file(path, rules)
+    finally:
+        path.unlink()
+
+
+def main() -> int:
+    r2 = frozenset({"R2"})
+
+    check("unsuppressed assert is reported",
+          lint_text("void f() { assert(1); }\n", r2), ["R2"])
+
+    check("same-line suppression",
+          lint_text("void f() { assert(1); }"
+                    "  // srbsg-analyze: suppress(r2) third-party macro\n",
+                    r2), [])
+
+    check("preceding-line suppression",
+          lint_text("// srbsg-analyze: suppress(r2) third-party macro\n"
+                    "void f() { assert(1); }\n", r2), [])
+
+    check("suppression does not leak past the next line",
+          lint_text("// srbsg-analyze: suppress(r2)\n"
+                    "void f() {}\n"
+                    "void g() { assert(1); }\n", r2), ["R2"])
+
+    check("non-matching token does not suppress",
+          lint_text("void f() { assert(1); }"
+                    "  // srbsg-analyze: suppress(r3)\n", r2), ["R2"])
+
+    check("a2-determinism aliases R1",
+          lint_text("// srbsg-analyze: suppress(a2-determinism) fixture\n"
+                    "int s = rand();\n", frozenset({"R1"})), [])
+
+    check("multi-token list suppresses each named rule",
+          lint_text("int s = rand();  "
+                    "// srbsg-analyze: suppress(r1, r2) seeded fixture\n"
+                    "void f() { assert(1); }\n", frozenset({"R1", "R2"})),
+          [])
+
+    check("pragma-once finding can be suppressed",
+          lint_text("// srbsg-analyze: suppress(r3) generated header\n"
+                    "int x;\n", frozenset({"R3"}), suffix=".hpp"), [])
+
+    # Temp files live outside the repo: lint_file must not throw on
+    # relative_to and findings keep the absolute path.
+    got = lint_text("void f() { assert(1); }\n", r2)
+    if got and not os.path.isabs(got[0].split(":")[0]):
+        fail(f"out-of-repo finding lost its path: {got[0]}")
+    else:
+        print("ok: out-of-repo files lint without a path error")
+
+    # The analyzer's pre-pass imports these names; keep them stable.
+    for name in ("BANNED_PATTERNS", "strip_comments"):
+        if not hasattr(lint, name):
+            fail(f"lint.py no longer exports {name} (pre-pass contract)")
+    print("ok: pre-pass import contract (BANNED_PATTERNS, strip_comments)")
+
+    return 1 if _failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
