@@ -1,0 +1,274 @@
+// Differential equivalence of the batch fast paths: write_batch() and
+// write_cycle() must be bit-identical to the per-write reference loop —
+// wear, movements, latency, failure instant and final translation — for
+// EVERY pattern up to the bounded length, on steady and failing banks.
+
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#include <sstream>
+
+#include "common/check.hpp"
+#include "pcm/bank.hpp"
+#include "verify/checks.hpp"
+#include "verify/minimize.hpp"
+
+namespace srbsg::verify::detail {
+
+namespace {
+
+constexpr u64 kToken = 0xD00D0000;
+constexpr u64 kBatchToken = 0xBA7C4;
+constexpr u64 kSteadyEndurance = u64{1} << 40;
+/// Low enough that repeated patterns kill a line mid-replay, high enough
+/// that the tagging prologue never does (swap-based schemes wear two
+/// lines per movement, so the prologue alone costs up to ~4 writes on a
+/// hot line).
+constexpr u64 kFailEndurance = 8;
+
+struct Arm {
+  std::unique_ptr<wl::WearLeveler> scheme;
+  pcm::PcmBank bank;
+  wl::BulkOutcome out;
+
+  Arm(const wl::SchemeSpec& spec, const MutationSpec& mut, bool fail_mode)
+      : scheme(maybe_mutate(wl::make_scheme(spec), mut)),
+        bank(pcm::PcmConfig::scaled(spec.lines, fail_mode ? kFailEndurance : kSteadyEndurance),
+             scheme->physical_lines()) {
+    for (u64 la = 0; la < spec.lines; ++la) {
+      (void)scheme->write(La{la}, pcm::LineData::mixed(kToken + la), bank);
+    }
+    check(!bank.has_failure(), "batch check: prologue exhausted the failing-bank endurance");
+  }
+};
+
+/// First divergence between the fast arm and the reference arm, or
+/// nullopt when they are bit-identical.
+std::optional<std::string> compare_arms(const Arm& fast, const Arm& ref) {
+  const auto diff = [](std::string_view what, u64 got, u64 want) {
+    std::ostringstream os;
+    os << what << " diverged: fast path " << got << ", reference " << want;
+    return os.str();
+  };
+  if (fast.out.total != ref.out.total) {
+    return diff("total latency", fast.out.total.value(), ref.out.total.value());
+  }
+  if (fast.out.writes_applied != ref.out.writes_applied) {
+    return diff("writes_applied", fast.out.writes_applied, ref.out.writes_applied);
+  }
+  if (fast.out.movements != ref.out.movements) {
+    return diff("movements", fast.out.movements, ref.out.movements);
+  }
+  if (fast.bank.total_writes() != ref.bank.total_writes()) {
+    return diff("bank total_writes", fast.bank.total_writes(), ref.bank.total_writes());
+  }
+  if (fast.bank.has_failure() != ref.bank.has_failure()) {
+    return diff("has_failure", fast.bank.has_failure() ? 1 : 0, ref.bank.has_failure() ? 1 : 0);
+  }
+  if (fast.bank.has_failure()) {
+    if (fast.bank.first_failed_line() != ref.bank.first_failed_line()) {
+      return diff("first_failed_line", fast.bank.first_failed_line().value(),
+                  ref.bank.first_failed_line().value());
+    }
+    if (fast.bank.failure_overshoot() != ref.bank.failure_overshoot()) {
+      return diff("failure_overshoot", fast.bank.failure_overshoot(),
+                  ref.bank.failure_overshoot());
+    }
+  }
+  for (u64 pa = 0; pa < fast.scheme->physical_lines(); ++pa) {
+    if (fast.bank.wear(Pa{pa}) != ref.bank.wear(Pa{pa})) {
+      return "wear[" + std::to_string(pa) + "] diverged: fast path " +
+             std::to_string(fast.bank.wear(Pa{pa})) + ", reference " +
+             std::to_string(ref.bank.wear(Pa{pa}));
+    }
+    if (!(fast.bank.data(Pa{pa}) == ref.bank.data(Pa{pa}))) {
+      return "data[" + std::to_string(pa) + "] diverged: fast path token " +
+             std::to_string(fast.bank.data(Pa{pa}).token) + ", reference token " +
+             std::to_string(ref.bank.data(Pa{pa}).token);
+    }
+  }
+  for (u64 la = 0; la < fast.scheme->logical_lines(); ++la) {
+    const Pa a = fast.scheme->translate(La{la});
+    const Pa b = ref.scheme->translate(La{la});
+    if (a != b) {
+      return "translate(" + std::to_string(la) + ") diverged: fast path " +
+             std::to_string(a.value()) + ", reference " + std::to_string(b.value());
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+std::optional<std::string> replay_batch_pattern(const wl::SchemeSpec& spec,
+                                                const MutationSpec& mut,
+                                                const std::vector<u64>& pattern, bool fail_mode,
+                                                bool cycle_op, const Bounds& bounds) {
+  MutationSpec eff = mut;
+  if (eff.kind != MutationKind::kNone) eff.arm_after += spec.lines;
+
+  std::vector<La> las;
+  las.reserve(pattern.size());
+  for (const u64 p : pattern) las.emplace_back(p % spec.lines);
+  const pcm::LineData data = pcm::LineData::mixed(kBatchToken);
+
+  try {
+    Arm fast(spec, eff, fail_mode);
+    Arm ref(spec, eff, fail_mode);
+    if (cycle_op) {
+      const u64 count = pattern.size() * bounds.cycle_count_factor + 1;
+      fast.out = fast.scheme->write_cycle(las, data, count, fast.bank);
+      for (u64 i = 0; i < count && !ref.bank.has_failure(); ++i) {
+        const wl::WriteOutcome w = ref.scheme->write(las[i % las.size()], data, ref.bank);
+        ref.out.total += w.total;
+        ref.out.movements += w.movements;
+        ++ref.out.writes_applied;
+      }
+    } else {
+      fast.out = fast.scheme->write_batch(las, data, fast.bank);
+      for (const La la : las) {
+        if (ref.bank.has_failure()) break;
+        const wl::WriteOutcome w = ref.scheme->write(la, data, ref.bank);
+        ref.out.total += w.total;
+        ref.out.movements += w.movements;
+        ++ref.out.writes_applied;
+      }
+    }
+    fast.scheme->validate_state();
+    ref.scheme->validate_state();
+    std::optional<std::string> diverged = compare_arms(fast, ref);
+    if (diverged) {
+      return std::string(cycle_op ? "write_cycle" : "write_batch") +
+             (fail_mode ? " on failing bank: " : " on steady bank: ") + *diverged;
+    }
+    return std::nullopt;
+  } catch (const CheckFailure& e) {
+    return std::string("CheckFailure: ") + e.what();
+  }
+}
+
+namespace {
+
+/// Total number of patterns of length 1..max_len over an `alphabet`-line
+/// bank, and the index->pattern decoding (length-major, then odometer).
+u64 pattern_count(u64 alphabet, u64 max_len) {
+  u64 total = 0;
+  u64 layer = 1;
+  for (u64 k = 1; k <= max_len; ++k) {
+    layer *= alphabet;
+    total += layer;
+  }
+  return total;
+}
+
+std::vector<u64> decode_pattern(u64 idx, u64 alphabet, u64 max_len) {
+  u64 layer = 1;
+  for (u64 k = 1; k <= max_len; ++k) {
+    layer *= alphabet;
+    if (idx < layer) {
+      std::vector<u64> pattern(k);
+      for (u64 j = 0; j < k; ++j) {
+        pattern[k - 1 - j] = idx % alphabet;
+        idx /= alphabet;
+      }
+      return pattern;
+    }
+    idx -= layer;
+  }
+  throw CheckFailure("pattern index out of range");
+}
+
+struct BatchWitness {
+  u64 order{0};  ///< (idx, seed, mode, op) packed for deterministic "first"
+  u64 idx{0};
+  u64 seed{0};
+  bool fail_mode{false};
+  bool cycle_op{false};
+  std::string message;
+};
+
+}  // namespace
+
+CellResult run_batch_cell(const Cell& cell, const Bounds& bounds, ThreadPool& pool,
+                          const MutationSpec& mut) {
+  const auto t0 = std::chrono::steady_clock::now();
+  CellResult res;
+  res.cell = cell;
+  const u64 lines = cell.param;
+  const u64 patterns = pattern_count(lines, bounds.max_pattern_len);
+
+  std::mutex mu;
+  std::optional<BatchWitness> witness;
+  std::atomic<u64> states{0};
+  parallel_for(
+      pool, static_cast<std::size_t>(patterns),
+      [&](std::size_t idx) {
+        {
+          std::lock_guard lock(mu);
+          if (witness.has_value() && witness->idx < idx) return;
+        }
+        const std::vector<u64> pattern = decode_pattern(idx, lines, bounds.max_pattern_len);
+        u64 checked = 0;
+        for (u64 seed = 0; seed < bounds.seeds; ++seed) {
+          const wl::SchemeSpec spec = cell_spec(cell.scheme, bounds, lines, seed);
+          for (const bool fail_mode : {false, true}) {
+            for (const bool cycle_op : {false, true}) {
+              ++checked;
+              const std::optional<std::string> diverged =
+                  replay_batch_pattern(spec, mut, pattern, fail_mode, cycle_op, bounds);
+              if (!diverged) continue;
+              BatchWitness w;
+              w.idx = idx;
+              w.seed = seed;
+              w.fail_mode = fail_mode;
+              w.cycle_op = cycle_op;
+              w.order = ((idx * bounds.seeds + seed) << 2) |
+                        (u64{fail_mode} << 1) | u64{cycle_op};
+              w.message = *diverged;
+              std::lock_guard lock(mu);
+              if (!witness.has_value() || w.order < witness->order) witness = std::move(w);
+              return;
+            }
+          }
+        }
+        states.fetch_add(checked, std::memory_order_relaxed);
+      },
+      /*grain=*/16);
+
+  if (witness.has_value()) {
+    const BatchWitness& w = *witness;
+    const wl::SchemeSpec spec = cell_spec(cell.scheme, bounds, lines, w.seed);
+    const std::vector<u64> pattern = decode_pattern(w.idx, lines, bounds.max_pattern_len);
+    const auto fails = [&](const std::vector<u64>& candidate) {
+      return replay_batch_pattern(spec, mut, candidate, w.fail_mode, w.cycle_op, bounds)
+          .has_value();
+    };
+    MinimizeResult min = ddmin(pattern, fails);
+    Counterexample cex;
+    cex.original_size = pattern.size();
+    cex.size = min.trace.size();
+    cex.minimized = min.minimal;
+    cex.message =
+        "scheme=" + cell.scheme + " lines=" + std::to_string(lines) +
+        " seed=" + std::to_string(w.seed) + " pattern=[" + format_trace(min.trace) + "]: " +
+        replay_batch_pattern(spec, mut, min.trace, w.fail_mode, w.cycle_op, bounds)
+            .value_or(w.message);
+    std::ostringstream rp;
+    rp << "check=" << kBatchFamily << ";scheme=" << cell.scheme << ";lines=" << lines
+       << ";regions=" << spec.regions << ";inner=" << spec.inner_interval
+       << ";outer=" << spec.outer_interval << ";stages=" << spec.stages << ";seed=" << w.seed
+       << ";mode=" << (w.fail_mode ? "fail" : "steady") << ";op="
+       << (w.cycle_op ? "cycle" : "batch") << ";mutate=" << to_string(mut.kind)
+       << ";arm=" << mut.arm_after << ";trace=" << format_trace(min.trace);
+    cex.replay = rp.str();
+    res.pass = false;
+    res.cex = std::move(cex);
+  }
+
+  res.states = states.load();
+  res.wall_ms =
+      std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - t0).count();
+  return res;
+}
+
+}  // namespace srbsg::verify::detail

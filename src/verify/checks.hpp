@@ -1,0 +1,69 @@
+#pragma once
+// Internal interface between the cell dispatcher (verify.cpp) and the
+// per-family check engines. Not installed; include only from src/verify.
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "verify/verify.hpp"
+#include "wl/factory.hpp"
+
+namespace srbsg::verify::detail {
+
+inline constexpr std::string_view kFeistelFamily = "feistel-bijection";
+inline constexpr std::string_view kRoundtripFamily = "scheme-roundtrip";
+inline constexpr std::string_view kPreserveFamily = "remap-preservation";
+inline constexpr std::string_view kBatchFamily = "batch-equivalence";
+
+/// Scheme construction parameters for one stepping/batch cell.
+[[nodiscard]] wl::SchemeSpec cell_spec(std::string_view scheme, const Bounds& bounds, u64 lines,
+                                       u64 seed);
+
+/// Write budget guaranteeing every Start-Gap region completes at least
+/// `rotation_rounds` full rotations and every SR/DFN level at least one
+/// key round at these bank sizes.
+[[nodiscard]] u64 write_budget(u64 physical_lines, const Bounds& bounds);
+
+CellResult run_feistel_cell(const Cell& cell, const Bounds& bounds, ThreadPool& pool);
+CellResult run_scheme_cell(const Cell& cell, const Bounds& bounds, ThreadPool& pool,
+                           const MutationSpec& mut);
+CellResult run_batch_cell(const Cell& cell, const Bounds& bounds, ThreadPool& pool,
+                          const MutationSpec& mut);
+
+// Single-trace replay engines. Each returns the violation message when
+// the invariant fails on that exact input, nullopt when it holds.
+// `mut.arm_after` counts post-prologue writes; the engines add the fixed
+// prologue (one tagging write per logical line) internally so a
+// minimized trace stays replayable.
+[[nodiscard]] std::optional<std::string> replay_feistel_point(u32 width,
+                                                              const std::vector<u64>& keys,
+                                                              u64 x);
+[[nodiscard]] std::optional<std::string> replay_scheme_trace(std::string_view family,
+                                                             const wl::SchemeSpec& spec,
+                                                             const MutationSpec& mut,
+                                                             const std::vector<u64>& trace,
+                                                             u64* steps_checked = nullptr);
+[[nodiscard]] std::optional<std::string> replay_batch_pattern(const wl::SchemeSpec& spec,
+                                                              const MutationSpec& mut,
+                                                              const std::vector<u64>& pattern,
+                                                              bool fail_mode, bool cycle_op,
+                                                              const Bounds& bounds);
+
+/// Replays one counterexample string produced by any family; returns the
+/// violation message when the invariant still fails, nullopt when the
+/// replay passes (i.e. the bug is fixed). Throws CheckFailure on a
+/// malformed replay string.
+[[nodiscard]] std::optional<std::string> replay_counterexample(const std::string& replay,
+                                                               const Bounds& bounds);
+
+/// Flat `key=value;` replay-string helpers shared by the families.
+[[nodiscard]] std::string format_trace(const std::vector<u64>& trace);
+[[nodiscard]] std::vector<u64> parse_trace(const std::string& csv);
+/// Value for `key` in a `k=v;k=v` replay string; throws when missing
+/// unless `required` is false (then returns "").
+[[nodiscard]] std::string replay_get(const std::string& replay, const std::string& key,
+                                     bool required = true);
+
+}  // namespace srbsg::verify::detail

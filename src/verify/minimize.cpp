@@ -1,0 +1,73 @@
+#include "verify/minimize.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace srbsg::verify {
+
+namespace {
+
+/// The `trace` minus the half-open chunk [begin, end).
+std::vector<u64> without_chunk(const std::vector<u64>& trace, std::size_t begin, std::size_t end) {
+  std::vector<u64> out;
+  out.reserve(trace.size() - (end - begin));
+  out.insert(out.end(), trace.begin(), trace.begin() + static_cast<std::ptrdiff_t>(begin));
+  out.insert(out.end(), trace.begin() + static_cast<std::ptrdiff_t>(end), trace.end());
+  return out;
+}
+
+}  // namespace
+
+MinimizeResult ddmin(std::vector<u64> trace, const FailPredicate& fails, u64 max_tests) {
+  MinimizeResult res;
+  std::size_t granularity = 2;
+  while (trace.size() >= 2) {
+    if (res.tests_run >= max_tests) {
+      res.minimal = false;
+      break;
+    }
+    granularity = std::min(granularity, trace.size());
+    const std::size_t chunk = (trace.size() + granularity - 1) / granularity;
+    bool reduced = false;
+
+    // Try each chunk alone ("reduce to subset"), then each complement
+    // ("reduce to complement"). Complements are where most progress
+    // happens for invariant traces, since the fault usually needs a
+    // prefix to arm plus one trigger.
+    for (std::size_t g = 0; g < granularity && !reduced && res.tests_run < max_tests; ++g) {
+      const std::size_t begin = g * chunk;
+      const std::size_t end = std::min(begin + chunk, trace.size());
+      if (begin >= end) continue;
+      std::vector<u64> subset(trace.begin() + static_cast<std::ptrdiff_t>(begin),
+                              trace.begin() + static_cast<std::ptrdiff_t>(end));
+      ++res.tests_run;
+      if (subset.size() < trace.size() && fails(subset)) {
+        trace = std::move(subset);
+        granularity = 2;
+        reduced = true;
+      }
+    }
+    for (std::size_t g = 0; g < granularity && !reduced && res.tests_run < max_tests; ++g) {
+      const std::size_t begin = g * chunk;
+      const std::size_t end = std::min(begin + chunk, trace.size());
+      if (begin >= end || (begin == 0 && end == trace.size())) continue;
+      std::vector<u64> complement = without_chunk(trace, begin, end);
+      ++res.tests_run;
+      if (fails(complement)) {
+        trace = std::move(complement);
+        granularity = std::max<std::size_t>(granularity - 1, 2);
+        reduced = true;
+      }
+    }
+
+    if (!reduced) {
+      if (granularity >= trace.size()) break;  // 1-minimal
+      granularity = std::min(trace.size(), granularity * 2);
+    }
+  }
+  res.trace = std::move(trace);
+  return res;
+}
+
+}  // namespace srbsg::verify

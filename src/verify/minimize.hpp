@@ -1,0 +1,34 @@
+#pragma once
+// Counterexample minimization: delta debugging (ddmin) over a failing
+// trace. The verifier's witnesses are sequences of u64 items — logical
+// addresses of a write schedule, or positions of a batch pattern — and
+// any subsequence is itself a valid input, so ddmin applies directly:
+// shrink the failing sequence to one that is 1-minimal (removing any
+// single remaining item makes the failure disappear).
+
+#include <functional>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace srbsg::verify {
+
+/// Returns true when replaying `trace` still violates the invariant.
+/// Must be deterministic: the same trace always gives the same verdict.
+using FailPredicate = std::function<bool(const std::vector<u64>&)>;
+
+struct MinimizeResult {
+  std::vector<u64> trace;
+  u64 tests_run{0};
+  /// False when the test budget ran out before reaching 1-minimality
+  /// (the returned trace still fails, it just may not be minimal).
+  bool minimal{true};
+};
+
+/// Zeller-Hildebrandt ddmin. Precondition: fails(trace) is true; the
+/// result keeps that property. `max_tests` bounds predicate invocations
+/// so a pathological predicate cannot stall a verify run.
+[[nodiscard]] MinimizeResult ddmin(std::vector<u64> trace, const FailPredicate& fails,
+                                   u64 max_tests = 4096);
+
+}  // namespace srbsg::verify

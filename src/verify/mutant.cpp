@@ -1,0 +1,98 @@
+#include "verify/mutant.hpp"
+
+#include <string>
+#include <utility>
+
+#include "common/check.hpp"
+
+namespace srbsg::verify {
+
+std::string_view to_string(MutationKind kind) {
+  switch (kind) {
+    case MutationKind::kNone:
+      return "none";
+    case MutationKind::kTranslateCollision:
+      return "translate-collision";
+    case MutationKind::kLostCopy:
+      return "lost-copy";
+    case MutationKind::kPhantomWrite:
+      return "phantom-write";
+    case MutationKind::kBatchSkip:
+      return "batch-skip";
+  }
+  return "?";
+}
+
+MutationKind parse_mutation(std::string_view name) {
+  for (MutationKind k : {MutationKind::kNone, MutationKind::kTranslateCollision,
+                         MutationKind::kLostCopy, MutationKind::kPhantomWrite,
+                         MutationKind::kBatchSkip}) {
+    if (name == to_string(k)) return k;
+  }
+  throw CheckFailure("unknown mutation kind: " + std::string(name));
+}
+
+MutantScheme::MutantScheme(std::unique_ptr<wl::WearLeveler> inner, MutationSpec spec)
+    : inner_(std::move(inner)), spec_(spec) {
+  check(inner_ != nullptr, "MutantScheme: null inner scheme");
+}
+
+Pa MutantScheme::translate(La la) const {
+  if (spec_.kind == MutationKind::kTranslateCollision && armed() && la.value() == 1) {
+    return inner_->translate(La{0});
+  }
+  return inner_->translate(la);
+}
+
+wl::WriteOutcome MutantScheme::write(La la, const pcm::LineData& data, pcm::PcmBank& bank) {
+  const wl::WriteOutcome out = inner_->write(la, data, bank);
+  ++writes_seen_;
+  if (!armed() || out.movements == 0) return out;
+  if (spec_.kind == MutationKind::kLostCopy && !lost_copy_done_) {
+    // Simulate a remap movement whose data copy went astray: the logical
+    // neighbor's line silently loses its content (token zeroed). One
+    // bank-level rewrite of the neighbor's current slot.
+    lost_copy_done_ = true;
+    const La victim{(la.value() + 1) % inner_->logical_lines()};
+    const auto current = bank.read(inner_->translate(victim)).first;
+    bank.write(inner_->translate(victim), pcm::LineData{current.cls, current.token ^ 1});
+  } else if (spec_.kind == MutationKind::kPhantomWrite) {
+    // Movement bookkeeping leak: one unaccounted physical write per
+    // movement (rewrites the same data, so only wear conservation sees
+    // it).
+    bank.write(inner_->translate(la), data);
+  }
+  return out;
+}
+
+wl::BulkOutcome MutantScheme::write_batch(std::span<const La> las, const pcm::LineData& data,
+                                          pcm::PcmBank& bank) {
+  if (spec_.kind == MutationKind::kBatchSkip && writes_seen_ >= spec_.arm_after &&
+      las.size() >= 3) {
+    bool touches_victim = false;
+    for (const La la : las) touches_victim |= la.value() == 5;
+    if (touches_victim) {
+      wl::BulkOutcome out = inner_->write_batch(las.first(las.size() - 1), data, bank);
+      writes_seen_ += out.writes_applied;
+      return out;
+    }
+  }
+  const wl::BulkOutcome out = inner_->write_batch(las, data, bank);
+  writes_seen_ += out.writes_applied;
+  return out;
+}
+
+wl::BulkOutcome MutantScheme::write_cycle(std::span<const La> pattern, const pcm::LineData& data,
+                                          u64 count, pcm::PcmBank& bank) {
+  const wl::BulkOutcome out = inner_->write_cycle(pattern, data, count, bank);
+  writes_seen_ += out.writes_applied;
+  return out;
+}
+
+std::unique_ptr<wl::WearLeveler> maybe_mutate(std::unique_ptr<wl::WearLeveler> inner,
+                                              const MutationSpec& spec) {
+  if (spec.kind == MutationKind::kNone) return inner;
+  return std::make_unique<MutantScheme>(std::move(inner), spec);
+}
+
+}  // namespace srbsg::verify

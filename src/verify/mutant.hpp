@@ -1,0 +1,77 @@
+#pragma once
+// Seeded fault injection for the verifier's selftest: wraps a real scheme
+// and corrupts exactly one aspect of its behavior after a deterministic
+// arming point, so each check family can prove it *finds* the class of
+// bug it exists for — and that the minimizer shrinks the witness.
+
+#include <memory>
+#include <string_view>
+
+#include "wl/wear_leveler.hpp"
+
+namespace srbsg::verify {
+
+enum class MutationKind : u8 {
+  kNone,
+  /// translate(La{1}) collides with translate(La{0}) once armed —
+  /// breaks scheme-roundtrip injectivity.
+  kTranslateCollision,
+  /// The first remap movement after arming "loses" a line: the mutant
+  /// clobbers the token of the logical neighbor — breaks
+  /// remap-preservation data integrity.
+  kLostCopy,
+  /// Each movement after arming issues one phantom bank write — breaks
+  /// the remap-preservation wear-conservation identity.
+  kPhantomWrite,
+  /// write_batch drops its final write when the batch has >= 3 positions
+  /// and touches La{5} — breaks batch-equivalence; the minimal witness
+  /// is a 3-position pattern containing address 5.
+  kBatchSkip,
+};
+
+struct MutationSpec {
+  MutationKind kind{MutationKind::kNone};
+  /// Data writes the mutant forwards faithfully before the fault arms.
+  u64 arm_after{0};
+};
+
+[[nodiscard]] std::string_view to_string(MutationKind kind);
+/// Parses "none|translate-collision|lost-copy|phantom-write|batch-skip";
+/// throws CheckFailure on unknown names.
+[[nodiscard]] MutationKind parse_mutation(std::string_view name);
+
+/// Decorator carrying one seeded fault. All forwarded behavior is
+/// bit-identical to the wrapped scheme until the fault arms.
+class MutantScheme final : public wl::WearLeveler {
+ public:
+  MutantScheme(std::unique_ptr<wl::WearLeveler> inner, MutationSpec spec);
+
+  [[nodiscard]] std::string_view name() const override { return inner_->name(); }
+  [[nodiscard]] u64 logical_lines() const override { return inner_->logical_lines(); }
+  [[nodiscard]] u64 physical_lines() const override { return inner_->physical_lines(); }
+  [[nodiscard]] Pa translate(La la) const override;
+
+  wl::WriteOutcome write(La la, const pcm::LineData& data, pcm::PcmBank& bank) override;
+  wl::BulkOutcome write_batch(std::span<const La> las, const pcm::LineData& data,
+                              pcm::PcmBank& bank) override;
+  wl::BulkOutcome write_cycle(std::span<const La> pattern, const pcm::LineData& data, u64 count,
+                              pcm::PcmBank& bank) override;
+
+  void set_rate_boost(u32 log2_divisor) override { inner_->set_rate_boost(log2_divisor); }
+  void validate_state() const override { inner_->validate_state(); }
+  [[nodiscard]] u32 writes_per_movement() const override { return inner_->writes_per_movement(); }
+
+ private:
+  [[nodiscard]] bool armed() const { return writes_seen_ >= spec_.arm_after; }
+
+  std::unique_ptr<wl::WearLeveler> inner_;
+  MutationSpec spec_;
+  u64 writes_seen_{0};
+  bool lost_copy_done_{false};
+};
+
+/// Wraps `inner` when `spec.kind != kNone`; returns it untouched otherwise.
+[[nodiscard]] std::unique_ptr<wl::WearLeveler> maybe_mutate(
+    std::unique_ptr<wl::WearLeveler> inner, const MutationSpec& spec);
+
+}  // namespace srbsg::verify

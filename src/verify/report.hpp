@@ -1,0 +1,28 @@
+#pragma once
+// Machine-readable verify reports. The C++ CLI emits one JSON document
+// per run; tools/srbsg-verify parses it to update the verified-cell
+// cache and to translate counterexamples into SARIF results (reusing
+// tools/analyze/sarif.py). schema_version gates compatibility on the
+// Python side.
+
+#include <string>
+#include <vector>
+
+#include "verify/verify.hpp"
+
+namespace srbsg::verify {
+
+inline constexpr int kReportSchemaVersion = 1;
+
+/// JSON string escaping (control chars, quotes, backslashes).
+[[nodiscard]] std::string json_escape(std::string_view s);
+
+/// The full report document for one run.
+[[nodiscard]] std::string report_json(const std::vector<CellResult>& results,
+                                      const Bounds& bounds, const MutationSpec& mut);
+
+/// Writes `text` to `path` atomically enough for CI (tmp + rename is
+/// overkill here; a failed write throws CheckFailure).
+void write_file(const std::string& path, const std::string& text);
+
+}  // namespace srbsg::verify

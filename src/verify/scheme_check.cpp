@@ -1,0 +1,173 @@
+// Stepping engine for the scheme-roundtrip and remap-preservation
+// families: drives a scheme through a full rotation schedule and checks
+// the family invariant after EVERY write, so a violation is pinned to
+// the exact remap step that introduced it.
+
+#include <atomic>
+#include <chrono>
+#include <limits>
+#include <sstream>
+
+#include "common/check.hpp"
+#include "pcm/bank.hpp"
+#include "verify/checks.hpp"
+#include "verify/minimize.hpp"
+
+namespace srbsg::verify::detail {
+
+namespace {
+
+constexpr u64 kToken = 0xD00D0000;
+constexpr u64 kSteadyEndurance = u64{1} << 40;
+
+/// Injectivity + bounds of the full translation (the LA->PA->LA
+/// bijection proof at this bank size). `stamp` is scratch reused across
+/// steps; `marker` must be unique per step.
+std::optional<std::string> check_roundtrip(const wl::WearLeveler& scheme, std::vector<u64>& stamp,
+                                           u64 marker) {
+  const u64 lines = scheme.logical_lines();
+  const u64 physical = scheme.physical_lines();
+  for (u64 la = 0; la < lines; ++la) {
+    const Pa pa = scheme.translate(La{la});
+    if (pa.value() >= physical) {
+      return "translate(" + std::to_string(la) + ")=" + std::to_string(pa.value()) +
+             " out of bounds (physical=" + std::to_string(physical) + ")";
+    }
+    if (stamp[pa.value()] == marker) {
+      return "translation collision at pa=" + std::to_string(pa.value()) +
+             " (second la=" + std::to_string(la) + ")";
+    }
+    stamp[pa.value()] = marker;
+  }
+  return std::nullopt;
+}
+
+std::optional<std::string> check_preservation(const wl::WearLeveler& scheme,
+                                              const pcm::PcmBank& bank, u64 data_writes,
+                                              u64 movements) {
+  for (u64 la = 0; la < scheme.logical_lines(); ++la) {
+    const u64 token = scheme.read(La{la}, bank).first.token;
+    if (token != kToken + la) {
+      return "data lost: la=" + std::to_string(la) + " reads token " + std::to_string(token) +
+             " instead of " + std::to_string(kToken + la);
+    }
+  }
+  const u64 expected = data_writes + movements * scheme.writes_per_movement();
+  if (bank.total_writes() != expected) {
+    return "wear conservation broken: bank writes=" + std::to_string(bank.total_writes()) +
+           " but data writes + movements*wpm=" + std::to_string(expected);
+  }
+  scheme.validate_state();  // throws CheckFailure on internal corruption
+  return std::nullopt;
+}
+
+}  // namespace
+
+std::optional<std::string> replay_scheme_trace(std::string_view family, const wl::SchemeSpec& spec,
+                                               const MutationSpec& mut,
+                                               const std::vector<u64>& trace, u64* steps_checked) {
+  // arm_after counts trace writes; the tagging prologue always forwards
+  // faithfully.
+  MutationSpec eff = mut;
+  if (eff.kind != MutationKind::kNone) eff.arm_after += spec.lines;
+  auto scheme = maybe_mutate(wl::make_scheme(spec), eff);
+  pcm::PcmBank bank(pcm::PcmConfig::scaled(spec.lines, kSteadyEndurance),
+                    scheme->physical_lines());
+
+  u64 data_writes = 0;
+  u64 movements = 0;
+  for (u64 la = 0; la < spec.lines; ++la) {
+    const wl::WriteOutcome out = scheme->write(La{la}, pcm::LineData::mixed(kToken + la), bank);
+    ++data_writes;
+    movements += out.movements;
+  }
+
+  std::vector<u64> stamp(scheme->physical_lines(), std::numeric_limits<u64>::max());
+  u64 steps = 0;
+  std::optional<std::string> violation;
+  for (std::size_t i = 0; i < trace.size() && !violation; ++i) {
+    const u64 la = trace[i] % spec.lines;
+    try {
+      const wl::WriteOutcome out =
+          scheme->write(La{la}, pcm::LineData::mixed(kToken + la), bank);
+      ++data_writes;
+      movements += out.movements;
+      violation = family == kRoundtripFamily
+                      ? check_roundtrip(*scheme, stamp, i)
+                      : check_preservation(*scheme, bank, data_writes, movements);
+    } catch (const CheckFailure& e) {
+      violation = std::string("CheckFailure: ") + e.what();
+    }
+    ++steps;
+    if (violation) violation = "step " + std::to_string(i) + ": " + *violation;
+  }
+  if (steps_checked != nullptr) *steps_checked = steps;
+  return violation;
+}
+
+CellResult run_scheme_cell(const Cell& cell, const Bounds& bounds, ThreadPool& pool,
+                           const MutationSpec& mut) {
+  const auto t0 = std::chrono::steady_clock::now();
+  CellResult res;
+  res.cell = cell;
+  const std::string_view family = cell.check;
+  const u64 lines = cell.param;
+
+  // One probe construction to size the rotation budget off the real
+  // physical line count (spares differ per scheme).
+  const u64 physical = wl::make_scheme(cell_spec(cell.scheme, bounds, lines, 0))->physical_lines();
+  const u64 budget = write_budget(physical, bounds);
+  std::vector<u64> trace(budget);
+  for (u64 i = 0; i < budget; ++i) trace[i] = i % lines;
+
+  constexpr u64 kNoSeed = std::numeric_limits<u64>::max();
+  std::atomic<u64> best_seed{kNoSeed};
+  std::atomic<u64> states{0};
+  std::vector<std::string> messages(bounds.seeds);
+  parallel_for(pool, static_cast<std::size_t>(bounds.seeds), [&](std::size_t seed) {
+    if (best_seed.load(std::memory_order_relaxed) < seed) return;
+    const wl::SchemeSpec spec = cell_spec(cell.scheme, bounds, lines, seed);
+    u64 steps = 0;
+    const std::optional<std::string> violation =
+        replay_scheme_trace(family, spec, mut, trace, &steps);
+    states.fetch_add(steps, std::memory_order_relaxed);
+    if (violation.has_value()) {
+      messages[seed] = *violation;
+      u64 cur = best_seed.load(std::memory_order_relaxed);
+      while (seed < cur && !best_seed.compare_exchange_weak(cur, seed)) {
+      }
+    }
+  });
+
+  const u64 seed = best_seed.load();
+  if (seed != kNoSeed) {
+    const wl::SchemeSpec spec = cell_spec(cell.scheme, bounds, lines, seed);
+    const auto fails = [&](const std::vector<u64>& candidate) {
+      return replay_scheme_trace(family, spec, mut, candidate).has_value();
+    };
+    MinimizeResult min = ddmin(trace, fails);
+    Counterexample cex;
+    cex.original_size = trace.size();
+    cex.size = min.trace.size();
+    cex.minimized = min.minimal;
+    cex.message = "scheme=" + cell.scheme + " lines=" + std::to_string(lines) +
+                  " seed=" + std::to_string(seed) + ": " +
+                  replay_scheme_trace(family, spec, mut, min.trace).value_or(messages[seed]);
+    std::ostringstream rp;
+    rp << "check=" << family << ";scheme=" << cell.scheme << ";lines=" << lines
+       << ";regions=" << spec.regions << ";inner=" << spec.inner_interval
+       << ";outer=" << spec.outer_interval << ";stages=" << spec.stages << ";seed=" << seed
+       << ";mutate=" << to_string(mut.kind) << ";arm=" << mut.arm_after
+       << ";trace=" << format_trace(min.trace);
+    cex.replay = rp.str();
+    res.pass = false;
+    res.cex = std::move(cex);
+  }
+
+  res.states = states.load();
+  res.wall_ms =
+      std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - t0).count();
+  return res;
+}
+
+}  // namespace srbsg::verify::detail

@@ -1,0 +1,111 @@
+// Seeded randomized property tests at PRODUCTION widths — the sampling
+// complement to srbsg-verify's exhaustive small-width proofs (DESIGN.md
+// §14). The exhaustive cells prove the invariants over every state at
+// 4-12 bits / 16-64 lines; these tests pin the same properties at the
+// paper's bank sizes (2^16-2^22 lines) with fixed seeds, so a width- or
+// size-dependent regression cannot hide above the exhaustive bounds.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "mapping/feistel.hpp"
+#include "pcm/bank.hpp"
+#include "wl/factory.hpp"
+#include "wl_test_util.hpp"
+
+namespace srbsg {
+namespace {
+
+// Paper scale: a 1 GB bank is 2^22 lines (config.hpp).
+constexpr u32 kProductionWidth = 22;
+constexpr u64 kPropertySeeds = 3;
+
+TEST(VerifyProps, FeistelRoundTripAtProductionWidth) {
+  const u64 domain = u64{1} << kProductionWidth;
+  for (u64 seed = 1; seed <= kPropertySeeds; ++seed) {
+    Rng rng(0xFE157E1u * seed);
+    const auto keys = mapping::FeistelNetwork::random_keys(kProductionWidth, 7, rng);
+    const mapping::FeistelNetwork net(kProductionWidth, keys);
+    // Dense band at the bottom, dense band at the top, random middle.
+    for (u64 x = 0; x < 4096; ++x) {
+      const u64 y = net.map(x);
+      ASSERT_LT(y, domain);
+      ASSERT_EQ(net.unmap(y), x) << "seed=" << seed << " x=" << x;
+    }
+    for (u64 x = domain - 4096; x < domain; ++x) {
+      const u64 y = net.map(x);
+      ASSERT_LT(y, domain);
+      ASSERT_EQ(net.unmap(y), x) << "seed=" << seed << " x=" << x;
+    }
+    for (u64 i = 0; i < 100'000; ++i) {
+      const u64 x = rng.next_below(domain);
+      const u64 y = net.map(x);
+      ASSERT_LT(y, domain);
+      ASSERT_EQ(net.unmap(y), x) << "seed=" << seed << " x=" << x;
+    }
+  }
+}
+
+TEST(VerifyProps, FeistelExhaustiveBijectionAtSixteenBits) {
+  // Full bijection proof at a mid production width: every input, random
+  // keys per seed. 2^16 inputs keeps this in milliseconds.
+  constexpr u32 kWidth = 16;
+  const u64 domain = u64{1} << kWidth;
+  for (u64 seed = 1; seed <= kPropertySeeds; ++seed) {
+    Rng rng(0xB17EC7u + seed);
+    const auto keys = mapping::FeistelNetwork::random_keys(kWidth, 7, rng);
+    const mapping::FeistelNetwork net(kWidth, keys);
+    std::vector<bool> hit(domain, false);
+    for (u64 x = 0; x < domain; ++x) {
+      const u64 y = net.map(x);
+      ASSERT_LT(y, domain);
+      ASSERT_FALSE(hit[y]) << "collision at x=" << x << " seed=" << seed;
+      hit[y] = true;
+      ASSERT_EQ(net.unmap(y), x);
+    }
+  }
+}
+
+class VerifyPropsSchemes : public ::testing::TestWithParam<wl::SchemeKind> {};
+
+TEST_P(VerifyPropsSchemes, RoundTripAtProductionBankSize) {
+  // 2^16 lines with the factory's default region/interval shape — the
+  // scaled-down production configuration the sweeps use. Tag every
+  // line, churn through a seeded random write stream, then require the
+  // translation to still be a bijection and every token to survive.
+  constexpr u64 kLines = u64{1} << 16;
+  wl::SchemeSpec spec;
+  spec.kind = GetParam();
+  spec.lines = kLines;
+  spec.regions = 512;
+  spec.inner_interval = 64;
+  spec.outer_interval = 128;
+  spec.stages = 7;
+  spec.seed = 0xC0FFEE;
+  const auto scheme = wl::make_scheme(spec);
+  pcm::PcmBank bank(pcm::PcmConfig::scaled(kLines, u64{1} << 40), scheme->physical_lines());
+
+  wl::testutil::tag_all_lines(*scheme, bank);
+  wl::testutil::expect_translation_bijective(*scheme);
+
+  Rng rng(0x5EEDED + static_cast<u64>(GetParam()));
+  for (u64 i = 0; i < 30'000; ++i) {
+    const u64 la = rng.next_below(kLines);
+    scheme->write(La{la}, pcm::LineData::mixed(0xD00D0000 + la), bank);
+  }
+  wl::testutil::expect_translation_bijective(*scheme);
+  wl::testutil::expect_tokens_intact(*scheme, bank);
+  scheme->validate_state();
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSchemes, VerifyPropsSchemes,
+                         ::testing::Values(wl::SchemeKind::kNone, wl::SchemeKind::kStartGap,
+                                           wl::SchemeKind::kRbsg, wl::SchemeKind::kSr1,
+                                           wl::SchemeKind::kSr2, wl::SchemeKind::kMultiWaySr,
+                                           wl::SchemeKind::kSecurityRbsg,
+                                           wl::SchemeKind::kTable));
+
+}  // namespace
+}  // namespace srbsg

@@ -43,6 +43,7 @@ Usage:
   python3 tools/analyze --sources f.cpp -- -I.  # standalone sources
   python3 tools/analyze --ast-json dump.json    # pre-dumped AST (testing)
   python3 tools/analyze --write-baseline        # accept current findings
+  python3 tools/analyze --prune-baseline        # drop stale baseline rows
 
 Exit status: 0 clean (or AST layer skipped: no clang), 1 new findings,
 2 usage/internal error.
@@ -99,6 +100,9 @@ def parse_args(argv: list[str]) -> argparse.Namespace:
                         help="ignore the baseline file")
     parser.add_argument("--write-baseline", action="store_true",
                         help="accept current new findings into the baseline")
+    parser.add_argument("--prune-baseline", action="store_true",
+                        help="drop baseline entries whose file or context "
+                             "no longer exists, printing what was pruned")
     parser.add_argument("--clang", default=None, help="clang driver to use")
     parser.add_argument("--no-pre-pass", action="store_true",
                         help="skip the regex R1 pre-pass")
@@ -111,7 +115,10 @@ def parse_args(argv: list[str]) -> argparse.Namespace:
                         help="ignore any --cache flag (force cold analysis)")
     parser.add_argument("--sarif", default=None, metavar="PATH",
                         help="also write a SARIF 2.1.0 report to PATH")
-    parser.add_argument("--jobs", type=int, default=0)
+    parser.add_argument("--jobs", type=int, default=0, metavar="N",
+                        help="parallel clang workers for the per-TU phase "
+                             "(default: one per core); output is "
+                             "byte-identical at any worker count")
     parser.add_argument("--json", action="store_true", dest="json_output")
     parser.add_argument("--repo-root", default=REPO_ROOT,
                         help=argparse.SUPPRESS)
@@ -158,6 +165,21 @@ def main(argv: list[str]) -> int:
         for cls in ALL_CHECKS:
             scope = ", ".join(cls.scope_dirs) if cls.scope_dirs else "src/"
             print(f"{cls.id:16} [{scope}] {cls.description}")
+        return 0
+
+    if args.prune_baseline:
+        # No analysis needed: staleness is decided against the tree.
+        repo_root = os.path.abspath(args.repo_root)
+        pruned = baseline_mod.prune_stale(args.baseline, repo_root)
+        for entry in pruned:
+            reason = "file gone" if not os.path.isfile(
+                os.path.join(repo_root, entry.get("file", ""))) \
+                else f"context '{entry.get('context', '')}' gone"
+            print(f"pruned: {entry.get('file', '')}: "
+                  f"{entry.get('check', '')}: {entry.get('message', '')} "
+                  f"[{reason}]")
+        print(f"srbsg-analyze: {len(pruned)} stale baseline entrie(s) "
+              f"pruned from {args.baseline}")
         return 0
 
     check_ids = resolve_checks(args.checks)

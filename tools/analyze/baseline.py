@@ -115,6 +115,46 @@ def write_baseline(path: str, findings: list[dict],
         fh.write("\n")
 
 
+def prune_stale(path: str, repo_root: str) -> list[dict]:
+    """Drops baseline entries whose file is gone or whose recorded
+    context no longer appears in that file; rewrites the baseline in
+    place (justifications of surviving entries untouched) and returns
+    the pruned entries.  Keeps the file unmodified when nothing is
+    stale."""
+    if not os.path.isfile(path):
+        return []
+    with open(path, encoding="utf-8") as fh:
+        payload = json.load(fh)
+    kept: list[dict] = []
+    pruned: list[dict] = []
+    file_text: dict[str, Optional[str]] = {}
+    for entry in payload.get("findings", []):
+        rel = entry.get("file", "")
+        if rel not in file_text:
+            full = os.path.join(repo_root, rel)
+            if os.path.isfile(full):
+                try:
+                    with open(full, encoding="utf-8",
+                              errors="replace") as fh:
+                        file_text[rel] = fh.read()
+                except OSError:
+                    file_text[rel] = None
+            else:
+                file_text[rel] = None
+        text = file_text[rel]
+        context = entry.get("context", "")
+        if text is None or (context and context not in text):
+            pruned.append(entry)
+        else:
+            kept.append(entry)
+    if pruned:
+        payload["findings"] = kept
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2)
+            fh.write("\n")
+    return pruned
+
+
 def filter_findings(findings: list[dict], baseline: dict,
                     suppressions: SuppressionIndex) -> tuple:
     """(new, baselined, suppressed) partition, deduplicated and sorted."""

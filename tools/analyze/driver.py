@@ -158,7 +158,7 @@ def run_tus(clang: str, tus: list[dict], repo_root: str, src_root: str,
     clang); returns (findings, tu_summaries, errors, stats) where
     tu_summaries is [(rel, {check id: summary})] in TU order and stats
     is {"hits": n, "analyzed": m}."""
-    jobs = jobs or min(4, os.cpu_count() or 1)
+    jobs = jobs or (os.cpu_count() or 1)
     results_by_rel: dict = {}
     todo: list[dict] = []
     hits = 0

@@ -10,14 +10,19 @@ Modes (one per ctest test):
   baseline  Baseline write/read round-trip over an AST fixture
             (write-baseline silences, justifications survive rewrites)
             plus same-line / preceding-line suppression-comment rules,
-            SARIF emission/validation, and regex pre-pass scoping
-            (--paths restriction, bench/ coverage).  No clang needed.
+            SARIF emission/validation, --prune-baseline staleness
+            rules, and regex pre-pass scoping (--paths restriction,
+            bench/ coverage).  No clang needed.
   cache     Incremental-cache correctness against a hermetic stub clang
             (the "compiler" replays pre-dumped JSON ASTs): cold run
             analyzes every TU, warm run reuses all of them, editing one
             TU re-analyzes only it and evicts its stale findings, and a
             clang version bump invalidates everything.  No clang
             needed.
+  jobs      Parallel-analysis determinism against the same stub clang:
+            `--jobs 4` must produce byte-identical stdout, the same
+            exit code and the same clang invocation count as
+            `--jobs 1` over an 8-TU program.  No clang needed.
   fixtures  Compile every tests/analyze_fixtures/*.cpp with the real
             clang and assert the analyzer reports exactly the seeded
             `// EXPECT: <check>` lines as new findings and exactly the
@@ -250,6 +255,46 @@ def mode_baseline() -> int:
             fail("explicit --sources file dropped by --paths scoping")
         print("ok: pre-pass scoping (bench/ coverage, --paths, --sources)")
 
+        # --prune-baseline: entries for deleted files or vanished
+        # contexts are dropped (and printed); live entries survive with
+        # their justifications.
+        prune_repo = os.path.join(tmp, "prunerepo")
+        os.makedirs(prune_repo)
+        live = os.path.join(prune_repo, "live.cpp")
+        with open(live, "w", encoding="utf-8") as fh:
+            fh.write("void keep_me() {}\n")
+        prune_base = os.path.join(tmp, "prune-baseline.json")
+        with open(prune_base, "w", encoding="utf-8") as fh:
+            json.dump({"version": 1, "findings": [
+                {"check": "a1-width", "file": "live.cpp",
+                 "context": "keep_me", "message": "narrowed",
+                 "justification": "intentional"},
+                {"check": "a1-width", "file": "live.cpp",
+                 "context": "renamed_away", "message": "narrowed"},
+                {"check": "a4-state", "file": "deleted.cpp",
+                 "context": "", "message": "mutable static"},
+            ]}, fh)
+        proc = subprocess.run(
+            [sys.executable, HERE, "--prune-baseline",
+             "--baseline", prune_base, "--repo-root", prune_repo],
+            capture_output=True, text=True)
+        with open(prune_base, encoding="utf-8") as fh:
+            remaining = json.load(fh)["findings"]
+        if proc.returncode != 0:
+            fail(f"--prune-baseline exited {proc.returncode}: "
+                 f"{proc.stderr.strip()}")
+        elif len(remaining) != 1 or remaining[0]["context"] != "keep_me" \
+                or remaining[0].get("justification") != "intentional":
+            fail(f"--prune-baseline kept the wrong entries: {remaining}")
+        elif "deleted.cpp" not in proc.stdout \
+                or "renamed_away" not in proc.stdout \
+                or "2 stale baseline entrie(s) pruned" not in proc.stdout:
+            fail(f"--prune-baseline did not report what it pruned:\n"
+                 f"{proc.stdout}")
+        else:
+            print("ok: --prune-baseline drops stale entries and reports "
+                  "them")
+
         # Regression: rand() in a bench/ TU is caught end to end.
         bench_dir = os.path.join(tmp, "bench")
         os.makedirs(bench_dir, exist_ok=True)
@@ -394,6 +439,74 @@ def mode_cache() -> int:
     return 1 if _failures else 0
 
 
+# -- jobs (hermetic stub clang) ---------------------------------------------
+
+def mode_jobs() -> int:
+    """Parallel per-TU analysis is byte-identical to serial: the same
+    TU set run with --jobs 1 and --jobs 4 must produce the exact same
+    stdout (finding order included), the same exit code, and the same
+    number of clang invocations."""
+    with tempfile.TemporaryDirectory(prefix="srbsg-jobs-") as tmp:
+        wl_dir = os.path.join(tmp, "src", "wl")
+        os.makedirs(wl_dir)
+        sources: list[str] = []
+        # Enough TUs that a 4-worker pool genuinely interleaves; odd
+        # ones are mutable (one a4-state finding each), even ones clean.
+        for i in range(8):
+            rel = f"src/wl/tu{i}.cpp"
+            path = os.path.join(wl_dir, f"tu{i}.cpp")
+            with open(path, "w", encoding="utf-8") as fh:
+                fh.write(_fake_tu(rel, f"g_state_{i}", i % 2 == 1))
+            sources.append(path)
+        stub = os.path.join(tmp, "fake-clang")
+        with open(stub, "w", encoding="utf-8") as fh:
+            fh.write(_STUB_CLANG)
+        os.chmod(stub, 0o755)
+        log = os.path.join(tmp, "clang.log")
+        os.environ["FAKE_CLANG_LOG"] = log
+        os.environ["FAKE_CLANG_VERSION"] = "fake clang version 1.0"
+
+        def run(jobs: int) -> tuple[int, str, int]:
+            open(log, "w").close()
+            proc = subprocess.run(
+                [sys.executable, HERE, "--repo-root", tmp, "--clang", stub,
+                 "--no-pre-pass", "--no-baseline", "--json",
+                 "--jobs", str(jobs), "--sources", *sources],
+                capture_output=True, text=True)
+            with open(log, encoding="utf-8") as fh:
+                invoked = sum(1 for line in fh if line.strip())
+            return proc.returncode, proc.stdout, invoked
+
+        serial_rc, serial_out, serial_invoked = run(1)
+        parallel_rc, parallel_out, parallel_invoked = run(4)
+        if serial_rc != 1:
+            fail(f"serial run: expected rc 1 (4 seeded findings), got "
+                 f"{serial_rc}")
+        if serial_invoked != 8 or parallel_invoked != 8:
+            fail(f"expected 8 clang invocations per run, got "
+                 f"{serial_invoked} serial / {parallel_invoked} parallel")
+        if parallel_rc != serial_rc:
+            fail(f"exit codes diverge: serial {serial_rc}, parallel "
+                 f"{parallel_rc}")
+        if parallel_out != serial_out:
+            fail("parallel stdout is not byte-identical to serial:\n"
+                 f"--- serial ---\n{serial_out}\n"
+                 f"--- parallel ---\n{parallel_out}")
+        try:
+            findings = json.loads(serial_out).get("new", [])
+        except json.JSONDecodeError:
+            findings = []
+        if len(findings) != 4:
+            fail(f"expected 4 seeded findings, got {len(findings)}")
+        if not _failures:
+            print("ok: --jobs 4 output byte-identical to --jobs 1 "
+                  f"({len(findings)} finding(s), 8 TUs)")
+
+        del os.environ["FAKE_CLANG_LOG"]
+        del os.environ["FAKE_CLANG_VERSION"]
+    return 1 if _failures else 0
+
+
 # -- fixtures (needs clang) -------------------------------------------------
 
 def mode_fixtures() -> int:
@@ -470,8 +583,8 @@ def mode_src(compile_db: str | None) -> int:
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--mode", required=True,
-                        choices=["astjson", "baseline", "cache", "fixtures",
-                                 "src"])
+                        choices=["astjson", "baseline", "cache", "jobs",
+                                 "fixtures", "src"])
     parser.add_argument("--compile-db", default=None,
                         help="compile_commands.json for --mode src")
     args = parser.parse_args()
@@ -481,6 +594,8 @@ def main() -> int:
         return mode_baseline()
     if args.mode == "cache":
         return mode_cache()
+    if args.mode == "jobs":
+        return mode_jobs()
     if args.mode == "fixtures":
         return mode_fixtures()
     return mode_src(args.compile_db)

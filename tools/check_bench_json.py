@@ -11,12 +11,16 @@ With --compare REF.json the ratio metrics (engine/scenario speedups,
 which divide out machine speed) are additionally compared against a
 committed reference run of the same bench: any ratio more than
 --threshold (default 10%) below the reference prints a regression
-WARNING on stderr.  Warnings do not change the exit status — absolute
-gating on shared CI hardware would flake — they exist to make a perf
-regression visible in the job log.  Comparing different benches is an
-error; a reference with a different grid/config is noted and skipped.
+WARNING on stderr.  By default warnings do not change the exit status —
+absolute gating on shared CI hardware would flake — they exist to make
+a perf regression visible in the job log.  With --strict any such
+warning turns into exit status 1, for jobs that want the regression
+surfaced as a failed step (CI runs the strict compare under
+continue-on-error so it shows red without blocking merges).  Comparing
+different benches is an error; a reference with a different grid/config
+is noted and skipped.
 
-Usage: check_bench_json.py [--compare REF.json] BENCH_sweep.json
+Usage: check_bench_json.py [--compare REF.json [--strict]] BENCH_sweep.json
 """
 
 from __future__ import annotations
@@ -258,12 +262,19 @@ def main() -> int:
     parser.add_argument("--threshold", type=float, default=0.10,
                         help="relative regression that triggers a warning "
                              "(default: %(default)s)")
+    parser.add_argument("--strict", action="store_true",
+                        help="with --compare: exit 1 when any ratio metric "
+                             "regresses past the threshold")
     args = parser.parse_args()
 
     doc = load_and_validate(args.bench_json)
     if args.compare:
         ref = load_and_validate(args.compare)
-        compare(doc, ref, args.compare, args.threshold)
+        warnings = compare(doc, ref, args.compare, args.threshold)
+        if args.strict and warnings:
+            print(f"check_bench_json: FAIL (--strict): {warnings} ratio "
+                  "regression(s)", file=sys.stderr)
+            return 1
     return 0
 
 

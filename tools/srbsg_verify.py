@@ -1,0 +1,422 @@
+#!/usr/bin/env python3
+"""CI driver for the srbsg-verify bounded model checker.
+
+Wraps the C++ CLI (build/src/srbsg-verify) with the two things CI wants
+that the binary deliberately does not do itself:
+
+* a verified-cell cache: every (check, scheme, width) cell that passed
+  is recorded keyed on a content hash of the sources its invariant
+  exercises plus the exploration bounds, mirroring tools/analyze's
+  incremental cache.  A warm run with unchanged sources runs zero
+  cells; editing src/wl/rbsg.cpp re-verifies exactly the scheme and
+  batch families, editing src/mapping/feistel.cpp the Feistel family.
+* SARIF output: counterexamples become SARIF results anchored at the
+  source file the family proves things about, via tools/analyze's
+  emitter, so the CI verify job uploads one artifact in the same format
+  the analyzer already uses.
+
+Mutated runs (--mutate) always bypass the cache in both directions —
+an injected fault must neither consume nor poison verified cells.
+
+Exit codes follow the binary: 0 all cells pass (or cached), 1 at least
+one counterexample, 2 usage/internal errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+TOOLS_DIR = os.path.dirname(os.path.abspath(__file__))
+REPO_ROOT = os.path.dirname(TOOLS_DIR)
+sys.path.insert(0, os.path.join(TOOLS_DIR, "analyze"))
+import sarif  # noqa: E402  (tools/analyze/sarif.py)
+
+CACHE_VERSION = 1
+DEFAULT_BINARY = os.path.join("build", "src", "srbsg-verify")
+DEFAULT_CACHE = os.path.join("build", "srbsg-verify-cache.json")
+
+# Source files whose content each family's proof depends on.  Directories
+# mean "every .hpp/.cpp directly inside".  src/verify itself is part of
+# every key: a checker change invalidates everything it verified.
+_COMMON = ["src/verify", "src/common", "src/pcm"]
+FAMILY_SOURCES = {
+    "feistel-bijection": _COMMON + ["src/mapping"],
+    "scheme-roundtrip": _COMMON + ["src/mapping", "src/wl"],
+    "remap-preservation": _COMMON + ["src/mapping", "src/wl"],
+    "batch-equivalence": _COMMON + ["src/mapping", "src/wl"],
+}
+
+# Bounds flags forwarded verbatim to the binary (and folded into cache
+# keys: tighter or wider bounds are different proofs).
+BOUNDS_FLAGS = [
+    "min-width", "max-width", "max-stages", "key-budget-bits",
+    "bank-lines", "seeds", "rotation-rounds", "batch-lines",
+    "max-pattern-len",
+]
+
+
+class VerifyRule:
+    """Shim rule class for sarif.build(); one per check family."""
+
+    def __init__(self, family: str, source: str):
+        self.id = family
+        self.__name__ = "Verify" + "".join(
+            part.capitalize() for part in family.split("-"))
+        self.description = (
+            f"srbsg-verify invariant family '{family}' found a "
+            "counterexample")
+        self.suggestion = (
+            f"Reproduce with: build/src/srbsg-verify --replay '<replay>' "
+            f"(see the finding message); the invariant lives in {source}.")
+
+
+def family_rules(report: dict) -> list:
+    rules = {}
+    for cell in report.get("cells", []):
+        rules.setdefault(cell["check"], VerifyRule(cell["check"],
+                                                   cell["source"]))
+    return [rules[k] for k in sorted(rules)]
+
+
+def _iter_family_files(repo_root: str, family: str):
+    for entry in FAMILY_SOURCES[family]:
+        root = os.path.join(repo_root, entry)
+        if os.path.isfile(root):
+            yield root
+            continue
+        try:
+            names = sorted(os.listdir(root))
+        except OSError:
+            continue
+        for name in names:
+            if name.endswith((".hpp", ".cpp")):
+                yield os.path.join(root, name)
+
+
+def family_hash(repo_root: str, family: str, memo: dict) -> str:
+    cached = memo.get(family)
+    if cached is not None:
+        return cached
+    digest = hashlib.sha256()
+    for path in _iter_family_files(repo_root, family):
+        rel = os.path.relpath(path, repo_root)
+        try:
+            with open(path, "rb") as fh:
+                content = fh.read()
+        except OSError:
+            continue
+        digest.update(rel.encode())
+        digest.update(b"\x00")
+        digest.update(hashlib.sha256(content).digest())
+    result = digest.hexdigest()
+    memo[family] = result
+    return result
+
+
+def bounds_signature(args: argparse.Namespace) -> str:
+    parts = []
+    for flag in BOUNDS_FLAGS:
+        value = getattr(args, flag.replace("-", "_"))
+        if value is not None:
+            parts.append(f"{flag}={value}")
+    return ";".join(parts)
+
+
+def cell_key(repo_root: str, cell: dict, sig: str, memo: dict) -> str:
+    src = family_hash(repo_root, cell["check"], memo)
+    raw = f"{cell['id']}|{src}|{sig}"
+    return hashlib.sha256(raw.encode()).hexdigest()
+
+
+def load_cache(path: str) -> dict:
+    try:
+        with open(path, encoding="utf-8") as fh:
+            data = json.load(fh)
+    except (OSError, json.JSONDecodeError, ValueError):
+        return {}
+    if not isinstance(data, dict) or data.get("version") != CACHE_VERSION:
+        return {}
+    entries = data.get("cells")
+    return entries if isinstance(entries, dict) else {}
+
+
+def save_cache(path: str, entries: dict) -> None:
+    payload = {"version": CACHE_VERSION, "cells": entries}
+    directory = os.path.dirname(path) or "."
+    try:
+        os.makedirs(directory, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(prefix=".srbsg-verify-", dir=directory)
+        with os.fdopen(fd, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=1)
+        os.replace(tmp, path)
+    except OSError:
+        pass  # unwritable cache degrades to a cold cache
+
+
+def bounds_argv(args: argparse.Namespace) -> list:
+    argv = []
+    for flag in BOUNDS_FLAGS:
+        value = getattr(args, flag.replace("-", "_"))
+        if value is not None:
+            argv += [f"--{flag}", str(value)]
+    return argv
+
+
+def run_binary(args: argparse.Namespace, extra: list) -> subprocess.CompletedProcess:
+    cmd = [args.binary] + bounds_argv(args) + extra
+    return subprocess.run(cmd, capture_output=True, text=True)
+
+
+def list_cells(args: argparse.Namespace) -> list:
+    proc = run_binary(args, ["--list"])
+    if proc.returncode != 0:
+        sys.stderr.write(proc.stderr)
+        raise SystemExit(2)
+    return [line.strip() for line in proc.stdout.splitlines() if line.strip()]
+
+
+def sarif_findings(report: dict) -> list:
+    findings = []
+    for cell in report.get("cells", []):
+        if cell.get("pass"):
+            continue
+        cex = cell.get("counterexample") or {}
+        findings.append({
+            "check": cell["check"],
+            "file": cell["source"],
+            "line": 1,
+            "context": cell["id"],
+            "message": (
+                f"cell {cell['id']}: {cex.get('message', 'invariant failed')}"
+                f" [witness {cex.get('original_size', '?')} -> "
+                f"{cex.get('size', '?')} items; replay: "
+                f"{cex.get('replay', '')}]"),
+        })
+    return findings
+
+
+def write_sarif(path: str, report: dict, repo_root: str) -> None:
+    doc = sarif.build(sarif_findings(report), [], [], family_rules(report),
+                      repo_root)
+    doc["runs"][0]["tool"]["driver"]["name"] = "srbsg-verify"
+    errors = sarif.validate(doc)
+    if errors:
+        raise SystemExit(f"srbsg-verify: internal SARIF errors: {errors}")
+    sarif.write(path, doc)
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    repo_root = os.path.abspath(args.repo_root)
+    selected = list_cells(args)
+    if args.prefixes:
+        selected = [cid for cid in selected
+                    if any(cid.startswith(p) for p in args.prefixes)]
+        if not selected:
+            print("srbsg-verify: no cells match the given prefixes",
+                  file=sys.stderr)
+            return 2
+
+    mutated = args.mutate not in (None, "none")
+    use_cache = not args.no_cache and not mutated
+    entries = load_cache(args.cache) if use_cache else {}
+    sig = bounds_signature(args)
+    memo: dict = {}
+
+    to_run = []
+    cached = []
+    # `--list` emits cell ids only; check family is recoverable from the
+    # id prefix.
+    prefix_to_family = {
+        "feistel/": "feistel-bijection",
+        "roundtrip/": "scheme-roundtrip",
+        "preserve/": "remap-preservation",
+        "batch/": "batch-equivalence",
+    }
+    keys = {}
+    for cid in selected:
+        family = next((fam for pre, fam in prefix_to_family.items()
+                       if cid.startswith(pre)), None)
+        if family is None:
+            print(f"srbsg-verify: unknown cell id shape: {cid}",
+                  file=sys.stderr)
+            return 2
+        key = cell_key(repo_root, {"id": cid, "check": family}, sig, memo)
+        keys[cid] = key
+        if use_cache and entries.get(cid, {}).get("key") == key:
+            cached.append(cid)
+        else:
+            to_run.append(cid)
+
+    for cid in cached:
+        print(f"CACHED {cid}")
+
+    report = {"cells": []}
+    rc = 0
+    if to_run:
+        fd, report_path = tempfile.mkstemp(suffix=".json",
+                                           prefix=".srbsg-verify-report-")
+        os.close(fd)
+        try:
+            extra = ["--json", report_path]
+            if args.threads is not None:
+                extra += ["--threads", str(args.threads)]
+            if mutated:
+                extra += ["--mutate", args.mutate,
+                          "--arm-after", str(args.arm_after)]
+            proc = run_binary(args, extra + to_run)
+            sys.stdout.write(proc.stdout)
+            sys.stderr.write(proc.stderr)
+            rc = proc.returncode
+            if rc not in (0, 1):
+                return rc
+            with open(report_path, encoding="utf-8") as fh:
+                report = json.load(fh)
+        finally:
+            try:
+                os.unlink(report_path)
+            except OSError:
+                pass
+        if report.get("schema_version") != 1:
+            print("srbsg-verify: unexpected report schema", file=sys.stderr)
+            return 2
+        if use_cache:
+            for cell in report["cells"]:
+                if cell["pass"]:
+                    entries[cell["id"]] = {
+                        "key": keys[cell["id"]],
+                        "states": cell["states"],
+                    }
+                else:
+                    entries.pop(cell["id"], None)
+            save_cache(args.cache, entries)
+    else:
+        print(f"all {len(cached)} selected cells verified from cache")
+
+    if args.json_out:
+        with open(args.json_out, "w", encoding="utf-8") as fh:
+            json.dump(report, fh, indent=1)
+            fh.write("\n")
+    if args.sarif:
+        write_sarif(args.sarif, report, repo_root)
+    return rc
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="srbsg-verify",
+        description="cache/SARIF driver for the bounded model checker")
+    parser.add_argument("prefixes", nargs="*",
+                        help="cell id prefixes to run (default: all)")
+    parser.add_argument("--binary", default=DEFAULT_BINARY,
+                        help="path to the srbsg-verify executable")
+    parser.add_argument("--repo-root", default=REPO_ROOT)
+    parser.add_argument("--cache", default=DEFAULT_CACHE,
+                        help="verified-cell cache file")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="ignore and do not update the cell cache")
+    parser.add_argument("--sarif", help="write a SARIF report here")
+    parser.add_argument("--json-out",
+                        help="write the raw JSON report here")
+    parser.add_argument("--threads", type=int)
+    parser.add_argument("--mutate",
+                        help="fault injection kind (bypasses the cache)")
+    parser.add_argument("--arm-after", type=int, default=0)
+    parser.add_argument("--selftest", action="store_true",
+                        help="exercise cache + SARIF plumbing and exit")
+    for flag in BOUNDS_FLAGS:
+        parser.add_argument(f"--{flag}", dest=flag.replace("-", "_"))
+    return parser
+
+
+# -- selftest -----------------------------------------------------------------
+
+def _selftest(args: argparse.Namespace) -> int:
+    """End-to-end check of the driver: cold run verifies, warm run is
+    fully cached, a bounds change invalidates, a mutated run produces a
+    valid SARIF counterexample and leaves the cache untouched."""
+    if not os.path.exists(args.binary):
+        print(f"selftest: binary not found at {args.binary}; "
+              "build srbsg-verify first (skip)")
+        return 77
+
+    failures = []
+
+    def expect(cond: bool, what: str) -> None:
+        if not cond:
+            failures.append(what)
+            print(f"selftest FAIL: {what}", file=sys.stderr)
+
+    with tempfile.TemporaryDirectory(prefix="srbsg-verify-st-") as tmp:
+        cache = os.path.join(tmp, "cache.json")
+        sarif_path = os.path.join(tmp, "report.sarif")
+        flags = [sys.executable, os.path.abspath(__file__),
+                 "--binary", os.path.abspath(args.binary),
+                 "--cache", cache,
+                 "--max-width", "4", "--seeds", "1",
+                 "--rotation-rounds", "1", "--max-pattern-len", "2",
+                 "--bank-lines", "16"]
+        cells = ["feistel/w4", "roundtrip/none/", "batch/none/"]
+        base = flags + cells
+
+        cold = subprocess.run(base, capture_output=True, text=True)
+        expect(cold.returncode == 0, f"cold run rc={cold.returncode}: "
+               f"{cold.stderr}")
+        expect("PASS feistel/w4" in cold.stdout, "cold run ran feistel/w4")
+        expect(os.path.exists(cache), "cold run wrote the cache")
+
+        warm = subprocess.run(base, capture_output=True, text=True)
+        expect(warm.returncode == 0, f"warm run rc={warm.returncode}")
+        expect("all 3 selected cells verified from cache" in warm.stdout,
+               f"warm run fully cached (stdout: {warm.stdout!r})")
+
+        # argparse takes the last occurrence, so this reruns with seeds=2.
+        wider = subprocess.run(flags + ["--seeds", "2"] + cells,
+                               capture_output=True, text=True)
+        expect(wider.returncode == 0, f"bounds-change run rc="
+               f"{wider.returncode}")
+        expect("PASS" in wider.stdout,
+               "changed bounds invalidated the cache")
+
+        before = load_cache(cache)
+        hurt = subprocess.run(
+            flags + ["--mutate", "batch-skip", "--max-pattern-len", "3",
+                     "--sarif", sarif_path, "batch/start-gap/"],
+            capture_output=True, text=True)
+        expect(hurt.returncode == 1,
+               f"mutated run rc={hurt.returncode} (want 1): {hurt.stderr}")
+        expect(load_cache(cache) == before,
+               "mutated run must not touch the cache")
+        try:
+            with open(sarif_path, encoding="utf-8") as fh:
+                doc = json.load(fh)
+        except OSError:
+            doc = None
+        expect(doc is not None, "mutated run wrote SARIF")
+        if doc is not None:
+            expect(not sarif.validate(doc), "SARIF document validates")
+            results = doc["runs"][0]["results"]
+            expect(len(results) >= 1, "SARIF carries the counterexample")
+            expect("replay:" in results[0]["message"]["text"],
+                   "SARIF message embeds the replay string")
+
+    if not failures:
+        print("selftest: driver cache + SARIF plumbing ok")
+        return 0
+    return 2
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.selftest:
+        return _selftest(args)
+    return cmd_run(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())
