@@ -22,9 +22,11 @@
 #include <string>
 #include <string_view>
 
+#include "common/check.hpp"
 #include "common/table.hpp"
 #include "common/thread_pool.hpp"
 #include "sim/sweep.hpp"
+#include "wl/wear_leveler.hpp"
 
 namespace srbsg::bench {
 
@@ -51,7 +53,9 @@ enum BenchFlag : unsigned {
   kFlagScale = 1u << 2,
   kFlagJson = 1u << 3,
   kFlagTelemetry = 1u << 4,
-  kFlagAll = kFlagThreads | kFlagSeeds | kFlagScale | kFlagJson | kFlagTelemetry,
+  kFlagEngine = 1u << 5,
+  kFlagAll =
+      kFlagThreads | kFlagSeeds | kFlagScale | kFlagJson | kFlagTelemetry | kFlagEngine,
 };
 
 struct BenchOptions {
@@ -60,6 +64,10 @@ struct BenchOptions {
   u64 scale{0};            ///< 0 = bench default; else log2(scaled bank lines)
   std::string json;        ///< empty = no JSON output
   std::string telemetry;   ///< empty = telemetry off; else JSONL trace path
+  /// write_cycle engine tier for simulation runs (--engine
+  /// reference|windowed|epoch). Benches that race tiers against each
+  /// other (perf_epoch) ignore it.
+  wl::EngineTier engine{wl::EngineTier::kWindowed};
 
   /// Bench-default plumbing: flag value when given, `fallback` otherwise.
   [[nodiscard]] u64 seeds_or(u64 fallback) const { return seeds > 0 ? seeds : fallback; }
@@ -82,6 +90,9 @@ inline void print_bench_usage(std::string_view prog, unsigned supported) {
   if (supported & kFlagJson) std::cout << "  --json PATH   write machine-readable results\n";
   if (supported & kFlagTelemetry) {
     std::cout << "  --telemetry PATH  write a JSONL event trace\n";
+  }
+  if (supported & kFlagEngine) {
+    std::cout << "  --engine T    write_cycle engine tier: reference|windowed|epoch\n";
   }
   std::cout << "  --help        this text\n"
             << "env: SRBSG_FULL=1 enlarges the default grids\n";
@@ -133,6 +144,16 @@ inline BenchOptions parse_bench_options(int argc, char** argv, unsigned supporte
     } else if (a == "--telemetry") {
       o.telemetry = need_value(i, a);
       note_unsupported(a, (supported & kFlagTelemetry) != 0);
+    } else if (a == "--engine") {
+      const char* v = need_value(i, a);
+      try {
+        o.engine = wl::parse_engine_tier(v);
+      } catch (const CheckFailure&) {
+        std::cerr << prog << ": bad value '" << v << "' for --engine"
+                  << " (want reference|windowed|epoch)\n";
+        std::exit(2);
+      }
+      note_unsupported(a, (supported & kFlagEngine) != 0);
     } else if (a == "--help" || a == "-h") {
       print_bench_usage(prog, supported);
       std::exit(0);

@@ -8,6 +8,11 @@
 // divides the line count, region size and both intervals by the same
 // factor, which preserves the grid's relative ordering while keeping both
 // ratios high.
+//
+// Dense-grid protocol (EXPERIMENTS.md): --seeds N averages N key seeds
+// per configuration and --engine epoch runs the whole sweep under the
+// epoch fast-forward tier (bit-identical to windowed — gated by
+// perf_epoch), which is what makes 16-seed grids affordable.
 
 #include <algorithm>
 #include <vector>
@@ -20,7 +25,8 @@ int main(int argc, char** argv) {
   using namespace srbsg;
   using namespace srbsg::bench;
 
-  const BenchOptions opts = parse_bench_options(argc, argv, kFlagThreads | kFlagScale);
+  const BenchOptions opts = parse_bench_options(
+      argc, argv, kFlagThreads | kFlagScale | kFlagSeeds | kFlagEngine);
 
   print_header("Fig. 13: two-level SR under RAA",
                "~105 months at the suggested config; ideal = 4854 days");
@@ -35,8 +41,9 @@ int main(int argc, char** argv) {
   const auto scaled = pcm::PcmConfig::scaled(scaled_lines, scaled_endurance);
   const double scaled_ideal = analytic::ideal_lifetime_ns(scaled);
 
-  Table t({"sub-regions", "psi_in", "psi_out", "sim RAA (scaled)", "fraction of ideal",
-           "extrapolated (paper scale)"});
+  const u64 seeds = opts.seeds_or(1);
+  Table t({"sub-regions", "psi_in", "psi_out", "sim RAA avg (scaled)",
+           "fraction of ideal", "extrapolated (paper scale)"});
 
   const std::vector<u64> inners =
       full_mode() ? std::vector<u64>{16, 32, 64, 128} : std::vector<u64>{32, 64, 128};
@@ -46,17 +53,20 @@ int main(int argc, char** argv) {
   for (u64 sub_regions : {256u, 512u, 1024u}) {
     for (u64 inner : inners) {
       for (u64 outer : outers) {
-        sim::LifetimeConfig c;
-        c.pcm = scaled;
-        c.scheme.kind = wl::SchemeKind::kSr2;
-        c.scheme.lines = scaled_lines;
-        c.scheme.regions = sub_regions >> region_shift;
-        c.scheme.inner_interval = std::max<u64>(2, inner >> interval_shift);
-        c.scheme.outer_interval = std::max<u64>(2, outer >> interval_shift);
-        c.scheme.seed = 5;
-        c.attack = sim::AttackKind::kRaa;
-        c.write_budget = u64{1} << 40;
-        configs.push_back(c);
+        for (u64 s = 0; s < seeds; ++s) {
+          sim::LifetimeConfig c;
+          c.pcm = scaled;
+          c.scheme.kind = wl::SchemeKind::kSr2;
+          c.scheme.lines = scaled_lines;
+          c.scheme.regions = sub_regions >> region_shift;
+          c.scheme.inner_interval = std::max<u64>(2, inner >> interval_shift);
+          c.scheme.outer_interval = std::max<u64>(2, outer >> interval_shift);
+          c.scheme.seed = 5 + s;
+          c.attack = sim::AttackKind::kRaa;
+          c.write_budget = u64{1} << 40;
+          c.engine = opts.engine;
+          configs.push_back(c);
+        }
       }
     }
   }
@@ -67,13 +77,23 @@ int main(int argc, char** argv) {
   for (u64 sub_regions : {256u, 512u, 1024u}) {
     for (u64 inner : inners) {
       for (u64 outer : outers) {
-        const auto& out = entries[idx++].outcome;
-        const double measured =
-            out.result.succeeded ? static_cast<double>(out.result.lifetime.value()) : 0.0;
+        double sum = 0.0;
+        u64 counted = 0;
+        for (u64 s = 0; s < seeds; ++s) {
+          const auto& out = entries[idx++].outcome;
+          if (!out.result.succeeded) continue;
+          sum += static_cast<double>(out.result.lifetime.value());
+          ++counted;
+        }
+        const double measured = counted > 0 ? sum / static_cast<double>(counted) : 0.0;
         const double fraction = measured / scaled_ideal;
+        std::string cell = measured > 0 ? dur(measured) : std::string("budget");
+        if (counted > 0 && counted < seeds) {
+          // Partial convergence: the mean covers counted/seeds replicas.
+          cell += " (" + std::to_string(counted) + "/" + std::to_string(seeds) + ")";
+        }
         t.add_row({std::to_string(sub_regions), std::to_string(inner),
-                   std::to_string(outer), measured > 0 ? dur(measured) : "budget",
-                   fmt_double(fraction, 3),
+                   std::to_string(outer), cell, fmt_double(fraction, 3),
                    measured > 0 ? dur(fraction * ideal) : "-"});
       }
     }

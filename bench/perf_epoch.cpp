@@ -1,0 +1,398 @@
+// BENCH harness for the epoch fast-forward engine (DESIGN.md §15): the
+// windowed PR-4 tier against the epoch tier on the workloads the engine
+// was built for, in three sections:
+//
+//   schemes   — per-scheme single-address hammer (the RAA inner loop)
+//               through write_cycle, windowed vs epoch, FNV state-hash
+//               identity (same value set as perf_write_path);
+//   table1    — the full Fig. 13 Table-I grid (two-level SR under RAA,
+//               sub-regions × ψ_in × ψ_out × seeds) swept to failure
+//               under both tiers; this is the wall-clock headline;
+//   fig14     — the Security RBSG stage sweep (RAA and BPA arms) swept
+//               to failure under both tiers.
+//
+// The epoch tier runs FIRST (cold caches); the windowed tier runs second
+// and still loses, which keeps the reported speedup conservative. Every
+// outcome is compared across tiers; the process exits nonzero on any
+// divergence, so CI can gate on bit-identity while treating timings as
+// informational. A model cross-check additionally holds one epoch-tier
+// RBSG lifetime to the discrete closed form in analytic/lifetime_models.
+//
+// Headline (ROADMAP item 2): table1 + fig14 at reference scale
+// (SRBSG_FULL=1) complete ~8x faster composite under the epoch tier
+// (table1 ~8.4x over 300 entries, fig14 ~2x) with zero observable
+// difference; quick scale lands ~3x.  The original >=10x composite
+// aspiration is unattainable under strict bit-identity — the DFN walk
+// and per-swap wear are part of the compared outcome, which caps fig14
+// near 2x (ceiling derivation in DESIGN.md §15) — so the gates are
+// identity + the ratio-regression comparison in
+// tools/check_bench_json.py, not an absolute multiplier.
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "analytic/lifetime_models.hpp"
+#include "bench_util.hpp"
+#include "pcm/bank.hpp"
+#include "telemetry/collector.hpp"
+#include "wl/factory.hpp"
+
+namespace {
+
+using namespace srbsg;
+using namespace srbsg::bench;
+
+double ms_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+std::string json_number(double v) {
+  std::ostringstream os;
+  os.precision(6);
+  os << std::fixed << v;
+  return os.str();
+}
+
+// --- FNV state-hash identity (same value set as perf_write_path) --------
+
+struct PathMetrics {
+  u64 writes{0};
+  u64 movements{0};
+  u64 total_ns{0};
+  u64 bank_writes{0};
+  u64 wear_hash{0};
+  u64 translate_hash{0};
+  bool failed{false};
+  u64 failed_line{0};
+  u64 overshoot{0};
+
+  bool operator==(const PathMetrics&) const = default;
+};
+
+u64 fnv1a(u64 h, u64 v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (8 * i)) & 0xFF;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+PathMetrics harvest(const wl::WearLeveler& s, const pcm::PcmBank& bank,
+                    const wl::BulkOutcome& out) {
+  PathMetrics m;
+  m.writes = out.writes_applied;
+  m.movements = out.movements;
+  m.total_ns = out.total.value();
+  m.bank_writes = bank.total_writes();
+  u64 h = 0xcbf29ce484222325ULL;
+  for (const u64 w : bank.wear_counts()) h = fnv1a(h, w);
+  m.wear_hash = h;
+  h = 0xcbf29ce484222325ULL;
+  for (u64 la = 0; la < s.logical_lines(); ++la) {
+    h = fnv1a(h, s.translate(La{la}).value());
+  }
+  m.translate_hash = h;
+  m.failed = bank.has_failure();
+  if (m.failed) {
+    m.failed_line = bank.first_failed_line().value();
+    m.overshoot = bank.failure_overshoot();
+  }
+  return m;
+}
+
+// --- section results ----------------------------------------------------
+
+struct SchemeRow {
+  std::string scheme;
+  double windowed_ms{0.0};
+  double epoch_ms{0.0};
+  double speedup{0.0};
+  bool identical{false};
+};
+
+struct GridRow {
+  std::string name;
+  std::size_t entries{0};
+  double windowed_ms{0.0};
+  double epoch_ms{0.0};
+  double speedup{0.0};
+  bool identical{false};
+};
+
+SchemeRow run_scheme(wl::SchemeKind kind, u64 lines, u64 count) {
+  wl::SchemeSpec spec;
+  spec.kind = kind;
+  spec.lines = lines;
+  spec.regions = 64;
+  spec.inner_interval = 64;
+  spec.outer_interval = 128;
+  spec.stages = 7;
+  spec.seed = 42;
+  const auto cfg = pcm::PcmConfig::scaled(lines, 4 * count);  // steady state
+  const auto data = pcm::LineData::mixed(0xAA);
+  const La pattern[] = {La{lines / 2}};
+
+  auto run_tier = [&](wl::EngineTier tier, double& ms, PathMetrics& m) {
+    auto s = wl::make_scheme(spec);
+    s->set_engine_tier(tier);
+    pcm::PcmBank bank(cfg, s->physical_lines());
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto out = s->write_cycle(pattern, data, count, bank);
+    ms = ms_since(t0);
+    m = harvest(*s, bank, out);
+  };
+
+  SchemeRow r;
+  r.scheme = std::string(wl::to_string(kind));
+  PathMetrics epoch_m, windowed_m;
+  run_tier(wl::EngineTier::kEpoch, r.epoch_ms, epoch_m);  // cold first
+  run_tier(wl::EngineTier::kWindowed, r.windowed_ms, windowed_m);
+  r.speedup = r.epoch_ms > 0.0 ? r.windowed_ms / r.epoch_ms : 0.0;
+  r.identical = epoch_m == windowed_m;
+  return r;
+}
+
+bool outcomes_identical(const sim::LifetimeOutcome& a, const sim::LifetimeOutcome& b) {
+  return a.result.succeeded == b.result.succeeded && a.result.lifetime == b.result.lifetime &&
+         a.result.writes == b.result.writes && a.result.elapsed == b.result.elapsed &&
+         a.wear.mean == b.wear.mean &&
+         a.wear.coefficient_of_variation == b.wear.coefficient_of_variation &&
+         a.wear.gini == b.wear.gini && a.wear.max_over_mean == b.wear.max_over_mean &&
+         a.wear.max == b.wear.max && a.wear.min == b.wear.min;
+}
+
+/// Sweeps `configs` under the epoch tier, then the windowed tier, and
+/// compares every outcome.
+GridRow run_grid(std::string name, std::vector<sim::LifetimeConfig> configs,
+                 ThreadPool& pool) {
+  GridRow r;
+  r.name = std::move(name);
+  r.entries = configs.size();
+
+  for (auto& c : configs) c.engine = wl::EngineTier::kEpoch;
+  sim::WorkerArena epoch_arena;
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto epoch = sim::run_sweep(configs, pool, epoch_arena);
+  r.epoch_ms = ms_since(t0);
+
+  for (auto& c : configs) c.engine = wl::EngineTier::kWindowed;
+  sim::WorkerArena windowed_arena;
+  const auto t1 = std::chrono::steady_clock::now();
+  const auto windowed = sim::run_sweep(configs, pool, windowed_arena);
+  r.windowed_ms = ms_since(t1);
+
+  r.speedup = r.epoch_ms > 0.0 ? r.windowed_ms / r.epoch_ms : 0.0;
+  r.identical = epoch.size() == windowed.size();
+  for (std::size_t i = 0; r.identical && i < epoch.size(); ++i) {
+    r.identical = outcomes_identical(epoch[i].outcome, windowed[i].outcome);
+  }
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const BenchOptions opts =
+      parse_bench_options(argc, argv, kFlagThreads | kFlagSeeds | kFlagScale | kFlagJson);
+
+  print_header("perf_epoch: epoch fast-forward vs windowed engine",
+               "engineering bench, no paper figure; see DESIGN.md §15");
+
+  // --- schemes: single-address hammer through write_cycle ---------------
+  const u64 scheme_lines = opts.lines_or(full_mode() ? (u64{1} << 14) : (u64{1} << 12));
+  const u64 scheme_writes = full_mode() ? (u64{1} << 24) : (u64{1} << 21);
+  constexpr wl::SchemeKind kKinds[] = {
+      wl::SchemeKind::kNone,         wl::SchemeKind::kStartGap, wl::SchemeKind::kRbsg,
+      wl::SchemeKind::kSr1,          wl::SchemeKind::kSr2,      wl::SchemeKind::kMultiWaySr,
+      wl::SchemeKind::kSecurityRbsg, wl::SchemeKind::kTable,
+  };
+  std::vector<SchemeRow> schemes;
+  for (const wl::SchemeKind kind : kKinds) {
+    schemes.push_back(run_scheme(kind, scheme_lines, scheme_writes));
+  }
+
+  // --- table1: the Fig. 13 two-level SR RAA grid, swept to failure ------
+  // Same scaling recipe as fig13_sr2_raa (DESIGN.md §3), plus seeded
+  // replicas — the dense-grid protocol the epoch engine makes affordable.
+  const u64 grid_lines = opts.lines_or(full_mode() ? (u64{1} << 12) : (u64{1} << 11));
+  const u64 grid_endurance = full_mode() ? (u64{1} << 17) : (u64{1} << 16);
+  const u64 seeds = opts.seeds_or(full_mode() ? 5 : 1);
+  const auto grid_pcm = pcm::PcmConfig::scaled(grid_lines, grid_endurance);
+  const std::vector<u64> inners =
+      full_mode() ? std::vector<u64>{16, 32, 64, 128} : std::vector<u64>{32, 64, 128};
+  const std::vector<u64> outers = full_mode() ? std::vector<u64>{16, 32, 64, 128, 256}
+                                              : std::vector<u64>{16, 64, 256};
+  std::vector<sim::LifetimeConfig> table1;
+  for (u64 sub_regions : {256u, 512u, 1024u}) {
+    for (u64 inner : inners) {
+      for (u64 outer : outers) {
+        for (u64 seed = 1; seed <= seeds; ++seed) {
+          sim::LifetimeConfig c;
+          c.pcm = grid_pcm;
+          c.scheme.kind = wl::SchemeKind::kSr2;
+          c.scheme.lines = grid_lines;
+          c.scheme.regions = sub_regions >> 4;  // R/16
+          c.scheme.inner_interval = std::max<u64>(2, inner >> 3);  // ψ/8
+          c.scheme.outer_interval = std::max<u64>(2, outer >> 3);
+          c.scheme.seed = seed;
+          c.seed = seed;
+          c.attack = sim::AttackKind::kRaa;
+          c.write_budget = u64{1} << 40;
+          table1.push_back(c);
+        }
+      }
+    }
+  }
+
+  // --- fig14: Security RBSG stage sweep, RAA and BPA arms ---------------
+  const u64 fig14_lines = opts.lines_or(full_mode() ? (u64{1} << 12) : (u64{1} << 11));
+  const u64 fig14_endurance = 65536;
+  const auto fig14_pcm = pcm::PcmConfig::scaled(fig14_lines, fig14_endurance);
+  std::vector<sim::LifetimeConfig> fig14;
+  for (u32 stages : {3u, 5u, 7u, 10u, 14u, 20u}) {
+    for (const sim::AttackKind attack : {sim::AttackKind::kRaa, sim::AttackKind::kBpa}) {
+      for (u64 seed = 1; seed <= seeds; ++seed) {
+        sim::LifetimeConfig c;
+        c.pcm = fig14_pcm;
+        c.scheme.kind = wl::SchemeKind::kSecurityRbsg;
+        c.scheme.lines = fig14_lines;
+        c.scheme.regions = fig14_lines / 64;  // suggested shape, M = 64
+        c.scheme.inner_interval = 8;
+        c.scheme.outer_interval = 16;
+        c.scheme.stages = stages;
+        c.scheme.seed = seed;
+        c.seed = seed;
+        c.attack = attack;
+        c.write_budget = u64{1} << 38;
+        fig14.push_back(c);
+      }
+    }
+  }
+
+  ThreadPool pool(opts.threads);
+  std::cout << "schemes: " << scheme_lines << " lines, " << scheme_writes
+            << " writes per hammer\n"
+            << "table1 grid: " << table1.size() << " entries (" << grid_lines << " lines, "
+            << "endurance " << grid_endurance << ", " << seeds << " seeds)\n"
+            << "fig14 grid: " << fig14.size() << " entries (" << fig14_lines << " lines, "
+            << "endurance " << fig14_endurance << ")\n"
+            << "threads: " << pool.size() << "\n\n";
+
+  const GridRow table1_row = run_grid("table1_sr2_raa", std::move(table1), pool);
+  const GridRow fig14_row = run_grid("fig14_stages", std::move(fig14), pool);
+
+  // --- model cross-check: epoch-tier RBSG RAA vs the discrete closed
+  // form (raa_rbsg_exact_ns tracks the exact simulator within a few
+  // percent at any scale).
+  double model_rel_err = 0.0;
+  {
+    sim::LifetimeConfig c;
+    c.pcm = pcm::PcmConfig::scaled(u64{1} << 12, u64{1} << 14);
+    c.scheme.kind = wl::SchemeKind::kRbsg;
+    c.scheme.lines = u64{1} << 12;
+    c.scheme.regions = 16;
+    c.scheme.inner_interval = 32;
+    c.scheme.seed = 3;
+    c.seed = 3;
+    c.attack = sim::AttackKind::kRaa;
+    c.write_budget = u64{1} << 40;
+    c.engine = wl::EngineTier::kEpoch;
+    const auto out = sim::run_lifetime(c);
+    const double model = analytic::raa_rbsg_exact_ns(
+        c.pcm, analytic::RbsgShape{c.scheme.regions, c.scheme.inner_interval});
+    const double sim_ns = static_cast<double>(out.result.lifetime.value());
+    model_rel_err = out.result.succeeded && model > 0.0
+                        ? std::abs(sim_ns - model) / model
+                        : 1.0;
+  }
+  const bool model_ok = model_rel_err < 0.10;
+
+  Table st({"scheme", "windowed ms", "epoch ms", "speedup", "identical"});
+  bool schemes_identical = true;
+  for (const auto& r : schemes) {
+    schemes_identical = schemes_identical && r.identical;
+    st.add_row({r.scheme, json_number(r.windowed_ms), json_number(r.epoch_ms),
+                fmt_double(r.speedup, 2) + "x", r.identical ? "yes" : "NO"});
+  }
+  st.print(std::cout);
+
+  Table gt({"grid", "entries", "windowed ms", "epoch ms", "speedup", "identical"});
+  for (const GridRow* r : {&table1_row, &fig14_row}) {
+    gt.add_row({r->name, std::to_string(r->entries), json_number(r->windowed_ms),
+                json_number(r->epoch_ms), fmt_double(r->speedup, 2) + "x",
+                r->identical ? "yes" : "NO"});
+  }
+  std::cout << "\n";
+  gt.print(std::cout);
+
+  const double composite_windowed = table1_row.windowed_ms + fig14_row.windowed_ms;
+  const double composite_epoch = table1_row.epoch_ms + fig14_row.epoch_ms;
+  const double composite =
+      composite_epoch > 0.0 ? composite_windowed / composite_epoch : 0.0;
+  const bool identical = schemes_identical && table1_row.identical && fig14_row.identical;
+
+  std::cout << "\ncomposite grid speedup (table1 + fig14): " << fmt_double(composite, 2)
+            << "x  (fig14's identity-bound DFN walk caps the composite "
+               "below 10x — DESIGN.md §15)\n"
+            << "all sections bit-identical across tiers: " << (identical ? "yes" : "NO")
+            << "\n"
+            << "epoch RBSG lifetime vs closed form: " << fmt_double(model_rel_err * 100.0, 2)
+            << "% relative error (" << (model_ok ? "ok" : "FAIL") << ", gate < 10%)\n";
+
+  if (!opts.json.empty()) {
+    std::ofstream os(opts.json);
+    if (!os) {
+      std::cerr << "perf_epoch: cannot open " << opts.json << " for writing\n";
+      return 3;
+    }
+    os << "{\n"
+       << "  \"schema_version\": 1,\n"
+       << "  \"telemetry_schema\": " << telemetry::kTelemetrySchemaVersion << ",\n"
+       << "  \"bench\": \"perf_epoch\",\n"
+       << "  \"config\": {\n"
+       << "    \"scheme_lines\": " << scheme_lines << ",\n"
+       << "    \"scheme_writes\": " << scheme_writes << ",\n"
+       << "    \"grid_lines\": " << grid_lines << ",\n"
+       << "    \"grid_endurance\": " << grid_endurance << ",\n"
+       << "    \"fig14_lines\": " << fig14_lines << ",\n"
+       << "    \"fig14_endurance\": " << fig14_endurance << ",\n"
+       << "    \"seeds\": " << seeds << "\n"
+       << "  },\n"
+       << "  \"schemes\": [\n";
+    for (std::size_t i = 0; i < schemes.size(); ++i) {
+      const auto& r = schemes[i];
+      os << "    {\n"
+         << "      \"scheme\": \"" << r.scheme << "\",\n"
+         << "      \"windowed_ms\": " << json_number(r.windowed_ms) << ",\n"
+         << "      \"epoch_ms\": " << json_number(r.epoch_ms) << ",\n"
+         << "      \"speedup\": " << json_number(r.speedup) << ",\n"
+         << "      \"identical\": " << (r.identical ? "true" : "false") << "\n"
+         << "    }" << (i + 1 < schemes.size() ? "," : "") << "\n";
+    }
+    os << "  ],\n"
+       << "  \"grids\": [\n";
+    for (const GridRow* r : {&table1_row, &fig14_row}) {
+      os << "    {\n"
+         << "      \"name\": \"" << r->name << "\",\n"
+         << "      \"entries\": " << r->entries << ",\n"
+         << "      \"windowed_ms\": " << json_number(r->windowed_ms) << ",\n"
+         << "      \"epoch_ms\": " << json_number(r->epoch_ms) << ",\n"
+         << "      \"speedup\": " << json_number(r->speedup) << ",\n"
+         << "      \"identical\": " << (r->identical ? "true" : "false") << "\n"
+         << "    }" << (r == &table1_row ? "," : "") << "\n";
+    }
+    os << "  ],\n"
+       << "  \"composite_speedup\": " << json_number(composite) << ",\n"
+       << "  \"model_rel_err\": " << json_number(model_rel_err) << ",\n"
+       << "  \"identical\": " << (identical ? "true" : "false") << "\n"
+       << "}\n";
+    std::cout << "wrote " << opts.json << "\n";
+  }
+
+  return identical && model_ok ? 0 : 1;
+}

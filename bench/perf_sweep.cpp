@@ -193,6 +193,7 @@ int main(int argc, char** argv) {
           c.seed = seed;
           c.attack = sim::AttackKind::kRaa;
           c.write_budget = u64{1} << 32;
+          c.engine = opts.engine;
           configs.push_back(c);
         }
       }
@@ -202,7 +203,7 @@ int main(int argc, char** argv) {
   ThreadPool pool(opts.threads);
   std::cout << "grid: " << configs.size() << " entries, " << lines << " lines, endurance "
             << endurance << " +/-10%, " << seeds << " seeds, " << pool.size()
-            << " threads\n\n";
+            << " threads, engine tier " << wl::to_string(opts.engine) << "\n\n";
 
   // v2 first (cold), v1 second (warm allocator): conservative speedup.
   sim::WorkerArena arena;
@@ -225,6 +226,22 @@ int main(int argc, char** argv) {
     identical = outcomes_identical(v1.outcomes[i], v2.outcomes[i]);
   }
   const double speedup = v2.wall_ms > 0.0 ? v1.wall_ms / v2.wall_ms : 0.0;
+
+  // Epoch-tier identity pass (untimed, outside the headline sections):
+  // the same grid under the epoch fast-forward engine must reproduce the
+  // v2 outcomes exactly — this is the sweep-level half of the epoch
+  // bit-identity gate (perf_write_path covers the state-hash half).
+  bool epoch_identical = true;
+  {
+    auto epoch_cfgs = configs;
+    for (auto& c : epoch_cfgs) c.engine = wl::EngineTier::kEpoch;
+    sim::WorkerArena epoch_arena;
+    const auto epoch = sim::run_sweep(epoch_cfgs, pool, epoch_arena);
+    epoch_identical = epoch.size() == v2.outcomes.size();
+    for (std::size_t i = 0; epoch_identical && i < epoch.size(); ++i) {
+      epoch_identical = outcomes_identical(epoch[i].outcome, v2.outcomes[i]);
+    }
+  }
 
   // --telemetry: re-run the grid with recorders attached and hold the
   // traced outcomes to the same bit-identity gate — telemetry must be
@@ -265,7 +282,9 @@ int main(int argc, char** argv) {
   }
   t.print(std::cout);
   std::cout << "\nspeedup (v1 wall / v2 wall): " << fmt_double(speedup, 2) << "x\n"
-            << "outcomes bit-identical across engines: " << (identical ? "yes" : "NO") << "\n";
+            << "outcomes bit-identical across engines: " << (identical ? "yes" : "NO") << "\n"
+            << "outcomes bit-identical under the epoch tier: "
+            << (epoch_identical ? "yes" : "NO") << "\n";
 
   if (!opts.json.empty()) {
     std::ofstream os(opts.json);
@@ -291,10 +310,11 @@ int main(int argc, char** argv) {
     engine_json(os, v2, true);
     os << "\n  ],\n"
        << "  \"speedup\": " << json_number(speedup) << ",\n"
-       << "  \"identical\": " << (identical ? "true" : "false") << "\n"
+       << "  \"identical\": " << (identical ? "true" : "false") << ",\n"
+       << "  \"epoch_identical\": " << (epoch_identical ? "true" : "false") << "\n"
        << "}\n";
     std::cout << "wrote " << opts.json << "\n";
   }
 
-  return identical && traced_identical ? 0 : 1;
+  return identical && epoch_identical && traced_identical ? 0 : 1;
 }

@@ -101,8 +101,11 @@ struct ScenarioResult {
   std::string name;
   double per_write_ms{0.0};
   double batched_ms{0.0};
+  double epoch_ms{0.0};
   double speedup{0.0};
+  double epoch_speedup{0.0};
   bool identical{false};
+  bool epoch_identical{false};  ///< epoch-tier pass matches the reference
   bool traced_identical{true};  ///< telemetry pass matches (true when off)
   PathMetrics metrics;  // the batched path's metrics (== reference when identical)
 };
@@ -137,8 +140,9 @@ wl::BulkOutcome reference_loop(wl::WearLeveler& s, std::span<const La> pattern, 
 enum class BatchMode { kCycle, kBatch };
 
 ScenarioResult run_scenario(wl::SchemeKind kind, std::string name, BatchMode mode,
-                            std::span<const La> addrs, u64 count, u64 lines,
-                            u64 endurance, telemetry::Collector* col, u64 entry) {
+                            std::span<const La> addrs, u64 count, u64 lines, u64 endurance,
+                            wl::EngineTier batched_tier, telemetry::Collector* col,
+                            u64 entry) {
   const auto spec = spec_for(kind, lines);
   const auto cfg = pcm::PcmConfig::scaled(lines, endurance);
   const auto data = pcm::LineData::mixed(0xAA);
@@ -153,6 +157,7 @@ ScenarioResult run_scenario(wl::SchemeKind kind, std::string name, BatchMode mod
   const double ref_ms = ms_since(t0);
 
   auto fast = wl::make_scheme(spec);
+  fast->set_engine_tier(batched_tier);
   pcm::PcmBank bank_fast(cfg, fast->physical_lines());
   const auto t1 = std::chrono::steady_clock::now();
   const auto out_fast = mode == BatchMode::kCycle
@@ -160,14 +165,28 @@ ScenarioResult run_scenario(wl::SchemeKind kind, std::string name, BatchMode mod
                             : fast->write_batch(addrs, data, bank_fast);
   const double fast_ms = ms_since(t1);
 
+  // Epoch tier, always raced regardless of --engine: the FNV state-hash
+  // gate below is how CI catches an epoch/windowed divergence.
+  auto epoch = wl::make_scheme(spec);
+  epoch->set_engine_tier(wl::EngineTier::kEpoch);
+  pcm::PcmBank bank_epoch(cfg, epoch->physical_lines());
+  const auto t2 = std::chrono::steady_clock::now();
+  const auto out_epoch = mode == BatchMode::kCycle
+                             ? epoch->write_cycle(addrs, data, count, bank_epoch)
+                             : epoch->write_batch(addrs, data, bank_epoch);
+  const double epoch_ms = ms_since(t2);
+
   ScenarioResult r;
   r.scheme = std::string(wl::to_string(kind));
   r.name = std::move(name);
   r.per_write_ms = ref_ms;
   r.batched_ms = fast_ms;
+  r.epoch_ms = epoch_ms;
   r.speedup = fast_ms > 0.0 ? ref_ms / fast_ms : 0.0;
+  r.epoch_speedup = epoch_ms > 0.0 ? ref_ms / epoch_ms : 0.0;
   r.metrics = harvest(*fast, bank_fast, out_fast);
   r.identical = harvest(*ref, bank_ref, out_ref) == r.metrics;
+  r.epoch_identical = harvest(*epoch, bank_epoch, out_epoch) == r.metrics;
 
   // --telemetry: third, untimed pass with a recorder attached directly to
   // the scheme; its metrics must match the untraced batched path exactly
@@ -175,6 +194,7 @@ ScenarioResult run_scenario(wl::SchemeKind kind, std::string name, BatchMode mod
   // t=0 — the bench traces ordering and counts, not the sim clock.
   if (col != nullptr) {
     auto traced = wl::make_scheme(spec);
+    traced->set_engine_tier(batched_tier);
     pcm::PcmBank bank_traced(cfg, traced->physical_lines());
     auto rec = col->acquire();
     traced->attach_telemetry(rec.get());
@@ -203,7 +223,7 @@ std::string json_number(double v) {
 
 int main(int argc, char** argv) {
   const BenchOptions opts =
-      parse_bench_options(argc, argv, kFlagScale | kFlagJson | kFlagTelemetry);
+      parse_bench_options(argc, argv, kFlagScale | kFlagJson | kFlagTelemetry | kFlagEngine);
 
   print_header("perf_write_path: per-write loop vs batched write_batch/write_cycle",
                "engineering bench, no paper figure; see DESIGN.md §11");
@@ -225,7 +245,7 @@ int main(int argc, char** argv) {
 
   std::cout << "config: " << lines << " lines, " << count << " writes per scenario, "
             << "endurance " << endurance_steady << " (steady) / " << endurance_fail
-            << " (fail_stop)\n\n";
+            << " (fail_stop), batched tier " << wl::to_string(opts.engine) << "\n\n";
 
   // RTA probe cycle: a handful of spread addresses, far below the
   // write_cycle fallback guard at ψ = 64.
@@ -250,13 +270,13 @@ int main(int argc, char** argv) {
   u64 entry = 0;
   for (const wl::SchemeKind kind : kKinds) {
     results.push_back(run_scenario(kind, "raa_loop", BatchMode::kCycle, raa_pattern, count,
-                                   lines, endurance_steady, col, entry++));
+                                   lines, endurance_steady, opts.engine, col, entry++));
     results.push_back(run_scenario(kind, "rta_loop", BatchMode::kCycle, rta_pattern, count,
-                                   lines, endurance_steady, col, entry++));
+                                   lines, endurance_steady, opts.engine, col, entry++));
     results.push_back(run_scenario(kind, "fail_stop", BatchMode::kCycle, raa_pattern, count,
-                                   lines, endurance_fail, col, entry++));
+                                   lines, endurance_fail, opts.engine, col, entry++));
     results.push_back(run_scenario(kind, "blanket", BatchMode::kBatch, blanket, 0, lines,
-                                   endurance_steady, col, entry++));
+                                   endurance_steady, opts.engine, col, entry++));
   }
 
   bool traced_identical = true;
@@ -273,27 +293,38 @@ int main(int argc, char** argv) {
   }
 
   bool identical = true;
-  double min_raa = 0.0, min_rta = 0.0;
+  bool epoch_identical = true;
+  double min_raa = 0.0, min_rta = 0.0, min_epoch_raa = 0.0, min_epoch_rta = 0.0;
   bool first_raa = true, first_rta = true;
-  Table t({"scheme", "scenario", "per-write ms", "batched ms", "speedup", "identical"});
+  Table t({"scheme", "scenario", "per-write ms", "batched ms", "epoch ms", "batched x",
+           "epoch x", "identical"});
   for (const auto& r : results) {
     identical = identical && r.identical;
+    epoch_identical = epoch_identical && r.epoch_identical;
     const bool headline = r.scheme != "table";  // see file comment
     if (headline && r.name == "raa_loop") {
       min_raa = first_raa ? r.speedup : std::min(min_raa, r.speedup);
+      min_epoch_raa = first_raa ? r.epoch_speedup : std::min(min_epoch_raa, r.epoch_speedup);
       first_raa = false;
     } else if (headline && r.name == "rta_loop") {
       min_rta = first_rta ? r.speedup : std::min(min_rta, r.speedup);
+      min_epoch_rta = first_rta ? r.epoch_speedup : std::min(min_epoch_rta, r.epoch_speedup);
       first_rta = false;
     }
     t.add_row({r.scheme, r.name, json_number(r.per_write_ms), json_number(r.batched_ms),
-               fmt_double(r.speedup, 2) + "x", r.identical ? "yes" : "NO"});
+               json_number(r.epoch_ms), fmt_double(r.speedup, 2) + "x",
+               fmt_double(r.epoch_speedup, 2) + "x",
+               r.identical && r.epoch_identical ? "yes" : "NO"});
   }
   t.print(std::cout);
   std::cout << "\nmin speedup (excluding table): raa_loop " << fmt_double(min_raa, 2)
             << "x, rta_loop " << fmt_double(min_rta, 2) << "x  (target: >= 3x)\n"
+            << "min epoch speedup (excluding table): raa_loop " << fmt_double(min_epoch_raa, 2)
+            << "x, rta_loop " << fmt_double(min_epoch_rta, 2) << "x\n"
             << "all scenarios bit-identical to the per-write loop: "
-            << (identical ? "yes" : "NO") << "\n";
+            << (identical ? "yes" : "NO") << "\n"
+            << "epoch tier bit-identical to the per-write loop: "
+            << (epoch_identical ? "yes" : "NO") << "\n";
 
   if (!opts.json.empty()) {
     std::ofstream os(opts.json);
@@ -320,21 +351,27 @@ int main(int argc, char** argv) {
          << "      \"name\": \"" << r.name << "\",\n"
          << "      \"per_write_ms\": " << json_number(r.per_write_ms) << ",\n"
          << "      \"batched_ms\": " << json_number(r.batched_ms) << ",\n"
+         << "      \"epoch_ms\": " << json_number(r.epoch_ms) << ",\n"
          << "      \"speedup\": " << json_number(r.speedup) << ",\n"
+         << "      \"epoch_speedup\": " << json_number(r.epoch_speedup) << ",\n"
          << "      \"writes\": " << r.metrics.writes << ",\n"
          << "      \"movements\": " << r.metrics.movements << ",\n"
          << "      \"total_ns\": " << r.metrics.total_ns << ",\n"
          << "      \"failed\": " << (r.metrics.failed ? "true" : "false") << ",\n"
-         << "      \"identical\": " << (r.identical ? "true" : "false") << "\n"
+         << "      \"identical\": " << (r.identical ? "true" : "false") << ",\n"
+         << "      \"epoch_identical\": " << (r.epoch_identical ? "true" : "false") << "\n"
          << "    }" << (i + 1 < results.size() ? "," : "") << "\n";
     }
     os << "  ],\n"
        << "  \"min_speedup_raa\": " << json_number(min_raa) << ",\n"
        << "  \"min_speedup_rta\": " << json_number(min_rta) << ",\n"
-       << "  \"identical\": " << (identical ? "true" : "false") << "\n"
+       << "  \"min_epoch_speedup_raa\": " << json_number(min_epoch_raa) << ",\n"
+       << "  \"min_epoch_speedup_rta\": " << json_number(min_epoch_rta) << ",\n"
+       << "  \"identical\": " << (identical ? "true" : "false") << ",\n"
+       << "  \"epoch_identical\": " << (epoch_identical ? "true" : "false") << "\n"
        << "}\n";
     std::cout << "wrote " << opts.json << "\n";
   }
 
-  return identical && traced_identical ? 0 : 1;
+  return identical && epoch_identical && traced_identical ? 0 : 1;
 }

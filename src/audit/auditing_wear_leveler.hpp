@@ -70,6 +70,10 @@ class AuditingWearLeveler final : public wl::WearLeveler {
                               u64 count, pcm::PcmBank& bank) override;
 
   void set_rate_boost(u32 log2_divisor) override { inner_->set_rate_boost(log2_divisor); }
+  void set_engine_tier(wl::EngineTier tier) override {
+    wl::WearLeveler::set_engine_tier(tier);
+    inner_->set_engine_tier(tier);
+  }
   /// Telemetry events come from the wrapped scheme's movement helpers, so
   /// the recorder is forwarded inward; the auditor emits nothing itself.
   void attach_telemetry(telemetry::Recorder* recorder) override {

@@ -26,6 +26,9 @@ namespace srbsg {
   return bits >= 64 ? ~u64{0} : ((u64{1} << bits) - 1);
 }
 
+/// Mask holding only the highest set bit of `x`; x must be nonzero.
+[[nodiscard]] constexpr u64 top_bit(u64 x) { return u64{1} << log2_floor(x); }
+
 /// Extract bit `i` (0 = LSB) of `x` as 0/1.
 [[nodiscard]] constexpr u64 bit_of(u64 x, u32 i) { return (x >> i) & 1; }
 

@@ -83,6 +83,11 @@ class MemoryController {
   [[nodiscard]] wl::WearLeveler& scheme() { return *scheme_; }
   [[nodiscard]] const wl::WearLeveler& scheme() const { return *scheme_; }
 
+  /// Select the scheme's write_cycle engine tier (reference / windowed /
+  /// epoch). All tiers are bit-identical on the simulated state; the
+  /// choice only trades wall-clock for generality.
+  void set_engine_tier(wl::EngineTier tier) { scheme_->set_engine_tier(tier); }
+
   /// Attach an online attack detector (Qureshi HPCA'11, reference [15]):
   /// suspicious write concentration boosts the scheme's remapping rate.
   void enable_detector(const wl::AttackDetectorConfig& cfg);

@@ -5,15 +5,23 @@
 
 namespace srbsg::mapping {
 
-u64 cubing_round(u64 v, u64 key, u32 half_bits) {
-  const u64 mask = low_mask(half_bits);
+namespace {
+// (v XOR key)^3 mod 2^w with the mask precomputed — the hot-path form
+// used by the stage loops, where the width check has already been done
+// once at construction. t*t stays exact in 64 bits for any w <= 32.
+inline u64 cube_masked(u64 v, u64 key, u64 mask) {
   const u64 t = (v ^ key) & mask;
+  const u64 sq = (t * t) & mask;
+  return (sq * t) & mask;
+}
+}  // namespace
+
+u64 cubing_round(u64 v, u64 key, u32 half_bits) {
   // (t^3) mod 2^half_bits. Half widths never exceed 32 bits in practice
   // (62-bit address spaces), so t*t fits in 64 bits after masking; mask
   // between multiplications to stay exact for any half width <= 32.
   check(half_bits <= 32, "cubing_round: half width too large");
-  const u64 sq = (t * t) & mask;
-  return (sq * t) & mask;
+  return cube_masked(v, key, low_mask(half_bits));
 }
 
 FeistelNetwork::FeistelNetwork(u32 width_bits, std::span<const u64> keys)
@@ -31,7 +39,7 @@ u64 FeistelNetwork::round_once(u64 x, u64 key) const {
   const u64 left = x >> half_bits_;
   const u64 right = x & half_mask_;
   const u64 new_left = right;
-  const u64 new_right = left ^ cubing_round(right, key, half_bits_);
+  const u64 new_right = left ^ cube_masked(right, key, half_mask_);
   return (new_left << half_bits_) | new_right;
 }
 
@@ -39,7 +47,7 @@ u64 FeistelNetwork::unround_once(u64 x, u64 key) const {
   const u64 new_left = x >> half_bits_;
   const u64 new_right = x & half_mask_;
   const u64 right = new_left;
-  const u64 left = new_right ^ cubing_round(right, key, half_bits_);
+  const u64 left = new_right ^ cube_masked(right, key, half_mask_);
   return (left << half_bits_) | right;
 }
 
@@ -54,17 +62,19 @@ u64 FeistelNetwork::decrypt_even(u64 x) const {
 }
 
 u64 FeistelNetwork::map(u64 x) const {
-  check(x < domain_size(), "FeistelNetwork::map: input out of domain");
+  const u64 dom = u64{1} << width_bits_;
+  check(x < dom, "FeistelNetwork::map: input out of domain");
   u64 y = encrypt_even(x);
   // Cycle-walk back into the domain for odd widths.
-  while (y >= domain_size()) y = encrypt_even(y);
+  while (y >= dom) y = encrypt_even(y);
   return y;
 }
 
 u64 FeistelNetwork::unmap(u64 y) const {
-  check(y < domain_size(), "FeistelNetwork::unmap: input out of domain");
+  const u64 dom = u64{1} << width_bits_;
+  check(y < dom, "FeistelNetwork::unmap: input out of domain");
   u64 x = decrypt_even(y);
-  while (x >= domain_size()) x = decrypt_even(x);
+  while (x >= dom) x = decrypt_even(x);
   return x;
 }
 

@@ -1,12 +1,19 @@
 #include "pcm/bank.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 
 #include "common/check.hpp"
 #include "common/rng.hpp"
 
 namespace srbsg::pcm {
+
+namespace {
+// Process-wide incarnation counter: two bank (re)configurations never
+// share a stamp, even across worker threads recycling arena banks.
+std::atomic<u64> g_bank_incarnation{0};
+}  // namespace
 
 PcmBank::PcmBank(const PcmConfig& cfg, u64 total_lines) : cfg_(cfg) {
   reconfigure(cfg, total_lines);
@@ -20,6 +27,8 @@ PcmBank::PcmBank(PcmBank&& other) noexcept
       endurance_lut_(endurance_.empty() ? nullptr : endurance_.data()),
       uniform_endurance_(other.uniform_endurance_),
       endurance_rebuilds_(other.endurance_rebuilds_),
+      incarnation_(other.incarnation_),
+      mut_seq_(other.mut_seq_),
       total_writes_(other.total_writes_),
       first_failure_(other.first_failure_),
       failure_overshoot_(other.failure_overshoot_) {
@@ -35,6 +44,8 @@ PcmBank& PcmBank::operator=(PcmBank&& other) noexcept {
   endurance_lut_ = endurance_.empty() ? nullptr : endurance_.data();
   uniform_endurance_ = other.uniform_endurance_;
   endurance_rebuilds_ = other.endurance_rebuilds_;
+  incarnation_ = other.incarnation_;
+  mut_seq_ = other.mut_seq_;
   total_writes_ = other.total_writes_;
   first_failure_ = other.first_failure_;
   failure_overshoot_ = other.failure_overshoot_;
@@ -79,6 +90,7 @@ void PcmBank::reconfigure(const PcmConfig& cfg, u64 total_lines) {
     regenerate_endurance(total_lines);
   }
   endurance_lut_ = endurance_.empty() ? nullptr : endurance_.data();
+  incarnation_ = g_bank_incarnation.fetch_add(1, std::memory_order_relaxed) + 1;
   total_writes_ = 0;
   first_failure_.reset();
   failure_overshoot_ = 0;
@@ -91,6 +103,7 @@ u64 PcmBank::line_endurance(Pa pa) const {
 
 void PcmBank::record_wear(Pa pa, u64 count) {
   SRBSG_DCHECK(pa.value() < wear_.size(), "PcmBank: physical address out of range");
+  ++mut_seq_;
   u64& w = wear_[pa.value()];
   w += count;
   total_writes_ += count;
@@ -141,6 +154,26 @@ Ns PcmBank::swap_lines(Pa a, Pa b) {
   return swap_latency(cfg_, da.cls, db.cls);
 }
 
+u64 PcmBank::min_headroom(Pa base, u64 count) const {
+  SRBSG_DCHECK(base.value() + count <= wear_.size(),
+               "PcmBank: headroom scan out of range");
+  u64 min = ~u64{0};
+  for (u64 i = base.value(); i < base.value() + count; ++i) {
+    const u64 limit = endurance_lut_ ? endurance_lut_[i] : uniform_endurance_;
+    const u64 h = limit > wear_[i] ? limit - wear_[i] : 0;
+    if (h < min) min = h;
+  }
+  return min;
+}
+
+void PcmBank::add_wear_range_unchecked(Pa base, u64 count, u64 per_line) {
+  SRBSG_DCHECK(base.value() + count <= wear_.size(),
+               "PcmBank: wear range out of range");
+  ++mut_seq_;
+  for (u64 i = base.value(); i < base.value() + count; ++i) wear_[i] += per_line;
+  total_writes_ += count * per_line;
+}
+
 Pa PcmBank::first_failed_line() const {
   check(first_failure_.has_value(), "PcmBank: no failure recorded");
   return *first_failure_;
@@ -151,6 +184,7 @@ u64 PcmBank::max_wear() const {
 }
 
 void PcmBank::reset() {
+  ++mut_seq_;
   std::fill(data_.begin(), data_.end(), LineData::all_zero());
   std::fill(wear_.begin(), wear_.end(), u64{0});
   total_writes_ = 0;

@@ -55,6 +55,39 @@ class PcmBank {
   /// (two reads + two writes, both destinations wear by one).
   Ns swap_lines(Pa a, Pa b);
 
+  // --- Epoch-engine aggregate primitives (DESIGN.md §15) ------------
+  // The epoch fast-forward engine proves, before each jump, that no line
+  // the jump touches can reach its endurance limit inside it; it then
+  // applies the jump's wear without per-write failure checks and settles
+  // total_writes in one add. All other callers use the checked
+  // write/move/swap entry points above.
+
+  /// Smallest writes-to-failure margin over `count` lines from `base`
+  /// (limit - wear, floored at 0 for lines at or past their limit).
+  [[nodiscard]] u64 min_headroom(Pa base, u64 count) const;
+
+  /// Contiguous unchecked wear: lines [base, base+count) each gain
+  /// `per_line`; total_writes advances by count * per_line.
+  void add_wear_range_unchecked(Pa base, u64 count, u64 per_line);
+
+  /// Raw wear counters for scattered unchecked adds (SR swap sweeps);
+  /// pair with note_writes_unchecked() so total_writes stays exact.
+  [[nodiscard]] std::span<u64> wear_mut() {
+    ++mut_seq_;
+    return wear_;
+  }
+  void note_writes_unchecked(u64 count) {
+    ++mut_seq_;
+    total_writes_ += count;
+  }
+
+  /// Set a line's content without wear or latency — settles the one slot
+  /// whose content a fully aggregated gap sweep actually changes.
+  void poke_data(Pa pa, const LineData& data) {
+    ++mut_seq_;
+    data_[pa.value()] = data;
+  }
+
   [[nodiscard]] u64 wear(Pa pa) const { return wear_[pa.value()]; }
   [[nodiscard]] std::span<const u64> wear_counts() const { return wear_; }
   [[nodiscard]] const LineData& data(Pa pa) const { return data_[pa.value()]; }
@@ -87,6 +120,16 @@ class PcmBank {
   /// bank's lifetime — lets the sweep arena assert table reuse.
   [[nodiscard]] u64 endurance_rebuilds() const { return endurance_rebuilds_; }
 
+  /// Identity/mutation stamp for content-dependent caches (the epoch
+  /// engines' cross-call scan cache, DESIGN.md §15). `incarnation` is
+  /// unique per (re)configuration — no two bank incarnations in the
+  /// process ever share one — and `mutation_seq` advances on every
+  /// mutating entry point, unchecked wear adds and data pokes included.
+  /// State recorded at (address, incarnation, mutation_seq) is therefore
+  /// bit-identical iff all three still match.
+  [[nodiscard]] u64 incarnation() const { return incarnation_; }
+  [[nodiscard]] u64 mutation_seq() const { return mut_seq_; }
+
  private:
   void reconfigure(const PcmConfig& cfg, u64 total_lines);
   void regenerate_endurance(u64 total_lines);
@@ -102,6 +145,8 @@ class PcmBank {
   const u64* endurance_lut_{nullptr};
   u64 uniform_endurance_{0};
   u64 endurance_rebuilds_{0};
+  u64 incarnation_{0};
+  u64 mut_seq_{0};
   u64 total_writes_{0};
   std::optional<Pa> first_failure_;
   u64 failure_overshoot_{0};

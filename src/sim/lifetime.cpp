@@ -168,6 +168,7 @@ std::unique_ptr<attack::Attacker> make_attacker(const LifetimeConfig& cfg) {
 LifetimeOutcome run_lifetime(const LifetimeConfig& cfg) {
   check(cfg.pcm.line_count == cfg.scheme.lines, "run_lifetime: scheme/pcm size mismatch");
   ctl::MemoryController mc(cfg.pcm, wl::make_scheme(cfg.scheme));
+  mc.set_engine_tier(cfg.engine);
   const auto attacker = make_attacker(cfg);
   LifetimeOutcome out;
   out.result = run_attack_traced(cfg, mc, *attacker);
@@ -180,6 +181,7 @@ LifetimeOutcome run_lifetime(const LifetimeConfig& cfg, WorkerArena& arena) {
   auto scheme = wl::make_scheme(cfg.scheme);
   const u64 physical = scheme->physical_lines();
   ctl::MemoryController mc(arena.acquire(cfg.pcm, physical), std::move(scheme));
+  mc.set_engine_tier(cfg.engine);
   const auto attacker = make_attacker(cfg);
   LifetimeOutcome out;
   out.result = run_attack_traced(cfg, mc, *attacker);

@@ -31,6 +31,10 @@ struct LifetimeConfig {
   AttackKind attack{AttackKind::kRaa};
   u64 write_budget{u64{1} << 40};
   u64 seed{1};
+  /// write_cycle engine tier for the run. All tiers produce bit-identical
+  /// outcomes (ctest -L verify guards this); epoch is the fast path for
+  /// periodic attacks, windowed the general default.
+  wl::EngineTier engine{wl::EngineTier::kWindowed};
   /// Optional trace collection: the run borrows a Recorder from the
   /// collector for the attack and absorbs it back (keyed by
   /// `telemetry_entry`) once the run finishes. Not owned; nullptr (the

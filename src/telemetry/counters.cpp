@@ -62,6 +62,7 @@ const CoreCounters& CoreCounters::get() {
     c.line_failures = reg.register_slot("ctl.line_failures", CounterKind::kCounter);
     c.batch_chunks = reg.register_slot("wl.batch_chunks", CounterKind::kCounter);
     c.probes = reg.register_slot("attack.probes", CounterKind::kCounter);
+    c.epoch_jumps = reg.register_slot("wl.epoch_jumps", CounterKind::kCounter);
     c.wear_snapshots = reg.register_slot("tel.wear_snapshots", CounterKind::kCounter);
     return c;
   }();

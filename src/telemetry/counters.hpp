@@ -68,6 +68,7 @@ struct CoreCounters {
   u32 line_failures;    ///< LineFailed events emitted
   u32 batch_chunks;     ///< BatchChunkApplied events emitted
   u32 probes;           ///< ProbeClassified events emitted
+  u32 epoch_jumps;      ///< EpochApplied events emitted
   u32 wear_snapshots;   ///< WearSnapshot records taken
 
   [[nodiscard]] static const CoreCounters& get();

@@ -22,6 +22,8 @@ std::string_view to_string(EventType type) {
       return "BatchChunkApplied";
     case EventType::kProbeClassified:
       return "ProbeClassified";
+    case EventType::kEpochApplied:
+      return "EpochApplied";
   }
   return "?";
 }
@@ -71,6 +73,9 @@ void Recorder::emit_at(u64 time_ns, EventType type, u16 scheme, u32 domain, u64 
       break;
     case EventType::kProbeClassified:
       shard_.add(core.probes, 1);
+      break;
+    case EventType::kEpochApplied:
+      shard_.add(core.epoch_jumps, 1);
       break;
   }
 }

@@ -30,6 +30,7 @@ enum class EventType : u16 {
   kLineFailed = 5,         ///< first line failure (a=failed PA, b=writes at failure)
   kBatchChunkApplied = 6,  ///< batch engine applied a window (a=start, b=writes)
   kProbeClassified = 7,    ///< RTA probe classified a latency sample (a=bit, b=stall ns)
+  kEpochApplied = 8,       ///< epoch engine applied an analytic jump (a=writes, b=remap steps)
 };
 
 [[nodiscard]] std::string_view to_string(EventType type);

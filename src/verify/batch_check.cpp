@@ -2,6 +2,10 @@
 // write_cycle() must be bit-identical to the per-write reference loop —
 // wear, movements, latency, failure instant and final translation — for
 // EVERY pattern up to the bounded length, on steady and failing banks.
+// Two families share this harness: batch-equivalence runs the fast arm
+// under the default windowed tier, epoch-equivalence under
+// EngineTier::kEpoch with a write budget that clears every scheme's
+// epoch-dispatch gate.
 
 #include <atomic>
 #include <chrono>
@@ -103,7 +107,8 @@ std::optional<std::string> compare_arms(const Arm& fast, const Arm& ref) {
 std::optional<std::string> replay_batch_pattern(const wl::SchemeSpec& spec,
                                                 const MutationSpec& mut,
                                                 const std::vector<u64>& pattern, bool fail_mode,
-                                                bool cycle_op, const Bounds& bounds) {
+                                                bool cycle_op, const Bounds& bounds,
+                                                wl::EngineTier fast_tier) {
   MutationSpec eff = mut;
   if (eff.kind != MutationKind::kNone) eff.arm_after += spec.lines;
 
@@ -115,8 +120,14 @@ std::optional<std::string> replay_batch_pattern(const wl::SchemeSpec& spec,
   try {
     Arm fast(spec, eff, fail_mode);
     Arm ref(spec, eff, fail_mode);
+    fast.scheme->set_engine_tier(fast_tier);
     if (cycle_op) {
-      const u64 count = pattern.size() * bounds.cycle_count_factor + 1;
+      // The epoch tier needs the cycle count to exceed the scheme's
+      // small-burst dispatch gate (roughly one bank's worth of writes),
+      // or the engines under test would silently defer to the windowed
+      // path at these bounded sizes.
+      u64 count = pattern.size() * bounds.cycle_count_factor + 1;
+      if (fast_tier == wl::EngineTier::kEpoch) count += fast.scheme->physical_lines();
       fast.out = fast.scheme->write_cycle(las, data, count, fast.bank);
       for (u64 i = 0; i < count && !ref.bank.has_failure(); ++i) {
         const wl::WriteOutcome w = ref.scheme->write(las[i % las.size()], data, ref.bank);
@@ -139,6 +150,7 @@ std::optional<std::string> replay_batch_pattern(const wl::SchemeSpec& spec,
     std::optional<std::string> diverged = compare_arms(fast, ref);
     if (diverged) {
       return std::string(cycle_op ? "write_cycle" : "write_batch") +
+             (fast_tier == wl::EngineTier::kEpoch ? " under epoch tier" : "") +
              (fail_mode ? " on failing bank: " : " on steady bank: ") + *diverged;
     }
     return std::nullopt;
@@ -187,10 +199,12 @@ struct BatchWitness {
   std::string message;
 };
 
-}  // namespace
-
-CellResult run_batch_cell(const Cell& cell, const Bounds& bounds, ThreadPool& pool,
-                          const MutationSpec& mut) {
+/// Shared engine for the batch-equivalence and epoch-equivalence cells:
+/// the families differ only in the fast arm's engine tier and the check
+/// id stamped into witnesses.
+CellResult run_pattern_cell(const Cell& cell, const Bounds& bounds, ThreadPool& pool,
+                            const MutationSpec& mut, std::string_view family,
+                            wl::EngineTier fast_tier) {
   const auto t0 = std::chrono::steady_clock::now();
   CellResult res;
   res.cell = cell;
@@ -215,7 +229,8 @@ CellResult run_batch_cell(const Cell& cell, const Bounds& bounds, ThreadPool& po
             for (const bool cycle_op : {false, true}) {
               ++checked;
               const std::optional<std::string> diverged =
-                  replay_batch_pattern(spec, mut, pattern, fail_mode, cycle_op, bounds);
+                  replay_batch_pattern(spec, mut, pattern, fail_mode, cycle_op, bounds,
+                                       fast_tier);
               if (!diverged) continue;
               BatchWitness w;
               w.idx = idx;
@@ -240,7 +255,8 @@ CellResult run_batch_cell(const Cell& cell, const Bounds& bounds, ThreadPool& po
     const wl::SchemeSpec spec = cell_spec(cell.scheme, bounds, lines, w.seed);
     const std::vector<u64> pattern = decode_pattern(w.idx, lines, bounds.max_pattern_len);
     const auto fails = [&](const std::vector<u64>& candidate) {
-      return replay_batch_pattern(spec, mut, candidate, w.fail_mode, w.cycle_op, bounds)
+      return replay_batch_pattern(spec, mut, candidate, w.fail_mode, w.cycle_op, bounds,
+                                  fast_tier)
           .has_value();
     };
     MinimizeResult min = ddmin(pattern, fails);
@@ -251,10 +267,10 @@ CellResult run_batch_cell(const Cell& cell, const Bounds& bounds, ThreadPool& po
     cex.message =
         "scheme=" + cell.scheme + " lines=" + std::to_string(lines) +
         " seed=" + std::to_string(w.seed) + " pattern=[" + format_trace(min.trace) + "]: " +
-        replay_batch_pattern(spec, mut, min.trace, w.fail_mode, w.cycle_op, bounds)
+        replay_batch_pattern(spec, mut, min.trace, w.fail_mode, w.cycle_op, bounds, fast_tier)
             .value_or(w.message);
     std::ostringstream rp;
-    rp << "check=" << kBatchFamily << ";scheme=" << cell.scheme << ";lines=" << lines
+    rp << "check=" << family << ";scheme=" << cell.scheme << ";lines=" << lines
        << ";regions=" << spec.regions << ";inner=" << spec.inner_interval
        << ";outer=" << spec.outer_interval << ";stages=" << spec.stages << ";seed=" << w.seed
        << ";mode=" << (w.fail_mode ? "fail" : "steady") << ";op="
@@ -269,6 +285,18 @@ CellResult run_batch_cell(const Cell& cell, const Bounds& bounds, ThreadPool& po
   res.wall_ms =
       std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - t0).count();
   return res;
+}
+
+}  // namespace
+
+CellResult run_batch_cell(const Cell& cell, const Bounds& bounds, ThreadPool& pool,
+                          const MutationSpec& mut) {
+  return run_pattern_cell(cell, bounds, pool, mut, kBatchFamily, wl::EngineTier::kWindowed);
+}
+
+CellResult run_epoch_cell(const Cell& cell, const Bounds& bounds, ThreadPool& pool,
+                          const MutationSpec& mut) {
+  return run_pattern_cell(cell, bounds, pool, mut, kEpochFamily, wl::EngineTier::kEpoch);
 }
 
 }  // namespace srbsg::verify::detail

@@ -16,6 +16,7 @@ inline constexpr std::string_view kFeistelFamily = "feistel-bijection";
 inline constexpr std::string_view kRoundtripFamily = "scheme-roundtrip";
 inline constexpr std::string_view kPreserveFamily = "remap-preservation";
 inline constexpr std::string_view kBatchFamily = "batch-equivalence";
+inline constexpr std::string_view kEpochFamily = "epoch-equivalence";
 
 /// Scheme construction parameters for one stepping/batch cell.
 [[nodiscard]] wl::SchemeSpec cell_spec(std::string_view scheme, const Bounds& bounds, u64 lines,
@@ -31,6 +32,12 @@ CellResult run_scheme_cell(const Cell& cell, const Bounds& bounds, ThreadPool& p
                            const MutationSpec& mut);
 CellResult run_batch_cell(const Cell& cell, const Bounds& bounds, ThreadPool& pool,
                           const MutationSpec& mut);
+/// Same pattern grid as the batch family, but the fast arm runs under
+/// EngineTier::kEpoch with a write budget large enough to clear every
+/// scheme's epoch-dispatch gate, so the analytic fast-forward engines
+/// (DESIGN.md §15) are the code under test.
+CellResult run_epoch_cell(const Cell& cell, const Bounds& bounds, ThreadPool& pool,
+                          const MutationSpec& mut);
 
 // Single-trace replay engines. Each returns the violation message when
 // the invariant fails on that exact input, nullopt when it holds.
@@ -45,11 +52,10 @@ CellResult run_batch_cell(const Cell& cell, const Bounds& bounds, ThreadPool& po
                                                              const MutationSpec& mut,
                                                              const std::vector<u64>& trace,
                                                              u64* steps_checked = nullptr);
-[[nodiscard]] std::optional<std::string> replay_batch_pattern(const wl::SchemeSpec& spec,
-                                                              const MutationSpec& mut,
-                                                              const std::vector<u64>& pattern,
-                                                              bool fail_mode, bool cycle_op,
-                                                              const Bounds& bounds);
+[[nodiscard]] std::optional<std::string> replay_batch_pattern(
+    const wl::SchemeSpec& spec, const MutationSpec& mut, const std::vector<u64>& pattern,
+    bool fail_mode, bool cycle_op, const Bounds& bounds,
+    wl::EngineTier fast_tier = wl::EngineTier::kWindowed);
 
 /// Replays one counterexample string produced by any family; returns the
 /// violation message when the invariant still fails, nullopt when the

@@ -1,4 +1,4 @@
-// srbsg-verify: bounded model checker CLI. Exhaustively proves the four
+// srbsg-verify: bounded model checker CLI. Exhaustively proves the five
 // invariant families over the bounded cell grid, or replays / minimizes
 // counterexamples. See DESIGN.md §14 and EXPERIMENTS.md.
 //
@@ -33,7 +33,7 @@ void usage(std::ostream& os) {
         "  --replay STR           replay one counterexample string and exit\n"
         "  --mutate KIND          inject a fault (selftest aid): none,\n"
         "                         translate-collision, lost-copy,\n"
-        "                         phantom-write, batch-skip\n"
+        "                         phantom-write, batch-skip, epoch-skip\n"
         "  --arm-after N          faithful writes before the fault arms\n"
         "  --selftest             prove each family catches its bug class\n"
         "                         and that witnesses minimize; exit 0/2\n"
@@ -144,6 +144,7 @@ int run_selftest(const Options& opt) {
       {MutationKind::kLostCopy, "preserve/sr2/", 16},
       {MutationKind::kPhantomWrite, "preserve/rbsg/", 16},
       {MutationKind::kBatchSkip, "batch/start-gap/", 3},
+      {MutationKind::kEpochSkip, "epoch/security-rbsg/", 1},
   };
 
   // Shrunk bounds keep the selftest to a few seconds.

@@ -19,6 +19,8 @@ std::string_view to_string(MutationKind kind) {
       return "phantom-write";
     case MutationKind::kBatchSkip:
       return "batch-skip";
+    case MutationKind::kEpochSkip:
+      return "epoch-skip";
   }
   return "?";
 }
@@ -26,7 +28,7 @@ std::string_view to_string(MutationKind kind) {
 MutationKind parse_mutation(std::string_view name) {
   for (MutationKind k : {MutationKind::kNone, MutationKind::kTranslateCollision,
                          MutationKind::kLostCopy, MutationKind::kPhantomWrite,
-                         MutationKind::kBatchSkip}) {
+                         MutationKind::kBatchSkip, MutationKind::kEpochSkip}) {
     if (name == to_string(k)) return k;
   }
   throw CheckFailure("unknown mutation kind: " + std::string(name));
@@ -84,6 +86,14 @@ wl::BulkOutcome MutantScheme::write_batch(std::span<const La> las, const pcm::Li
 
 wl::BulkOutcome MutantScheme::write_cycle(std::span<const La> pattern, const pcm::LineData& data,
                                           u64 count, pcm::PcmBank& bank) {
+  if (spec_.kind == MutationKind::kEpochSkip && armed() &&
+      engine_tier() == wl::EngineTier::kEpoch && count >= 2) {
+    // The epoch engine "loses" the cycle's last write; the reference and
+    // windowed tiers stay faithful, so only epoch-equivalence can see it.
+    const wl::BulkOutcome out = inner_->write_cycle(pattern, data, count - 1, bank);
+    writes_seen_ += out.writes_applied;
+    return out;
+  }
   const wl::BulkOutcome out = inner_->write_cycle(pattern, data, count, bank);
   writes_seen_ += out.writes_applied;
   return out;

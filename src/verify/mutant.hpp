@@ -27,6 +27,10 @@ enum class MutationKind : u8 {
   /// and touches La{5} — breaks batch-equivalence; the minimal witness
   /// is a 3-position pattern containing address 5.
   kBatchSkip,
+  /// write_cycle under the epoch engine tier silently drops its final
+  /// write — breaks epoch-equivalence while leaving the reference and
+  /// windowed tiers bit-identical.
+  kEpochSkip,
 };
 
 struct MutationSpec {
@@ -36,7 +40,8 @@ struct MutationSpec {
 };
 
 [[nodiscard]] std::string_view to_string(MutationKind kind);
-/// Parses "none|translate-collision|lost-copy|phantom-write|batch-skip";
+/// Parses
+/// "none|translate-collision|lost-copy|phantom-write|batch-skip|epoch-skip";
 /// throws CheckFailure on unknown names.
 [[nodiscard]] MutationKind parse_mutation(std::string_view name);
 
@@ -58,6 +63,10 @@ class MutantScheme final : public wl::WearLeveler {
                               pcm::PcmBank& bank) override;
 
   void set_rate_boost(u32 log2_divisor) override { inner_->set_rate_boost(log2_divisor); }
+  void set_engine_tier(wl::EngineTier tier) override {
+    wl::WearLeveler::set_engine_tier(tier);
+    inner_->set_engine_tier(tier);
+  }
   void validate_state() const override { inner_->validate_state(); }
   [[nodiscard]] u32 writes_per_movement() const override { return inner_->writes_per_movement(); }
 

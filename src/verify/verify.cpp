@@ -96,10 +96,12 @@ std::optional<std::string> replay_counterexample(const std::string& replay,
   if (family == kRoundtripFamily || family == kPreserveFamily) {
     return replay_scheme_trace(family, spec, mut, trace);
   }
-  if (family == kBatchFamily) {
+  if (family == kBatchFamily || family == kEpochFamily) {
     const bool fail_mode = replay_get(replay, "mode") == "fail";
     const bool cycle_op = replay_get(replay, "op") == "cycle";
-    return replay_batch_pattern(spec, mut, trace, fail_mode, cycle_op, bounds);
+    const wl::EngineTier tier =
+        family == kEpochFamily ? wl::EngineTier::kEpoch : wl::EngineTier::kWindowed;
+    return replay_batch_pattern(spec, mut, trace, fail_mode, cycle_op, bounds, tier);
   }
   throw CheckFailure("replay string names unknown check family: " + family);
 }
@@ -109,6 +111,7 @@ std::optional<std::string> replay_counterexample(const std::string& replay,
 std::string check_source_file(const std::string& check) {
   if (check == detail::kFeistelFamily) return "src/mapping/feistel.cpp";
   if (check == detail::kBatchFamily) return "src/wl/batch.cpp";
+  if (check == detail::kEpochFamily) return "src/wl/epoch.cpp";
   if (check == detail::kRoundtripFamily || check == detail::kPreserveFamily) {
     return "src/wl/factory.cpp";
   }
@@ -154,6 +157,14 @@ std::vector<Cell> list_cells(const Bounds& bounds) {
     c.param = bounds.batch_lines;
     cells.push_back(std::move(c));
   }
+  for (const wl::SchemeKind kind : scheme_names) {
+    Cell c;
+    c.scheme = std::string(wl::to_string(kind));
+    c.id = "epoch/" + c.scheme + "/n" + std::to_string(bounds.batch_lines);
+    c.check = std::string(detail::kEpochFamily);
+    c.param = bounds.batch_lines;
+    cells.push_back(std::move(c));
+  }
   return cells;
 }
 
@@ -167,6 +178,9 @@ CellResult run_cell(const Cell& cell, const Bounds& bounds, ThreadPool& pool,
   }
   if (cell.check == detail::kBatchFamily) {
     return detail::run_batch_cell(cell, bounds, pool, mut);
+  }
+  if (cell.check == detail::kEpochFamily) {
+    return detail::run_epoch_cell(cell, bounds, pool, mut);
   }
   throw CheckFailure("run_cell: unknown check family: " + cell.check);
 }

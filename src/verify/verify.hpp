@@ -5,7 +5,7 @@
 // Unlike the unit tests and the runtime auditor — which *sample* states —
 // the verifier exhaustively enumerates a bounded state space and proves
 // the invariant over all of it, or emits a minimized, replayable
-// counterexample. Four check families:
+// counterexample. Five check families:
 //
 //   feistel-bijection   map()/unmap() invert each other for EVERY key
 //                       tuple x stage count at 4-12-bit widths
@@ -17,6 +17,10 @@
 //   batch-equivalence   write_batch()/write_cycle() bit-identical to the
 //                       per-write reference loop for ALL patterns up to a
 //                       bounded length, steady and failing banks
+//   epoch-equivalence   the same pattern grid with the fast arm under
+//                       EngineTier::kEpoch, so the analytic fast-forward
+//                       engines (DESIGN.md §15) carry the bit-identity
+//                       proof, including mid-pattern endurance failure
 //
 // The state space of one (check, scheme, width) cell is sharded across a
 // ThreadPool via parallel_for; results are deterministic (the lowest

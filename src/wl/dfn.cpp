@@ -34,6 +34,7 @@ DynamicFeistelOuter::DynamicFeistelOuter(u32 width_bits, u32 stages, Rng rng,
   enc_p_ = make_prp(seed0);
   enc_c_ = make_prp(seed0);
   is_remap_.assign(lines(), true);
+  slot_remapped_.assign(lines(), true);
   remapped_ = lines();
 }
 
@@ -47,6 +48,7 @@ void DynamicFeistelOuter::begin_round() {
   enc_p_ = std::move(enc_c_);
   enc_c_ = make_prp(rng_.next());
   is_remap_.assign(lines(), false);
+  slot_remapped_.assign(lines(), false);
   remapped_ = 0;
   scan_ = 0;
 }
@@ -57,7 +59,8 @@ u64 DynamicFeistelOuter::next_unremapped_slot() {
   // remapped yet, which makes it a valid next cycle start. Scanning by
   // slot keeps the evicted LA key-dependent — scanning by LA would park
   // the same logical line on the (un-leveled) spare every single round.
-  while (scan_ < lines() && is_remap_[enc_p_->unmap(scan_)]) ++scan_;
+  // The slot-indexed mirror spares the scan a DEC_Kp per probed slot.
+  while (scan_ < lines() && slot_remapped_[scan_]) ++scan_;
   check(scan_ < lines(), "DynamicFeistelOuter: no unremapped slot left");
   return scan_;
 }
@@ -85,9 +88,11 @@ DynamicFeistelOuter::Movement DynamicFeistelOuter::advance() {
   const u64 loc = enc_c_->unmap(gap_);
   const u64 old_gap = gap_;
   if (spare_holder_ && *spare_holder_ == loc) {
-    // Cycle closes: loc's data was parked in the spare at eviction time.
+    // Cycle closes: loc's data was parked in the spare at eviction time
+    // (its old ENC_Kp slot is the cycle start).
     spare_holder_.reset();
     is_remap_[loc] = true;
+    slot_remapped_[cycle_start_] = true;
     ++remapped_;
     if (remapped_ == lines()) {
       phase_ = Phase::kIdle;
@@ -99,6 +104,7 @@ DynamicFeistelOuter::Movement DynamicFeistelOuter::advance() {
   }
   const u64 src = enc_p_->map(loc);
   is_remap_[loc] = true;
+  slot_remapped_[src] = true;
   ++remapped_;
   gap_ = src;
   return Movement{src, old_gap};
@@ -109,6 +115,11 @@ void DynamicFeistelOuter::validate() const {
   const u64 populated =
       static_cast<u64>(std::count(is_remap_.begin(), is_remap_.end(), true));
   check_eq(populated, remapped_, "DFN: isRemap population disagrees with remapped counter");
+  for (u64 slot = 0; slot < n; ++slot) {
+    check_eq(static_cast<u64>(slot_remapped_[slot]),
+             static_cast<u64>(is_remap_[enc_p_->unmap(slot)]),
+             "DFN: slot-indexed remap mirror disagrees with isRemap");
+  }
   check_le(remapped_, n, "DFN: remapped counter exceeds line count");
   check_le(scan_, n, "DFN: scan pointer out of bounds");
   switch (phase_) {

@@ -97,6 +97,10 @@ class DynamicFeistelOuter {
   std::unique_ptr<mapping::AddressMapper> enc_p_;
   std::unique_ptr<mapping::AddressMapper> enc_c_;
   std::vector<bool> is_remap_;
+  /// Mirror of is_remap_ indexed by ENC_Kp slot instead of LA, so the
+  /// next-unremapped scan advances without a DEC_Kp evaluation per slot
+  /// (the scan is the hot path's third PRP call otherwise).
+  std::vector<bool> slot_remapped_;
   Phase phase_{Phase::kIdle};
   u64 gap_{0};                       ///< empty IA slot while kInCycle
   u64 cycle_start_{0};               ///< slot evicted into the spare

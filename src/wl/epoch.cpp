@@ -1,0 +1,75 @@
+#include "wl/epoch.hpp"
+
+#include "telemetry/telemetry.hpp"
+
+namespace srbsg::wl::epoch {
+
+ScanResult scan_uniform(const pcm::PcmBank& bank, u64 phys_lines,
+                        std::span<const u64> exclude_sorted) {
+  ScanResult r;
+  r.min_headroom = ~u64{0};
+  std::size_t x = 0;
+  bool have_content = false;
+  for (u64 pa = 0; pa < phys_lines; ++pa) {
+    if (x < exclude_sorted.size() && exclude_sorted[x] == pa) {
+      ++x;
+      continue;
+    }
+    const Pa p{pa};
+    const pcm::LineData& d = bank.data(p);
+    if (!have_content) {
+      r.content = d;
+      have_content = true;
+    } else if (!(d == r.content)) {
+      return r;  // not uniform; r.uniform stays false
+    }
+    const u64 limit = bank.line_endurance(p);
+    const u64 w = bank.wear(p);
+    const u64 h = limit > w ? limit - w : 0;
+    if (h < r.min_headroom) r.min_headroom = h;
+  }
+  r.uniform = have_content;
+  return r;
+}
+
+u64 min_headroom_excluding(const pcm::PcmBank& bank, u64 phys_lines,
+                           std::span<const u64> exclude_sorted) {
+  u64 min = ~u64{0};
+  std::size_t x = 0;
+  for (u64 pa = 0; pa < phys_lines; ++pa) {
+    if (x < exclude_sorted.size() && exclude_sorted[x] == pa) {
+      ++x;
+      continue;
+    }
+    const Pa p{pa};
+    const u64 limit = bank.line_endurance(p);
+    const u64 w = bank.wear(p);
+    const u64 h = limit > w ? limit - w : 0;
+    if (h < min) min = h;
+  }
+  return min;
+}
+
+bool CallCache::restore(const pcm::PcmBank& bank, HeadroomBudget& budget) {
+  if (bank_ != &bank || incarnation_ != bank.incarnation() ||
+      seq_ != bank.mutation_seq()) {
+    return false;
+  }
+  budget.seed(budget_);
+  return true;
+}
+
+void CallCache::save(const pcm::PcmBank& bank, const HeadroomBudget& budget) {
+  bank_ = &bank;
+  incarnation_ = bank.incarnation();
+  seq_ = bank.mutation_seq();
+  budget_ = budget.remaining();
+}
+
+void emit_jump(telemetry::Recorder* tel, u16 scheme, u32 domain, u64 writes, u64 steps) {
+  if (tel != nullptr) {
+    tel->emit(telemetry::EventType::kEpochApplied, scheme, domain, writes, steps);
+  }
+}
+
+}  // namespace srbsg::wl::epoch

@@ -5,7 +5,9 @@
 #include "common/bitops.hpp"
 #include "common/check.hpp"
 #include "telemetry/telemetry.hpp"
+#include "pcm/timing.hpp"
 #include "wl/batch.hpp"
+#include "wl/epoch.hpp"
 
 namespace srbsg::wl {
 
@@ -106,9 +108,27 @@ BulkOutcome MultiWaySecurityRefresh::write_cycle(std::span<const La> pattern,
     check(la.value() < cfg_.lines, "MultiWaySecurityRefresh: address out of range");
   }
   const u64 period = pattern.size();
+  if (engine_tier() == EngineTier::kReference) {
+    return WearLeveler::write_cycle(pattern, data, count, bank);
+  }
   if (period > batch::kPatternFallbackFactor * effective_interval()) {
     return WearLeveler::write_cycle(pattern, data, count, bank);
   }
+  // The epoch engine opens with an O(physical lines) uniform-content
+  // scan per call; bursts too short to amortize it (BPA's 256-write
+  // probes) take the windowed engine instead — same outcomes, no scan.
+  if (engine_tier() == EngineTier::kEpoch && count >= physical_lines()) {
+    return write_cycle_epoch(pattern, data, count, bank);
+  }
+  write_cycle_windowed(pattern, data, count, 0, bank, out);
+  return out;
+}
+
+void MultiWaySecurityRefresh::write_cycle_windowed(std::span<const La> pattern,
+                                                   const pcm::LineData& data, u64 count,
+                                                   u64 phase0, pcm::PcmBank& bank,
+                                                   BulkOutcome& out) {
+  const u64 period = pattern.size();
   // The address-sequence partition is static: region keys never change.
   std::vector<u64> keys(period);
   for (u64 i = 0; i < period; ++i) keys[i] = pattern[i].value() >> region_bits_;
@@ -118,8 +138,9 @@ BulkOutcome MultiWaySecurityRefresh::write_cycle(std::span<const La> pattern,
   std::vector<Pa> fresh;
   std::vector<batch::LineSched> lines;
   bool rebuild = true;
-  u64 phase = 0;
-  while (out.writes_applied < count && !bank.has_failure()) {
+  u64 phase = phase0;
+  u64 applied = 0;
+  while (applied < count && !bank.has_failure()) {
     if (rebuild) {
       fresh.resize(period);
       for (u64 i = 0; i < period; ++i) {
@@ -132,23 +153,193 @@ BulkOutcome MultiWaySecurityRefresh::write_cycle(std::span<const La> pattern,
       rebuild = false;
     }
     const u64 iv = effective_interval();
-    u64 chunk = count - out.writes_applied;
+    u64 chunk = count - applied;
     for (const auto& d : doms) {
       const u64 deficit = counter_[d.key] >= iv ? 1 : iv - counter_[d.key];
       chunk = std::min(chunk, d.hits.until_nth(phase, deficit));
     }
     chunk = batch::cap_chunk_at_failure(lines, phase, chunk);
     out.total += batch::apply_chunk(lines, data, phase, chunk, bank, tel_, tel_id_);
-    out.writes_applied += chunk;
+    applied += chunk;
+    const u64 chunk_phase = phase;
     for (const auto& d : doms) counter_[d.key] += d.hits.hits_in(phase, chunk);
     phase = (phase + chunk) % period;
+    // A region whose counter sits past a shrunken ψ but took no write in
+    // this chunk must wait for its next write, like the per-write path.
     for (const auto& d : doms) {
-      if (counter_[d.key] >= iv) {
+      if (counter_[d.key] >= iv && d.hits.hits_in(chunk_phase, chunk) > 0) {
         counter_[d.key] = 0;
         const u64 before = out.movements;
         out.total += do_step(d.key, bank, &out.movements);
         if (out.movements != before) rebuild = true;  // skipped steps move nothing
       }
+    }
+  }
+  out.writes_applied += applied;
+}
+
+BulkOutcome MultiWaySecurityRefresh::write_cycle_epoch(std::span<const La> pattern,
+                                                       const pcm::LineData& data, u64 count,
+                                                       pcm::PcmBank& bank) {
+  BulkOutcome out;
+  const u64 period = pattern.size();
+  const u64 rl = cfg_.region_lines();
+  const u64 omask = low_mask(region_bits_);
+
+  // Static partition: keys and domains never change; only the per-region
+  // SR mappings (and thus the PAs) move.
+  std::vector<u64> keys(period);
+  for (u64 i = 0; i < period; ++i) keys[i] = pattern[i].value() >> region_bits_;
+  std::vector<batch::DomainSched> doms;
+  batch::build_domain_scheds(keys, doms);
+  std::vector<Pa> pas;
+  std::vector<Pa> fresh;
+  std::vector<batch::LineSched> lines;
+  std::vector<u64> slots;
+  std::vector<u64> next_slots;
+  bool rebuild = true;
+  u64 phase = 0;
+
+  epoch::HeadroomBudget budget;
+  pcm::LineData uniform{};
+  bool scanned = false;
+
+  const auto windowed_tail = [&] {
+    write_cycle_windowed(pattern, data, count - out.writes_applied, phase, bank, out);
+  };
+
+  while (out.writes_applied < count && !bank.has_failure()) {
+    if (rebuild) {
+      fresh.resize(period);
+      for (u64 i = 0; i < period; ++i) {
+        const u64 off = pattern[i].value() & omask;
+        fresh[i] = Pa{(keys[i] << region_bits_) | regions_[keys[i]].translate(off)};
+      }
+      if (batch::adopt_if_changed(pas, fresh)) {
+        batch::build_line_scheds(pas, bank, lines);
+        next_slots.clear();
+        for (const auto& ls : lines) next_slots.push_back(ls.pa.value());
+        std::sort(next_slots.begin(), next_slots.end());
+        // A slot leaving the pattern set re-joins the movement set
+        // carrying pattern-scale wear; fold its headroom into the budget.
+        if (scanned) {
+          for (const u64 s : slots) {
+            if (std::binary_search(next_slots.begin(), next_slots.end(), s)) continue;
+            const u64 limit = bank.line_endurance(Pa{s});
+            const u64 w = bank.wear(Pa{s});
+            const u64 h = limit > w ? limit - w : 0;
+            if (h < budget.remaining()) budget.seed(h);
+          }
+        }
+        slots.swap(next_slots);
+      }
+      rebuild = false;
+    }
+    if (!scanned) {
+      const epoch::ScanResult scan = epoch::scan_uniform(bank, cfg_.lines, slots);
+      if (!scan.uniform) {
+        windowed_tail();
+        return out;
+      }
+      uniform = scan.content;
+      budget.seed(scan.min_headroom);
+      scanned = true;
+    }
+    const u64 iv = effective_interval();
+    bool overrun = false;  // interval shrank below a carried counter
+    for (const auto& d : doms) overrun = overrun || counter_[d.key] >= iv;
+    if (overrun) {
+      windowed_tail();
+      return out;
+    }
+    const u64 remaining = count - out.writes_applied;
+
+    // Next replayed trigger, as a 1-based write index: per region, the
+    // first CRP candidate whose swap touches a pattern slot in it, or the
+    // round end (rekey), whichever is closer.
+    u64 boundary = batch::kUnbounded;
+    for (const auto& d : doms) {
+      const auto& reg = regions_[d.key];
+      const u64 crp = reg.crp();
+      u64 js = 0;
+      if (crp < rl) {
+        js = rl - crp;
+        for (u64 i = 0; i < period; ++i) {
+          if (keys[i] != d.key) continue;
+          const u64 t = reg.next_touch(pas[i].value() & omask);
+          if (t < rl) js = std::min(js, t - crp);
+        }
+      }
+      const u64 at = d.hits.until_nth(phase, (iv - counter_[d.key]) + js * iv);
+      boundary = std::min(boundary, at);
+    }
+    const bool replay = boundary <= remaining;
+    // The jump covers the boundary write itself (the trigger fires after
+    // the write, under the pre-trigger mapping); it alone replays live.
+    const u64 jump = std::min(remaining, boundary);
+
+    // Endurance cap over the pattern lines → windowed tail (exact).
+    u64 lfail = batch::kUnbounded;
+    for (const auto& ls : lines) {
+      lfail = std::min(lfail, ls.hits.until_nth(phase, ls.remaining));
+    }
+    if (lfail <= jump) {
+      windowed_tail();
+      return out;
+    }
+    // Movement-slot wear: aggregated sweeps stay inside one round per
+    // region (one endpoint per slot); the replayed boundary step can open
+    // a new round and re-touch a swept slot, costing one more.
+    if (!budget.spend(2)) {
+      const epoch::ScanResult scan = epoch::scan_uniform(bank, cfg_.lines, slots);
+      if (!scan.uniform || !(budget.seed(scan.min_headroom), budget.spend(2))) {
+        windowed_tail();  // genuinely near a movement-slot failure
+        return out;
+      }
+      uniform = scan.content;
+    }
+
+    // Pattern wear/data: one failure-checked bulk write per distinct PA.
+    for (auto& ls : lines) {
+      const u64 h = ls.hits.hits_in(phase, jump);
+      if (h == 0) continue;
+      out.total += bank.bulk_write(ls.pa, data, h);
+      ls.remaining -= h;
+    }
+
+    // The binding region's trigger at the boundary write replays live;
+    // every earlier trigger aggregates (its swap provably avoids pattern
+    // slots, so it is a wear-only data no-op under uniform content).
+    u64 q_b = batch::kNoDomain;
+    if (replay) q_b = keys[(phase + boundary - 1) % period];
+    u64 agg = 0;
+    u64 fired = 0;
+    const std::span<u64> wear = bank.wear_mut();
+    for (const auto& d : doms) {
+      const u64 h = d.hits.hits_in(phase, jump);
+      u64 n = (counter_[d.key] + h) / iv;
+      counter_[d.key] = (counter_[d.key] + h) % iv;
+      if (replay && d.key == q_b) --n;
+      if (n > 0) {
+        const u64 base = d.key << region_bits_;
+        fired += regions_[d.key].advance_steps(
+            n, [&wear, base](u64 a, u64 b) { ++wear[base | a], ++wear[base | b]; });
+        agg += n;
+      }
+    }
+    if (fired > 0) {
+      bank.note_writes_unchecked(2 * fired);
+      out.total += pcm::swap_latency(bank.config(), uniform.cls, uniform.cls) * fired;
+      out.movements += fired;
+    }
+    out.writes_applied += jump;
+    phase = (phase + jump) % period;
+    epoch::emit_jump(tel_, tel_id_, telemetry::kGlobalDomain, jump, agg + (replay ? 1 : 0));
+    if (replay) {
+      counter_[q_b] = 0;
+      const u64 before = out.movements;
+      out.total += do_step(q_b, bank, &out.movements);
+      if (out.movements != before) rebuild = true;  // skipped steps move nothing
     }
   }
   return out;

@@ -57,6 +57,14 @@ class MultiWaySecurityRefresh final : public WearLeveler {
 
  private:
   Ns do_step(u64 q, pcm::PcmBank& bank, u64* movements);
+  /// PR-4 windowed engine, entered at cycle offset `phase0`; accumulates
+  /// into `out`.
+  void write_cycle_windowed(std::span<const La> pattern, const pcm::LineData& data, u64 count,
+                            u64 phase0, pcm::PcmBank& bank, BulkOutcome& out);
+  /// Epoch fast-forward engine (DESIGN.md §15): per-region aggregated SR
+  /// sweeps between replayed pattern-touching/rekey steps.
+  BulkOutcome write_cycle_epoch(std::span<const La> pattern, const pcm::LineData& data,
+                                u64 count, pcm::PcmBank& bank);
 
   MultiWaySrConfig cfg_;
   u32 region_bits_;

@@ -46,6 +46,9 @@ BulkOutcome NoWearLeveling::write_cycle(std::span<const La> pattern, const pcm::
   BulkOutcome out;
   if (count == 0) return out;
   check(!pattern.empty(), "write_cycle: empty pattern with writes requested");
+  if (engine_tier() == EngineTier::kReference) {
+    return WearLeveler::write_cycle(pattern, data, count, bank);
+  }
   std::vector<Pa> pas;
   pas.reserve(pattern.size());
   for (const La la : pattern) {

@@ -83,6 +83,18 @@ class RegionStartGap final : public WearLeveler {
  private:
   /// Executes one gap movement in region `q`; returns its latency.
   Ns do_movement(u64 q, pcm::PcmBank& bank);
+
+  /// PR-4 windowed engine, continuing from pattern phase `phase0` for up
+  /// to `count` more writes; accumulates into `out`. The epoch path calls
+  /// this as its fallback tail.
+  void write_cycle_windowed(std::span<const La> pattern, const pcm::LineData& data, u64 count,
+                            u64 phase0, pcm::PcmBank& bank, BulkOutcome& out);
+
+  /// Epoch fast-forward engine (DESIGN.md §15): analytic jumps over whole
+  /// gap-movement epochs, replaying only movements that relocate a
+  /// pattern line or wrap a region's rotation.
+  BulkOutcome write_cycle_epoch(std::span<const La> pattern, const pcm::LineData& data,
+                                u64 count, pcm::PcmBank& bank);
   [[nodiscard]] u64 region_base(u64 q) const { return q * (cfg_.region_lines() + 1); }
 
   RbsgConfig cfg_;

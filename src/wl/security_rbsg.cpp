@@ -6,6 +6,8 @@
 #include "common/check.hpp"
 #include "telemetry/telemetry.hpp"
 #include "wl/batch.hpp"
+#include "wl/epoch.hpp"
+#include "pcm/timing.hpp"
 
 namespace srbsg::wl {
 
@@ -149,10 +151,27 @@ BulkOutcome SecurityRbsg::write_cycle(std::span<const La> pattern, const pcm::Li
     check(la.value() < cfg_.lines, "SecurityRbsg: address out of range");
   }
   const u64 period = pattern.size();
+  if (engine_tier() == EngineTier::kReference) {
+    return WearLeveler::write_cycle(pattern, data, count, bank);
+  }
   const u64 min_iv = std::min(effective_inner_interval(), effective_outer_interval());
   if (period > batch::kPatternFallbackFactor * min_iv) {
     return WearLeveler::write_cycle(pattern, data, count, bank);
   }
+  // The epoch engine's O(physical lines) headroom scan is amortized
+  // across calls by the cross-call cache, so even short bursts (BPA's
+  // 256-write probes) take the epoch engine under that tier.
+  if (engine_tier() == EngineTier::kEpoch) {
+    return write_cycle_epoch(pattern, data, count, bank);
+  }
+  write_cycle_windowed(pattern, data, count, 0, bank, out);
+  return out;
+}
+
+void SecurityRbsg::write_cycle_windowed(std::span<const La> pattern, const pcm::LineData& data,
+                                        u64 count, u64 phase0, pcm::PcmBank& bank,
+                                        BulkOutcome& out) {
+  const u64 period = pattern.size();
   const u64 m = cfg_.region_lines();
   // DFN movements re-key the outer mapping (and move the spare), so
   // domain keys and line schedules are revalidated after every movement;
@@ -164,8 +183,9 @@ BulkOutcome SecurityRbsg::write_cycle(std::span<const La> pattern, const pcm::Li
   std::vector<batch::DomainSched> doms;
   std::vector<batch::LineSched> lines;
   bool rebuild = true;
-  u64 phase = 0;
-  while (out.writes_applied < count && !bank.has_failure()) {
+  u64 phase = phase0;
+  u64 applied = 0;
+  while (applied < count && !bank.has_failure()) {
     if (rebuild) {
       keys_fresh.resize(period);
       pas_fresh.resize(period);
@@ -185,7 +205,7 @@ BulkOutcome SecurityRbsg::write_cycle(std::span<const La> pattern, const pcm::Li
     const u64 iv_in = effective_inner_interval();
     const u64 iv_out = effective_outer_interval();
     const u64 until_outer = outer_counter_ >= iv_out ? 1 : iv_out - outer_counter_;
-    u64 chunk = std::min(count - out.writes_applied, until_outer);
+    u64 chunk = std::min(count - applied, until_outer);
     for (const auto& d : doms) {
       const u64 deficit =
           inner_counter_[d.key] >= iv_in ? 1 : iv_in - inner_counter_[d.key];
@@ -193,15 +213,18 @@ BulkOutcome SecurityRbsg::write_cycle(std::span<const La> pattern, const pcm::Li
     }
     chunk = batch::cap_chunk_at_failure(lines, phase, chunk);
     out.total += batch::apply_chunk(lines, data, phase, chunk, bank, tel_, tel_id_);
-    out.writes_applied += chunk;
+    applied += chunk;
+    const u64 chunk_phase = phase;
     for (const auto& d : doms) inner_counter_[d.key] += d.hits.hits_in(phase, chunk);
     outer_counter_ += chunk;
     phase = (phase + chunk) % period;
     // Fire in write()'s order: the (single) due inner region, then the
     // outer movement — even when the chunk's last write recorded the
-    // failure. Both movement kinds always move a line here.
+    // failure. Both movement kinds always move a line here. A region whose
+    // counter sits past a shrunken ψ_in but took no write in this chunk
+    // must wait for its next write, like the per-write path.
     for (const auto& d : doms) {
-      if (inner_counter_[d.key] >= iv_in) {
+      if (inner_counter_[d.key] >= iv_in && d.hits.hits_in(chunk_phase, chunk) > 0) {
         inner_counter_[d.key] = 0;
         out.total += do_inner_movement(d.key, bank);
         ++out.movements;
@@ -214,6 +237,275 @@ BulkOutcome SecurityRbsg::write_cycle(std::span<const La> pattern, const pcm::Li
       ++out.movements;
       rebuild = true;
     }
+  }
+  out.writes_applied += applied;
+}
+
+BulkOutcome SecurityRbsg::write_cycle_epoch(std::span<const La> pattern,
+                                            const pcm::LineData& data, u64 count,
+                                            pcm::PcmBank& bank) {
+  BulkOutcome out;
+  const u64 period = pattern.size();
+  const u64 m = cfg_.region_lines();
+  const pcm::PcmConfig& pcfg = bank.config();
+
+  // Pattern mapping + schedules, rebuilt only when a movement actually
+  // displaces a pattern line (outer DFN movements re-shard the pattern;
+  // the spare position advances no inner counter and owns no domain).
+  std::vector<u64> ias(period);
+  std::vector<u64> keys(period);
+  std::vector<batch::DomainSched> doms;
+  std::vector<Pa> pas;
+  std::vector<Pa> fresh;
+  std::vector<batch::LineSched> lines;
+  std::vector<u64> pat_slots;
+  std::vector<u64> next_slots;
+  bool rebuild = true;
+  u64 phase = 0;
+
+  // Unlike the closed-form engines, this one replays every movement's
+  // data shift exactly (sources read back from the bank), so no content
+  // uniformity is required — only the headroom budget proving that
+  // unchecked aggregate wear cannot push a movement slot past its
+  // endurance limit. A previous epoch call's budget survives when
+  // nothing wrote to the bank in between (BPA's 256-write probe bursts
+  // rely on this).
+  epoch::HeadroomBudget budget;
+  bool budgeted = ecache_.restore(bank, budget);
+
+  const auto windowed_tail = [&] {
+    write_cycle_windowed(pattern, data, count - out.writes_applied, phase, bank, out);
+  };
+
+  const auto fold_headroom = [&](u64 s) {
+    const u64 limit = bank.line_endurance(Pa{s});
+    const u64 w = bank.wear(Pa{s});
+    const u64 h = limit > w ? limit - w : 0;
+    if (h < budget.remaining()) budget.seed(h);
+  };
+  // Conservative wear margin over every slot the pattern writes do not
+  // track exactly: movement slots, gap holes and the spare all take
+  // movement wear. Never fails — a polluted or near-worn bank just gets
+  // a small budget and tails sooner.
+  const auto rescan = [&] {
+    budget.seed(epoch::min_headroom_excluding(bank, physical_lines(), pat_slots));
+  };
+
+  while (out.writes_applied < count && !bank.has_failure()) {
+    if (rebuild) {
+      for (u64 i = 0; i < period; ++i) {
+        ias[i] = outer_.translate(pattern[i].value());
+        keys[i] = ias[i] == outer_.spare_ia() ? batch::kNoDomain : ias[i] / m;
+      }
+      batch::build_domain_scheds(keys, doms);
+      fresh.resize(period);
+      for (u64 i = 0; i < period; ++i) fresh[i] = ia_to_pa(ias[i]);
+      if (batch::adopt_if_changed(pas, fresh)) {
+        batch::build_line_scheds(pas, bank, lines);
+        next_slots.clear();
+        for (const auto& ls : lines) next_slots.push_back(ls.pa.value());
+        std::sort(next_slots.begin(), next_slots.end());
+        if (budgeted) {
+          // A slot leaving the pattern set re-joins the movement pool
+          // carrying pattern-scale wear.
+          for (const u64 s : pat_slots) {
+            if (std::binary_search(next_slots.begin(), next_slots.end(), s)) continue;
+            fold_headroom(s);
+          }
+        }
+        pat_slots.swap(next_slots);
+      }
+      rebuild = false;
+    }
+    if (!budgeted) {
+      rescan();
+      budgeted = true;
+    }
+    const u64 iv_in = effective_inner_interval();
+    const u64 iv_out = effective_outer_interval();
+    bool overrun = outer_counter_ >= iv_out;  // interval shrank below a carried counter
+    for (const auto& d : doms) overrun = overrun || inner_counter_[d.key] >= iv_in;
+    if (overrun) {
+      windowed_tail();
+      return out;
+    }
+    const u64 remaining = count - out.writes_applied;
+
+    // Inner level: per active region, gap movements aggregate until one
+    // would shift a pattern slot or wrap (Start redraw); the
+    // cumulative-safe formulation below stays valid across every segment
+    // of this round, so it is computed once per round.
+    u64 b_in = batch::kUnbounded;
+    for (const auto& d : doms) {
+      const u64 base = d.key * (m + 1);
+      const u64 g = inner_[d.key].gap();
+      u64 safe = g;
+      for (u64 i = 0; i < period; ++i) {
+        if (keys[i] != d.key) continue;
+        const u64 local = pas[i].value() - base;
+        if (local < g) safe = std::min(safe, g - local - 1);
+      }
+      const u64 at = d.hits.until_nth(phase, (iv_in - inner_counter_[d.key]) + safe * iv_in);
+      b_in = std::min(b_in, at);
+    }
+    // Writes coverable this round. Outer (DFN) movements cannot
+    // fast-forward — the Feistel walk replays one movement per ψ_out
+    // writes — but each replay is cheap (wear + an exact one-line copy),
+    // so the segment loop below walks whole ψ_out intervals and only
+    // surfaces when a movement displaces a pattern line (rebuild).
+    const u64 big = std::min(remaining, b_in);
+    const bool inner_boundary = b_in <= remaining;
+
+    // Endurance cap over the pattern lines, hoisted: `until_nth` counts
+    // from this round's phase, so one bound covers every segment.
+    u64 lfail = batch::kUnbounded;
+    for (const auto& ls : lines) {
+      lfail = std::min(lfail, ls.hits.until_nth(phase, ls.remaining));
+    }
+
+    u64 done = 0;
+    u64 steps = 0;
+    bool stop = false;
+    bool tail = false;
+    while (done < big && !stop) {
+      const u64 until_outer = iv_out - outer_counter_;
+      const u64 seg = std::min(big - done, until_outer);
+      const bool outer_live = seg == until_outer;
+      const bool at_big = done + seg == big;
+
+      if (lfail <= done + seg) {  // a pattern line fails inside this segment
+        tail = true;
+        break;
+      }
+      // Per segment a movement slot takes at most one aggregated
+      // gap-shift wear (contiguous descending ranges, disjoint from any
+      // replayed movement's target) plus one outer-movement destination.
+      if (!budget.spend(2)) {
+        rescan();
+        if (!budget.spend(2)) {
+          tail = true;  // genuinely near a movement-slot failure
+          break;
+        }
+      }
+
+      // Pattern wear/data: one failure-checked bulk write per distinct PA.
+      for (auto& ls : lines) {
+        const u64 h = ls.hits.hits_in(phase, seg);
+        if (h == 0) continue;
+        out.total += bank.bulk_write(ls.pa, data, h);
+        ls.remaining -= h;
+      }
+
+      // The final write of the round's last segment can fire the one
+      // inner movement the aggregate below must not fold: at the b_in
+      // boundary the due movement would cross a pattern slot or wrap
+      // (Start redraw), so it replays exactly.
+      bool inner_exact = false;
+      u64 q_b = batch::kNoDomain;
+      if (at_big && inner_boundary) {
+        q_b = keys[(phase + seg - 1) % period];
+        if (q_b != batch::kNoDomain) {
+          for (const auto& d : doms) {
+            if (d.key != q_b) continue;
+            inner_exact = (inner_counter_[d.key] + d.hits.hits_in(phase, seg)) % iv_in == 0;
+            break;
+          }
+        }
+      }
+      // Aggregated gap movements per region: one wear range plus an exact
+      // replay of the data shift — destination t receives slot t−1's
+      // line, walked top-down so each source is read before it is
+      // overwritten. Sources are re-read from the bank, so non-uniform
+      // content (attack residue) is carried bit-exactly. Movements
+      // co-firing at an outer boundary are aggregated too: they are
+      // within the safe distance, and the gap retreat lands before the
+      // outer replay reads the inner mapping, matching write()'s
+      // inner-then-outer order.
+      for (const auto& d : doms) {
+        const u64 h = d.hits.hits_in(phase, seg);
+        u64 moves = (inner_counter_[d.key] + h) / iv_in;
+        inner_counter_[d.key] = (inner_counter_[d.key] + h) % iv_in;
+        if (inner_exact && d.key == q_b) --moves;  // the boundary movement replays below
+        if (moves == 0) continue;
+        const u64 base = d.key * (m + 1);
+        const u64 g = inner_[d.key].gap();
+        bank.add_wear_range_unchecked(Pa{base + g - moves + 1}, moves, 1);
+        for (u64 t = base + g; t > base + g - moves; --t) {
+          const pcm::LineData src = bank.data(Pa{t - 1});
+          out.total += pcm::move_latency(pcfg, src.cls);
+          if (!(bank.data(Pa{t}) == src)) bank.poke_data(Pa{t}, src);
+        }
+        inner_[d.key].retreat_gap(moves);
+        out.movements += moves;
+        steps += moves;
+      }
+      outer_counter_ += seg;
+      done += seg;
+      phase = (phase + seg) % period;
+
+      // Replay the due movement(s), in write()'s order (inner then
+      // outer); the due counters already read 0 here.
+      if (inner_exact) {
+        out.total += do_inner_movement(q_b, bank);
+        ++out.movements;
+        ++steps;
+        rebuild = true;  // a wrap redraws Start and shifts the region wholesale
+        stop = true;
+      }
+      if (outer_live) {
+        outer_counter_ = 0;
+        // Inline DFN replay; telemetry mirrors do_outer_movement().
+        if (tel_ != nullptr) {
+          tel_->emit(telemetry::EventType::kRemapTriggered, tel_id_,
+                     telemetry::kGlobalDomain, telemetry::kLevelOuter, 0);
+        }
+        const bool rekey = outer_.round_idle();
+        const auto mv = outer_.advance();
+        if (tel_ != nullptr && rekey) {
+          tel_->emit(telemetry::EventType::kKeyRerandomized, tel_id_,
+                     telemetry::kGlobalDomain, outer_.rounds_completed() + 1, 0);
+        }
+        bool touches_pattern = false;
+        for (u64 i = 0; i < period; ++i) {
+          touches_pattern = touches_pattern || ias[i] == mv.from || ias[i] == mv.to;
+        }
+        const Pa ofrom = ia_to_pa(mv.from);
+        const Pa oto = ia_to_pa(mv.to);
+        if (tel_ != nullptr) {
+          tel_->emit(telemetry::EventType::kGapMoved, tel_id_, telemetry::kGlobalDomain,
+                     ofrom.value(), oto.value());
+        }
+        ++out.movements;
+        ++steps;
+        if (touches_pattern) {
+          // A pattern line actually moves: copy it with checked wear and
+          // rebuild the schedules around its new position.
+          out.total += bank.move_line(ofrom, oto);
+          rebuild = true;
+          stop = true;
+        } else {
+          // The copy cannot involve a pattern line: replay it exactly
+          // with budget-covered wear. Reading the source from the bank
+          // keeps arbitrary content (attack residue, the parked spare)
+          // bit-exact without any uniformity assumption.
+          bank.add_wear_range_unchecked(oto, 1, 1);
+          const pcm::LineData src = bank.data(ofrom);
+          out.total += pcm::move_latency(pcfg, src.cls);
+          if (!(bank.data(oto) == src)) bank.poke_data(oto, src);
+        }
+      }
+    }
+    out.writes_applied += done;
+    if (done > 0) {
+      epoch::emit_jump(tel_, tel_id_, telemetry::kGlobalDomain, done, steps);
+    }
+    if (tail) {
+      windowed_tail();
+      return out;
+    }
+  }
+  if (budgeted && !bank.has_failure()) {
+    ecache_.save(bank, budget);
   }
   return out;
 }

@@ -18,6 +18,7 @@
 
 #include "common/check.hpp"
 #include "wl/dfn.hpp"
+#include "wl/epoch.hpp"
 #include "wl/start_gap_region.hpp"
 #include "wl/wear_leveler.hpp"
 
@@ -81,6 +82,14 @@ class SecurityRbsg final : public WearLeveler {
   [[nodiscard]] Pa spare_pa() const { return Pa{physical_lines() - 1}; }
   Ns do_inner_movement(u64 q, pcm::PcmBank& bank);
   Ns do_outer_movement(pcm::PcmBank& bank);
+  /// PR-4 windowed engine, entered at cycle offset `phase0`; accumulates
+  /// into `out`.
+  void write_cycle_windowed(std::span<const La> pattern, const pcm::LineData& data, u64 count,
+                            u64 phase0, pcm::PcmBank& bank, BulkOutcome& out);
+  /// Epoch fast-forward engine (DESIGN.md §15): inner Start-Gap sweeps
+  /// aggregate between exactly-replayed outer DFN movements.
+  BulkOutcome write_cycle_epoch(std::span<const La> pattern, const pcm::LineData& data,
+                                u64 count, pcm::PcmBank& bank);
 
   SecurityRbsgConfig cfg_;
   DynamicFeistelOuter outer_;
@@ -88,6 +97,10 @@ class SecurityRbsg final : public WearLeveler {
   std::vector<u64> inner_counter_;
   u64 outer_counter_{0};
   u32 boost_{0};
+  /// Cross-call budget cache: short bulk bursts (BPA's probes) re-enter
+  /// the epoch engine without re-paying the O(physical lines) headroom
+  /// scan.
+  epoch::CallCache ecache_;
 };
 
 }  // namespace srbsg::wl

@@ -54,6 +54,18 @@ class SecurityRefresh final : public WearLeveler {
   /// Performs one CRP step; returns the swap latency (0 when skipped).
   Ns do_step(pcm::PcmBank& bank, u64* movements);
 
+  /// PR-4 windowed engine, continuing from pattern phase `phase0` for up
+  /// to `count` more writes; accumulates into `out`. The epoch path calls
+  /// this as its fallback tail.
+  void write_cycle_windowed(std::span<const La> pattern, const pcm::LineData& data, u64 count,
+                            u64 phase0, pcm::PcmBank& bank, BulkOutcome& out);
+
+  /// Epoch fast-forward engine (DESIGN.md §15): analytic jumps over whole
+  /// refresh epochs, replaying only the CRP steps that touch a pattern
+  /// slot or wrap the round.
+  BulkOutcome write_cycle_epoch(std::span<const La> pattern, const pcm::LineData& data,
+                                u64 count, pcm::PcmBank& bank);
+
   SecurityRefreshConfig cfg_;
   SecurityRefreshRegion region_;
   u64 counter_{0};

@@ -10,6 +10,8 @@
 
 #include <optional>
 
+#include "common/bitops.hpp"
+#include "common/check.hpp"
 #include "common/rng.hpp"
 #include "common/types.hpp"
 
@@ -42,6 +44,57 @@ class SecurityRefreshRegion {
     u64 b;
   };
   std::optional<SwapSlots> advance();
+
+  /// Epoch-engine aggregate: `steps` consecutive advance() calls folded
+  /// into one sweep, invoking `fn(slot_a, slot_b)` for each step whose
+  /// swap fires. Requires crp() + steps <= lines() — round rekeys consume
+  /// RNG draws and must replay through advance(). Returns the number of
+  /// swaps fired. Also requires crp() < lines() (a round is in progress);
+  /// with steps == 0 this is a no-op.
+  template <typename Fn>
+  u64 advance_steps(u64 steps, Fn&& fn) {
+    SRBSG_DCHECK(crp_ < lines() && steps <= lines() - crp_,
+                 "SecurityRefreshRegion: aggregate sweep crosses a round boundary");
+    if (kp_ == kc_) {
+      // Identity round: no candidate fires, the CRP just walks forward.
+      crp_ += steps;
+      return 0;
+    }
+    // A swap fires at candidate c iff pair_of(c) > c, i.e. the top set bit
+    // of kp^kc is clear in c (XOR with the key difference flips that bit).
+    const u64 h = top_bit(kp_ ^ kc_);
+    const u64 end = crp_ + steps;
+    u64 fired = 0;
+    for (u64 c = crp_; c < end; ++c) {
+      if ((c & h) != 0) continue;
+      fn(c ^ kp_, c ^ kc_);
+      ++fired;
+    }
+    crp_ = end;
+    return fired;
+  }
+
+  /// translate() as it will read once the CRP has advanced to `crp`
+  /// within the *current* round (same keys). Lets the epoch engines
+  /// resolve a slot at a future step of an aggregated sweep without
+  /// mutating the region. `crp` in [crp(), lines()].
+  [[nodiscard]] u64 translate_at(u64 la, u64 crp) const {
+    const u64 p = la ^ kc_ ^ kp_;
+    return la ^ ((p < la ? p : la) < crp ? kc_ : kp_);
+  }
+
+  /// First candidate >= crp() whose swap would touch slot `slot`, or
+  /// lines() when no remaining step of this round touches it (its
+  /// resident already swapped, or only the round wrap affects it).
+  [[nodiscard]] u64 next_touch(u64 slot) const {
+    if (kp_ == kc_) return lines();
+    const u64 h = top_bit(kp_ ^ kc_);
+    u64 best = lines();
+    for (const u64 c : {slot ^ kp_, slot ^ kc_}) {
+      if (c >= crp_ && (c & h) == 0 && c < best) best = c;
+    }
+    return best;
+  }
 
   /// Register-bound invariants (CRP in [0, lines], keys within the region
   /// mask); throws CheckFailure on violation. Audit hook.

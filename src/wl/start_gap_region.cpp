@@ -32,6 +32,11 @@ StartGapRegion::Movement StartGapRegion::advance() {
   return mv;
 }
 
+void StartGapRegion::retreat_gap(u64 steps) {
+  check_le(steps, gap_, "StartGapRegion: aggregate retreat crosses the wrap");
+  gap_ -= steps;
+}
+
 void StartGapRegion::validate() const {
   check_le(gap_, lines_, "StartGapRegion: Gap register out of bounds");
   check_lt(start_, lines_, "StartGapRegion: Start register out of bounds");

@@ -33,6 +33,13 @@ class StartGapRegion {
   };
   Movement advance();
 
+  /// Epoch-engine aggregate: `steps` consecutive advance() calls folded
+  /// into one register update. Requires steps <= gap() — the wrap redraws
+  /// Start and must replay through advance(). The owner applies the
+  /// folded data effect: slots [gap-steps+1, gap] wear by one, and only
+  /// slot gap changes content (it receives slot gap-1's line).
+  void retreat_gap(u64 steps);
+
   /// Register-bound invariants (Gap in [0, M], Start in [0, M)); throws
   /// CheckFailure on violation. Audit hook, not a fast-path check.
   void validate() const;

@@ -120,6 +120,9 @@ BulkOutcome TableWearLeveling::write_cycle(std::span<const La> pattern, const pc
     check(la.value() < cfg_.lines, "TableWearLeveling: address out of range");
   }
   const u64 period = pattern.size();
+  if (engine_tier() == EngineTier::kReference) {
+    return WearLeveler::write_cycle(pattern, data, count, bank);
+  }
   if (period > batch::kPatternFallbackFactor * effective_interval()) {
     return WearLeveler::write_cycle(pattern, data, count, bank);
   }

@@ -71,6 +71,14 @@ class TwoLevelSecurityRefresh final : public WearLeveler {
   [[nodiscard]] Pa ia_to_pa(u64 ia) const;
   Ns do_inner_step(u64 q, pcm::PcmBank& bank, u64* movements);
   Ns do_outer_step(pcm::PcmBank& bank, u64* movements);
+  /// PR-4 windowed engine, entered at cycle offset `phase0`; accumulates
+  /// into `out`.
+  void write_cycle_windowed(std::span<const La> pattern, const pcm::LineData& data, u64 count,
+                            u64 phase0, pcm::PcmBank& bank, BulkOutcome& out);
+  /// Epoch fast-forward engine (DESIGN.md §15): analytic jumps between
+  /// pattern-touching/rekey triggers, windowed fallback otherwise.
+  BulkOutcome write_cycle_epoch(std::span<const La> pattern, const pcm::LineData& data,
+                                u64 count, pcm::PcmBank& bank);
 
   TwoLevelSrConfig cfg_;
   u32 region_bits_;

@@ -5,6 +5,25 @@
 
 namespace srbsg::wl {
 
+std::string_view to_string(EngineTier tier) {
+  switch (tier) {
+    case EngineTier::kReference:
+      return "reference";
+    case EngineTier::kWindowed:
+      return "windowed";
+    case EngineTier::kEpoch:
+      return "epoch";
+  }
+  return "?";
+}
+
+EngineTier parse_engine_tier(std::string_view name) {
+  if (name == "reference") return EngineTier::kReference;
+  if (name == "windowed") return EngineTier::kWindowed;
+  if (name == "epoch") return EngineTier::kEpoch;
+  throw CheckFailure("unknown engine tier: " + std::string(name));
+}
+
 void WearLeveler::attach_telemetry(telemetry::Recorder* recorder) {
   // srbsg-analyze: suppress(a10-lifetime) harness-owned recorder outlives every scheme
   tel_ = recorder;

@@ -21,6 +21,21 @@ class Recorder;
 
 namespace srbsg::wl {
 
+/// Which bulk-write engine a scheme runs under (DESIGN.md §15). All
+/// tiers are bit-identical in outcome; they differ only in cost. The
+/// windowed tier is the default so existing callers are unaffected.
+enum class EngineTier : u8 {
+  kReference,  ///< per-write loop — the ground-truth semantics
+  kWindowed,   ///< PR-4 windowed engine: O(remap triggers) chunks
+  kEpoch,      ///< epoch fast-forward: analytic jumps over whole remap
+               ///< epochs, falling back to the windowed tier near
+               ///< failure, boundaries, and inexpressible state
+};
+
+[[nodiscard]] std::string_view to_string(EngineTier tier);
+/// Parses "reference|windowed|epoch"; throws on unknown names.
+[[nodiscard]] EngineTier parse_engine_tier(std::string_view name);
+
 struct WriteOutcome {
   /// Latency observed by the requester (data write + remap stall).
   Ns total{0};
@@ -112,6 +127,13 @@ class WearLeveler {
   ///   bank writes == data writes issued + movements * writes_per_movement.
   [[nodiscard]] virtual u32 writes_per_movement() const { return 1; }
 
+  /// Select the bulk-write engine for write_repeated/write_batch/
+  /// write_cycle. Virtual so wrappers (audit, verify mutants) forward to
+  /// the scheme they decorate. Schemes without an epoch fast path treat
+  /// kEpoch as kWindowed — every tier keeps the bit-identity contract.
+  virtual void set_engine_tier(EngineTier tier) { tier_ = tier; }
+  [[nodiscard]] EngineTier engine_tier() const { return tier_; }
+
   /// Attach (or detach, with nullptr) a telemetry recorder. Recording is
   /// observation-only: it never changes translations, counters, timing
   /// or RNG consumption, and the disabled cost is one null check per
@@ -124,6 +146,8 @@ class WearLeveler {
   telemetry::Recorder* tel_{nullptr};
   /// Recorder intern id of name(), valid while `tel_` is non-null.
   u16 tel_id_{0};
+  /// Engine tier for the bulk-write entry points.
+  EngineTier tier_{EngineTier::kWindowed};
 };
 
 }  // namespace srbsg::wl

@@ -71,23 +71,27 @@ TEST(Ddmin, BudgetExhaustionStillFails) {
 TEST(CellGrid, CoversEveryFamilyAndScheme) {
   const Bounds b = tiny_bounds();
   const std::vector<Cell> cells = list_cells(b);
-  // 2 feistel widths + 8 schemes x 1 size x 2 stepping families + 8 batch.
-  EXPECT_EQ(cells.size(), 2u + 16u + 8u);
+  // 2 feistel widths + 8 schemes x 1 size x 2 stepping families + 8 batch
+  // + 8 epoch.
+  EXPECT_EQ(cells.size(), 2u + 16u + 8u + 8u);
   u64 feistel = 0;
   u64 roundtrip = 0;
   u64 preserve = 0;
   u64 batch = 0;
+  u64 epoch = 0;
   for (const Cell& c : cells) {
     feistel += c.check == detail::kFeistelFamily;
     roundtrip += c.check == detail::kRoundtripFamily;
     preserve += c.check == detail::kPreserveFamily;
     batch += c.check == detail::kBatchFamily;
+    epoch += c.check == detail::kEpochFamily;
     EXPECT_FALSE(check_source_file(c.check).empty());
   }
   EXPECT_EQ(feistel, 2u);
   EXPECT_EQ(roundtrip, 8u);
   EXPECT_EQ(preserve, 8u);
   EXPECT_EQ(batch, 8u);
+  EXPECT_EQ(epoch, 8u);
 }
 
 TEST(Exhaustive, AllCellsPassAtTinyBounds) {
@@ -158,7 +162,8 @@ INSTANTIATE_TEST_SUITE_P(
                                    2},
                       MutationCase{MutationKind::kLostCopy, "preserve/sr2/", 16},
                       MutationCase{MutationKind::kPhantomWrite, "preserve/rbsg/", 16},
-                      MutationCase{MutationKind::kBatchSkip, "batch/start-gap/", 3}),
+                      MutationCase{MutationKind::kBatchSkip, "batch/start-gap/", 3},
+                      MutationCase{MutationKind::kEpochSkip, "epoch/security-rbsg/", 1}),
     [](const auto& param_info) {
       std::string name(to_string(param_info.param.kind));
       std::replace(name.begin(), name.end(), '-', '_');
@@ -168,7 +173,7 @@ INSTANTIATE_TEST_SUITE_P(
 TEST(MutationParsing, RoundTripsAndRejects) {
   for (MutationKind k : {MutationKind::kNone, MutationKind::kTranslateCollision,
                          MutationKind::kLostCopy, MutationKind::kPhantomWrite,
-                         MutationKind::kBatchSkip}) {
+                         MutationKind::kBatchSkip, MutationKind::kEpochSkip}) {
     EXPECT_EQ(parse_mutation(to_string(k)), k);
   }
   EXPECT_THROW((void)parse_mutation("bogus"), CheckFailure);

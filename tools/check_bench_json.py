@@ -1,5 +1,6 @@
 #!/usr/bin/env python3
-"""Validate a machine-readable bench JSON (perf_sweep / perf_write_path).
+"""Validate a machine-readable bench JSON (perf_sweep / perf_write_path /
+perf_epoch).
 
 Dispatches on the top-level "bench" field. For every bench the schema
 (schema_version 1), field types, and internal consistency are checked
@@ -176,9 +177,103 @@ def validate_perf_write_path(doc: dict) -> str:
             f"rta {doc['min_speedup_rta']:.2f}x, identical outcomes")
 
 
+EPOCH_GRID_NAMES = ("table1_sr2_raa", "fig14_stages")
+
+
+def validate_perf_epoch(doc: dict) -> str:
+    config = doc.get("config")
+    require(isinstance(config, dict), "config must be an object")
+    require_fields(
+        config,
+        {
+            "scheme_lines": int,
+            "scheme_writes": int,
+            "grid_lines": int,
+            "grid_endurance": int,
+            "fig14_lines": int,
+            "fig14_endurance": int,
+            "seeds": int,
+        },
+        "config",
+    )
+    for name in ("scheme_lines", "grid_lines", "fig14_lines"):
+        require(config[name] > 0 and config[name] & (config[name] - 1) == 0,
+                f"config.{name} must be a positive power of two")
+
+    schemes = doc.get("schemes")
+    require(isinstance(schemes, list) and schemes, "schemes must be a non-empty list")
+    seen = set()
+    for sc in schemes:
+        require(isinstance(sc, dict), "scheme entries must be objects")
+        require_fields(
+            sc,
+            {
+                "scheme": str,
+                "windowed_ms": (int, float),
+                "epoch_ms": (int, float),
+                "speedup": (int, float),
+            },
+            f"scheme '{sc.get('scheme', '?')}'",
+        )
+        where = f"scheme '{sc['scheme']}'"
+        require(sc.get("identical") is True, f"{where}: not bit-identical across tiers")
+        if sc["epoch_ms"] > 0:
+            expected = sc["windowed_ms"] / sc["epoch_ms"]
+            require(abs(sc["speedup"] - expected) <= 0.01 * expected + 0.01,
+                    f"{where}: speedup {sc['speedup']} inconsistent with wall times")
+        require(sc["scheme"] not in seen, f"{where}: duplicate scheme")
+        seen.add(sc["scheme"])
+
+    grids = doc.get("grids")
+    require(isinstance(grids, list) and len(grids) == len(EPOCH_GRID_NAMES),
+            f"grids must list {len(EPOCH_GRID_NAMES)} grids")
+    for gr in grids:
+        require(isinstance(gr, dict), "grid entries must be objects")
+        require_fields(
+            gr,
+            {
+                "name": str,
+                "entries": int,
+                "windowed_ms": (int, float),
+                "epoch_ms": (int, float),
+                "speedup": (int, float),
+            },
+            f"grid '{gr.get('name', '?')}'",
+        )
+        where = f"grid '{gr['name']}'"
+        require(gr["entries"] > 0, f"{where}: entries must be positive")
+        require(gr.get("identical") is True, f"{where}: not bit-identical across tiers")
+        if gr["epoch_ms"] > 0:
+            expected = gr["windowed_ms"] / gr["epoch_ms"]
+            require(abs(gr["speedup"] - expected) <= 0.01 * expected + 0.01,
+                    f"{where}: speedup {gr['speedup']} inconsistent with wall times")
+    require([gr["name"] for gr in grids] == list(EPOCH_GRID_NAMES),
+            f"unexpected grid names/order: {[gr['name'] for gr in grids]}")
+
+    require(isinstance(doc.get("composite_speedup"), (int, float)),
+            "composite_speedup must be a number")
+    total_windowed = sum(gr["windowed_ms"] for gr in grids)
+    total_epoch = sum(gr["epoch_ms"] for gr in grids)
+    if total_epoch > 0:
+        expected = total_windowed / total_epoch
+        require(abs(doc["composite_speedup"] - expected) <= 0.01 * expected + 0.01,
+                f"composite_speedup {doc['composite_speedup']} inconsistent "
+                f"with grid wall times ({expected:.3f})")
+    require(isinstance(doc.get("model_rel_err"), (int, float)),
+            "model_rel_err must be a number")
+    require(doc["model_rel_err"] < 0.10,
+            f"model_rel_err {doc['model_rel_err']} exceeds the 10% gate")
+    require(doc.get("identical") is True, "outcomes were not bit-identical across tiers")
+
+    return (f"{len(schemes)} schemes + {len(grids)} grids, composite speedup "
+            f"{doc['composite_speedup']:.2f}x, model rel err "
+            f"{doc['model_rel_err']:.3f}, identical outcomes")
+
+
 VALIDATORS = {
     "perf_sweep": validate_perf_sweep,
     "perf_write_path": validate_perf_write_path,
+    "perf_epoch": validate_perf_epoch,
 }
 
 
@@ -203,16 +298,24 @@ def load_and_validate(path: str) -> dict:
 
 def _shape_of(doc: dict) -> dict:
     """The workload description; ratio comparisons only make sense when
-    the current run and the reference ran the same workload."""
-    if doc["bench"] == "perf_sweep":
-        return dict(doc["grid"])
-    return dict(doc["config"])
+    the current run and the reference ran the same workload.  Thread
+    count is machine configuration, not workload, so it is excluded."""
+    shape = dict(doc["grid"] if doc["bench"] == "perf_sweep" else doc["config"])
+    shape.pop("threads", None)
+    return shape
 
 
 def _ratio_metrics(doc: dict) -> dict:
     """Machine-independent ratio metrics (bigger is better)."""
     if doc["bench"] == "perf_sweep":
         return {"speedup": doc["speedup"]}
+    if doc["bench"] == "perf_epoch":
+        metrics = {"composite_speedup": doc["composite_speedup"]}
+        for sc in doc["schemes"]:
+            metrics[f"{sc['scheme']} speedup"] = sc["speedup"]
+        for gr in doc["grids"]:
+            metrics[f"{gr['name']} speedup"] = gr["speedup"]
+        return metrics
     metrics = {
         "min_speedup_raa": doc["min_speedup_raa"],
         "min_speedup_rta": doc["min_speedup_rta"],

@@ -45,6 +45,7 @@ EVENT_TYPES = (
     "LineFailed",
     "BatchChunkApplied",
     "ProbeClassified",
+    "EpochApplied",
 )
 
 RECORD_TYPES = ("header", "run", "event", "wear_snapshot", "counters", "counters_merged")

@@ -50,6 +50,7 @@ FAMILY_SOURCES = {
     "scheme-roundtrip": _COMMON + ["src/mapping", "src/wl"],
     "remap-preservation": _COMMON + ["src/mapping", "src/wl"],
     "batch-equivalence": _COMMON + ["src/mapping", "src/wl"],
+    "epoch-equivalence": _COMMON + ["src/mapping", "src/wl"],
 }
 
 # Bounds flags forwarded verbatim to the binary (and folded into cache
@@ -237,6 +238,7 @@ def cmd_run(args: argparse.Namespace) -> int:
         "roundtrip/": "scheme-roundtrip",
         "preserve/": "remap-preservation",
         "batch/": "batch-equivalence",
+        "epoch/": "epoch-equivalence",
     }
     keys = {}
     for cid in selected:
