@@ -13,7 +13,8 @@
 //   --seeds N       seeded replicas per configuration
 //   --scale B       log2 of the scaled bank's line count
 //   --json PATH     write machine-readable results to PATH
-//   --telemetry PATH  write a JSONL event trace (telemetry_schema 1)
+//   --trace-out PATH  write a JSONL event trace (telemetry_schema 2;
+//                     --telemetry is a deprecated alias)
 // Each bench declares which flags it honors; setting an unsupported flag
 // prints a notice instead of silently doing nothing.
 
@@ -63,7 +64,9 @@ struct BenchOptions {
   u64 seeds{0};            ///< 0 = bench default (quick/FULL dependent)
   u64 scale{0};            ///< 0 = bench default; else log2(scaled bank lines)
   std::string json;        ///< empty = no JSON output
-  std::string telemetry;   ///< empty = telemetry off; else JSONL trace path
+  /// Empty = telemetry off; else the JSONL trace path (--trace-out, or
+  /// its deprecated alias --telemetry).
+  std::string telemetry;
   /// write_cycle engine tier for simulation runs (--engine
   /// reference|windowed|epoch). Benches that race tiers against each
   /// other (perf_epoch) ignore it.
@@ -89,7 +92,7 @@ inline void print_bench_usage(std::string_view prog, unsigned supported) {
   }
   if (supported & kFlagJson) std::cout << "  --json PATH   write machine-readable results\n";
   if (supported & kFlagTelemetry) {
-    std::cout << "  --telemetry PATH  write a JSONL event trace\n";
+    std::cout << "  --trace-out PATH  write a JSONL event trace (alias: --telemetry)\n";
   }
   if (supported & kFlagEngine) {
     std::cout << "  --engine T    write_cycle engine tier: reference|windowed|epoch\n";
@@ -141,7 +144,7 @@ inline BenchOptions parse_bench_options(int argc, char** argv, unsigned supporte
     } else if (a == "--json") {
       o.json = need_value(i, a);
       note_unsupported(a, (supported & kFlagJson) != 0);
-    } else if (a == "--telemetry") {
+    } else if (a == "--trace-out" || a == "--telemetry") {
       o.telemetry = need_value(i, a);
       note_unsupported(a, (supported & kFlagTelemetry) != 0);
     } else if (a == "--engine") {

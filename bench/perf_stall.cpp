@@ -1,0 +1,398 @@
+// Stall-latency histograms + remap-timing-channel capacity (DESIGN.md
+// §16): the first consumer of the span/histogram telemetry added with
+// telemetry_schema 2.
+//
+// The experiment replays the paper's §III observation — remap stalls are
+// requester-visible — as an explicit binary covert channel. A victim
+// encodes one bit per symbol by directing a burst of writes either into
+// the probe's start-gap region (bit 1) or a different region (bit 0);
+// the receiver then hammers a fixed probe line and records WHICH of its
+// own writes the region's remap movement stalls (the classic RTA
+// observable). Same-region victim traffic advances the shared region
+// counter, so the first-stall index Y arrives ~victim_writes earlier
+// when the bit is 1 — the movement *count* alone is useless (its
+// expectation is probe_writes/ψ either way); the leak is in the phase.
+// Phase channels are differential, so after any symbol that ended
+// without an observed stall the receiver drains the region (writes until
+// a movement lands on it): every symbol then starts at a known counter
+// phase and Y encodes the bit absolutely, which is what a single-symbol
+// plug-in mutual-information estimate over the empirical (bit, Y) joint
+// can see. Capacity divides MI by the per-symbol write budget
+// (victim + probe + drain allowance), reported as bits/write.
+//
+// The scheme ladder runs RBSG (static randomizer — region membership
+// never changes, so the bias persists) against Security RBSG at 3/5/7
+// DFN stages, whose outer re-keys decay the probe/victim region
+// alignment: capacity must be nonzero for RBSG and strictly lower for
+// Security RBSG at max stages, which is exactly the paper's security
+// lever rendered as channel capacity.
+//
+// Every symbol is bracketed by a ChannelSymbol span (begin detail =
+// (writes_per_symbol << 1) | bit, end detail = Y) so `srbsg-trace
+// channel` can recover the same capacity estimate from the trace alone.
+// Each (scheme, seed) run executes twice — without and with a Recorder —
+// and the observed (writes, movements, now, Y-sequence) must match
+// bit-for-bit; `identical` in the JSON and the process exit code gate
+// on it. The JSON deliberately omits the thread count: BENCH_stall.json
+// must be byte-identical across --threads.
+
+#include <array>
+#include <cmath>
+#include <fstream>
+#include <future>
+#include <map>
+#include <sstream>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/rng.hpp"
+#include "controller/memory_controller.hpp"
+#include "telemetry/collector.hpp"
+#include "wl/factory.hpp"
+
+namespace {
+
+using namespace srbsg;
+using namespace srbsg::bench;
+
+struct LadderEntry {
+  const char* label;
+  wl::SchemeKind kind;
+  u32 stages;
+};
+
+// RBSG's `stages` parameterize its static randomizer; matching the max
+// Security RBSG depth keeps the mapping quality comparable so the
+// capacity gap is attributable to re-keying, not PRP strength.
+constexpr std::array<LadderEntry, 4> kLadder{{
+    {"rbsg", wl::SchemeKind::kRbsg, 7},
+    {"srbsg-3", wl::SchemeKind::kSecurityRbsg, 3},
+    {"srbsg-5", wl::SchemeKind::kSecurityRbsg, 5},
+    {"srbsg-7", wl::SchemeKind::kSecurityRbsg, 7},
+}};
+
+struct ChannelConfig {
+  u64 lines{0};
+  u64 regions{16};
+  u64 inner_interval{32};
+  u64 outer_interval{64};
+  u64 endurance{u64{1} << 16};
+  u64 symbols{256};
+  u64 victim_writes{16};
+  u64 probe_writes{16};
+
+  /// Per-symbol write budget: victim burst + probe window + the drain
+  /// allowance (one full ψ_in) that re-synchronizes the counter phase.
+  /// Used as the capacity denominator by bench and trace tool alike.
+  [[nodiscard]] u64 writes_per_symbol() const {
+    return victim_writes + probe_writes + inner_interval;
+  }
+};
+
+/// Everything the channel run produces that must be bit-identical with
+/// and without telemetry attached.
+struct RunResult {
+  std::vector<u8> bits;
+  std::vector<u64> ys;
+  u64 writes{0};
+  u64 movements{0};
+  u64 now_ns{0};
+};
+
+bool operator==(const RunResult& a, const RunResult& b) {
+  return a.bits == b.bits && a.ys == b.ys && a.writes == b.writes &&
+         a.movements == b.movements && a.now_ns == b.now_ns;
+}
+
+/// One seeded channel run. The bit sequence depends only on the seed, so
+/// traced and untraced executions (and every scheme at the same seed)
+/// see the same symbol stream.
+RunResult run_channel(const ChannelConfig& cc, const wl::SchemeSpec& spec,
+                      const pcm::PcmConfig& pcm_cfg, telemetry::Recorder* rec) {
+  ctl::MemoryController mc(pcm_cfg, wl::make_scheme(spec));
+  u16 tel_id = 0;
+  if (rec != nullptr) {
+    tel_id = rec->intern_scheme(mc.scheme().name());
+    mc.set_telemetry(rec);
+  }
+
+  // Probe and victim lines, chosen against the mapping at t = 0: one
+  // victim sharing the probe's physical region (stride m+1: m data slots
+  // plus the gap) and one in a different region. Under Security RBSG the
+  // alignment goes stale after the first re-key — that decay IS the
+  // defense being measured.
+  const u64 m = cc.lines / cc.regions;
+  const auto region_of = [&](La la) { return mc.scheme().translate(la).value() / (m + 1); };
+  const La probe{0};
+  const u64 probe_region = region_of(probe);
+  La victim_same{0};
+  La victim_diff{0};
+  bool have_same = false;
+  bool have_diff = false;
+  for (u64 la = 1; la < cc.lines && !(have_same && have_diff); ++la) {
+    if (region_of(La{la}) == probe_region) {
+      if (!have_same) victim_same = La{la}, have_same = true;
+    } else if (!have_diff) {
+      victim_diff = La{la}, have_diff = true;
+    }
+  }
+  check(have_same && have_diff, "perf_stall: degenerate region layout");
+
+  const auto data = pcm::LineData::mixed();
+  const u64 wps = cc.writes_per_symbol();
+  Rng rng(u64{0x57a11} + spec.seed);
+  RunResult r;
+  r.bits.reserve(cc.symbols);
+  r.ys.reserve(cc.symbols);
+  for (u64 s = 0; s < cc.symbols; ++s) {
+    const u64 bit = rng.next() & 1;
+    if (rec != nullptr) {
+      rec->set_now(mc.now());
+      rec->span_begin(telemetry::SpanKind::kChannelSymbol, tel_id, telemetry::kGlobalDomain,
+                      0, (wps << 1) | bit);
+    }
+    const auto victim = mc.write_repeated(bit != 0 ? victim_same : victim_diff, data,
+                                          cc.victim_writes);
+    r.movements += victim.movements;
+    // Y = index of the receiver's first stalled write (probe_writes when
+    // none stalled): the region counter's phase, which the victim's
+    // same-region burst shifts forward by victim_writes.
+    u64 y = cc.probe_writes;
+    for (u64 i = 0; i < cc.probe_writes; ++i) {
+      const auto probe_out = mc.write(probe, data);
+      r.movements += probe_out.movements;
+      if (probe_out.movements > 0 && y == cc.probe_writes) y = i;
+    }
+    // Re-synchronize: a symbol that observed a stall left the counter at
+    // a movement boundary; one that did not drains until the next
+    // movement lands (bounded — remap noise can fake a boundary, which
+    // is part of the defense's effect on the channel).
+    if (y == cc.probe_writes) {
+      for (u64 i = 0; i < 2 * cc.inner_interval; ++i) {
+        const auto drain = mc.write(probe, data);
+        r.movements += drain.movements;
+        if (drain.movements > 0) break;
+      }
+    }
+    if (rec != nullptr) {
+      rec->set_now(mc.now());
+      rec->span_end(telemetry::SpanKind::kChannelSymbol, tel_id, telemetry::kGlobalDomain,
+                    0, y);
+    }
+    r.bits.push_back(static_cast<u8>(bit));
+    r.ys.push_back(y);
+  }
+  r.writes = mc.total_writes();
+  r.now_ns = mc.now().value();
+  if (rec != nullptr) mc.set_telemetry(nullptr);
+  return r;
+}
+
+/// Plug-in mutual information I(bit; Y) in bits over the empirical joint
+/// of all (bit, Y) symbol pairs. Biased upward on small samples like any
+/// plug-in estimate; the ladder compares schemes on equal sample sizes,
+/// so the bias cancels in the ordering.
+double mutual_information(const std::vector<u8>& bits, const std::vector<u64>& ys) {
+  check_eq(bits.size(), ys.size(), "perf_stall: bit/Y length mismatch");
+  const double n = static_cast<double>(bits.size());
+  if (bits.empty()) return 0.0;
+  std::map<u64, std::array<u64, 2>> joint;
+  std::array<u64, 2> marg_bit{0, 0};
+  for (std::size_t i = 0; i < bits.size(); ++i) {
+    joint[ys[i]][bits[i] & 1] += 1;
+    marg_bit[bits[i] & 1] += 1;
+  }
+  double mi = 0.0;
+  for (const auto& [y, by_bit] : joint) {
+    const u64 marg_y = by_bit[0] + by_bit[1];
+    for (int b = 0; b < 2; ++b) {
+      if (by_bit[static_cast<std::size_t>(b)] == 0) continue;
+      const double pxy = static_cast<double>(by_bit[static_cast<std::size_t>(b)]) / n;
+      const double px = static_cast<double>(marg_bit[static_cast<std::size_t>(b)]) / n;
+      const double py = static_cast<double>(marg_y) / n;
+      mi += pxy * std::log2(pxy / (px * py));
+    }
+  }
+  return mi > 0.0 ? mi : 0.0;
+}
+
+std::string json_number(double v) {
+  std::ostringstream os;
+  os << fmt_double(v, 6);
+  return os.str();
+}
+
+void hist_json(std::ostream& os, const char* name, const telemetry::LogHistogram& h,
+               const char* indent) {
+  os << indent << "\"" << name << "\": {\"count\": " << h.count() << ", \"sum\": " << h.sum()
+     << ", \"min\": " << h.min() << ", \"max\": " << h.max()
+     << ", \"p50\": " << h.quantile(0.50) << ", \"p99\": " << h.quantile(0.99)
+     << ", \"p999\": " << h.quantile(0.999) << "}";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const BenchOptions opts = parse_bench_options(
+      argc, argv, kFlagThreads | kFlagSeeds | kFlagScale | kFlagJson | kFlagTelemetry);
+
+  print_header("perf_stall: stall histograms + remap-timing-channel capacity",
+               "§III timing channel as empirical capacity; see DESIGN.md §16");
+
+  ChannelConfig cc;
+  cc.lines = opts.lines_or(u64{1} << 10);
+  cc.symbols = full_mode() ? 1024 : 256;
+  const u64 seeds = opts.seeds_or(3);
+  const auto pcm_cfg = pcm::PcmConfig::scaled(cc.lines, cc.endurance);
+
+  telemetry::TelemetryConfig tcfg;
+  tcfg.ring_capacity = std::size_t{1} << 16;
+  tcfg.snapshot_interval = 0;  // wear snapshots are noise here
+  telemetry::Collector collector(tcfg);
+
+  // One task per (scheme, seed); results land in preallocated slots so
+  // completion order cannot reorder anything downstream.
+  const std::size_t tasks = kLadder.size() * seeds;
+  std::vector<RunResult> plain(tasks);
+  std::vector<RunResult> traced(tasks);
+  std::vector<std::unique_ptr<telemetry::Recorder>> recs(tasks);
+  for (std::size_t t = 0; t < tasks; ++t) recs[t] = collector.acquire();
+
+  ThreadPool pool(opts.threads);
+  {
+    std::vector<std::future<void>> futs;
+    futs.reserve(tasks);
+    for (std::size_t t = 0; t < tasks; ++t) {
+      futs.push_back(pool.submit([&, t] {
+        const std::size_t li = t / seeds;
+        wl::SchemeSpec spec;
+        spec.kind = kLadder[li].kind;
+        spec.lines = cc.lines;
+        spec.regions = cc.regions;
+        spec.inner_interval = cc.inner_interval;
+        spec.outer_interval = cc.outer_interval;
+        spec.stages = kLadder[li].stages;
+        spec.seed = t % seeds + 1;
+        plain[t] = run_channel(cc, spec, pcm_cfg, nullptr);
+        traced[t] = run_channel(cc, spec, pcm_cfg, recs[t].get());
+      }));
+    }
+    for (auto& f : futs) f.get();
+  }
+
+  bool identical = true;
+  for (std::size_t t = 0; t < tasks; ++t) identical = identical && plain[t] == traced[t];
+
+  // Per-scheme aggregation: pool the (bit, Y) pairs and merge the
+  // latency histograms across that scheme's seeds, then hand the
+  // recorders to the collector in entry order.
+  struct SchemeRow {
+    double mi{0.0};
+    double capacity{0.0};
+    telemetry::LogHistogram write_ns;
+    telemetry::LogHistogram stall_ns;
+    u64 symbols{0};
+  };
+  std::vector<SchemeRow> rows(kLadder.size());
+  for (std::size_t li = 0; li < kLadder.size(); ++li) {
+    std::vector<u8> bits;
+    std::vector<u64> ys;
+    for (u64 s = 0; s < seeds; ++s) {
+      const std::size_t t = li * seeds + s;
+      bits.insert(bits.end(), traced[t].bits.begin(), traced[t].bits.end());
+      ys.insert(ys.end(), traced[t].ys.begin(), traced[t].ys.end());
+      rows[li].write_ns.merge(recs[t]->hist_write());
+      rows[li].stall_ns.merge(recs[t]->hist_stall());
+    }
+    rows[li].symbols = bits.size();
+    rows[li].mi = mutual_information(bits, ys);
+    rows[li].capacity = rows[li].mi / static_cast<double>(cc.writes_per_symbol());
+  }
+  for (std::size_t t = 0; t < tasks; ++t) {
+    telemetry::RunMeta meta;
+    meta.entry = t;
+    meta.scheme = kLadder[t / seeds].label;
+    meta.attack = "stall-channel";
+    meta.seed = t % seeds + 1;
+    collector.absorb(meta, std::move(recs[t]));
+  }
+
+  Table table({"scheme", "stages", "symbols", "MI (bits/sym)", "capacity (bits/write)",
+               "write p50/p99/p999 ns", "stall p99 ns"});
+  for (std::size_t li = 0; li < kLadder.size(); ++li) {
+    const auto& r = rows[li];
+    table.add_row({kLadder[li].label, std::to_string(kLadder[li].stages),
+                   std::to_string(r.symbols), fmt_double(r.mi, 4), fmt_double(r.capacity, 6),
+                   std::to_string(r.write_ns.quantile(0.50)) + "/" +
+                       std::to_string(r.write_ns.quantile(0.99)) + "/" +
+                       std::to_string(r.write_ns.quantile(0.999)),
+                   std::to_string(r.stall_ns.quantile(0.99))});
+  }
+  table.print(std::cout);
+
+  const double cap_rbsg = rows[0].capacity;
+  const double cap_srbsg_max = rows[kLadder.size() - 1].capacity;
+  std::cout << "\ntraced runs bit-identical to untraced: " << (identical ? "yes" : "NO")
+            << "\ncapacity rbsg: " << fmt_double(cap_rbsg, 6)
+            << " bits/write, security-rbsg @7 stages: " << fmt_double(cap_srbsg_max, 6)
+            << (cap_rbsg > 0.0 && cap_srbsg_max < cap_rbsg ? " (channel suppressed)"
+                                                           : " (GATE NOT MET)")
+            << "\n";
+
+  if (!opts.json.empty()) {
+    std::ofstream os(opts.json);
+    if (!os) {
+      std::cerr << "perf_stall: cannot open " << opts.json << " for writing\n";
+      return 3;
+    }
+    // No thread count in here: the file must be byte-identical across
+    // --threads (check_bench_json.py compares against the reference).
+    os << "{\n"
+       << "  \"schema_version\": 1,\n"
+       << "  \"telemetry_schema\": " << telemetry::kTelemetrySchemaVersion << ",\n"
+       << "  \"bench\": \"perf_stall\",\n"
+       << "  \"config\": {\n"
+       << "    \"lines\": " << cc.lines << ",\n"
+       << "    \"regions\": " << cc.regions << ",\n"
+       << "    \"inner_interval\": " << cc.inner_interval << ",\n"
+       << "    \"outer_interval\": " << cc.outer_interval << ",\n"
+       << "    \"endurance\": " << cc.endurance << ",\n"
+       << "    \"seeds\": " << seeds << ",\n"
+       << "    \"symbols\": " << cc.symbols << ",\n"
+       << "    \"victim_writes\": " << cc.victim_writes << ",\n"
+       << "    \"probe_writes\": " << cc.probe_writes << "\n"
+       << "  },\n"
+       << "  \"schemes\": [\n";
+    for (std::size_t li = 0; li < kLadder.size(); ++li) {
+      const auto& r = rows[li];
+      os << "    {\n"
+         << "      \"scheme\": \"" << kLadder[li].label << "\",\n"
+         << "      \"stages\": " << kLadder[li].stages << ",\n"
+         << "      \"symbols\": " << r.symbols << ",\n"
+         << "      \"mi_bits_per_symbol\": " << json_number(r.mi) << ",\n"
+         << "      \"capacity_bits_per_write\": " << json_number(r.capacity) << ",\n";
+      hist_json(os, "write_ns", r.write_ns, "      ");
+      os << ",\n";
+      hist_json(os, "stall_ns", r.stall_ns, "      ");
+      os << "\n    }" << (li + 1 < kLadder.size() ? "," : "") << "\n";
+    }
+    os << "  ],\n"
+       << "  \"capacity_rbsg\": " << json_number(cap_rbsg) << ",\n"
+       << "  \"capacity_srbsg_max_stages\": " << json_number(cap_srbsg_max) << ",\n"
+       << "  \"identical\": " << (identical ? "true" : "false") << "\n"
+       << "}\n";
+    std::cout << "wrote " << opts.json << "\n";
+  }
+
+  if (!opts.telemetry.empty()) {
+    if (!collector.write_file(opts.telemetry)) {
+      std::cerr << "perf_stall: cannot open " << opts.telemetry << " for writing\n";
+      return 3;
+    }
+    std::cout << "wrote " << opts.telemetry << " (" << collector.runs() << " runs, "
+              << collector.total_events()
+              << " events; score with tools/srbsg-trace channel)\n";
+  }
+
+  return identical ? 0 : 1;
+}

@@ -243,7 +243,7 @@ int main(int argc, char** argv) {
     }
   }
 
-  // --telemetry: re-run the grid with recorders attached and hold the
+  // --trace-out: re-run the grid with recorders attached and hold the
   // traced outcomes to the same bit-identity gate — telemetry must be
   // observation-only. The traced pass is deliberately outside the timed
   // sections above, so the headline numbers stay untouched.

@@ -188,7 +188,7 @@ ScenarioResult run_scenario(wl::SchemeKind kind, std::string name, BatchMode mod
   r.identical = harvest(*ref, bank_ref, out_ref) == r.metrics;
   r.epoch_identical = harvest(*epoch, bank_epoch, out_epoch) == r.metrics;
 
-  // --telemetry: third, untimed pass with a recorder attached directly to
+  // --trace-out: third, untimed pass with a recorder attached directly to
   // the scheme; its metrics must match the untraced batched path exactly
   // (telemetry is observation-only). No controller here, so events carry
   // t=0 — the bench traces ordering and counts, not the sim clock.

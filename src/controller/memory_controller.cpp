@@ -58,13 +58,30 @@ void MemoryController::set_telemetry(telemetry::Recorder* recorder) {
   }
 }
 
-void MemoryController::note_writes(u64 writes, Ns total, u64 movements) {
+void MemoryController::note_writes(u64 writes, Ns total, u64 movements, Ns service) {
   if (tel_ == nullptr) return;
   tel_->set_now(now_);
   const auto& core = telemetry::CoreCounters::get();
   tel_->count(core.writes, writes);
   tel_->count(core.service_ns, total.value());
   tel_->count(core.movements, movements);
+  if (writes > 0) {
+    // Deterministic stall attribution: the data-service share of the op
+    // is writes * service; the remainder is remap stall, charged evenly
+    // to the writes that triggered movements. The split depends only on
+    // the op outcome (identical across engine tiers and worker counts).
+    const u64 base = service.value();
+    const u64 service_total = writes * base;
+    const u64 stall = total.value() > service_total ? total.value() - service_total : 0;
+    const u64 stalled = stall > 0 ? std::min(std::max<u64>(movements, 1), writes) : 0;
+    const u64 per = stalled > 0 ? stall / stalled : 0;
+    if (writes > stalled) tel_->record_write_ns(base, writes - stalled);
+    if (stalled > 0) {
+      tel_->record_write_ns(base + per, stalled);
+      tel_->record_stall_ns(per, stalled);
+    }
+    tel_->count(core.stall_ns, stall);
+  }
   if (tel_->snapshot_due(writes_issued_)) {
     tel_->take_snapshot(writes_issued_, bank_.wear_counts());
   }
@@ -107,7 +124,7 @@ wl::WriteOutcome MemoryController::write(La la, const pcm::LineData& data) {
     latency_sink_->movements += out.movements;
     latency_sink_->max_single = std::max(latency_sink_->max_single, out.total);
   }
-  note_writes(1, out.total, out.movements);
+  note_writes(1, out.total, out.movements, pcm::write_latency(bank_.config(), data.cls));
   if (tel_ != nullptr) {
     tel_->gauge_max(telemetry::CoreCounters::get().max_write_ns, out.total.value());
   }
@@ -118,13 +135,23 @@ wl::BulkOutcome MemoryController::write_repeated(La la, const pcm::LineData& dat
   // Bulk writes notify the detector up-front; a boost therefore applies
   // from the start of the bulk, which only makes the defense stronger.
   if (tel_ != nullptr) tel_->set_now(now_);
+  const bool traced_eval = tel_ != nullptr && detector_ != nullptr;
+  if (traced_eval) {
+    tel_->span_begin(telemetry::SpanKind::kDetectorEval, tel_id_, telemetry::kGlobalDomain, 0,
+                     count);
+  }
   feed_detector(la, count);
+  if (traced_eval) {
+    tel_->span_end(telemetry::SpanKind::kDetectorEval, tel_id_, telemetry::kGlobalDomain, 0,
+                   count);
+  }
   const wl::BulkOutcome out = scheme_->write_repeated(la, data, count, bank_);
   now_ += out.total;
   writes_issued_ += out.writes_applied;
   maybe_record_failure(pcm::write_latency(bank_.config(), data.cls));
   account_bulk(out);
-  note_writes(out.writes_applied, out.total, out.movements);
+  note_writes(out.writes_applied, out.total, out.movements,
+              pcm::write_latency(bank_.config(), data.cls));
   return out;
 }
 
@@ -134,14 +161,24 @@ wl::BulkOutcome MemoryController::write_batch(std::span<const La> las,
   // write lands; the record sequence matches the per-write loop exactly.
   if (tel_ != nullptr) tel_->set_now(now_);
   if (detector_) {
+    const bool traced_eval = tel_ != nullptr;
+    if (traced_eval) {
+      tel_->span_begin(telemetry::SpanKind::kDetectorEval, tel_id_, telemetry::kGlobalDomain, 0,
+                       las.size());
+    }
     for (const La la : las) feed_detector(la, 1);
+    if (traced_eval) {
+      tel_->span_end(telemetry::SpanKind::kDetectorEval, tel_id_, telemetry::kGlobalDomain, 0,
+                     las.size());
+    }
   }
   const wl::BulkOutcome out = scheme_->write_batch(las, data, bank_);
   now_ += out.total;
   writes_issued_ += out.writes_applied;
   maybe_record_failure(pcm::write_latency(bank_.config(), data.cls));
   account_bulk(out);
-  note_writes(out.writes_applied, out.total, out.movements);
+  note_writes(out.writes_applied, out.total, out.movements,
+              pcm::write_latency(bank_.config(), data.cls));
   return out;
 }
 
@@ -149,10 +186,19 @@ wl::BulkOutcome MemoryController::write_cycle(std::span<const La> pattern,
                                               const pcm::LineData& data, u64 count) {
   if (tel_ != nullptr) tel_->set_now(now_);
   if (detector_ && !pattern.empty()) {
+    const bool traced_eval = tel_ != nullptr;
+    if (traced_eval) {
+      tel_->span_begin(telemetry::SpanKind::kDetectorEval, tel_id_, telemetry::kGlobalDomain, 0,
+                       count);
+    }
     const u64 period = pattern.size();
     for (u64 i = 0; i < period; ++i) {
       const u64 hits = count / period + (i < count % period ? 1 : 0);
       if (hits > 0) feed_detector(pattern[i], hits);
+    }
+    if (traced_eval) {
+      tel_->span_end(telemetry::SpanKind::kDetectorEval, tel_id_, telemetry::kGlobalDomain, 0,
+                     count);
     }
   }
   const wl::BulkOutcome out = scheme_->write_cycle(pattern, data, count, bank_);
@@ -160,7 +206,8 @@ wl::BulkOutcome MemoryController::write_cycle(std::span<const La> pattern,
   writes_issued_ += out.writes_applied;
   maybe_record_failure(pcm::write_latency(bank_.config(), data.cls));
   account_bulk(out);
-  note_writes(out.writes_applied, out.total, out.movements);
+  note_writes(out.writes_applied, out.total, out.movements,
+              pcm::write_latency(bank_.config(), data.cls));
   return out;
 }
 

@@ -116,9 +116,15 @@ class MemoryController {
   void account_bulk(const wl::BulkOutcome& out);
 
   /// Telemetry bookkeeping shared by every write path: advances the
-  /// recorder clock, bumps the core counters, and takes a wear snapshot
-  /// when the configured write cadence is due. No-op without a recorder.
-  void note_writes(u64 writes, Ns total, u64 movements);
+  /// recorder clock, bumps the core counters, splits the observed bulk
+  /// latency into service vs. remap stall for the latency histograms,
+  /// and takes a wear snapshot when the configured write cadence is
+  /// due. `service` is the scheme-independent per-write data latency
+  /// (pcm::write_latency for the op's data class); everything above
+  /// `writes * service` is attributed to remap stalls, spread evenly
+  /// over `min(max(movements,1), writes)` stalled writes. No-op without
+  /// a recorder.
+  void note_writes(u64 writes, Ns total, u64 movements, Ns service);
 
   pcm::PcmBank bank_;
   std::unique_ptr<wl::WearLeveler> scheme_;

@@ -83,6 +83,27 @@ void write_counter_object(std::ostream& os, const CounterShard& shard) {
   os << "}";
 }
 
+/// Body of a "hist"/"hist_merged" record after the caller's leading
+/// fields: summary statistics plus the sparse [index, lower bound,
+/// count] bucket triplets (schema 2).
+void write_hist_fields(std::ostream& os, std::string_view name, const LogHistogram& h) {
+  os << ",\"name\":";
+  write_escaped(os, name);
+  os << ",\"count\":" << h.count() << ",\"sum\":" << h.sum() << ",\"min\":" << h.min()
+     << ",\"max\":" << h.max() << ",\"p50\":" << h.quantile(0.5)
+     << ",\"p99\":" << h.quantile(0.99) << ",\"p999\":" << h.quantile(0.999) << ",\"buckets\":[";
+  bool first = true;
+  const auto& buckets = h.buckets();
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    if (buckets[i] == 0) continue;
+    if (!first) os << ",";
+    first = false;
+    os << "[" << i << "," << LogHistogram::bucket_lo(static_cast<u32>(i)) << "," << buckets[i]
+       << "]";
+  }
+  os << "]}\n";
+}
+
 }  // namespace
 
 Collector::Collector(const TelemetryConfig& cfg) : cfg_(cfg) {}
@@ -106,11 +127,21 @@ void Collector::absorb(const RunMeta& meta, std::unique_ptr<Recorder> rec) {
   const EventRing& ring = rec->events();
   run.events.reserve(ring.size());
   for (std::size_t i = 0; i < ring.size(); ++i) run.events.push_back(ring.at(i));
+  // Span ends are stamped at op entry plus an intra-op latency offset,
+  // so emission order is not time order; a stable sort restores the
+  // timeline while preserving same-instant emission order (which is
+  // what the RemapTriggered → GapMoved attribution rule checks).
+  std::stable_sort(run.events.begin(), run.events.end(),
+                   [](const Event& x, const Event& y) { return x.time_ns < y.time_ns; });
   run.dropped = ring.dropped();
   run.snapshots = rec->snapshots();
   run.shard = rec->shard();
+  run.hist_write = rec->hist_write();
+  run.hist_stall = rec->hist_stall();
   const std::scoped_lock lock(mu_);
   merged_.merge(run.shard);
+  merged_write_.merge(run.hist_write);
+  merged_stall_.merge(run.hist_stall);
   runs_.push_back(std::move(run));
   pool_.push_back(std::move(rec));
 }
@@ -177,7 +208,18 @@ void Collector::write_jsonl(std::ostream& os) const {
                                                  : std::string_view("?"));
       os << ",\"domain\":";
       write_domain(os, e.domain);
-      os << ",\"a\":" << e.a << ",\"b\":" << e.b << "}\n";
+      os << ",\"a\":" << e.a << ",\"b\":" << e.b;
+      if (e.type == EventType::kSpanBegin || e.type == EventType::kSpanEnd) {
+        // Decoded span names ride along with the raw a/b payload so the
+        // Python tooling never needs the enum tables.
+        os << ",\"span\":";
+        write_escaped(os, to_string(static_cast<SpanKind>(e.a)));
+        if (static_cast<SpanKind>(e.a) == SpanKind::kExactReplayFallback) {
+          os << ",\"reason\":";
+          write_escaped(os, to_string(static_cast<FallbackReason>(e.b)));
+        }
+      }
+      os << "}\n";
     }
 
     for (const WearSnapshot& snap : run.snapshots) {
@@ -202,6 +244,11 @@ void Collector::write_jsonl(std::ostream& os) const {
       os << "]}\n";
     }
 
+    os << "{\"type\":\"hist\",\"entry\":" << run.meta.entry;
+    write_hist_fields(os, "write_ns", run.hist_write);
+    os << "{\"type\":\"hist\",\"entry\":" << run.meta.entry;
+    write_hist_fields(os, "stall_ns", run.hist_stall);
+
     os << "{\"type\":\"counters\",\"entry\":" << run.meta.entry << ",\"counters\":";
     write_counter_object(os, run.shard);
     os << "}\n";
@@ -210,6 +257,10 @@ void Collector::write_jsonl(std::ostream& os) const {
   os << "{\"type\":\"counters_merged\",\"counters\":";
   write_counter_object(os, merged_);
   os << "}\n";
+  os << "{\"type\":\"hist_merged\"";
+  write_hist_fields(os, "write_ns", merged_write_);
+  os << "{\"type\":\"hist_merged\"";
+  write_hist_fields(os, "stall_ns", merged_stall_);
 }
 
 bool Collector::write_file(const std::string& path) const {

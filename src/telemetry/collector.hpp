@@ -30,7 +30,10 @@ struct RunMeta {
 
 /// Version of the JSONL layout written by Collector::write_jsonl and
 /// embedded in BENCH JSONs; bump when records change incompatibly.
-inline constexpr int kTelemetrySchemaVersion = 1;
+/// Schema 2 (over 1): SpanBegin/SpanEnd events carry decoded "span" /
+/// "reason" names, and each run (plus the merged view) emits "hist"
+/// records with the stall-attribution latency histograms.
+inline constexpr int kTelemetrySchemaVersion = 2;
 
 class Collector {
  public:
@@ -49,8 +52,8 @@ class Collector {
   /// Merged value of a counter by registry name (0 when never bumped).
   [[nodiscard]] u64 merged(std::string_view name) const;
 
-  /// Serializes header, per-run records, events, snapshots and counters
-  /// as JSON Lines (telemetry_schema 1).
+  /// Serializes header, per-run records, events, snapshots, histograms
+  /// and counters as JSON Lines (telemetry_schema 2).
   void write_jsonl(std::ostream& os) const;
 
   /// write_jsonl to `path`; returns false (without throwing) when the
@@ -63,10 +66,15 @@ class Collector {
   struct RunRecord {
     RunMeta meta;
     std::vector<std::string> schemes;
-    std::vector<Event> events;  ///< oldest-to-newest retained events
+    /// Retained events, stable-sorted by timestamp at absorb: span ends
+    /// carry intra-op latency offsets, so ring (emission) order is not
+    /// time order; the stable sort keeps same-instant emission order.
+    std::vector<Event> events;
     u64 dropped{0};
     std::vector<WearSnapshot> snapshots;
     CounterShard shard;
+    LogHistogram hist_write;
+    LogHistogram hist_stall;
   };
 
   mutable std::mutex mu_;
@@ -74,6 +82,8 @@ class Collector {
   std::vector<std::unique_ptr<Recorder>> pool_;
   std::vector<RunRecord> runs_;
   CounterShard merged_;
+  LogHistogram merged_write_;
+  LogHistogram merged_stall_;
 };
 
 }  // namespace srbsg::telemetry

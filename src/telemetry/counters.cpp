@@ -64,6 +64,9 @@ const CoreCounters& CoreCounters::get() {
     c.probes = reg.register_slot("attack.probes", CounterKind::kCounter);
     c.epoch_jumps = reg.register_slot("wl.epoch_jumps", CounterKind::kCounter);
     c.wear_snapshots = reg.register_slot("tel.wear_snapshots", CounterKind::kCounter);
+    c.spans = reg.register_slot("tel.spans", CounterKind::kCounter);
+    c.epoch_fallbacks = reg.register_slot("wl.epoch_fallbacks", CounterKind::kCounter);
+    c.stall_ns = reg.register_slot("ctl.stall_ns", CounterKind::kCounter);
     return c;
   }();
   return core;

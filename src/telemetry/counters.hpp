@@ -70,6 +70,9 @@ struct CoreCounters {
   u32 probes;           ///< ProbeClassified events emitted
   u32 epoch_jumps;      ///< EpochApplied events emitted
   u32 wear_snapshots;   ///< WearSnapshot records taken
+  u32 spans;            ///< SpanBegin events emitted
+  u32 epoch_fallbacks;  ///< ExactReplayFallback spans opened
+  u32 stall_ns;         ///< remap-stall share of ctl.service_ns
 
   [[nodiscard]] static const CoreCounters& get();
 };

@@ -24,6 +24,46 @@ std::string_view to_string(EventType type) {
       return "ProbeClassified";
     case EventType::kEpochApplied:
       return "EpochApplied";
+    case EventType::kSpanBegin:
+      return "SpanBegin";
+    case EventType::kSpanEnd:
+      return "SpanEnd";
+  }
+  return "?";
+}
+
+std::string_view to_string(SpanKind kind) {
+  switch (kind) {
+    case SpanKind::kRemapEpoch:
+      return "RemapEpoch";
+    case SpanKind::kBatchChunk:
+      return "BatchChunk";
+    case SpanKind::kEpochProjection:
+      return "EpochProjection";
+    case SpanKind::kExactReplayFallback:
+      return "ExactReplayFallback";
+    case SpanKind::kDetectorEval:
+      return "DetectorEval";
+    case SpanKind::kChannelSymbol:
+      return "ChannelSymbol";
+  }
+  return "?";
+}
+
+std::string_view to_string(FallbackReason reason) {
+  switch (reason) {
+    case FallbackReason::kNone:
+      return "None";
+    case FallbackReason::kNearFailure:
+      return "NearFailure";
+    case FallbackReason::kPsiChange:
+      return "PsiChange";
+    case FallbackReason::kNonUniformContent:
+      return "NonUniformContent";
+    case FallbackReason::kNonPeriodicPattern:
+      return "NonPeriodicPattern";
+    case FallbackReason::kCacheMiss:
+      return "CacheMiss";
   }
   return "?";
 }
@@ -77,6 +117,14 @@ void Recorder::emit_at(u64 time_ns, EventType type, u16 scheme, u32 domain, u64 
     case EventType::kEpochApplied:
       shard_.add(core.epoch_jumps, 1);
       break;
+    case EventType::kSpanBegin:
+      shard_.add(core.spans, 1);
+      if (a == static_cast<u64>(SpanKind::kExactReplayFallback)) {
+        shard_.add(core.epoch_fallbacks, 1);
+      }
+      break;
+    case EventType::kSpanEnd:
+      break;
   }
 }
 
@@ -108,6 +156,8 @@ void Recorder::reset() {
   now_ = 0;
   ring_.clear();
   shard_.clear();
+  hist_write_.clear();
+  hist_stall_.clear();
   schemes_.clear();
   snapshots_.clear();
   next_snapshot_ = cfg_.snapshot_interval;

@@ -19,6 +19,7 @@
 #include "common/stats.hpp"
 #include "common/types.hpp"
 #include "telemetry/counters.hpp"
+#include "telemetry/histogram.hpp"
 
 namespace srbsg::telemetry {
 
@@ -31,9 +32,38 @@ enum class EventType : u16 {
   kBatchChunkApplied = 6,  ///< batch engine applied a window (a=start, b=writes)
   kProbeClassified = 7,    ///< RTA probe classified a latency sample (a=bit, b=stall ns)
   kEpochApplied = 8,       ///< epoch engine applied an analytic jump (a=writes, b=remap steps)
+  kSpanBegin = 9,          ///< span opened (a=SpanKind, b=kind-specific detail)
+  kSpanEnd = 10,           ///< span closed (a=SpanKind, b=kind-specific detail)
 };
 
 [[nodiscard]] std::string_view to_string(EventType type);
+
+/// What a begin/end span pair brackets. Spans are stamped on the
+/// controller virtual clock plus the intra-operation latency offset, so
+/// their durations are deterministic simulated time, not wall clock.
+enum class SpanKind : u16 {
+  kRemapEpoch = 1,           ///< one analytic epoch jump (begin b=writes, end b=steps)
+  kBatchChunk = 2,           ///< one windowed-engine chunk (begin b=writes)
+  kEpochProjection = 3,      ///< epoch-tier scan/projection proof (b=writes remaining)
+  kExactReplayFallback = 4,  ///< epoch tier bailed to exact replay (b=FallbackReason)
+  kDetectorEval = 5,         ///< controller fed the attack detector (b=writes observed)
+  kChannelSymbol = 6,  ///< one covert-channel symbol (begin b=(writes<<1)|bit, end b=observed Y)
+};
+
+[[nodiscard]] std::string_view to_string(SpanKind kind);
+
+/// Why the epoch fast-forward tier bailed out to exact replay; carried
+/// in the detail field of every kExactReplayFallback span.
+enum class FallbackReason : u16 {
+  kNone = 0,
+  kNearFailure = 1,         ///< a line would cross its endurance limit inside the jump
+  kPsiChange = 2,           ///< a remap interval shrank below a carried counter
+  kNonUniformContent = 3,   ///< movement slots hold mixed content (scan failed)
+  kNonPeriodicPattern = 4,  ///< pattern period too long for any windowed/epoch engine
+  kCacheMiss = 5,           ///< cross-call budget cache was cold (fresh projection scan)
+};
+
+[[nodiscard]] std::string_view to_string(FallbackReason reason);
 
 /// Domain id used for events that concern the whole bank rather than one
 /// region/sub-region.
@@ -151,6 +181,28 @@ class Recorder {
   }
   void emit_at(u64 time_ns, EventType type, u16 scheme, u32 domain, u64 a, u64 b);
 
+  /// Span tracing: begin/end pairs stamped at op-entry time plus the
+  /// caller's accumulated intra-op latency offset, so durations are
+  /// simulated time. Every begin must be matched by an end on every
+  /// path (the a11-span analyzer check enforces post-domination).
+  void span_begin(SpanKind kind, u16 scheme, u32 domain, u64 offset_ns, u64 detail = 0) {
+    emit_at(now_ + offset_ns, EventType::kSpanBegin, scheme, domain,
+            static_cast<u64>(kind), detail);
+  }
+  void span_end(SpanKind kind, u16 scheme, u32 domain, u64 offset_ns, u64 detail = 0) {
+    emit_at(now_ + offset_ns, EventType::kSpanEnd, scheme, domain,
+            static_cast<u64>(kind), detail);
+  }
+
+  /// Stall-attribution histograms (DESIGN.md §16): per-write observed
+  /// latency and the remap-stall share of it, fed by the controller's
+  /// deterministic latency split. Bulk paths record whole chunks of
+  /// identical values in O(1).
+  void record_write_ns(u64 v, u64 weight = 1) { hist_write_.record(v, weight); }
+  void record_stall_ns(u64 v, u64 weight = 1) { hist_stall_.record(v, weight); }
+  [[nodiscard]] const LogHistogram& hist_write() const { return hist_write_; }
+  [[nodiscard]] const LogHistogram& hist_stall() const { return hist_stall_; }
+
   /// Hot-path counter increments (plain array adds).
   void count(u32 slot, u64 n = 1) { shard_.add(slot, n); }
   void gauge_max(u32 slot, u64 v) { shard_.gauge_max(slot, v); }
@@ -177,6 +229,8 @@ class Recorder {
   u64 now_{0};
   EventRing ring_;
   CounterShard shard_;
+  LogHistogram hist_write_;
+  LogHistogram hist_stall_;
   std::vector<std::string> schemes_;
   std::vector<WearSnapshot> snapshots_;
   u64 next_snapshot_{0};

@@ -113,12 +113,15 @@ u64 cap_chunk_at_failure(std::span<const LineSched> lines, u64 start, u64 chunk)
 
 Ns apply_chunk(std::span<LineSched> lines, const pcm::LineData& data, u64 start, u64 chunk,
                pcm::PcmBank& bank) {
-  return apply_chunk(lines, data, start, chunk, bank, nullptr, 0);
+  return apply_chunk(lines, data, start, chunk, bank, nullptr, 0, 0);
 }
 
 Ns apply_chunk(std::span<LineSched> lines, const pcm::LineData& data, u64 start, u64 chunk,
-               pcm::PcmBank& bank, telemetry::Recorder* tel, u16 scheme) {
-  if (tel != nullptr && chunk > 0) {
+               pcm::PcmBank& bank, telemetry::Recorder* tel, u16 scheme, u64 base_ns) {
+  const bool traced = tel != nullptr && chunk > 0;
+  if (traced) {
+    tel->span_begin(telemetry::SpanKind::kBatchChunk, scheme, telemetry::kGlobalDomain,
+                    base_ns, chunk);
     tel->emit(telemetry::EventType::kBatchChunkApplied, scheme, telemetry::kGlobalDomain, start,
               chunk);
   }
@@ -128,6 +131,10 @@ Ns apply_chunk(std::span<LineSched> lines, const pcm::LineData& data, u64 start,
     if (h == 0) continue;
     total += bank.bulk_write(ls.pa, data, h);
     ls.remaining = ls.remaining > h ? ls.remaining - h : 0;
+  }
+  if (traced) {
+    tel->span_end(telemetry::SpanKind::kBatchChunk, scheme, telemetry::kGlobalDomain,
+                  base_ns + total.value(), chunk);
   }
   return total;
 }

@@ -114,11 +114,13 @@ template <typename T>
                              u64 chunk, pcm::PcmBank& bank);
 
 /// Telemetry-aware variant: records a BatchChunkApplied event (a=phase,
-/// b=writes in the window) when `tel` is non-null before applying. The
-/// plain overload forwards here with a null recorder.
+/// b=writes in the window) when `tel` is non-null before applying, and
+/// brackets the chunk with a BatchChunk span over its latency window —
+/// `base_ns` is the caller's accumulated intra-op latency at chunk
+/// entry. The plain overload forwards here with a null recorder.
 [[nodiscard]] Ns apply_chunk(std::span<LineSched> lines, const pcm::LineData& data, u64 start,
                              u64 chunk, pcm::PcmBank& bank, telemetry::Recorder* tel,
-                             u16 scheme);
+                             u16 scheme, u64 base_ns);
 
 /// Shared write_batch skeleton: walk maximal runs of identical addresses,
 /// sending long runs through the scheme's write_cycle() fast path and

@@ -66,9 +66,40 @@ void CallCache::save(const pcm::PcmBank& bank, const HeadroomBudget& budget) {
   budget_ = budget.remaining();
 }
 
-void emit_jump(telemetry::Recorder* tel, u16 scheme, u32 domain, u64 writes, u64 steps) {
+void emit_jump(telemetry::Recorder* tel, u16 scheme, u32 domain, u64 writes, u64 steps,
+               u64 t0_ns, u64 t1_ns) {
   if (tel != nullptr) {
-    tel->emit(telemetry::EventType::kEpochApplied, scheme, domain, writes, steps);
+    tel->span_begin(telemetry::SpanKind::kRemapEpoch, scheme, domain, t0_ns, writes);
+    tel->emit_at(tel->now().value() + t0_ns, telemetry::EventType::kEpochApplied, scheme,
+                 domain, writes, steps);
+    tel->span_end(telemetry::SpanKind::kRemapEpoch, scheme, domain, t1_ns, steps);
+  }
+}
+
+void emit_projection(telemetry::Recorder* tel, u16 scheme, u32 domain, u64 offset_ns,
+                     u64 writes, telemetry::FallbackReason reason) {
+  if (tel != nullptr) {
+    // Zero-duration: the scan/projection proof is free in simulated time
+    // (it models controller-side bookkeeping, not a bank access).
+    tel->span_begin(telemetry::SpanKind::kEpochProjection, scheme, domain, offset_ns, writes);
+    tel->span_end(telemetry::SpanKind::kEpochProjection, scheme, domain, offset_ns,
+                  static_cast<u64>(reason));
+  }
+}
+
+void span_fallback_begin(telemetry::Recorder* tel, u16 scheme, u64 offset_ns,
+                         telemetry::FallbackReason reason) {
+  if (tel != nullptr) {
+    tel->span_begin(telemetry::SpanKind::kExactReplayFallback, scheme,
+                    telemetry::kGlobalDomain, offset_ns, static_cast<u64>(reason));
+  }
+}
+
+void span_fallback_end(telemetry::Recorder* tel, u16 scheme, u64 offset_ns,
+                       telemetry::FallbackReason reason) {
+  if (tel != nullptr) {
+    tel->span_end(telemetry::SpanKind::kExactReplayFallback, scheme,
+                  telemetry::kGlobalDomain, offset_ns, static_cast<u64>(reason));
   }
 }
 

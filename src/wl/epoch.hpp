@@ -28,10 +28,7 @@
 
 #include "common/types.hpp"
 #include "pcm/bank.hpp"
-
-namespace srbsg::telemetry {
-class Recorder;
-}
+#include "telemetry/telemetry.hpp"
 
 namespace srbsg::wl::epoch {
 
@@ -101,7 +98,26 @@ class CallCache {
 };
 
 /// Emit one kEpochApplied event (a = writes jumped, b = remap steps
-/// folded into the jump). Null-recorder safe, like every scheme emission.
-void emit_jump(telemetry::Recorder* tel, u16 scheme, u32 domain, u64 writes, u64 steps);
+/// folded into the jump) bracketed by a RemapEpoch span over the jump's
+/// intra-op latency window [t0_ns, t1_ns] (offsets from op entry).
+/// Null-recorder safe, like every scheme emission.
+void emit_jump(telemetry::Recorder* tel, u16 scheme, u32 domain, u64 writes, u64 steps,
+               u64 t0_ns, u64 t1_ns);
+
+/// Emit a zero-duration EpochProjection span at latency offset
+/// `offset_ns`: the epoch tier just (re)proved its analytic projection
+/// over the remaining `writes`. `reason` is kNone for a scheduled scan,
+/// kCacheMiss when a cold cross-call cache forced it.
+void emit_projection(telemetry::Recorder* tel, u16 scheme, u32 domain, u64 offset_ns,
+                     u64 writes, telemetry::FallbackReason reason);
+
+/// ExactReplayFallback span delimiters: the epoch tier hands the rest of
+/// the call to the exact windowed/reference engine for `reason`. Both
+/// take intra-op latency offsets; schemes must call them in matched
+/// pairs on every path (the a11-span check enforces post-domination).
+void span_fallback_begin(telemetry::Recorder* tel, u16 scheme, u64 offset_ns,
+                         telemetry::FallbackReason reason);
+void span_fallback_end(telemetry::Recorder* tel, u16 scheme, u64 offset_ns,
+                       telemetry::FallbackReason reason);
 
 }  // namespace srbsg::wl::epoch

@@ -112,6 +112,14 @@ BulkOutcome MultiWaySecurityRefresh::write_cycle(std::span<const La> pattern,
     return WearLeveler::write_cycle(pattern, data, count, bank);
   }
   if (period > batch::kPatternFallbackFactor * effective_interval()) {
+    if (engine_tier() == EngineTier::kEpoch) {
+      epoch::span_fallback_begin(tel_, tel_id_, 0,
+                                 telemetry::FallbackReason::kNonPeriodicPattern);
+      const BulkOutcome ref = WearLeveler::write_cycle(pattern, data, count, bank);
+      epoch::span_fallback_end(tel_, tel_id_, ref.total.value(),
+                               telemetry::FallbackReason::kNonPeriodicPattern);
+      return ref;
+    }
     return WearLeveler::write_cycle(pattern, data, count, bank);
   }
   // The epoch engine opens with an O(physical lines) uniform-content
@@ -159,7 +167,8 @@ void MultiWaySecurityRefresh::write_cycle_windowed(std::span<const La> pattern,
       chunk = std::min(chunk, d.hits.until_nth(phase, deficit));
     }
     chunk = batch::cap_chunk_at_failure(lines, phase, chunk);
-    out.total += batch::apply_chunk(lines, data, phase, chunk, bank, tel_, tel_id_);
+    out.total += batch::apply_chunk(lines, data, phase, chunk, bank, tel_, tel_id_,
+                                    out.total.value());
     applied += chunk;
     const u64 chunk_phase = phase;
     for (const auto& d : doms) counter_[d.key] += d.hits.hits_in(phase, chunk);
@@ -204,8 +213,10 @@ BulkOutcome MultiWaySecurityRefresh::write_cycle_epoch(std::span<const La> patte
   pcm::LineData uniform{};
   bool scanned = false;
 
-  const auto windowed_tail = [&] {
+  const auto windowed_tail = [&](telemetry::FallbackReason reason) {
+    epoch::span_fallback_begin(tel_, tel_id_, out.total.value(), reason);
     write_cycle_windowed(pattern, data, count - out.writes_applied, phase, bank, out);
+    epoch::span_fallback_end(tel_, tel_id_, out.total.value(), reason);
   };
 
   while (out.writes_applied < count && !bank.has_failure()) {
@@ -238,18 +249,20 @@ BulkOutcome MultiWaySecurityRefresh::write_cycle_epoch(std::span<const La> patte
     if (!scanned) {
       const epoch::ScanResult scan = epoch::scan_uniform(bank, cfg_.lines, slots);
       if (!scan.uniform) {
-        windowed_tail();
+        windowed_tail(telemetry::FallbackReason::kNonUniformContent);
         return out;
       }
       uniform = scan.content;
       budget.seed(scan.min_headroom);
+      epoch::emit_projection(tel_, tel_id_, telemetry::kGlobalDomain, out.total.value(),
+                             count - out.writes_applied, telemetry::FallbackReason::kNone);
       scanned = true;
     }
     const u64 iv = effective_interval();
     bool overrun = false;  // interval shrank below a carried counter
     for (const auto& d : doms) overrun = overrun || counter_[d.key] >= iv;
     if (overrun) {
-      windowed_tail();
+      windowed_tail(telemetry::FallbackReason::kPsiChange);
       return out;
     }
     const u64 remaining = count - out.writes_applied;
@@ -284,7 +297,7 @@ BulkOutcome MultiWaySecurityRefresh::write_cycle_epoch(std::span<const La> patte
       lfail = std::min(lfail, ls.hits.until_nth(phase, ls.remaining));
     }
     if (lfail <= jump) {
-      windowed_tail();
+      windowed_tail(telemetry::FallbackReason::kNearFailure);
       return out;
     }
     // Movement-slot wear: aggregated sweeps stay inside one round per
@@ -293,12 +306,16 @@ BulkOutcome MultiWaySecurityRefresh::write_cycle_epoch(std::span<const La> patte
     if (!budget.spend(2)) {
       const epoch::ScanResult scan = epoch::scan_uniform(bank, cfg_.lines, slots);
       if (!scan.uniform || !(budget.seed(scan.min_headroom), budget.spend(2))) {
-        windowed_tail();  // genuinely near a movement-slot failure
+        // genuinely near a movement-slot failure
+        windowed_tail(telemetry::FallbackReason::kNearFailure);
         return out;
       }
       uniform = scan.content;
+      epoch::emit_projection(tel_, tel_id_, telemetry::kGlobalDomain, out.total.value(),
+                             count - out.writes_applied, telemetry::FallbackReason::kNone);
     }
 
+    const u64 jump_t0 = out.total.value();
     // Pattern wear/data: one failure-checked bulk write per distinct PA.
     for (auto& ls : lines) {
       const u64 h = ls.hits.hits_in(phase, jump);
@@ -334,7 +351,8 @@ BulkOutcome MultiWaySecurityRefresh::write_cycle_epoch(std::span<const La> patte
     }
     out.writes_applied += jump;
     phase = (phase + jump) % period;
-    epoch::emit_jump(tel_, tel_id_, telemetry::kGlobalDomain, jump, agg + (replay ? 1 : 0));
+    epoch::emit_jump(tel_, tel_id_, telemetry::kGlobalDomain, jump, agg + (replay ? 1 : 0),
+                     jump_t0, out.total.value());
     if (replay) {
       counter_[q_b] = 0;
       const u64 before = out.movements;

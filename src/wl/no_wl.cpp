@@ -64,7 +64,8 @@ BulkOutcome NoWearLeveling::write_cycle(std::span<const La> pattern, const pcm::
   while (out.writes_applied < count && !bank.has_failure()) {
     const u64 chunk =
         batch::cap_chunk_at_failure(lines, phase, count - out.writes_applied);
-    out.total += batch::apply_chunk(lines, data, phase, chunk, bank, tel_, tel_id_);
+    out.total += batch::apply_chunk(lines, data, phase, chunk, bank, tel_, tel_id_,
+                                    out.total.value());
     out.writes_applied += chunk;
     phase = (phase + chunk) % period;
   }

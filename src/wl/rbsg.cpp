@@ -144,6 +144,14 @@ BulkOutcome RegionStartGap::write_cycle(std::span<const La> pattern, const pcm::
     return WearLeveler::write_cycle(pattern, data, count, bank);
   }
   if (pattern.size() > batch::kPatternFallbackFactor * effective_interval()) {
+    if (engine_tier() == EngineTier::kEpoch) {
+      epoch::span_fallback_begin(tel_, tel_id_, 0,
+                                 telemetry::FallbackReason::kNonPeriodicPattern);
+      const BulkOutcome ref = WearLeveler::write_cycle(pattern, data, count, bank);
+      epoch::span_fallback_end(tel_, tel_id_, ref.total.value(),
+                               telemetry::FallbackReason::kNonPeriodicPattern);
+      return ref;
+    }
     return WearLeveler::write_cycle(pattern, data, count, bank);
   }
   // The epoch engine opens with an O(physical lines) uniform-content
@@ -194,7 +202,8 @@ void RegionStartGap::write_cycle_windowed(std::span<const La> pattern,
       chunk = std::min(chunk, d.hits.until_nth(phase, deficit));
     }
     chunk = batch::cap_chunk_at_failure(lines, phase, chunk);
-    out.total += batch::apply_chunk(lines, data, phase, chunk, bank, tel_, tel_id_);
+    out.total += batch::apply_chunk(lines, data, phase, chunk, bank, tel_, tel_id_,
+                                    out.total.value());
     applied += chunk;
     const u64 chunk_phase = phase;
     for (const auto& d : doms) counter_[d.key] += d.hits.hits_in(phase, chunk);
@@ -246,8 +255,10 @@ BulkOutcome RegionStartGap::write_cycle_epoch(std::span<const La> pattern,
   pcm::LineData uniform{};
   bool scanned = false;
 
-  const auto windowed_tail = [&] {
+  const auto windowed_tail = [&](telemetry::FallbackReason reason) {
+    epoch::span_fallback_begin(tel_, tel_id_, out.total.value(), reason);
     write_cycle_windowed(pattern, data, count - out.writes_applied, phase, bank, out);
+    epoch::span_fallback_end(tel_, tel_id_, out.total.value(), reason);
   };
   const auto slot_headroom = [&bank](u64 s) {
     const u64 limit = bank.line_endurance(Pa{s});
@@ -275,6 +286,8 @@ BulkOutcome RegionStartGap::write_cycle_epoch(std::span<const La> pattern,
     uniform = scan.content;
     budget.seed(scan.min_headroom);
     for (const auto& d : doms) fold_headroom(region_base(d.key) + sg_[d.key].gap());
+    epoch::emit_projection(tel_, tel_id_, telemetry::kGlobalDomain, out.total.value(),
+                           count - out.writes_applied, telemetry::FallbackReason::kNone);
     return true;
   };
 
@@ -304,7 +317,7 @@ BulkOutcome RegionStartGap::write_cycle_epoch(std::span<const La> pattern,
     }
     if (!scanned) {
       if (!rescan()) {
-        windowed_tail();
+        windowed_tail(telemetry::FallbackReason::kNonUniformContent);
         return out;
       }
       scanned = true;
@@ -313,7 +326,7 @@ BulkOutcome RegionStartGap::write_cycle_epoch(std::span<const La> pattern,
     bool overrun = false;
     for (const auto& d : doms) overrun = overrun || counter_[d.key] >= iv;
     if (overrun) {  // interval shrank below a carried counter
-      windowed_tail();
+      windowed_tail(telemetry::FallbackReason::kPsiChange);
       return out;
     }
     const u64 remaining = count - out.writes_applied;
@@ -346,18 +359,20 @@ BulkOutcome RegionStartGap::write_cycle_epoch(std::span<const La> pattern,
       lfail = std::min(lfail, ls.hits.until_nth(phase, ls.remaining));
     }
     if (lfail <= jump) {
-      windowed_tail();
+      windowed_tail(telemetry::FallbackReason::kNearFailure);
       return out;
     }
     // Aggregated movements wear each movement slot at most once per jump
     // (each region's targets are one contiguous descending range).
     if (!budget.spend(1)) {
       if (!rescan() || !budget.spend(1)) {
-        windowed_tail();  // genuinely near a movement-slot failure
+        // genuinely near a movement-slot failure
+        windowed_tail(telemetry::FallbackReason::kNearFailure);
         return out;
       }
     }
 
+    const u64 jump_t0 = out.total.value();
     // Pattern wear/data: one failure-checked bulk write per distinct PA.
     for (auto& ls : lines) {
       const u64 h = ls.hits.hits_in(phase, jump);
@@ -386,7 +401,7 @@ BulkOutcome RegionStartGap::write_cycle_epoch(std::span<const La> pattern,
     out.writes_applied += jump;
     phase = (phase + jump) % period;
     epoch::emit_jump(tel_, tel_id_, telemetry::kGlobalDomain, jump,
-                     steps + (replay_dom != nullptr ? 1 : 0));
+                     steps + (replay_dom != nullptr ? 1 : 0), jump_t0, out.total.value());
     if (replay_dom != nullptr) {
       counter_[replay_dom->key] = 0;
       out.total += do_movement(replay_dom->key, bank);

@@ -156,6 +156,14 @@ BulkOutcome SecurityRbsg::write_cycle(std::span<const La> pattern, const pcm::Li
   }
   const u64 min_iv = std::min(effective_inner_interval(), effective_outer_interval());
   if (period > batch::kPatternFallbackFactor * min_iv) {
+    if (engine_tier() == EngineTier::kEpoch) {
+      epoch::span_fallback_begin(tel_, tel_id_, 0,
+                                 telemetry::FallbackReason::kNonPeriodicPattern);
+      const BulkOutcome ref = WearLeveler::write_cycle(pattern, data, count, bank);
+      epoch::span_fallback_end(tel_, tel_id_, ref.total.value(),
+                               telemetry::FallbackReason::kNonPeriodicPattern);
+      return ref;
+    }
     return WearLeveler::write_cycle(pattern, data, count, bank);
   }
   // The epoch engine's O(physical lines) headroom scan is amortized
@@ -212,7 +220,8 @@ void SecurityRbsg::write_cycle_windowed(std::span<const La> pattern, const pcm::
       chunk = std::min(chunk, d.hits.until_nth(phase, deficit));
     }
     chunk = batch::cap_chunk_at_failure(lines, phase, chunk);
-    out.total += batch::apply_chunk(lines, data, phase, chunk, bank, tel_, tel_id_);
+    out.total += batch::apply_chunk(lines, data, phase, chunk, bank, tel_, tel_id_,
+                                    out.total.value());
     applied += chunk;
     const u64 chunk_phase = phase;
     for (const auto& d : doms) inner_counter_[d.key] += d.hits.hits_in(phase, chunk);
@@ -273,8 +282,10 @@ BulkOutcome SecurityRbsg::write_cycle_epoch(std::span<const La> pattern,
   epoch::HeadroomBudget budget;
   bool budgeted = ecache_.restore(bank, budget);
 
-  const auto windowed_tail = [&] {
+  const auto windowed_tail = [&](telemetry::FallbackReason reason) {
+    epoch::span_fallback_begin(tel_, tel_id_, out.total.value(), reason);
     write_cycle_windowed(pattern, data, count - out.writes_applied, phase, bank, out);
+    epoch::span_fallback_end(tel_, tel_id_, out.total.value(), reason);
   };
 
   const auto fold_headroom = [&](u64 s) {
@@ -287,8 +298,10 @@ BulkOutcome SecurityRbsg::write_cycle_epoch(std::span<const La> pattern,
   // track exactly: movement slots, gap holes and the spare all take
   // movement wear. Never fails — a polluted or near-worn bank just gets
   // a small budget and tails sooner.
-  const auto rescan = [&] {
+  const auto rescan = [&](telemetry::FallbackReason reason) {
     budget.seed(epoch::min_headroom_excluding(bank, physical_lines(), pat_slots));
+    epoch::emit_projection(tel_, tel_id_, telemetry::kGlobalDomain, out.total.value(),
+                           count - out.writes_applied, reason);
   };
 
   while (out.writes_applied < count && !bank.has_failure()) {
@@ -318,7 +331,8 @@ BulkOutcome SecurityRbsg::write_cycle_epoch(std::span<const La> pattern,
       rebuild = false;
     }
     if (!budgeted) {
-      rescan();
+      // A cold cross-call cache forces the fresh headroom projection.
+      rescan(telemetry::FallbackReason::kCacheMiss);
       budgeted = true;
     }
     const u64 iv_in = effective_inner_interval();
@@ -326,7 +340,7 @@ BulkOutcome SecurityRbsg::write_cycle_epoch(std::span<const La> pattern,
     bool overrun = outer_counter_ >= iv_out;  // interval shrank below a carried counter
     for (const auto& d : doms) overrun = overrun || inner_counter_[d.key] >= iv_in;
     if (overrun) {
-      windowed_tail();
+      windowed_tail(telemetry::FallbackReason::kPsiChange);
       return out;
     }
     const u64 remaining = count - out.writes_applied;
@@ -363,6 +377,7 @@ BulkOutcome SecurityRbsg::write_cycle_epoch(std::span<const La> pattern,
       lfail = std::min(lfail, ls.hits.until_nth(phase, ls.remaining));
     }
 
+    const u64 jump_t0 = out.total.value();
     u64 done = 0;
     u64 steps = 0;
     bool stop = false;
@@ -381,7 +396,7 @@ BulkOutcome SecurityRbsg::write_cycle_epoch(std::span<const La> pattern,
       // gap-shift wear (contiguous descending ranges, disjoint from any
       // replayed movement's target) plus one outer-movement destination.
       if (!budget.spend(2)) {
-        rescan();
+        rescan(telemetry::FallbackReason::kNone);
         if (!budget.spend(2)) {
           tail = true;  // genuinely near a movement-slot failure
           break;
@@ -497,10 +512,13 @@ BulkOutcome SecurityRbsg::write_cycle_epoch(std::span<const La> pattern,
     }
     out.writes_applied += done;
     if (done > 0) {
-      epoch::emit_jump(tel_, tel_id_, telemetry::kGlobalDomain, done, steps);
+      epoch::emit_jump(tel_, tel_id_, telemetry::kGlobalDomain, done, steps, jump_t0,
+                       out.total.value());
     }
     if (tail) {
-      windowed_tail();
+      // Both tail sites bail because a line is about to cross its
+      // endurance limit (pattern line or movement slot).
+      windowed_tail(telemetry::FallbackReason::kNearFailure);
       return out;
     }
   }

@@ -97,6 +97,14 @@ BulkOutcome SecurityRefresh::write_cycle(std::span<const La> pattern, const pcm:
     return WearLeveler::write_cycle(pattern, data, count, bank);
   }
   if (pattern.size() > batch::kPatternFallbackFactor * effective_interval()) {
+    if (engine_tier() == EngineTier::kEpoch) {
+      epoch::span_fallback_begin(tel_, tel_id_, 0,
+                                 telemetry::FallbackReason::kNonPeriodicPattern);
+      const BulkOutcome ref = WearLeveler::write_cycle(pattern, data, count, bank);
+      epoch::span_fallback_end(tel_, tel_id_, ref.total.value(),
+                               telemetry::FallbackReason::kNonPeriodicPattern);
+      return ref;
+    }
     return WearLeveler::write_cycle(pattern, data, count, bank);
   }
   // The epoch engine opens with an O(physical lines) uniform-content
@@ -134,7 +142,8 @@ void SecurityRefresh::write_cycle_windowed(std::span<const La> pattern,
     const u64 deficit = counter_ >= iv ? 1 : iv - counter_;
     u64 chunk = std::min(count - applied, deficit);
     chunk = batch::cap_chunk_at_failure(lines, phase, chunk);
-    out.total += batch::apply_chunk(lines, data, phase, chunk, bank, tel_, tel_id_);
+    out.total += batch::apply_chunk(lines, data, phase, chunk, bank, tel_, tel_id_,
+                                    out.total.value());
     applied += chunk;
     counter_ += chunk;
     phase = (phase + chunk) % period;
@@ -172,8 +181,10 @@ BulkOutcome SecurityRefresh::write_cycle_epoch(std::span<const La> pattern,
   pcm::LineData uniform{};
   bool scanned = false;
 
-  const auto windowed_tail = [&] {
+  const auto windowed_tail = [&](telemetry::FallbackReason reason) {
+    epoch::span_fallback_begin(tel_, tel_id_, out.total.value(), reason);
     write_cycle_windowed(pattern, data, count - out.writes_applied, phase, bank, out);
+    epoch::span_fallback_end(tel_, tel_id_, out.total.value(), reason);
   };
 
   while (out.writes_applied < count && !bank.has_failure()) {
@@ -203,16 +214,18 @@ BulkOutcome SecurityRefresh::write_cycle_epoch(std::span<const La> pattern,
     if (!scanned) {
       const epoch::ScanResult scan = epoch::scan_uniform(bank, cfg_.lines, slots);
       if (!scan.uniform) {
-        windowed_tail();
+        windowed_tail(telemetry::FallbackReason::kNonUniformContent);
         return out;
       }
       uniform = scan.content;
       budget.seed(scan.min_headroom);
+      epoch::emit_projection(tel_, tel_id_, telemetry::kGlobalDomain, out.total.value(),
+                             count - out.writes_applied, telemetry::FallbackReason::kNone);
       scanned = true;
     }
     const u64 iv = effective_interval();
     if (counter_ >= iv) {  // interval shrank below the carried counter
-      windowed_tail();
+      windowed_tail(telemetry::FallbackReason::kPsiChange);
       return out;
     }
     const u64 remaining = count - out.writes_applied;
@@ -247,7 +260,7 @@ BulkOutcome SecurityRefresh::write_cycle_epoch(std::span<const La> pattern,
       lfail = std::min(lfail, ls.hits.until_nth(phase, ls.remaining));
     }
     if (lfail <= jump) {
-      windowed_tail();
+      windowed_tail(telemetry::FallbackReason::kNearFailure);
       return out;
     }
     // Movement-slot wear: one round touches each slot at most once, so the
@@ -257,12 +270,16 @@ BulkOutcome SecurityRefresh::write_cycle_epoch(std::span<const La> pattern,
     if (steps > 0 && !budget.spend(2)) {
       const epoch::ScanResult scan = epoch::scan_uniform(bank, cfg_.lines, slots);
       if (!scan.uniform || !(budget.seed(scan.min_headroom), budget.spend(2))) {
-        windowed_tail();  // genuinely near a movement-slot failure
+        // genuinely near a movement-slot failure
+        windowed_tail(telemetry::FallbackReason::kNearFailure);
         return out;
       }
       uniform = scan.content;
+      epoch::emit_projection(tel_, tel_id_, telemetry::kGlobalDomain, out.total.value(),
+                             count - out.writes_applied, telemetry::FallbackReason::kNone);
     }
 
+    const u64 jump_t0 = out.total.value();
     // Pattern wear/data: one failure-checked bulk write per distinct PA.
     for (auto& ls : lines) {
       const u64 h = ls.hits.hits_in(phase, jump);
@@ -282,7 +299,8 @@ BulkOutcome SecurityRefresh::write_cycle_epoch(std::span<const La> pattern,
     }
     out.writes_applied += jump;
     phase = (phase + jump) % period;
-    epoch::emit_jump(tel_, tel_id_, telemetry::kGlobalDomain, jump, steps);
+    epoch::emit_jump(tel_, tel_id_, telemetry::kGlobalDomain, jump, steps, jump_t0,
+                     out.total.value());
     if (replay) {
       counter_ = 0;
       const u64 before = out.movements;

@@ -156,6 +156,14 @@ BulkOutcome TwoLevelSecurityRefresh::write_cycle(std::span<const La> pattern,
   }
   const u64 min_iv = std::min(effective_inner_interval(), effective_outer_interval());
   if (period > batch::kPatternFallbackFactor * min_iv) {
+    if (engine_tier() == EngineTier::kEpoch) {
+      epoch::span_fallback_begin(tel_, tel_id_, 0,
+                                 telemetry::FallbackReason::kNonPeriodicPattern);
+      const BulkOutcome ref = WearLeveler::write_cycle(pattern, data, count, bank);
+      epoch::span_fallback_end(tel_, tel_id_, ref.total.value(),
+                               telemetry::FallbackReason::kNonPeriodicPattern);
+      return ref;
+    }
     return WearLeveler::write_cycle(pattern, data, count, bank);
   }
   // The epoch engine opens with an O(physical lines) uniform-content
@@ -211,7 +219,8 @@ void TwoLevelSecurityRefresh::write_cycle_windowed(std::span<const La> pattern,
       chunk = std::min(chunk, d.hits.until_nth(phase, deficit));
     }
     chunk = batch::cap_chunk_at_failure(lines, phase, chunk);
-    out.total += batch::apply_chunk(lines, data, phase, chunk, bank, tel_, tel_id_);
+    out.total += batch::apply_chunk(lines, data, phase, chunk, bank, tel_, tel_id_,
+                                    out.total.value());
     applied += chunk;
     const u64 chunk_phase = phase;
     for (const auto& d : doms) inner_counter_[d.key] += d.hits.hits_in(phase, chunk);
@@ -266,8 +275,10 @@ BulkOutcome TwoLevelSecurityRefresh::write_cycle_epoch(std::span<const La> patte
   pcm::LineData uniform{};
   bool scanned = false;
 
-  const auto windowed_tail = [&] {
+  const auto windowed_tail = [&](telemetry::FallbackReason reason) {
+    epoch::span_fallback_begin(tel_, tel_id_, out.total.value(), reason);
     write_cycle_windowed(pattern, data, count - out.writes_applied, phase, bank, out);
+    epoch::span_fallback_end(tel_, tel_id_, out.total.value(), reason);
   };
 
   while (out.writes_applied < count && !bank.has_failure()) {
@@ -302,11 +313,13 @@ BulkOutcome TwoLevelSecurityRefresh::write_cycle_epoch(std::span<const La> patte
     if (!scanned) {
       const epoch::ScanResult scan = epoch::scan_uniform(bank, cfg_.lines, slots);
       if (!scan.uniform) {
-        windowed_tail();
+        windowed_tail(telemetry::FallbackReason::kNonUniformContent);
         return out;
       }
       uniform = scan.content;
       budget.seed(scan.min_headroom);
+      epoch::emit_projection(tel_, tel_id_, telemetry::kGlobalDomain, out.total.value(),
+                             count - out.writes_applied, telemetry::FallbackReason::kNone);
       scanned = true;
     }
     const u64 iv_in = effective_inner_interval();
@@ -314,7 +327,7 @@ BulkOutcome TwoLevelSecurityRefresh::write_cycle_epoch(std::span<const La> patte
     bool overrun = outer_counter_ >= iv_out;  // interval shrank below a carried counter
     for (const auto& d : doms) overrun = overrun || inner_counter_[d.key] >= iv_in;
     if (overrun) {
-      windowed_tail();
+      windowed_tail(telemetry::FallbackReason::kPsiChange);
       return out;
     }
     const u64 remaining = count - out.writes_applied;
@@ -367,7 +380,7 @@ BulkOutcome TwoLevelSecurityRefresh::write_cycle_epoch(std::span<const La> patte
       lfail = std::min(lfail, ls.hits.until_nth(phase, ls.remaining));
     }
     if (lfail <= jump) {
-      windowed_tail();
+      windowed_tail(telemetry::FallbackReason::kNearFailure);
       return out;
     }
     // Movement-slot wear: one jump stays inside one outer round and one
@@ -380,12 +393,16 @@ BulkOutcome TwoLevelSecurityRefresh::write_cycle_epoch(std::span<const La> patte
     if (!budget.spend(5)) {
       const epoch::ScanResult scan = epoch::scan_uniform(bank, cfg_.lines, slots);
       if (!scan.uniform || !(budget.seed(scan.min_headroom), budget.spend(5))) {
-        windowed_tail();  // genuinely near a movement-slot failure
+        // genuinely near a movement-slot failure
+        windowed_tail(telemetry::FallbackReason::kNearFailure);
         return out;
       }
       uniform = scan.content;
+      epoch::emit_projection(tel_, tel_id_, telemetry::kGlobalDomain, out.total.value(),
+                             count - out.writes_applied, telemetry::FallbackReason::kNone);
     }
 
+    const u64 jump_t0 = out.total.value();
     // Pattern wear/data: one failure-checked bulk write per distinct PA.
     for (auto& ls : lines) {
       const u64 h = ls.hits.hits_in(phase, jump);
@@ -467,7 +484,8 @@ BulkOutcome TwoLevelSecurityRefresh::write_cycle_epoch(std::span<const La> patte
     out.writes_applied += jump;
     phase = (phase + jump) % period;
     epoch::emit_jump(tel_, tel_id_, telemetry::kGlobalDomain, jump,
-                     agg_steps + (inner_live ? 1 : 0) + (outer_live ? 1 : 0));
+                     agg_steps + (inner_live ? 1 : 0) + (outer_live ? 1 : 0), jump_t0,
+                     out.total.value());
 
     // Replay the special trigger(s) exactly, in write()'s order. Both
     // counters already read 0 here when due (the mod above).

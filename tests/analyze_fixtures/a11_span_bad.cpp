@@ -1,0 +1,42 @@
+// srbsg-analyze fixture: seeded a11-span violations (clean twin:
+// a11_span_clean.cpp). Span begin/end pairs that are not closed on every
+// path out of their scope: an early return inside the pair, a throw
+// inside the pair, an end with no begin, and a begin with no end at all.
+#include <cstdint>
+#include <stdexcept>
+
+namespace fixture {
+
+struct Recorder {
+  void span_begin(std::uint64_t kind, std::uint64_t detail) { last_ = kind + detail; }
+  void span_end(std::uint64_t kind, std::uint64_t detail) { last_ = kind - detail; }
+  std::uint64_t last_ = 0;
+};
+
+std::uint64_t early_return(Recorder& rec, std::uint64_t writes) {
+  rec.span_begin(1, writes);
+  if (writes == 0) {
+    return 0;  // EXPECT: a11-span
+  }
+  rec.span_end(1, writes);
+  return writes;
+}
+
+std::uint64_t throw_escapes(Recorder& rec, std::uint64_t writes) {
+  rec.span_begin(2, writes);
+  if (writes > 100) {
+    throw std::runtime_error("overflow");  // EXPECT: a11-span
+  }
+  rec.span_end(2, writes);
+  return writes;
+}
+
+void end_without_begin(Recorder& rec, std::uint64_t writes) {
+  rec.span_end(3, writes);  // EXPECT: a11-span
+}
+
+void begin_without_end(Recorder& rec, std::uint64_t writes) {
+  rec.span_begin(4, writes);  // EXPECT: a11-span
+}
+
+}  // namespace fixture

@@ -1,0 +1,55 @@
+// srbsg-analyze fixture: clean twin of a11_span_bad.cpp. Every span
+// begin is post-dominated by its end: straight-line pairs, a guarded
+// symmetric pair, a pair inside a lambda's own scope, and a forwarding
+// wrapper whose name marks it as one half of a pair.
+#include <cstdint>
+
+namespace fixture {
+
+struct Recorder {
+  void span_begin(std::uint64_t kind, std::uint64_t detail) { last_ = kind + detail; }
+  void span_end(std::uint64_t kind, std::uint64_t detail) { last_ = kind - detail; }
+  std::uint64_t last_ = 0;
+};
+
+std::uint64_t balanced(Recorder& rec, std::uint64_t writes) {
+  rec.span_begin(1, writes);
+  rec.span_end(1, writes);
+  return writes;
+}
+
+std::uint64_t guarded_pair(Recorder* rec, std::uint64_t writes) {
+  const bool traced = rec != nullptr;
+  if (traced) rec->span_begin(2, writes);
+  const std::uint64_t result = writes + 1;
+  if (traced) rec->span_end(2, result);
+  return result;
+}
+
+std::uint64_t lambda_scoped(Recorder& rec, std::uint64_t writes) {
+  const auto traced = [&rec](std::uint64_t w) {
+    rec.span_begin(3, w);
+    rec.span_end(3, w);
+    return w;
+  };
+  return traced(writes);
+}
+
+// A forwarding wrapper emits only its half of the pair; the span-shaped
+// name exempts the body (the matching end lives in span_fallback_end).
+void span_fallback_begin(Recorder* rec, std::uint64_t writes) {
+  if (rec != nullptr) rec->span_begin(4, writes);
+}
+
+void span_fallback_end(Recorder* rec, std::uint64_t writes) {
+  if (rec != nullptr) rec->span_end(4, writes);
+}
+
+std::uint64_t via_wrappers(Recorder* rec, std::uint64_t writes) {
+  span_fallback_begin(rec, writes);
+  const std::uint64_t result = writes * 2;
+  span_fallback_end(rec, result);
+  return result;
+}
+
+}  // namespace fixture

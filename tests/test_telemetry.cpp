@@ -257,7 +257,7 @@ TEST(Telemetry, JsonlHeaderAndCounterOrder) {
   std::ostringstream os;
   col.write_jsonl(os);
   const std::string text = os.str();
-  EXPECT_NE(text.find("\"telemetry_schema\":1"), std::string::npos);
+  EXPECT_NE(text.find("\"telemetry_schema\":2"), std::string::npos);
   EXPECT_NE(text.find("\"ev\":\"GapMoved\""), std::string::npos);
   EXPECT_NE(text.find("\"scheme\":\"jsonl-test\""), std::string::npos);
   // First line is the header.
@@ -269,6 +269,71 @@ TEST(Telemetry, JsonlHeaderAndCounterOrder) {
   EXPECT_LT(text.find("wl.gap_moves", merged_at), text.find("wl.remap_triggers", merged_at));
   EXPECT_EQ(col.merged("wl.remap_triggers"), 1u);
   EXPECT_EQ(col.merged("wl.gap_moves"), 1u);
+}
+
+TEST(EventRing, SpanPairStraddlesDropPoint) {
+  // A begin whose end lands after drop-oldest has evicted it: the ring
+  // keeps the end (newest wins), so readers see an end with no begin —
+  // the trace validator classifies exactly this as a truncated span.
+  EventRing ring(4);
+  Event begin;
+  begin.type = EventType::kSpanBegin;
+  begin.a = static_cast<u64>(telemetry::SpanKind::kRemapEpoch);
+  ring.push(begin);
+  for (u64 i = 0; i < 4; ++i) {
+    Event filler;
+    filler.type = EventType::kProbeClassified;
+    filler.a = i;
+    ring.push(filler);
+  }
+  Event end;
+  end.type = EventType::kSpanEnd;
+  end.a = static_cast<u64>(telemetry::SpanKind::kRemapEpoch);
+  ring.push(end);
+
+  EXPECT_EQ(ring.size(), 4u);
+  EXPECT_EQ(ring.dropped(), 2u);  // the begin and the oldest filler
+  bool saw_begin = false;
+  bool saw_end = false;
+  for (std::size_t i = 0; i < ring.size(); ++i) {
+    saw_begin = saw_begin || ring.at(i).type == EventType::kSpanBegin;
+    saw_end = saw_end || ring.at(i).type == EventType::kSpanEnd;
+  }
+  EXPECT_FALSE(saw_begin);
+  EXPECT_TRUE(saw_end);
+}
+
+TEST(Telemetry, TruncatedSpanSurvivesSerialization) {
+  // End-to-end version of the straddle: a Recorder with a tiny ring
+  // drops a span begin, and the collector must still serialize the
+  // orphaned end (with its decoded span name) plus a nonzero dropped
+  // count so the validator can downgrade the orphan to "truncated"
+  // instead of rejecting the trace.
+  TelemetryConfig cfg;
+  cfg.ring_capacity = 4;
+  telemetry::Collector col(cfg);
+  auto rec = col.acquire();
+  const u16 id = rec->intern_scheme("straddle");
+  rec->span_begin(telemetry::SpanKind::kBatchChunk, id, telemetry::kGlobalDomain, 0, 7);
+  for (u64 i = 0; i < 4; ++i) {
+    rec->emit(EventType::kProbeClassified, id, telemetry::kGlobalDomain, i, 0);
+  }
+  rec->span_end(telemetry::SpanKind::kBatchChunk, id, telemetry::kGlobalDomain, 5, 7);
+
+  telemetry::RunMeta meta;
+  meta.entry = 0;
+  meta.scheme = "straddle";
+  meta.attack = "unit";
+  meta.seed = 1;
+  col.absorb(meta, std::move(rec));
+
+  std::ostringstream os;
+  col.write_jsonl(os);
+  const std::string text = os.str();
+  EXPECT_EQ(text.find("\"ev\":\"SpanBegin\""), std::string::npos);
+  EXPECT_NE(text.find("\"ev\":\"SpanEnd\""), std::string::npos);
+  EXPECT_NE(text.find("\"span\":\"BatchChunk\""), std::string::npos);
+  EXPECT_NE(text.find("\"dropped\":2"), std::string::npos);
 }
 
 TEST(Telemetry, DetachResetsControllerTelemetry) {

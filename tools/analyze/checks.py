@@ -1631,7 +1631,100 @@ class LifetimeCheck(Check):
         return findings
 
 
+class SpanCheck(Check):
+    """A11: a telemetry span begin that is not post-dominated by its end.
+
+    Span pairs (Recorder::span_begin/span_end and the epoch::span_*
+    helpers) must close on every path out of the opening scope —
+    srbsg-trace flags an unbalanced pair as a truncated span, and in the
+    Chrome export it renders as a phantom slice to the end of the run.
+    The check is a linear scan per function-ish scope (lambdas open
+    their own scope): begins push, ends pop, and a return/throw while
+    the stack is non-empty is a path that escapes the span.  Functions
+    whose own name is span-shaped are one half of a forwarding wrapper
+    (epoch::span_fallback_begin emits only the begin) and are skipped.
+    """
+
+    id = "a11-span"
+    description = ("telemetry span opened but not closed on every path "
+                   "out of its scope")
+    suggestion = ("close every span begin with its end on all exits "
+                  "(early returns and throws included), or move the pair "
+                  "into a helper with no exits between them")
+    scope_dirs = ("src/wl", "src/controller", "src/telemetry", "bench/")
+
+    _CALL_KINDS = ("CallExpr", "CXXMemberCallExpr")
+    _SCOPE_KINDS = ("LambdaExpr", "FunctionDecl", "CXXMethodDecl",
+                    "CXXConstructorDecl", "CXXDestructorDecl",
+                    "CXXConversionDecl")
+
+    def begin_tu(self, ctx: TuContext) -> None:
+        # id(scope node) -> [(callee name, begin cursor), ...]
+        self._open: dict[int, list] = {}
+
+    @staticmethod
+    def _span_role(name: str) -> str:
+        low = name.lower()
+        if "span" not in low:
+            return ""
+        if low.endswith("begin"):
+            return "begin"
+        if low.endswith("end"):
+            return "end"
+        return ""
+
+    def _scope(self, cursor: Cursor) -> tuple[int, str]:
+        for parent in reversed(cursor.parents):
+            if parent.get("kind") in self._SCOPE_KINDS:
+                return id(parent), parent.get("name", "") or ""
+        return 0, ""
+
+    def visit(self, cursor: Cursor, ctx: TuContext) -> None:
+        kind = cursor.kind
+        if kind in self._CALL_KINDS:
+            name, _ = callee_of(cursor.node)
+            role = self._span_role(name or "")
+            if not role:
+                return
+            if not ctx.in_scope(cursor.file, self.scope_dirs):
+                return
+            scope_id, scope_name = self._scope(cursor)
+            if self._span_role(scope_name):
+                return  # one half of a forwarding wrapper
+            stack = self._open.setdefault(scope_id, [])
+            if role == "begin":
+                stack.append((name, cursor))
+            elif stack:
+                stack.pop()
+            else:
+                ctx.add(self, cursor,
+                        f"'{name}' closes a span that was never opened in "
+                        "this scope")
+        elif kind in ("ReturnStmt", "CXXThrowExpr"):
+            if not ctx.in_scope(cursor.file, self.scope_dirs):
+                return
+            stack = self._open.get(self._scope(cursor)[0])
+            if stack:
+                opened = ", ".join(f"'{n}' (line {c.line or 0})"
+                                   for n, c in stack)
+                exit_kind = "return" if kind == "ReturnStmt" else "throw"
+                ctx.add(self, cursor,
+                        f"{exit_kind} escapes {len(stack)} open span(s): "
+                        f"{opened}")
+
+    def summarize(self, ctx: TuContext) -> Optional[dict]:
+        # End-of-TU flush: pre-order visitation is source order inside a
+        # scope, so anything still open was never closed in that scope.
+        for stack in self._open.values():
+            for name, begin_cursor in stack:
+                ctx.add(self, begin_cursor,
+                        f"'{name}' opens a span that is never closed in "
+                        "this scope")
+        self._open.clear()
+        return None
+
+
 ALL_CHECKS = [WidthCheck, DeterminismCheck, RaceCheck, StateCheck,
               UncheckedCheck, BatchCheck, TelemetryCheck, TaintCheck,
-              LockCheck, LifetimeCheck]
+              LockCheck, LifetimeCheck, SpanCheck]
 CHECKS_BY_ID = {c.id: c for c in ALL_CHECKS}

@@ -1,6 +1,6 @@
 #!/usr/bin/env python3
 """Validate a machine-readable bench JSON (perf_sweep / perf_write_path /
-perf_epoch).
+perf_epoch / perf_stall).
 
 Dispatches on the top-level "bench" field. For every bench the schema
 (schema_version 1), field types, and internal consistency are checked
@@ -270,10 +270,104 @@ def validate_perf_epoch(doc: dict) -> str:
             f"{doc['model_rel_err']:.3f}, identical outcomes")
 
 
+HIST_FIELDS = {
+    "count": int,
+    "sum": int,
+    "min": int,
+    "max": int,
+    "p50": int,
+    "p99": int,
+    "p999": int,
+}
+
+
+def validate_perf_stall(doc: dict) -> str:
+    config = doc.get("config")
+    require(isinstance(config, dict), "config must be an object")
+    require_fields(
+        config,
+        {
+            "lines": int,
+            "regions": int,
+            "inner_interval": int,
+            "outer_interval": int,
+            "endurance": int,
+            "seeds": int,
+            "symbols": int,
+            "victim_writes": int,
+            "probe_writes": int,
+        },
+        "config",
+    )
+    require(config["lines"] > 0 and config["lines"] & (config["lines"] - 1) == 0,
+            "config.lines must be a positive power of two")
+    wps = config["victim_writes"] + config["probe_writes"] + config["inner_interval"]
+
+    schemes = doc.get("schemes")
+    require(isinstance(schemes, list) and schemes, "schemes must be a non-empty list")
+    seen = set()
+    for sc in schemes:
+        require(isinstance(sc, dict), "scheme entries must be objects")
+        require_fields(
+            sc,
+            {
+                "scheme": str,
+                "stages": int,
+                "symbols": int,
+                "mi_bits_per_symbol": (int, float),
+                "capacity_bits_per_write": (int, float),
+            },
+            f"scheme '{sc.get('scheme', '?')}'",
+        )
+        where = f"scheme '{sc['scheme']}'"
+        require(sc["scheme"] not in seen, f"{where}: duplicate scheme")
+        seen.add(sc["scheme"])
+        require(sc["symbols"] == config["symbols"] * config["seeds"],
+                f"{where}: symbols must equal config.symbols * config.seeds")
+        expected = sc["mi_bits_per_symbol"] / wps
+        require(abs(sc["capacity_bits_per_write"] - expected) <= 0.01 * expected + 1e-9,
+                f"{where}: capacity inconsistent with MI / writes-per-symbol")
+        for hist in ("write_ns", "stall_ns"):
+            h = sc.get(hist)
+            require(isinstance(h, dict), f"{where}: {hist} must be an object")
+            require_fields(h, HIST_FIELDS, f"{where}.{hist}")
+            require(h["p50"] <= h["p99"] <= h["p999"] <= h["max"],
+                    f"{where}.{hist}: quantiles must be non-decreasing")
+        require(sc["write_ns"]["count"] > 0, f"{where}: write_ns histogram is empty")
+
+    require(schemes[0]["scheme"] == "rbsg", "schemes[0] must be the rbsg baseline")
+    max_stages = max(sc["stages"] for sc in schemes[1:])
+    require(schemes[-1]["stages"] == max_stages,
+            "schemes[-1] must be security-rbsg at max stages")
+
+    require(isinstance(doc.get("capacity_rbsg"), (int, float)),
+            "capacity_rbsg must be a number")
+    require(isinstance(doc.get("capacity_srbsg_max_stages"), (int, float)),
+            "capacity_srbsg_max_stages must be a number")
+    require(doc["capacity_rbsg"] == schemes[0]["capacity_bits_per_write"],
+            "capacity_rbsg must repeat schemes[0].capacity_bits_per_write")
+    require(doc["capacity_srbsg_max_stages"] == schemes[-1]["capacity_bits_per_write"],
+            "capacity_srbsg_max_stages must repeat schemes[-1].capacity_bits_per_write")
+
+    # The paper's claim as an empirical gate: the RBSG remap-timing
+    # channel is live, and Security RBSG at max stages suppresses it.
+    require(doc["capacity_rbsg"] > 0, "capacity_rbsg must be positive (channel dead?)")
+    require(doc["capacity_srbsg_max_stages"] < doc["capacity_rbsg"],
+            "security-rbsg capacity must stay below the rbsg baseline")
+    require(doc.get("identical") is True,
+            "traced runs were not bit-identical to untraced runs")
+
+    suppression = doc["capacity_rbsg"] / max(doc["capacity_srbsg_max_stages"], 1e-12)
+    return (f"{len(schemes)} schemes, rbsg channel "
+            f"{doc['capacity_rbsg']:.4f} bits/write, suppressed "
+            f"{suppression:.1f}x at {max_stages} stages, identical outcomes")
+
+
 VALIDATORS = {
     "perf_sweep": validate_perf_sweep,
     "perf_write_path": validate_perf_write_path,
     "perf_epoch": validate_perf_epoch,
+    "perf_stall": validate_perf_stall,
 }
 
 
@@ -286,8 +380,9 @@ def load_and_validate(path: str) -> dict:
 
     require(isinstance(doc, dict), f"{path}: top level must be an object")
     require(doc.get("schema_version") == 1, f"{path}: schema_version must be 1")
-    require(doc.get("telemetry_schema") == 1,
-            f"{path}: telemetry_schema must be 1 (the JSONL trace layout the binary links)")
+    require(doc.get("telemetry_schema") in (1, 2),
+            f"{path}: telemetry_schema must be 1 or 2 (the JSONL trace layout "
+            "the binary links)")
     bench = doc.get("bench")
     require(bench in VALIDATORS,
             f"{path}: bench must be one of {sorted(VALIDATORS)}, got {bench!r}")
@@ -309,6 +404,17 @@ def _ratio_metrics(doc: dict) -> dict:
     """Machine-independent ratio metrics (bigger is better)."""
     if doc["bench"] == "perf_sweep":
         return {"speedup": doc["speedup"]}
+    if doc["bench"] == "perf_stall":
+        # Capacity ratios are machine-independent (simulated time only);
+        # the suppression factor is the headline security metric.
+        metrics = {
+            "rbsg capacity (bits/write)": doc["capacity_rbsg"],
+            "suppression ratio": doc["capacity_rbsg"]
+            / max(doc["capacity_srbsg_max_stages"], 1e-12),
+        }
+        for sc in doc["schemes"]:
+            metrics[f"{sc['scheme']} MI (bits/symbol)"] = sc["mi_bits_per_symbol"]
+        return metrics
     if doc["bench"] == "perf_epoch":
         metrics = {"composite_speedup": doc["composite_speedup"]}
         for sc in doc["schemes"]:

@@ -1,11 +1,15 @@
 #!/usr/bin/env python3
 """ctest driver: telemetry JSONL round-trip through the forensics bench.
 
-Runs the rta_forensics bench at reduced scale with --telemetry, then
-feeds the resulting JSONL to `srbsg-trace validate`, which checks the
-trace structure and the attribution invariant (every GapMoved /
-KeyRerandomized follows a same-instant RemapTriggered) and requires the
-event types the bench is guaranteed to produce.
+Runs the rta_forensics bench at reduced scale with --trace-out, then
+feeds the resulting JSONL (telemetry_schema 2) to `srbsg-trace
+validate`, which checks the trace structure, the attribution invariant
+(every GapMoved / KeyRerandomized follows a same-instant
+RemapTriggered), span pairing and histogram consistency, and requires
+the event types the bench is guaranteed to produce. The Chrome /
+Prometheus exporters are smoke-tested on the same trace, and a
+hand-written telemetry_schema 1 trace is validated to pin the
+back-compat reader path.
 
 Exits 77 (the ctest SKIP code) when the bench binary has not been built
 in this tree.
@@ -14,10 +18,26 @@ in this tree.
 from __future__ import annotations
 
 import argparse
+import json
 import pathlib
 import subprocess
 import sys
 import tempfile
+
+# A minimal but fully-consistent schema 1 trace: one run, two retained
+# events, a remap trigger attributed by a same-instant gap move. The v2
+# reader must keep accepting exactly this layout.
+V1_TRACE = "\n".join([
+    '{"type":"header","telemetry_schema":1,"runs":1,"events":2}',
+    '{"type":"run","entry":0,"scheme":"security-rbsg","attack":"rta-probe",'
+    '"seed":1,"events":2,"retained":2,"dropped":0,"snapshots":0}',
+    '{"type":"event","entry":0,"seq":0,"t":100,"ev":"RemapTriggered",'
+    '"scheme":"security-rbsg","domain":-1,"a":0,"b":0}',
+    '{"type":"event","entry":0,"seq":1,"t":100,"ev":"GapMoved",'
+    '"scheme":"security-rbsg","domain":-1,"a":3,"b":4}',
+    '{"type":"counters","entry":0,"counters":{"ctl.writes":1}}',
+    '{"type":"counters_merged","counters":{"ctl.writes":1}}',
+]) + "\n"
 
 # Event types a seeded RTA-probe-vs-SecurityRBSG run always produces:
 # inner/outer remaps with their moves and DFN re-keys, the probe's
@@ -51,7 +71,7 @@ def main() -> int:
     with tempfile.TemporaryDirectory(prefix="srbsg-trace-") as tmp:
         trace = pathlib.Path(tmp) / "forensics.jsonl"
         run = subprocess.run(
-            [str(bench), "--seeds", args.seeds, "--telemetry", str(trace)],
+            [str(bench), "--seeds", args.seeds, "--trace-out", str(trace)],
             stdout=subprocess.PIPE,
             stderr=subprocess.STDOUT,
             text=True,
@@ -74,8 +94,53 @@ def main() -> int:
         if val.returncode != 0:
             print(f"FAIL: srbsg-trace validate exited {val.returncode}", file=sys.stderr)
             return 1
+        if "schema 2" not in val.stdout:
+            print("FAIL: live trace did not validate as telemetry_schema 2",
+                  file=sys.stderr)
+            return 1
 
-    print("trace round-trip OK")
+        # Exporter smoke: the Chrome trace must be JSON with a traceEvents
+        # array, the Prometheus snapshot must carry both histograms.
+        chrome = pathlib.Path(tmp) / "trace.chrome.json"
+        prom = pathlib.Path(tmp) / "trace.prom"
+        exp = subprocess.run(
+            [sys.executable, args.trace_tool, "export", str(trace),
+             "--chrome", str(chrome), "--prom", str(prom)],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+        )
+        sys.stdout.write(exp.stdout)
+        if exp.returncode != 0:
+            print(f"FAIL: srbsg-trace export exited {exp.returncode}", file=sys.stderr)
+            return 1
+        doc = json.loads(chrome.read_text(encoding="utf-8"))
+        if not isinstance(doc.get("traceEvents"), list) or not doc["traceEvents"]:
+            print("FAIL: Chrome export has no traceEvents", file=sys.stderr)
+            return 1
+        prom_text = prom.read_text(encoding="utf-8")
+        for metric in ("srbsg_write_ns_count", "srbsg_stall_ns_count"):
+            if metric not in prom_text:
+                print(f"FAIL: Prometheus export is missing {metric}", file=sys.stderr)
+                return 1
+
+        # Back-compat: a schema 1 trace (no spans, no histograms) must
+        # still validate under the v2 reader.
+        v1 = pathlib.Path(tmp) / "v1.jsonl"
+        v1.write_text(V1_TRACE, encoding="utf-8")
+        old = subprocess.run(
+            [sys.executable, args.trace_tool, "validate", str(v1),
+             "--expect", "RemapTriggered,GapMoved"],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+        )
+        sys.stdout.write(old.stdout)
+        if old.returncode != 0 or "schema 1" not in old.stdout:
+            print("FAIL: schema 1 back-compat trace did not validate", file=sys.stderr)
+            return 1
+
+    print("trace round-trip OK (schema 2 live trace + exporters + schema 1 back-compat)")
     return 0
 
 
